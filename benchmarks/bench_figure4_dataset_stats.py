@@ -1,0 +1,82 @@
+"""Figure 4: dataset statistics.
+
+Regenerates the statistics table of Figure 4 -- original data size N, the
+provenance relation sizes |P|, canonical relation sizes |T|, the initial tuple
+mapping size |M_tuple|, the optimal evidence mapping size |M*_tuple| and the
+number of explanations |E| (before and after Stage 3 summarization) -- for the
+Academic dataset pairs and the IMDb query templates.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.summarize import PatternSummarizer
+from repro.baselines import Explain3DMethod
+from repro.evaluation.reporting import format_table
+
+
+def _stats_row(name, db_left, db_right, problem, gold, explanations, summary_size):
+    n_left = sum(len(rel) for rel in db_left.relations().values())
+    n_right = sum(len(rel) for rel in db_right.relations().values())
+    return [
+        name,
+        f"{n_left}/{n_right}",
+        f"{len(problem.provenance_left)}/{len(problem.provenance_right)}",
+        f"{len(problem.canonical_left)}/{len(problem.canonical_right)}",
+        len(problem.mapping),
+        len(explanations.evidence),
+        explanations.size,
+        summary_size,
+        gold.num_explanations,
+    ]
+
+
+HEADERS = ["dataset", "N", "|P|", "|T|", "|Mtuple|", "|M*tuple|", "|E|", "|E_S|", "|E| gold"]
+
+
+def test_figure4_academic_statistics(benchmark, academic_problems):
+    """Figure 4 (top): Academic dataset statistics."""
+    rows = []
+
+    def build():
+        rows.clear()
+        for name, (pair, problem, gold) in academic_problems.items():
+            explanations = Explain3DMethod().explain(problem)
+            summary = PatternSummarizer().summarize(
+                explanations, problem.canonical_left, problem.canonical_right
+            )
+            rows.append(
+                _stats_row(name, pair.db_left, pair.db_right, problem, gold, explanations, summary.size)
+            )
+        return rows
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("figure4_academic_statistics", format_table(HEADERS, rows, title="Figure 4 (Academic)"))
+
+
+def test_figure4_imdb_statistics(benchmark, imdb_workload, imdb_instantiations):
+    """Figure 4 (bottom): IMDb per-template statistics (one instantiation each)."""
+    rows = []
+
+    def build():
+        rows.clear()
+        for template, param in imdb_instantiations:
+            pair = imdb_workload.pair(template, param)
+            problem, gold = pair.build_problem()
+            if not len(problem.canonical_left) or not len(problem.canonical_right):
+                continue
+            explanations = Explain3DMethod().explain(problem)
+            summary = PatternSummarizer().summarize(
+                explanations, problem.canonical_left, problem.canonical_right
+            )
+            rows.append(
+                _stats_row(
+                    f"{template}({param})", pair.db_left, pair.db_right,
+                    problem, gold, explanations, summary.size,
+                )
+            )
+        return rows
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("figure4_imdb_statistics", format_table(HEADERS, rows, title="Figure 4 (IMDb)"))

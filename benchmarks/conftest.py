@@ -1,0 +1,57 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's tables or figures and
+both prints it (visible with ``pytest -s`` / on benchmark summaries) and writes
+it to ``benchmarks/results/<name>.txt`` so the output survives pytest's output
+capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.academic import generate_academic_pair, osu_config, umass_config
+from repro.datasets.imdb import IMDbConfig, generate_imdb_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def academic_problems():
+    """Both academic pairs (UMass vs NCES, OSU vs NCES) with their gold standards."""
+    problems = {}
+    for config in (umass_config(), osu_config()):
+        pair = generate_academic_pair(config)
+        problems[config.name] = (pair, *pair.build_problem())
+    return problems
+
+
+@pytest.fixture(scope="session")
+def imdb_workload():
+    """A laptop-scale IMDb workload shared by the Figure 4 and Figure 7 benchmarks."""
+    return generate_imdb_workload(IMDbConfig(num_movies=400, num_people=400, seed=17))
+
+
+@pytest.fixture(scope="session")
+def imdb_instantiations(imdb_workload):
+    """A deterministic set of template instantiations (template, parameter)."""
+    years = imdb_workload.years_with_movies(minimum=8)
+    pairs = []
+    for index, template in enumerate(imdb_workload.TEMPLATES):
+        if template == "Q10":
+            pairs.append((template, "Horror"))
+        elif template == "Q2":
+            pairs.append((template, 1955 + index))
+        else:
+            pairs.append((template, years[index % len(years)]))
+    return pairs

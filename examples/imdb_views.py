@@ -1,0 +1,69 @@
+"""IMDb scenario: the same movie universe published as two disagreeing views.
+
+View 1 stores a single genre/country per movie and separates actors from
+directors; view 2 keeps all genres in a generic MovieInfo table and merges
+people into one Person table.  With ~5% injected errors, semantically similar
+queries over the two views disagree.  This example instantiates several of the
+paper's query templates and explains each disagreement.
+
+Run with:  python examples/imdb_views.py
+"""
+
+from repro import Explain3D, Explain3DConfig
+from repro.datasets.imdb import IMDbConfig, generate_imdb_workload
+from repro.evaluation import evaluate_evidence, evaluate_explanations
+
+
+def main() -> None:
+    workload = generate_imdb_workload(IMDbConfig(num_movies=400, num_people=400, seed=29))
+    years = workload.years_with_movies(minimum=8)
+    engine = Explain3D(Explain3DConfig(partitioning="components"))
+
+    instantiations = [
+        ("Q3", years[0]),          # number of comedy movies released in <year>
+        ("Q5", years[1]),          # total gross for movies released in <year>
+        ("Q9", years[2]),          # average runtime for movies released in <year>
+        ("Q10", "Horror"),         # actresses who have not starred in any <genre> movie
+    ]
+
+    for template, param in instantiations:
+        pair = workload.pair(template, param)
+        problem, gold = pair.build_problem()
+        report = engine.explain_problem(problem)
+        explanation_metrics = evaluate_explanations(report.explanations, gold, problem)
+        evidence_metrics = evaluate_evidence(report.explanations, gold)
+
+        results = ""
+        if problem.result_left is not None and problem.result_right is not None:
+            results = f"  results: {problem.result_left:g} vs {problem.result_right:g}"
+        print(f"=== {template}({param}){results}")
+        print(
+            f"    |T1|={len(problem.canonical_left)}, |T2|={len(problem.canonical_right)}, "
+            f"|M_tuple|={len(problem.mapping)}"
+        )
+        print(
+            f"    {len(report.explanations.provenance)} provenance + "
+            f"{len(report.explanations.value)} value explanations, "
+            f"{len(report.evidence)} evidence matches"
+        )
+        print(
+            f"    accuracy: explanations F={explanation_metrics.f_measure:.3f}, "
+            f"evidence F={evidence_metrics.f_measure:.3f}"
+        )
+        for explanation in report.explanations.provenance[:3]:
+            side = "view 1" if explanation.side.value == "L" else "view 2"
+            relation = problem.canonical_left if explanation.side.value == "L" else problem.canonical_right
+            values = relation[explanation.key].values
+            print(f"      missing from the other view ({side}): {values}")
+        for explanation in report.explanations.value[:3]:
+            relation = problem.canonical_left if explanation.side.value == "L" else problem.canonical_right
+            values = relation[explanation.key].values
+            print(
+                f"      wrong contribution: {values} "
+                f"{explanation.old_impact:g} -> {explanation.new_impact:g}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup script for the Explain3D reproduction.
+
+A plain setup.py (rather than a PEP 517 pyproject build) is used so that
+``pip install -e .`` works in fully offline environments, where build
+isolation cannot download setuptools/wheel.
+"""
+
+from setuptools import setup
+
+setup()

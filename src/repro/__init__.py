@@ -1,0 +1,87 @@
+"""Reproduction of "Explain3D: Explaining Disagreements in Disjoint Datasets" (VLDB 2019).
+
+The public API re-exports the pieces most users need:
+
+* :class:`Explain3D` / :class:`Explain3DConfig` -- the end-to-end framework;
+* the relational substrate (:class:`Database`, :class:`Relation`, query
+  builders) to express the two disagreeing queries;
+* :func:`matching` and :class:`SemanticRelation` to declare attribute matches;
+* the baselines and dataset generators used by the benchmark harness live in
+  :mod:`repro.baselines`, :mod:`repro.datasets` and :mod:`repro.evaluation`.
+"""
+
+from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport
+from repro.core.explanations import ExplanationSet, ProvenanceExplanation, ValueExplanation
+from repro.core.problem import ExplainProblem, build_problem
+from repro.core.scoring import Priors
+from repro.core.summarize import ExplanationSummary, SummaryPattern
+from repro.graphs.bipartite import Side
+from repro.matching.attribute_match import (
+    AttributeMatch,
+    AttributeMatching,
+    SemanticRelation,
+    matching,
+)
+from repro.matching.tuple_matching import TupleMapping, TupleMatch
+from repro.relational.executor import Database, execute, scalar_result
+from repro.relational.expressions import col
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    Union,
+    aggregate_query,
+    count_query,
+    projection_query,
+    sum_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DataType, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Explain3D",
+    "Explain3DConfig",
+    "ExplanationReport",
+    "ExplanationSet",
+    "ProvenanceExplanation",
+    "ValueExplanation",
+    "ExplanationSummary",
+    "SummaryPattern",
+    "ExplainProblem",
+    "build_problem",
+    "Priors",
+    "Side",
+    "AttributeMatch",
+    "AttributeMatching",
+    "SemanticRelation",
+    "matching",
+    "TupleMapping",
+    "TupleMatch",
+    "Database",
+    "execute",
+    "scalar_result",
+    "col",
+    "Query",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Aggregate",
+    "AggregateFunction",
+    "count_query",
+    "sum_query",
+    "aggregate_query",
+    "projection_query",
+    "Relation",
+    "Schema",
+    "Attribute",
+    "DataType",
+]

@@ -1,0 +1,56 @@
+"""Baseline and competitor methods used in the paper's evaluation (Section 5.1.3).
+
+All baselines implement the :class:`~repro.baselines.base.DisagreementExplainer`
+interface: given an :class:`~repro.core.problem.ExplainProblem` they produce an
+:class:`~repro.core.explanations.ExplanationSet`, which the evaluation harness
+scores against the gold standard exactly like Explain3D's output.
+
+* :class:`FormalExpBaseline` -- single-dataset intervention-based predicate
+  explanations (Roy & Suciu style), adapted to the two-dataset setting by
+  asking why each query's result is high/low.
+* :class:`RSwooshBaseline` -- the R-Swoosh generic entity-resolution algorithm
+  with a Jaccard match threshold; its deterministic matches are used as the
+  evidence mapping.
+* :class:`ThresholdBaseline` -- keep initial matches with probability above a
+  fixed threshold.
+* :class:`GreedyBaseline` -- Explain3D's objective, maximized greedily instead
+  of by constrained optimization.
+* :class:`ExactCoverBaseline` -- an integer-programming adaptation of the
+  Exact Cover problem (the source of the NP-completeness reduction).
+* :class:`Explain3DMethod` -- Explain3D itself wrapped in the same interface,
+  so the benchmark harness can run every method uniformly.
+"""
+
+from repro.baselines.base import DisagreementExplainer, Explain3DMethod
+from repro.baselines.formalexp import FormalExpBaseline, PredicateExplanation
+from repro.baselines.rswoosh import RSwooshBaseline
+from repro.baselines.threshold import ThresholdBaseline
+from repro.baselines.greedy import GreedyBaseline
+from repro.baselines.exactcover import ExactCoverBaseline
+
+__all__ = [
+    "DisagreementExplainer",
+    "Explain3DMethod",
+    "FormalExpBaseline",
+    "PredicateExplanation",
+    "RSwooshBaseline",
+    "ThresholdBaseline",
+    "GreedyBaseline",
+    "ExactCoverBaseline",
+    "all_methods",
+]
+
+
+def all_methods(*, include_unoptimized: bool = False, batch_size: int = 1000):
+    """The method line-up of Figures 6 and 7, in the paper's order."""
+    methods = [
+        Explain3DMethod(batch_size=batch_size),
+        GreedyBaseline(),
+        ThresholdBaseline(0.9),
+        RSwooshBaseline(),
+        ExactCoverBaseline(),
+        FormalExpBaseline(top_k=15),
+    ]
+    if include_unoptimized:
+        methods.insert(1, Explain3DMethod(partitioning="none", name="Exp3D-NoOpt"))
+    return methods

@@ -1,0 +1,64 @@
+"""Common interface for all disagreement-explanation methods."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.explanations import ExplanationSet
+from repro.core.partitioning import PartitionedSolver, SolveConfig
+from repro.core.problem import ExplainProblem
+
+
+@dataclass
+class TimedResult:
+    """An explanation set together with the time it took to produce it."""
+
+    explanations: ExplanationSet
+    seconds: float
+
+
+class DisagreementExplainer:
+    """Base class: a method that explains the disagreement of an ExplainProblem."""
+
+    name: str = "method"
+
+    def explain(self, problem: ExplainProblem) -> ExplanationSet:
+        raise NotImplementedError
+
+    def explain_timed(self, problem: ExplainProblem) -> TimedResult:
+        start = time.perf_counter()
+        explanations = self.explain(problem)
+        return TimedResult(explanations, time.perf_counter() - start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"
+
+
+class Explain3DMethod(DisagreementExplainer):
+    """Explain3D (Stage 2 only) exposed through the common baseline interface.
+
+    Stage 1 is shared across all methods (they all consume the same
+    :class:`ExplainProblem`), so wrapping only the solving stage keeps the
+    runtime comparison of Figures 6c/6f/7c faithful: the paper notes that
+    initial-match generation dominates and is shared by all methods.
+    """
+
+    def __init__(
+        self,
+        *,
+        partitioning: str = "smart",
+        batch_size: int = 1000,
+        name: str | None = None,
+        solver=None,
+    ):
+        self.config = SolveConfig(
+            partitioning=partitioning,  # type: ignore[arg-type]
+            batch_size=batch_size,
+            solver=solver,
+        )
+        self.name = name or ("Exp3D" if partitioning != "none" else "Exp3D-NoOpt")
+
+    def explain(self, problem: ExplainProblem) -> ExplanationSet:
+        solver = PartitionedSolver(problem, self.config)
+        return solver.solve()

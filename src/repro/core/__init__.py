@@ -1,0 +1,53 @@
+"""Explain3D core: the paper's primary contribution.
+
+The pipeline has three stages (Section 3):
+
+1. **Canonicalization** (:mod:`repro.core.canonical`) -- derive provenance
+   relations, group them by the matched attributes and sum impacts.
+2. **MILP refinement** (:mod:`repro.core.milp_model`,
+   :mod:`repro.core.partitioning`) -- encode the EXP-3D problem as a mixed
+   integer linear program, optionally split it with the smart-partitioning
+   optimizer, solve, and decode explanations plus the evidence mapping.
+3. **Summarization** (:mod:`repro.core.summarize`) -- compress the
+   explanations into conjunctive patterns.
+
+:class:`repro.core.explain3d.Explain3D` is the user-facing facade tying the
+stages together; :class:`repro.core.problem.ExplainProblem` is the bundled
+input (canonical relations, attribute matches, initial tuple mapping, priors).
+"""
+
+from repro.core.explanations import (
+    ExplanationSet,
+    ProvenanceExplanation,
+    ValueExplanation,
+)
+from repro.core.canonical import CanonicalRelation, CanonicalTuple, canonicalize
+from repro.core.scoring import Priors, ExplanationScorer, derive_explanations_from_mapping
+from repro.core.problem import ExplainProblem, build_problem
+from repro.core.milp_model import MILPTransformation
+from repro.core.partitioning import PartitionedSolver, SolveConfig
+from repro.core.summarize import ExplanationSummary, PatternSummarizer, SummaryPattern
+from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport
+
+__all__ = [
+    "ProvenanceExplanation",
+    "ValueExplanation",
+    "ExplanationSet",
+    "CanonicalTuple",
+    "CanonicalRelation",
+    "canonicalize",
+    "Priors",
+    "ExplanationScorer",
+    "derive_explanations_from_mapping",
+    "ExplainProblem",
+    "build_problem",
+    "MILPTransformation",
+    "SolveConfig",
+    "PartitionedSolver",
+    "PatternSummarizer",
+    "SummaryPattern",
+    "ExplanationSummary",
+    "Explain3D",
+    "Explain3DConfig",
+    "ExplanationReport",
+]

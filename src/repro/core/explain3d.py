@@ -1,0 +1,188 @@
+"""The Explain3D facade: the user-facing entry point of the reproduction.
+
+Typical usage::
+
+    from repro import Explain3D, matching
+
+    engine = Explain3D()
+    report = engine.explain(
+        query_left, db_left, query_right, db_right,
+        attribute_matches=matching(("Program", "Major")),
+    )
+    print(report.describe())
+
+The facade runs the three stages of the paper end to end: Stage 1 (provenance,
+canonicalization, initial mapping), Stage 2 (partitioned MILP refinement) and
+Stage 3 (pattern summarization).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.explanations import ExplanationSet
+from repro.core.partitioning import PartitionedSolver, SolveConfig, SolveStats
+from repro.core.problem import ExplainProblem, build_problem
+from repro.core.scoring import Priors
+from repro.core.summarize import ExplanationSummary, PatternSummarizer
+from repro.graphs.weighting import WeightingParams
+from repro.matching.attribute_match import AttributeMatching
+from repro.matching.tuple_matching import TupleMapping
+from repro.relational.executor import Database
+from repro.relational.query import Query
+from repro.solver.backends import MILPSolver
+
+
+@dataclass
+class Explain3DConfig:
+    """End-to-end configuration of the Explain3D pipeline."""
+
+    priors: Priors = field(default_factory=Priors)
+    partitioning: str = "smart"
+    batch_size: int = 1000
+    weighting: WeightingParams = field(default_factory=WeightingParams)
+    use_prepartitioning: bool = True
+    num_buckets: int = 50
+    min_similarity: float = 0.0
+    min_match_probability: float = 0.0
+    summarize: bool = True
+    min_summary_precision: float = 0.75
+    solver: Optional[MILPSolver] = None
+
+    def solve_config(self) -> SolveConfig:
+        return SolveConfig(
+            partitioning=self.partitioning,  # type: ignore[arg-type]
+            batch_size=self.batch_size,
+            weighting=self.weighting,
+            use_prepartitioning=self.use_prepartitioning,
+            solver=self.solver,
+        )
+
+
+@dataclass
+class ExplanationReport:
+    """The full output of one Explain3D run."""
+
+    problem: ExplainProblem
+    explanations: ExplanationSet
+    summary: ExplanationSummary
+    stats: SolveStats
+    timings: dict
+
+    @property
+    def evidence(self) -> TupleMapping:
+        return self.explanations.evidence
+
+    def describe(self, *, max_items: int = 10) -> str:
+        """Human-readable report used by the examples."""
+        lines = []
+        if self.problem.result_left is not None and self.problem.result_right is not None:
+            lines.append(
+                f"Query results disagree: {self.problem.query_left.name} = "
+                f"{self.problem.result_left:g} vs {self.problem.query_right.name} = "
+                f"{self.problem.result_right:g}"
+            )
+        lines.append(self.explanations.describe(max_items=max_items))
+        if self.summary.patterns or self.summary.residual_keys:
+            lines.append("Summarized explanations:")
+            lines.append(self.summary.describe())
+        lines.append(
+            f"Solved in {self.timings.get('total', 0.0):.3f}s "
+            f"({self.stats.num_partitions} partition(s), "
+            f"largest {self.stats.largest_partition} tuples)"
+        )
+        return "\n".join(lines)
+
+
+class Explain3D:
+    """The three-stage Explain3D framework (Section 3) with smart partitioning (Section 4)."""
+
+    def __init__(self, config: Explain3DConfig | None = None):
+        self.config = config or Explain3DConfig()
+
+    # -- stage 1 -------------------------------------------------------------------------
+    def build_problem(
+        self,
+        query_left: Query,
+        db_left: Database,
+        query_right: Query,
+        db_right: Database,
+        *,
+        attribute_matches: AttributeMatching | None = None,
+        tuple_mapping: TupleMapping | None = None,
+        labeled_pairs: set[tuple[str, str]] | None = None,
+    ) -> ExplainProblem:
+        """Stage 1: provenance, canonicalization and the initial tuple mapping."""
+        return build_problem(
+            query_left,
+            db_left,
+            query_right,
+            db_right,
+            attribute_matches=attribute_matches,
+            tuple_mapping=tuple_mapping,
+            labeled_pairs=labeled_pairs,
+            priors=self.config.priors,
+            num_buckets=self.config.num_buckets,
+            min_similarity=self.config.min_similarity,
+            min_match_probability=self.config.min_match_probability,
+        )
+
+    # -- stages 2 and 3 ------------------------------------------------------------------
+    def explain_problem(self, problem: ExplainProblem) -> ExplanationReport:
+        """Stages 2-3 for an already constructed problem."""
+        timings: dict[str, float] = {}
+
+        solve_start = time.perf_counter()
+        solver = PartitionedSolver(problem, self.config.solve_config())
+        explanations = solver.solve()
+        timings["solve"] = time.perf_counter() - solve_start
+
+        summary = ExplanationSummary()
+        if self.config.summarize:
+            summarize_start = time.perf_counter()
+            summarizer = PatternSummarizer(min_precision=self.config.min_summary_precision)
+            summary = summarizer.summarize(
+                explanations, problem.canonical_left, problem.canonical_right
+            )
+            timings["summarize"] = time.perf_counter() - summarize_start
+
+        timings["total"] = sum(timings.values())
+        return ExplanationReport(
+            problem=problem,
+            explanations=explanations,
+            summary=summary,
+            stats=solver.stats,
+            timings=timings,
+        )
+
+    # -- end to end ----------------------------------------------------------------------
+    def explain(
+        self,
+        query_left: Query,
+        db_left: Database,
+        query_right: Query,
+        db_right: Database,
+        *,
+        attribute_matches: AttributeMatching | None = None,
+        tuple_mapping: TupleMapping | None = None,
+        labeled_pairs: set[tuple[str, str]] | None = None,
+    ) -> ExplanationReport:
+        """Run all three stages end to end."""
+        build_start = time.perf_counter()
+        problem = self.build_problem(
+            query_left,
+            db_left,
+            query_right,
+            db_right,
+            attribute_matches=attribute_matches,
+            tuple_mapping=tuple_mapping,
+            labeled_pairs=labeled_pairs,
+        )
+        build_time = time.perf_counter() - build_start
+
+        report = self.explain_problem(problem)
+        report.timings["stage1"] = build_time
+        report.timings["total"] += build_time
+        return report

@@ -1,0 +1,169 @@
+"""The bundled input of the EXP-3D problem (Problem 1).
+
+An :class:`ExplainProblem` holds everything Stage 2 needs: the two canonical
+relations, the attribute matches that made the queries comparable, the initial
+probabilistic tuple mapping, and the priors.  :func:`build_problem` constructs
+it from raw queries and databases, running Stage 1 (provenance derivation,
+schema matching if needed, canonicalization, candidate generation and
+similarity-to-probability calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.canonical import CanonicalRelation, canonicalize
+from repro.core.scoring import Priors
+from repro.graphs.bipartite import MatchGraph, Side
+from repro.matching.attribute_match import AttributeMatching
+from repro.matching.calibration import calibrate_matches
+from repro.matching.schema_matcher import infer_attribute_matches
+from repro.matching.tuple_matching import TupleMapping, TupleMatch, generate_candidates
+from repro.relational.executor import Database, scalar_result
+from repro.relational.provenance import ProvenanceRelation, provenance_relation
+from repro.relational.query import Query
+
+
+class NotComparableError(ValueError):
+    """Raised when two queries share no attribute match (Definition 2.2)."""
+
+
+@dataclass
+class ExplainProblem:
+    """The input of Problem 1: canonical relations, matches, mapping, priors."""
+
+    canonical_left: CanonicalRelation
+    canonical_right: CanonicalRelation
+    attribute_matches: AttributeMatching
+    mapping: TupleMapping
+    priors: Priors = field(default_factory=Priors)
+    query_left: Optional[Query] = None
+    query_right: Optional[Query] = None
+    provenance_left: Optional[ProvenanceRelation] = None
+    provenance_right: Optional[ProvenanceRelation] = None
+    result_left: Optional[float] = None
+    result_right: Optional[float] = None
+
+    @property
+    def relation(self):
+        """The dominant semantic relation governing mapping cardinality."""
+        return self.attribute_matches.dominant_relation()
+
+    @property
+    def disagreement(self) -> Optional[float]:
+        """Difference of the two query results (None when either is unknown)."""
+        if self.result_left is None or self.result_right is None:
+            return None
+        return self.result_left - self.result_right
+
+    def match_graph(self) -> MatchGraph:
+        """The bipartite graph ``G = (T1, T2, M_tuple)`` used by Section 4."""
+        return MatchGraph(
+            self.canonical_left.keys(), self.canonical_right.keys(), self.mapping
+        )
+
+    def statistics(self) -> dict:
+        """The per-dataset statistics reported in Figure 4."""
+        return {
+            "provenance_left": len(self.provenance_left) if self.provenance_left else None,
+            "provenance_right": len(self.provenance_right) if self.provenance_right else None,
+            "canonical_left": len(self.canonical_left),
+            "canonical_right": len(self.canonical_right),
+            "initial_matches": len(self.mapping),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExplainProblem(|T1|={len(self.canonical_left)}, |T2|={len(self.canonical_right)}, "
+            f"|M|={len(self.mapping)}, relation={self.relation})"
+        )
+
+
+def _similarity_as_probability(candidates) -> TupleMapping:
+    """Fallback when no labeled pairs exist: clamp similarity into a probability."""
+    mapping = TupleMapping()
+    for candidate in candidates:
+        probability = min(max(candidate.similarity, 1e-3), 1.0 - 1e-3)
+        mapping.add(
+            TupleMatch(candidate.left_key, candidate.right_key, probability, candidate.similarity)
+        )
+    return mapping
+
+
+def build_problem(
+    query_left: Query,
+    db_left: Database,
+    query_right: Query,
+    db_right: Database,
+    *,
+    attribute_matches: AttributeMatching | None = None,
+    tuple_mapping: TupleMapping | None = None,
+    labeled_pairs: set[tuple[str, str]] | None = None,
+    priors: Priors = Priors(),
+    num_buckets: int = 50,
+    min_similarity: float = 0.0,
+    min_match_probability: float = 0.0,
+    compute_results: bool = True,
+) -> ExplainProblem:
+    """Run Stage 1 and assemble an :class:`ExplainProblem`.
+
+    ``labeled_pairs`` are gold canonical-key pairs used to calibrate similarity
+    scores into probabilities (Section 5.1.2); when absent, similarities are
+    used directly as (clamped) probabilities.  ``tuple_mapping`` overrides the
+    whole record-linkage step with an externally supplied initial mapping.
+    """
+    provenance_left = provenance_relation(query_left, db_left, label=f"P[{query_left.name}]")
+    provenance_right = provenance_relation(query_right, db_right, label=f"P[{query_right.name}]")
+
+    if attribute_matches is None:
+        attribute_matches = infer_attribute_matches(provenance_left, provenance_right)
+    attribute_matches = attribute_matches.normalized()
+    if not attribute_matches.comparable:
+        raise NotComparableError(
+            f"queries {query_left.name} and {query_right.name} share no attribute match"
+        )
+
+    canonical_left = canonicalize(provenance_left, attribute_matches, Side.LEFT, label="T1")
+    canonical_right = canonicalize(provenance_right, attribute_matches, Side.RIGHT, label="T2")
+
+    if tuple_mapping is None:
+        candidates = generate_candidates(
+            canonical_left.tuples,
+            canonical_right.tuples,
+            attribute_matches,
+            min_similarity=min_similarity,
+        )
+        if labeled_pairs is not None:
+            tuple_mapping = calibrate_matches(
+                candidates,
+                labeled_pairs,
+                num_buckets=num_buckets,
+                min_probability=min_match_probability,
+            )
+        else:
+            tuple_mapping = _similarity_as_probability(candidates)
+
+    result_left = result_right = None
+    if compute_results:
+        try:
+            result_left = scalar_result(query_left, db_left)
+            result_right = scalar_result(query_right, db_right)
+        except Exception:
+            # Non-aggregate queries have no scalar result; the disagreement is
+            # then judged on provenance rather than a single number.
+            result_left = result_right = None
+
+    return ExplainProblem(
+        canonical_left=canonical_left,
+        canonical_right=canonical_right,
+        attribute_matches=attribute_matches,
+        mapping=tuple_mapping,
+        priors=priors,
+        query_left=query_left,
+        query_right=query_right,
+        provenance_left=provenance_left,
+        provenance_right=provenance_right,
+        result_left=result_left,
+        result_right=result_right,
+    )

@@ -1,0 +1,42 @@
+"""Dataset generators with gold standards.
+
+The paper evaluates on two real-world dataset families (Academic and IMDb) and
+a synthetic generator.  The real data is not redistributable and was collected
+from the web, so this subpackage provides deterministic generators that
+reproduce the same *structure* of disagreements (missing tuples, double
+counting across granularities, corrupted values) with a gold standard that is
+known by construction:
+
+* :mod:`repro.datasets.academic` -- UMass/OSU-style program listings vs. an
+  NCES-style aggregated statistics table (Example 1 and Figure 4, top).
+* :mod:`repro.datasets.imdb` -- a movie/person universe published as two views
+  with different schemas, migration loss and ~5% injected errors, plus the 10
+  query templates of Section 5.1.1 (Figure 4, bottom).
+* :mod:`repro.datasets.synthetic` -- the Section 5.3 generator
+  (``Table(id, match_attr, val)``, drop/corrupt ratios, vocabulary size).
+* :mod:`repro.datasets.corruption` -- BART-style random error injection.
+* :mod:`repro.datasets.gold` -- gold standards and the
+  :class:`~repro.datasets.gold.DatasetPair` bundle consumed by the evaluation
+  harness.
+"""
+
+from repro.datasets.gold import DatasetPair, GoldStandard, build_gold_from_entities
+from repro.datasets.academic import AcademicConfig, generate_academic_pair
+from repro.datasets.imdb import IMDbConfig, IMDbWorkload, generate_imdb_workload
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+from repro.datasets.corruption import CorruptionConfig, inject_errors
+
+__all__ = [
+    "GoldStandard",
+    "DatasetPair",
+    "build_gold_from_entities",
+    "AcademicConfig",
+    "generate_academic_pair",
+    "IMDbConfig",
+    "IMDbWorkload",
+    "generate_imdb_workload",
+    "SyntheticConfig",
+    "generate_synthetic_pair",
+    "CorruptionConfig",
+    "inject_errors",
+]

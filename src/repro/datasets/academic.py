@@ -1,0 +1,308 @@
+"""Academic dataset pairs (Example 1, Section 5.1.1, Figure 4 top).
+
+The real data behind the paper's Academic experiments -- the UMass-Amherst and
+OSU undergraduate program listings and the NCES statistics -- was scraped from
+the web and is not redistributable.  This generator produces structurally
+equivalent pairs:
+
+* the *left* dataset lists one row per (major, degree) with the schema
+  ``Major(Major, Degree, School)`` and is queried with
+  ``SELECT COUNT(Major) FROM Major``;
+* the *right* dataset stores aggregated statistics per program with the schema
+  ``School(ID, Univ_name, City, Url)``, ``Stats(ID, Program, bach_degr)`` and
+  is queried with ``SELECT SUM(bach_degr) FROM School JOIN Stats WHERE
+  Univ_name = <univ>``.
+
+The generated disagreements reproduce the classes the paper reports: majors
+missing from the statistics (including associate-only programs), programs
+missing from the listing, majors with several degree types counted multiple
+times by the COUNT query but reported with ``bach_degr = 1``, corrupted
+``bach_degr`` values, and program renames of varying difficulty that stress the
+record-linkage step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets import names as name_pools
+from repro.datasets.gold import DatasetPair
+from repro.matching.attribute_match import matching
+from repro.relational.executor import Database
+from repro.relational.expressions import col
+from repro.relational.query import Join, Scan, count_query, sum_query
+
+
+@dataclass(frozen=True)
+class AcademicConfig:
+    """Shape of a generated academic dataset pair."""
+
+    name: str = "academic"
+    university: str = "UMass-Amherst"
+    university_id: str = "U001"
+    # Matched structure.
+    matched_programs: int = 71
+    many_to_one_programs: int = 8      # NCES programs covering two left majors
+    left_only_majors: int = 16
+    right_only_programs: int = 10
+    # Degree structure on the left.
+    multi_degree_fraction: float = 0.18
+    associate_fraction: float = 0.12
+    # Error / rename structure.
+    bach_degr_error_fraction: float = 0.15
+    hard_rename_fraction: float = 0.06
+    medium_rename_fraction: float = 0.25
+    # Confusable twins: pairs of *different* matched programs whose names
+    # overlap (e.g. "Music" and "Music Education") while the first one is
+    # renamed in the statistics dataset.  Record-linkage and greedy matching
+    # tend to commit the first program to the second's statistics entry (it
+    # has the higher similarity), which is exactly the failure mode the
+    # paper's A/B/A'/B' example illustrates; the global optimization recovers
+    # the correct assignment.
+    confusable_pairs: int = 8
+    # Right-hand-side filler (programs of other universities, filtered out by the query).
+    other_university_programs: int = 40
+    seed: int = 7
+
+    @property
+    def left_major_count(self) -> int:
+        return self.matched_programs + self.many_to_one_programs + self.left_only_majors
+
+
+def umass_config() -> AcademicConfig:
+    """Sizes mirroring the UMass-Amherst vs. NCES statistics of Figure 4."""
+    return AcademicConfig(
+        name="umass_vs_nces",
+        university="UMass-Amherst",
+        matched_programs=71,
+        many_to_one_programs=8,
+        left_only_majors=16,
+        right_only_programs=10,
+        seed=7,
+    )
+
+
+def osu_config() -> AcademicConfig:
+    """Sizes mirroring the OSU vs. NCES statistics of Figure 4."""
+    return AcademicConfig(
+        name="osu_vs_nces",
+        university="OSU",
+        university_id="U010",
+        matched_programs=140,
+        many_to_one_programs=12,
+        left_only_majors=54,
+        right_only_programs=13,
+        confusable_pairs=16,
+        seed=11,
+    )
+
+
+def _rename(rng: random.Random, name: str, config: AcademicConfig) -> str:
+    """The right-hand-side name of a matched program (possibly a variant)."""
+    roll = rng.random()
+    if roll < config.hard_rename_fraction:
+        return name_pools.HARD_RENAMES.get(
+            name, " ".join(reversed(name.split()[:1])) + " " + rng.choice(
+                ["Interdisciplinary Option", "Integrated Pathway", "Professional Track"]
+            )
+        )
+    if roll < config.hard_rename_fraction + config.medium_rename_fraction:
+        suffix = rng.choice(name_pools.MEDIUM_RENAME_SUFFIXES)
+        return f"{name} {suffix}"
+    return name
+
+
+def generate_academic_pair(config: AcademicConfig | None = None) -> DatasetPair:
+    """Generate one academic dataset pair with its hidden correspondence."""
+    config = config or umass_config()
+    rng = random.Random(config.seed)
+
+    pool = name_pools.program_name_pool(
+        config.left_major_count
+        + config.right_only_programs
+        + config.other_university_programs
+        + 10
+    )
+    # The pool lists plain field names first and increasingly decorated
+    # variants later.  Real program listings mostly use plain names, so the
+    # programs that matter for the comparison draw from the front of the pool
+    # (shuffled among themselves) and the filler programs of other
+    # universities take the decorated tail.
+    core_count = config.matched_programs + config.left_only_majors + config.right_only_programs
+    core_pool = pool[:core_count]
+    rng.shuffle(core_pool)
+    filler_pool = pool[core_count:]
+    cursor = 0
+
+    def take(count: int) -> list[str]:
+        nonlocal cursor
+        chunk = core_pool[cursor : cursor + count]
+        cursor += count
+        return chunk
+
+    matched_names = take(config.matched_programs)
+    left_only_names = take(config.left_only_majors)
+    right_only_names = take(config.right_only_programs)
+    other_univ_names = filler_pool[: config.other_university_programs]
+
+    # Pre-compute the statistics-side name of every matched program.
+    right_name_of = {index: _rename(rng, name, config) for index, name in enumerate(matched_names)}
+
+    # Confusable twins: program B is renamed to extend program A's name, and
+    # program A is renamed away on the statistics side, so A's listing entry is
+    # more similar to B's statistics entry than to its own.
+    available = list(range(config.matched_programs))
+    rng.shuffle(available)
+    for _ in range(config.confusable_pairs):
+        if len(available) < 2:
+            break
+        first, second = available.pop(), available.pop()
+        base_name = matched_names[first]
+        twin_name = f"{base_name} {rng.choice(['Education', 'Technology', 'Administration'])}"
+        matched_names[second] = twin_name
+        right_name_of[second] = twin_name
+        right_name_of[first] = (
+            f"{base_name.split()[0]} "
+            f"{rng.choice(['Integrated Pathway', 'Professional Practice', 'Interdisciplinary Option'])}"
+        )
+
+    # ---- left dataset: Major(Major, Degree, School) -------------------------------
+    major_rows: list[dict] = []
+    entity_of_left_row: dict[int, str] = {}
+
+    def add_major_rows(major_name: str, entity: str, *, allow_multi: bool = True) -> int:
+        """Append degree rows for one major; returns the number of rows added."""
+        degrees = [rng.choice(name_pools.DEGREES_BACHELOR)]
+        if allow_multi and rng.random() < config.multi_degree_fraction:
+            other = "B.A." if degrees[0] == "B.S." else "B.S."
+            degrees.append(other)
+        if rng.random() < config.associate_fraction:
+            degrees.append(name_pools.DEGREE_ASSOCIATE)
+        school = rng.choice(
+            ["College of Natural Sciences", "College of Engineering", "School of Management",
+             "College of Humanities", "College of Social Sciences", "School of Public Health"]
+        )
+        for degree in degrees:
+            entity_of_left_row[len(major_rows)] = entity
+            major_rows.append({"Major": major_name, "Degree": degree, "School": school})
+        return len(degrees)
+
+    # Matched programs: entity id is the shared program concept.
+    bachelor_count_of_entity: dict[str, int] = {}
+    for index, name in enumerate(matched_names):
+        entity = f"prog:{index}"
+        added = add_major_rows(name, entity)
+        # Count only bachelor rows for the "true" statistic.
+        bachelors = sum(
+            1 for row in major_rows[-added:] if row["Degree"] in name_pools.DEGREES_BACHELOR
+        )
+        bachelor_count_of_entity[entity] = bachelors
+
+    # Many-to-one: extra left majors that belong to an existing NCES program.
+    many_to_one_targets = rng.sample(range(config.matched_programs), config.many_to_one_programs)
+    for target in many_to_one_targets:
+        entity = f"prog:{target}"
+        base_name = matched_names[target]
+        variant = f"{base_name} {rng.choice(['Option B', 'Honors Track', 'Dual Concentration'])}"
+        added = add_major_rows(variant, entity, allow_multi=False)
+        bachelors = sum(
+            1 for row in major_rows[-added:] if row["Degree"] in name_pools.DEGREES_BACHELOR
+        )
+        bachelor_count_of_entity[entity] += bachelors
+
+    # Left-only majors (missing from the statistics dataset).
+    for index, name in enumerate(left_only_names):
+        add_major_rows(name, f"left_only:{index}")
+
+    # ---- right dataset: School(ID, Univ_name, City, Url) + Stats(ID, Program, bach_degr)
+    school_rows = [
+        {
+            "ID": config.university_id,
+            "Univ_name": config.university,
+            "City": "Amherst" if "UMass" in config.university else "Columbus",
+            "Url": f"https://www.{config.university.lower().replace('-', '').replace(' ', '')}.edu",
+        }
+    ]
+    for other_id, other_name, other_city in name_pools.OTHER_UNIVERSITIES:
+        school_rows.append(
+            {"ID": other_id, "Univ_name": other_name, "City": other_city,
+             "Url": f"https://www.{other_name.split()[0].lower()}.edu"}
+        )
+
+    stats_rows: list[dict] = []
+    entity_of_right_row: dict[int, str] = {}
+
+    for index, name in enumerate(matched_names):
+        entity = f"prog:{index}"
+        true_bachelors = bachelor_count_of_entity[entity]
+        reported = true_bachelors
+        if rng.random() < config.bach_degr_error_fraction:
+            # The statistics dataset under- or over-reports the degree count.
+            reported = max(1, true_bachelors + rng.choice([-1, 1]))
+            if reported == true_bachelors:
+                reported = 1
+        entity_of_right_row[len(stats_rows)] = entity
+        stats_rows.append(
+            {
+                "ID": config.university_id,
+                "Program": right_name_of[index],
+                "bach_degr": reported,
+            }
+        )
+
+    for index, name in enumerate(right_only_names):
+        entity_of_right_row[len(stats_rows)] = f"right_only:{index}"
+        stats_rows.append(
+            {"ID": config.university_id, "Program": name, "bach_degr": rng.randint(1, 3)}
+        )
+
+    # Filler programs of other universities (filtered out by the query).
+    for name in other_univ_names:
+        other_id = rng.choice(name_pools.OTHER_UNIVERSITIES)[0]
+        stats_rows.append({"ID": other_id, "Program": name, "bach_degr": rng.randint(1, 4)})
+
+    # ---- databases, queries, matches ------------------------------------------------
+    db_left = Database(f"{config.name}_left")
+    db_left.add_records("Major", major_rows)
+    db_right = Database(f"{config.name}_right")
+    db_right.add_records("School", school_rows)
+    db_right.add_records("Stats", stats_rows)
+
+    query_left = count_query(
+        "Q1",
+        Scan("Major"),
+        attribute="Major",
+        description=f"Number of undergraduate degree programs at {config.university} (listing)",
+    )
+    query_right = sum_query(
+        "Q2",
+        Join(Scan("School"), Scan("Stats"), on=(("ID", "ID"),)),
+        "bach_degr",
+        predicate=(col("Univ_name") == config.university),
+        description=f"Number of undergraduate degree programs at {config.university} (statistics)",
+    )
+
+    attribute_matches = matching(("Major", "Program", "<="))
+
+    entity_ids_left = {f"Major:{index}": entity for index, entity in entity_of_left_row.items()}
+    entity_ids_right = {f"Stats:{index}": entity for index, entity in entity_of_right_row.items()}
+
+    return DatasetPair(
+        name=config.name,
+        db_left=db_left,
+        db_right=db_right,
+        query_left=query_left,
+        query_right=query_right,
+        attribute_matches=attribute_matches,
+        entity_ids_left=entity_ids_left,
+        entity_ids_right=entity_ids_right,
+        description=(
+            f"{config.university} program listing vs. NCES-style statistics; "
+            f"{len(major_rows)} listing rows, {len(stats_rows)} statistics rows"
+        ),
+        # Keep only candidates with a meaningful token overlap so the size of
+        # the initial mapping is comparable to the paper's Figure 4 (|M_tuple|
+        # in the low hundreds rather than thousands of spurious pairs).
+        default_min_similarity=0.2,
+    )

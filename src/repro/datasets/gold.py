@@ -1,0 +1,221 @@
+"""Gold standards and dataset-pair bundles.
+
+Every generator in this subpackage knows the true correspondence between the
+two datasets it produces (each base row carries a hidden *entity id*).  From
+that correspondence and the canonical relations of a concrete problem we can
+mechanically derive the gold standard:
+
+* **gold evidence**: pairs of canonical tuples whose entity sets intersect;
+* **gold provenance explanations**: canonical tuples with no counterpart;
+* **gold value explanations**: connected components (under the gold evidence)
+  whose left/right impact totals disagree.
+
+The gold evidence also serves as the labeled sample for the
+similarity-to-probability calibration of Section 5.1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.core.canonical import CanonicalRelation
+from repro.core.problem import ExplainProblem, build_problem
+from repro.core.scoring import Priors
+from repro.graphs.bipartite import Side
+from repro.matching.attribute_match import AttributeMatching
+from repro.relational.executor import Database
+from repro.relational.query import Query
+
+
+@dataclass
+class GoldStandard:
+    """The reference explanations and evidence of one dataset pair + query pair."""
+
+    evidence_pairs: set[tuple[str, str]] = field(default_factory=set)
+    provenance: set[tuple[str, str]] = field(default_factory=set)
+    value: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def num_explanations(self) -> int:
+        return len(self.provenance) + len(self.value)
+
+    def explanation_identities(self) -> set[tuple[str, str, str]]:
+        identities = {("provenance",) + identity for identity in self.provenance}
+        identities |= {("value",) + identity for identity in self.value}
+        return identities
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GoldStandard({len(self.evidence_pairs)} evidence pairs, "
+            f"{len(self.provenance)} provenance + {len(self.value)} value explanations)"
+        )
+
+
+def _entities_of(
+    relation: CanonicalRelation, entity_ids: Mapping[str, object]
+) -> dict[str, frozenset]:
+    """Entity ids of each canonical tuple, resolved through provenance lineage."""
+    result: dict[str, frozenset] = {}
+    provenance_by_key = relation.provenance.by_key() if relation.provenance else {}
+    for canonical_tuple in relation:
+        entities: set = set()
+        for member_key in canonical_tuple.members:
+            member = provenance_by_key.get(member_key)
+            if member is None:
+                continue
+            for base_row in member.lineage:
+                entity = entity_ids.get(base_row)
+                if entity is not None:
+                    entities.add(entity)
+        result[canonical_tuple.key] = frozenset(entities)
+    return result
+
+
+def build_gold_from_entities(
+    canonical_left: CanonicalRelation,
+    canonical_right: CanonicalRelation,
+    entity_ids_left: Mapping[str, object],
+    entity_ids_right: Mapping[str, object],
+    *,
+    impact_tolerance: float = 1e-6,
+) -> GoldStandard:
+    """Derive the gold standard from the hidden entity correspondence."""
+    left_entities = _entities_of(canonical_left, entity_ids_left)
+    right_entities = _entities_of(canonical_right, entity_ids_right)
+
+    right_index: dict[object, list[str]] = {}
+    for key, entities in right_entities.items():
+        for entity in entities:
+            right_index.setdefault(entity, []).append(key)
+
+    gold = GoldStandard()
+    matched_left: set[str] = set()
+    matched_right: set[str] = set()
+    for left_key, entities in left_entities.items():
+        for entity in entities:
+            for right_key in right_index.get(entity, ()):
+                gold.evidence_pairs.add((left_key, right_key))
+                matched_left.add(left_key)
+                matched_right.add(right_key)
+
+    for key in canonical_left.keys():
+        if key not in matched_left:
+            gold.provenance.add((Side.LEFT.value, key))
+    for key in canonical_right.keys():
+        if key not in matched_right:
+            gold.provenance.add((Side.RIGHT.value, key))
+
+    # Components of the gold evidence with mismatched impact totals.
+    parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+    def find(node):
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a, b):
+        parent.setdefault(a, a)
+        parent.setdefault(b, b)
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for key in canonical_left.keys():
+        parent.setdefault((Side.LEFT.value, key), (Side.LEFT.value, key))
+    for key in canonical_right.keys():
+        parent.setdefault((Side.RIGHT.value, key), (Side.RIGHT.value, key))
+    for left_key, right_key in gold.evidence_pairs:
+        union((Side.LEFT.value, left_key), (Side.RIGHT.value, right_key))
+
+    components: dict[tuple[str, str], dict] = {}
+    for relation, side in ((canonical_left, Side.LEFT), (canonical_right, Side.RIGHT)):
+        for canonical_tuple in relation:
+            identity = (side.value, canonical_tuple.key)
+            if identity in gold.provenance:
+                continue
+            root = find(identity)
+            bucket = components.setdefault(root, {"L": 0.0, "R": 0.0, "members": []})
+            bucket[side.value] += canonical_tuple.impact
+            bucket["members"].append(identity)
+
+    for bucket in components.values():
+        if abs(bucket["L"] - bucket["R"]) > impact_tolerance:
+            gold.value.update(bucket["members"])
+    return gold
+
+
+@dataclass
+class DatasetPair:
+    """A generated pair of datasets + queries, with its hidden correspondence.
+
+    ``entity_ids_left`` / ``entity_ids_right`` map base-row identifiers
+    (``"<relation>:<position>"``) to the hidden entity they represent; the gold
+    standard is derived from them once the problem's canonical relations exist.
+    """
+
+    name: str
+    db_left: Database
+    db_right: Database
+    query_left: Query
+    query_right: Query
+    attribute_matches: AttributeMatching
+    entity_ids_left: dict[str, object] = field(default_factory=dict)
+    entity_ids_right: dict[str, object] = field(default_factory=dict)
+    description: str = ""
+    default_min_similarity: float = 0.0
+
+    def build_problem(
+        self,
+        *,
+        priors: Priors = Priors(),
+        calibrate_with_gold: bool = True,
+        num_buckets: int = 50,
+        min_similarity: float | None = None,
+        min_match_probability: float = 0.0,
+    ) -> tuple[ExplainProblem, GoldStandard]:
+        """Stage 1 over the generated data, plus the resolved gold standard.
+
+        The initial mapping is calibrated against the gold evidence pairs (the
+        paper labels a sample of matches with its gold standard); pass
+        ``calibrate_with_gold=False`` to fall back to raw similarities.
+        """
+        if min_similarity is None:
+            min_similarity = self.default_min_similarity
+        # First build the problem without a mapping to obtain canonical keys,
+        # then (optionally) rebuild the mapping calibrated with the gold pairs.
+        problem = build_problem(
+            self.query_left,
+            self.db_left,
+            self.query_right,
+            self.db_right,
+            attribute_matches=self.attribute_matches,
+            priors=priors,
+            num_buckets=num_buckets,
+            min_similarity=min_similarity,
+            min_match_probability=min_match_probability,
+        )
+        gold = build_gold_from_entities(
+            problem.canonical_left,
+            problem.canonical_right,
+            self.entity_ids_left,
+            self.entity_ids_right,
+        )
+        if calibrate_with_gold:
+            problem = build_problem(
+                self.query_left,
+                self.db_left,
+                self.query_right,
+                self.db_right,
+                attribute_matches=self.attribute_matches,
+                labeled_pairs=gold.evidence_pairs,
+                priors=priors,
+                num_buckets=num_buckets,
+                min_similarity=min_similarity,
+                min_match_probability=min_match_probability,
+            )
+        return problem, gold
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DatasetPair({self.name})"

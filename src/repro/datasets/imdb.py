@@ -1,0 +1,564 @@
+"""IMDb-style two-view workload (Section 5.1.1, Figure 4 bottom).
+
+The paper takes the public IMDb dump, publishes it as two views with different
+schemas, loses some information during the migration into view 1 (a movie
+keeps only a single country and genre) and injects ~5% random errors with
+BART, then evaluates 10 query templates (100 instantiations).  The raw IMDb
+dump is several gigabytes and not available offline, so this module builds a
+synthetic movie/person universe of configurable size and publishes it through
+the same two schemas with the same disagreement mechanisms:
+
+View 1 (``DIMDb1``)::
+
+    Movie(movie_id, title, release_year, genre, country, runtimes, gross, budget)
+    Actor(actor_id, firstname, lastname, gender, dob)
+    Director(director_id, firstname, lastname, gender, dob)
+    MovieDirector(movie_id, director_id)     MovieActor(movie_id, actor_id)
+
+View 2 (``DIMDb2``)::
+
+    Movie(m_id, title, release_year)         MovieInfo(m_id, info_type, info)
+    Person(p_id, name, gender, dob)          MoviePerson(m_id, p_id)
+
+Sources of disagreement, mirroring the paper:
+
+* view 1 keeps only the first genre and country of each movie (migration loss);
+* view 2's ``MoviePerson`` merges acting and directing credits, and ``Person``
+  merges the actor/director tables, so person-centric queries disagree;
+* ~5% of numeric and date values are corrupted (BART-style) in each view.
+
+:func:`generate_imdb_workload` returns an :class:`IMDbWorkload` whose
+``pair(template, param)`` method instantiates any of the 10 query templates as
+a :class:`~repro.datasets.gold.DatasetPair` sharing the two view databases.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.corruption import CorruptionConfig, inject_errors
+from repro.datasets.gold import DatasetPair
+from repro.matching.attribute_match import AttributeMatching, matching
+from repro.relational.executor import Database
+from repro.relational.expressions import col
+from repro.relational.query import (
+    AggregateFunction,
+    Difference,
+    Join,
+    Query,
+    Scan,
+    Select,
+    aggregate_query,
+    count_query,
+    projection_query,
+    sum_query,
+)
+
+GENRES = ["Drama", "Comedy", "Action", "Thriller", "Romance", "Horror", "Short", "Documentary"]
+COUNTRIES = ["USA", "UK", "France", "Germany", "Italy", "Japan", "Canada", "Spain"]
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
+    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+    "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda", "Brian",
+    "Dorothy", "George", "Melissa", "Timothy", "Deborah", "Ronald",
+]
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker",
+    "Hall", "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+]
+TITLE_WORDS = [
+    "Midnight", "Return", "Shadow", "River", "Last", "Broken", "Silent", "Golden", "Winter",
+    "Summer", "Lost", "Crimson", "Forgotten", "Burning", "Distant", "Hidden", "Iron", "Paper",
+    "Glass", "Stone", "Electric", "Velvet", "Savage", "Gentle", "Wild", "Quiet", "Scarlet",
+    "Hollow", "Rising", "Falling", "Northern", "Southern", "Eastern", "Western", "Final",
+]
+TITLE_NOUNS = [
+    "Harvest", "Promise", "Letter", "Garden", "Station", "Voyage", "Horizon", "Secret",
+    "Bridge", "Empire", "Orchard", "Mirror", "Carnival", "Symphony", "Harbor", "Desert",
+    "Island", "Kingdom", "Journey", "Whisper", "Echo", "Storm", "Lantern", "Compass",
+    "Crossing", "Reunion", "Paradox", "Legacy", "Frontier", "Cascade",
+]
+
+
+@dataclass(frozen=True)
+class IMDbConfig:
+    """Size and error parameters of the synthetic IMDb universe."""
+
+    num_movies: int = 300
+    num_people: int = 400
+    year_range: tuple[int, int] = (1994, 2003)
+    actors_per_movie: tuple[int, int] = (2, 4)
+    multi_genre_fraction: float = 0.45
+    multi_country_fraction: float = 0.3
+    sequel_fraction: float = 0.1
+    error_rate: float = 0.05
+    seed: int = 17
+
+
+@dataclass
+class _Person:
+    pid: int
+    firstname: str
+    lastname: str
+    gender: str
+    dob: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.firstname} {self.lastname}"
+
+
+@dataclass
+class _Movie:
+    mid: int
+    title: str
+    release_year: int
+    genres: list[str]
+    countries: list[str]
+    runtime: int
+    gross: float
+    budget: float
+    director: int
+    actors: list[int]
+
+
+@dataclass
+class IMDbWorkload:
+    """The two generated views plus everything needed to instantiate templates."""
+
+    config: IMDbConfig
+    db_view1: Database
+    db_view2: Database
+    movie_entities_view1: dict[str, object]
+    movie_entities_view2: dict[str, object]
+    person_entities_view1: dict[str, object]
+    person_entities_view2: dict[str, object]
+    movies: list[_Movie] = field(default_factory=list)
+    people: list[_Person] = field(default_factory=list)
+
+    TEMPLATES = tuple(f"Q{i}" for i in range(1, 11))
+
+    # -- parameter selection ------------------------------------------------------------
+    def years_with_movies(self, minimum: int = 3) -> list[int]:
+        """Years that have at least ``minimum`` movies (usable template parameters)."""
+        counts: dict[int, int] = {}
+        for movie in self.movies:
+            counts[movie.release_year] = counts.get(movie.release_year, 0) + 1
+        return sorted(year for year, count in counts.items() if count >= minimum)
+
+    def genres(self) -> list[str]:
+        return list(GENRES)
+
+    # -- template instantiation -----------------------------------------------------------
+    def pair(self, template: str, param) -> DatasetPair:
+        """Instantiate a query template as a :class:`DatasetPair`."""
+        if template not in self.TEMPLATES:
+            raise ValueError(f"unknown template {template!r}; expected one of {self.TEMPLATES}")
+        builder = getattr(self, f"_build_{template.lower()}")
+        query_left, query_right, attribute_matches, entity_kind = builder(param)
+        if entity_kind == "movie":
+            left_entities = self.movie_entities_view1
+            right_entities = self.movie_entities_view2
+            # Movies filtered to the same year share half the similarity score
+            # through the release_year attribute, so a meaningful candidate
+            # additionally needs title overlap.
+            min_similarity = 0.55
+        else:
+            left_entities = self.person_entities_view1
+            right_entities = self.person_entities_view2
+            min_similarity = 0.3
+        return DatasetPair(
+            name=f"imdb_{template}_{param}",
+            db_left=self.db_view1,
+            db_right=self.db_view2,
+            query_left=query_left,
+            query_right=query_right,
+            attribute_matches=attribute_matches,
+            entity_ids_left=left_entities,
+            entity_ids_right=right_entities,
+            description=f"IMDb template {template} with parameter {param!r}",
+            default_min_similarity=min_similarity,
+        )
+
+    # Shared building blocks.
+    @staticmethod
+    def _movie_matches() -> AttributeMatching:
+        return matching(("title", "title"), ("release_year", "release_year"))
+
+    @staticmethod
+    def _person_matches() -> AttributeMatching:
+        return matching(("firstname", "name"), ("lastname", "name"))
+
+    @staticmethod
+    def _view2_movies_with_info(info_type: str, info_value=None):
+        """View 2: Movie joined with a filtered MovieInfo."""
+        info = Select(Scan("MovieInfo"), col("info_type") == info_type)
+        if info_value is not None:
+            info = Select(info, col("info") == info_value)
+        return Join(Scan("Movie"), info, on=(("m_id", "m_id"),))
+
+    # Q1: actors cast in short movies released in <year>.
+    def _build_q1(self, year: int):
+        v1_source = Join(
+            Join(
+                Select(Scan("Movie"), (col("release_year") == year) & (col("genre") == "Short")),
+                Scan("MovieActor"),
+                on=(("movie_id", "movie_id"),),
+            ),
+            Scan("Actor"),
+            on=(("actor_id", "actor_id"),),
+        )
+        query_left = projection_query(
+            "Q1-v1", v1_source, ["firstname", "lastname"],
+            description=f"Actors cast in short movies released in {year} (view 1)",
+        )
+        v2_movies = Select(self._view2_movies_with_info("genre", "Short"), col("release_year") == year)
+        v2_source = Join(
+            Join(v2_movies, Scan("MoviePerson"), on=(("m_id", "m_id"),)),
+            Scan("Person"),
+            on=(("p_id", "p_id"),),
+        )
+        query_right = projection_query(
+            "Q1-v2", v2_source, ["name"],
+            description=f"Actors cast in short movies released in {year} (view 2)",
+        )
+        return query_left, query_right, self._person_matches(), "person"
+
+    # Q2: movies directed by someone born in <year>.
+    def _build_q2(self, year: int):
+        v1_source = Join(
+            Join(Scan("Movie"), Scan("MovieDirector"), on=(("movie_id", "movie_id"),)),
+            Select(Scan("Director"), col("dob") == year),
+            on=(("director_id", "director_id"),),
+        )
+        query_left = projection_query(
+            "Q2-v1", v1_source, ["title", "release_year"],
+            description=f"Movies directed by someone born in {year} (view 1)",
+        )
+        v2_source = Join(
+            Join(Scan("Movie"), Scan("MoviePerson"), on=(("m_id", "m_id"),)),
+            Select(Scan("Person"), col("dob") == year),
+            on=(("p_id", "p_id"),),
+        )
+        query_right = projection_query(
+            "Q2-v2", v2_source, ["title", "release_year"],
+            description=f"Movies directed by someone born in {year} (view 2)",
+        )
+        return query_left, query_right, self._movie_matches(), "movie"
+
+    # Q3: number of comedy movies released in <year>.
+    def _build_q3(self, year: int):
+        query_left = count_query(
+            "Q3-v1",
+            Select(Scan("Movie"), (col("release_year") == year) & (col("genre") == "Comedy")),
+            attribute="title",
+            description=f"Number of comedy movies released in {year} (view 1)",
+        )
+        query_right = count_query(
+            "Q3-v2",
+            Select(self._view2_movies_with_info("genre", "Comedy"), col("release_year") == year),
+            attribute="title",
+            description=f"Number of comedy movies released in {year} (view 2)",
+        )
+        return query_left, query_right, self._movie_matches(), "movie"
+
+    # Q4: number of movies released in the US in <year>.
+    def _build_q4(self, year: int):
+        query_left = count_query(
+            "Q4-v1",
+            Select(Scan("Movie"), (col("release_year") == year) & (col("country") == "USA")),
+            attribute="title",
+            description=f"Number of movies released in the US in {year} (view 1)",
+        )
+        query_right = count_query(
+            "Q4-v2",
+            Select(self._view2_movies_with_info("country", "USA"), col("release_year") == year),
+            attribute="title",
+            description=f"Number of movies released in the US in {year} (view 2)",
+        )
+        return query_left, query_right, self._movie_matches(), "movie"
+
+    # Q5-Q9: numeric aggregates over movies released in <year>.
+    def _numeric_template(self, name: str, year: int, function: AggregateFunction, v1_attr: str, info_type: str):
+        query_left = aggregate_query(
+            f"{name}-v1",
+            function,
+            Select(Scan("Movie"), col("release_year") == year),
+            v1_attr,
+            description=f"{function.value}({v1_attr}) of movies released in {year} (view 1)",
+        )
+        query_right = aggregate_query(
+            f"{name}-v2",
+            function,
+            Select(self._view2_movies_with_info(info_type), col("release_year") == year),
+            "info",
+            description=f"{function.value}({info_type}) of movies released in {year} (view 2)",
+        )
+        return query_left, query_right, self._movie_matches(), "movie"
+
+    def _build_q5(self, year: int):
+        return self._numeric_template("Q5", year, AggregateFunction.SUM, "gross", "gross")
+
+    def _build_q6(self, year: int):
+        return self._numeric_template("Q6", year, AggregateFunction.MAX, "gross", "gross")
+
+    def _build_q7(self, year: int):
+        return self._numeric_template("Q7", year, AggregateFunction.MAX, "runtimes", "runtime")
+
+    def _build_q8(self, year: int):
+        return self._numeric_template("Q8", year, AggregateFunction.AVG, "gross", "gross")
+
+    def _build_q9(self, year: int):
+        return self._numeric_template("Q9", year, AggregateFunction.AVG, "runtimes", "runtime")
+
+    # Q10: actresses who have not starred in any <genre> movies.
+    def _build_q10(self, genre: str):
+        v1_actresses = Select(Scan("Actor"), col("gender") == "F")
+        v1_in_genre = Join(
+            Join(
+                Select(Scan("Movie"), col("genre") == genre),
+                Scan("MovieActor"),
+                on=(("movie_id", "movie_id"),),
+            ),
+            Scan("Actor"),
+            on=(("actor_id", "actor_id"),),
+        )
+        query_left = projection_query(
+            "Q10-v1",
+            Difference(v1_actresses, v1_in_genre, on=("firstname", "lastname")),
+            ["firstname", "lastname"],
+            description=f"Actresses who have not starred in any {genre} movies (view 1)",
+        )
+
+        v2_women = Select(Scan("Person"), col("gender") == "F")
+        v2_in_genre = Join(
+            Join(self._view2_movies_with_info("genre", genre), Scan("MoviePerson"), on=(("m_id", "m_id"),)),
+            Scan("Person"),
+            on=(("p_id", "p_id"),),
+        )
+        query_right = projection_query(
+            "Q10-v2",
+            Difference(v2_women, v2_in_genre, on=("name",)),
+            ["name"],
+            description=f"Actresses who have not starred in any {genre} movies (view 2)",
+        )
+        return query_left, query_right, self._person_matches(), "person"
+
+
+# -----------------------------------------------------------------------------------
+# Universe and view generation.
+# -----------------------------------------------------------------------------------
+
+def _generate_people(config: IMDbConfig, rng: random.Random) -> list[_Person]:
+    people = []
+    for pid in range(config.num_people):
+        people.append(
+            _Person(
+                pid=pid,
+                firstname=rng.choice(FIRST_NAMES),
+                lastname=rng.choice(LAST_NAMES),
+                gender=rng.choice(["F", "M"]),
+                dob=rng.randint(1930, 1985),
+            )
+        )
+    return people
+
+
+def _generate_movies(config: IMDbConfig, people: list[_Person], rng: random.Random) -> list[_Movie]:
+    movies = []
+    used_titles: set[str] = set()
+    for mid in range(config.num_movies):
+        if movies and rng.random() < config.sequel_fraction:
+            # Sequels/remakes reuse an existing title (plus a roman numeral),
+            # which gives the record-linkage step genuinely ambiguous titles.
+            base = rng.choice(movies).title
+            title = f"{base} {rng.choice(['II', 'III', 'Returns'])}"
+            if title in used_titles:
+                title = f"{base} {len(used_titles)}"
+            used_titles.add(title)
+        else:
+            while True:
+                title = f"{rng.choice(TITLE_WORDS)} {rng.choice(TITLE_NOUNS)}"
+                if rng.random() < 0.3:
+                    title = f"The {title}"
+                if title not in used_titles:
+                    used_titles.add(title)
+                    break
+        genres = [rng.choice(GENRES)]
+        if rng.random() < config.multi_genre_fraction:
+            extra = rng.choice([g for g in GENRES if g not in genres])
+            genres.append(extra)
+        countries = [rng.choice(COUNTRIES)]
+        if rng.random() < config.multi_country_fraction:
+            extra = rng.choice([c for c in COUNTRIES if c not in countries])
+            countries.append(extra)
+        num_actors = rng.randint(*config.actors_per_movie)
+        cast = rng.sample(range(len(people)), num_actors + 1)
+        movies.append(
+            _Movie(
+                mid=mid,
+                title=title,
+                release_year=rng.randint(*config.year_range),
+                genres=genres,
+                countries=countries,
+                runtime=rng.randint(25, 200) if "Short" not in genres else rng.randint(5, 40),
+                gross=round(rng.uniform(0.5, 400.0), 2),     # millions
+                budget=round(rng.uniform(0.2, 200.0), 2),    # millions
+                director=cast[0],
+                actors=cast[1:],
+            )
+        )
+    return movies
+
+
+def generate_imdb_workload(config: IMDbConfig | None = None) -> IMDbWorkload:
+    """Generate the universe, publish the two views, and inject errors."""
+    config = config or IMDbConfig()
+    rng = random.Random(config.seed)
+    people = _generate_people(config, rng)
+    movies = _generate_movies(config, people, rng)
+
+    # ---- view 1 --------------------------------------------------------------------
+    v1_movie_rows = [
+        {
+            "movie_id": movie.mid,
+            "title": movie.title,
+            "release_year": movie.release_year,
+            "genre": movie.genres[0],          # migration loss: single genre
+            "country": movie.countries[0],     # migration loss: single country
+            "runtimes": movie.runtime,
+            "gross": movie.gross,
+            "budget": movie.budget,
+        }
+        for movie in movies
+    ]
+    actor_ids = sorted({actor for movie in movies for actor in movie.actors})
+    director_ids = sorted({movie.director for movie in movies})
+    v1_actor_rows = [
+        {
+            "actor_id": pid,
+            "firstname": people[pid].firstname,
+            "lastname": people[pid].lastname,
+            "gender": people[pid].gender,
+            "dob": people[pid].dob,
+        }
+        for pid in actor_ids
+    ]
+    v1_director_rows = [
+        {
+            "director_id": pid,
+            "firstname": people[pid].firstname,
+            "lastname": people[pid].lastname,
+            "gender": people[pid].gender,
+            "dob": people[pid].dob,
+        }
+        for pid in director_ids
+    ]
+    v1_movie_actor_rows = [
+        {"movie_id": movie.mid, "actor_id": actor} for movie in movies for actor in movie.actors
+    ]
+    v1_movie_director_rows = [{"movie_id": movie.mid, "director_id": movie.director} for movie in movies]
+
+    # ---- view 2 --------------------------------------------------------------------
+    v2_movie_rows = [
+        {"m_id": movie.mid, "title": movie.title, "release_year": movie.release_year}
+        for movie in movies
+    ]
+    v2_movie_info_rows: list[dict] = []
+    for movie in movies:
+        for genre in movie.genres:
+            v2_movie_info_rows.append({"m_id": movie.mid, "info_type": "genre", "info": genre})
+        for country in movie.countries:
+            v2_movie_info_rows.append({"m_id": movie.mid, "info_type": "country", "info": country})
+        v2_movie_info_rows.append({"m_id": movie.mid, "info_type": "runtime", "info": str(movie.runtime)})
+        v2_movie_info_rows.append({"m_id": movie.mid, "info_type": "gross", "info": str(movie.gross)})
+        v2_movie_info_rows.append({"m_id": movie.mid, "info_type": "budget", "info": str(movie.budget)})
+    person_ids = sorted(set(actor_ids) | set(director_ids))
+    v2_person_rows = [
+        {
+            "p_id": pid,
+            "name": people[pid].name,
+            "gender": people[pid].gender,
+            "dob": people[pid].dob,
+        }
+        for pid in person_ids
+    ]
+    v2_movie_person_rows = [
+        {"m_id": movie.mid, "p_id": person}
+        for movie in movies
+        for person in set(movie.actors) | {movie.director}
+    ]
+
+    # ---- error injection (BART-style, ~5%) -------------------------------------------
+    error_rng = random.Random(config.seed + 1)
+    v1_movie_rows, _ = inject_errors(
+        v1_movie_rows,
+        CorruptionConfig(rate=config.error_rate, attributes=("release_year", "gross", "runtimes")),
+        rng=error_rng,
+    )
+    v1_movie_rows, _ = inject_errors(
+        v1_movie_rows,
+        CorruptionConfig(rate=config.error_rate, attributes=("title",)),
+        rng=error_rng,
+    )
+    v2_person_rows, _ = inject_errors(
+        v2_person_rows,
+        CorruptionConfig(rate=config.error_rate / 2, attributes=("name",)),
+        rng=error_rng,
+    )
+    v2_movie_info_rows, _ = inject_errors(
+        v2_movie_info_rows,
+        CorruptionConfig(rate=config.error_rate / 2, attributes=("info",)),
+        rng=error_rng,
+    )
+    v2_movie_rows, _ = inject_errors(
+        v2_movie_rows,
+        CorruptionConfig(rate=config.error_rate / 2, attributes=("release_year",)),
+        rng=error_rng,
+    )
+
+    # ---- databases -------------------------------------------------------------------
+    db_view1 = Database("IMDb_view1")
+    db_view1.add_records("Movie", v1_movie_rows)
+    db_view1.add_records("Actor", v1_actor_rows)
+    db_view1.add_records("Director", v1_director_rows)
+    db_view1.add_records("MovieActor", v1_movie_actor_rows)
+    db_view1.add_records("MovieDirector", v1_movie_director_rows)
+
+    db_view2 = Database("IMDb_view2")
+    db_view2.add_records("Movie", v2_movie_rows)
+    db_view2.add_records("MovieInfo", v2_movie_info_rows)
+    db_view2.add_records("Person", v2_person_rows)
+    db_view2.add_records("MoviePerson", v2_movie_person_rows)
+
+    # ---- hidden entity correspondences -------------------------------------------------
+    movie_entities_view1 = {f"Movie:{index}": ("movie", row["movie_id"]) for index, row in enumerate(v1_movie_rows)}
+    movie_entities_view2 = {f"Movie:{index}": ("movie", row["m_id"]) for index, row in enumerate(v2_movie_rows)}
+    person_entities_view1 = {
+        f"Actor:{index}": ("person", row["actor_id"]) for index, row in enumerate(v1_actor_rows)
+    }
+    person_entities_view1.update(
+        {f"Director:{index}": ("person", row["director_id"]) for index, row in enumerate(v1_director_rows)}
+    )
+    person_entities_view2 = {
+        f"Person:{index}": ("person", row["p_id"]) for index, row in enumerate(v2_person_rows)
+    }
+
+    return IMDbWorkload(
+        config=config,
+        db_view1=db_view1,
+        db_view2=db_view2,
+        movie_entities_view1=movie_entities_view1,
+        movie_entities_view2=movie_entities_view2,
+        person_entities_view1=person_entities_view1,
+        person_entities_view2=person_entities_view2,
+        movies=movies,
+        people=people,
+    )

@@ -1,0 +1,135 @@
+"""The synthetic data generator of Section 5.3.
+
+Both datasets share the schema ``Table(id, match_attr, val)`` and the query
+``SELECT SUM(val) FROM Table``.  The generator:
+
+1. creates ``n`` tuples with random attribute values and adds them to both
+   datasets (``match_attr`` is a phrase of 5 random words drawn from a
+   vocabulary of ``v`` words; ``val`` is a random integer in [1, 10]);
+2. randomly drops ``d`` percent of the tuples (from one side each);
+3. randomly corrupts the ``val`` attribute of ``d`` percent of the tuples.
+
+The dropped and corrupted tuples are the optimal explanations; the optimal
+evidence follows from the shared construction, so the gold standard is known
+exactly.  The vocabulary size controls how many spurious candidate matches the
+record-linkage step produces (smaller vocabularies mean denser match graphs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.gold import DatasetPair
+from repro.matching.attribute_match import matching
+from repro.relational.query import Scan, sum_query
+from repro.relational.executor import Database
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the Section 5.3 generator."""
+
+    num_tuples: int = 1000          # n
+    difference_ratio: float = 0.2   # d
+    vocabulary_size: int = 1000     # v
+    words_per_phrase: int = 5
+    max_value: int = 10
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.num_tuples < 1:
+            raise ValueError("num_tuples must be positive")
+        if not 0.0 <= self.difference_ratio < 1.0:
+            raise ValueError("difference_ratio must be in [0, 1)")
+        if self.vocabulary_size <= self.words_per_phrase:
+            raise ValueError("vocabulary_size must exceed words_per_phrase")
+
+
+def _vocabulary(size: int) -> list[str]:
+    """A deterministic vocabulary of ``size`` pronounceable pseudo-words."""
+    consonants = "bcdfghklmnprstvz"
+    vowels = "aeiou"
+    words = []
+    index = 0
+    while len(words) < size:
+        pieces = []
+        value = index
+        for _ in range(3):
+            pieces.append(consonants[value % len(consonants)])
+            value //= len(consonants)
+            pieces.append(vowels[value % len(vowels)])
+            value //= len(vowels)
+        words.append("".join(pieces))
+        index += 1
+    return words
+
+
+def generate_synthetic_pair(config: SyntheticConfig | None = None) -> DatasetPair:
+    """Generate a synthetic dataset pair with its gold correspondence."""
+    config = config or SyntheticConfig()
+    rng = random.Random(config.seed)
+    vocabulary = _vocabulary(config.vocabulary_size)
+
+    # Step 1: n shared tuples.
+    base_tuples = []
+    for index in range(config.num_tuples):
+        phrase = " ".join(rng.choice(vocabulary) for _ in range(config.words_per_phrase))
+        value = rng.randint(1, config.max_value)
+        base_tuples.append({"id": index, "match_attr": phrase, "val": value})
+
+    # Step 2: drop d% of the tuples (each dropped tuple disappears from one side).
+    num_dropped = int(round(config.difference_ratio * config.num_tuples))
+    dropped_indices = set(rng.sample(range(config.num_tuples), num_dropped)) if num_dropped else set()
+    drop_from_left = {index for index in dropped_indices if rng.random() < 0.5}
+    drop_from_right = dropped_indices - drop_from_left
+
+    # Step 3: corrupt the val attribute of d% of the (remaining) tuples on one side.
+    num_corrupted = int(round(config.difference_ratio * config.num_tuples))
+    candidates = [i for i in range(config.num_tuples) if i not in dropped_indices]
+    corrupted_indices = set(
+        rng.sample(candidates, min(num_corrupted, len(candidates)))
+    ) if num_corrupted else set()
+
+    left_rows: list[dict] = []
+    right_rows: list[dict] = []
+    entity_ids_left: dict[str, object] = {}
+    entity_ids_right: dict[str, object] = {}
+
+    for record in base_tuples:
+        index = record["id"]
+        if index not in drop_from_left:
+            entity_ids_left[f"Table:{len(left_rows)}"] = index
+            left_rows.append(dict(record))
+        if index not in drop_from_right:
+            row = dict(record)
+            if index in corrupted_indices:
+                shift = rng.randint(1, config.max_value)
+                row["val"] = ((row["val"] - 1 + shift) % config.max_value) + 1
+            entity_ids_right[f"Table:{len(right_rows)}"] = index
+            right_rows.append(row)
+
+    db_left = Database("synthetic_left")
+    db_left.add_records("Table", left_rows)
+    db_right = Database("synthetic_right")
+    db_right.add_records("Table", right_rows)
+
+    query_left = sum_query("Q1", Scan("Table"), "val", description="Total value (dataset 1)")
+    query_right = sum_query("Q2", Scan("Table"), "val", description="Total value (dataset 2)")
+
+    return DatasetPair(
+        name=(
+            f"synthetic_n{config.num_tuples}_d{config.difference_ratio:g}_v{config.vocabulary_size}"
+        ),
+        db_left=db_left,
+        db_right=db_right,
+        query_left=query_left,
+        query_right=query_right,
+        attribute_matches=matching(("match_attr", "match_attr")),
+        entity_ids_left=entity_ids_left,
+        entity_ids_right=entity_ids_right,
+        description=(
+            f"Synthetic pair: n={config.num_tuples}, d={config.difference_ratio}, "
+            f"v={config.vocabulary_size}"
+        ),
+    )

@@ -1,0 +1,40 @@
+"""Evaluation harness: accuracy metrics, method runner, and report tables.
+
+Mirrors Section 5.1.4 of the paper:
+
+* **explanation accuracy** -- precision/recall/F-measure of the derived
+  explanations against the gold standard;
+* **evidence accuracy** -- precision/recall/F-measure of the refined tuple
+  mapping against the gold evidence mapping;
+* **execution time** -- wall-clock time of each method.
+"""
+
+from repro.evaluation.metrics import (
+    AccuracyMetrics,
+    MethodEvaluation,
+    evaluate_evidence,
+    evaluate_explanations,
+    evaluate_method_output,
+)
+from repro.evaluation.harness import (
+    ExperimentResult,
+    run_method,
+    run_methods,
+    average_evaluations,
+)
+from repro.evaluation.reporting import format_accuracy_table, format_table, format_timing_table
+
+__all__ = [
+    "AccuracyMetrics",
+    "MethodEvaluation",
+    "evaluate_explanations",
+    "evaluate_evidence",
+    "evaluate_method_output",
+    "ExperimentResult",
+    "run_method",
+    "run_methods",
+    "average_evaluations",
+    "format_table",
+    "format_accuracy_table",
+    "format_timing_table",
+]

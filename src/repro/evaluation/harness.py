@@ -1,0 +1,83 @@
+"""Experiment harness: run methods over dataset pairs and aggregate results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.baselines.base import DisagreementExplainer
+from repro.core.problem import ExplainProblem
+from repro.datasets.gold import GoldStandard
+from repro.evaluation.metrics import AccuracyMetrics, MethodEvaluation, evaluate_method_output
+
+
+@dataclass
+class ExperimentResult:
+    """Results of running a set of methods on one problem."""
+
+    name: str
+    evaluations: list[MethodEvaluation] = field(default_factory=list)
+    problem_stats: dict = field(default_factory=dict)
+
+    def by_method(self) -> dict[str, MethodEvaluation]:
+        return {evaluation.method: evaluation for evaluation in self.evaluations}
+
+    def method(self, name: str) -> MethodEvaluation:
+        return self.by_method()[name]
+
+
+def run_method(
+    method: DisagreementExplainer,
+    problem: ExplainProblem,
+    gold: GoldStandard,
+) -> MethodEvaluation:
+    """Run one method on one problem and score it against the gold standard."""
+    timed = method.explain_timed(problem)
+    return evaluate_method_output(
+        method.name, timed.explanations, gold, problem, seconds=timed.seconds
+    )
+
+
+def run_methods(
+    methods: Sequence[DisagreementExplainer],
+    problem: ExplainProblem,
+    gold: GoldStandard,
+    *,
+    name: str = "experiment",
+) -> ExperimentResult:
+    """Run several methods on the same problem (the Figure 6 setting)."""
+    result = ExperimentResult(name=name, problem_stats=problem.statistics())
+    for method in methods:
+        result.evaluations.append(run_method(method, problem, gold))
+    return result
+
+
+def _mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def average_evaluations(per_run: Sequence[MethodEvaluation]) -> MethodEvaluation:
+    """Average several evaluations of the *same* method (the Figure 7 setting)."""
+    if not per_run:
+        raise ValueError("cannot average an empty list of evaluations")
+    names = {evaluation.method for evaluation in per_run}
+    if len(names) != 1:
+        raise ValueError(f"averaging requires a single method, got {sorted(names)}")
+
+    explanation = AccuracyMetrics(
+        precision=_mean(e.explanation.precision for e in per_run),
+        recall=_mean(e.explanation.recall for e in per_run),
+    )
+    evidence = AccuracyMetrics(
+        precision=_mean(e.evidence.precision for e in per_run),
+        recall=_mean(e.evidence.recall for e in per_run),
+    )
+    return MethodEvaluation(
+        method=per_run[0].method,
+        explanation=explanation,
+        evidence=evidence,
+        seconds=_mean(e.seconds for e in per_run),
+        num_explanations=int(round(_mean(e.num_explanations for e in per_run))),
+        extras={"runs": len(per_run)},
+    )

@@ -1,0 +1,154 @@
+"""Accuracy metrics (Section 5.1.4).
+
+Precision is the fraction of derived explanations (or evidence matches) that
+are correct; recall is the fraction of the gold standard that was derived;
+F-measure is their harmonic mean.
+
+Value-based explanations are compared at the granularity of gold components:
+within a connected component of the gold evidence mapping, correcting either
+endpoint of an impact mismatch resolves the same disagreement (the MILP is free
+to pick either side at identical cost), so a predicted value explanation counts
+as correct when the gold standard marks *any* tuple of the same component.
+Provenance-based explanations and evidence matches are compared by exact
+identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.explanations import ExplanationSet
+from repro.core.problem import ExplainProblem
+from repro.datasets.gold import GoldStandard
+from repro.graphs.bipartite import Side
+
+
+@dataclass(frozen=True)
+class AccuracyMetrics:
+    """Precision / recall / F-measure triple."""
+
+    precision: float
+    recall: float
+    true_positives: int = 0
+    predicted: int = 0
+    actual: int = 0
+
+    @property
+    def f_measure(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+    @classmethod
+    def from_sets(cls, predicted: set, actual: set) -> "AccuracyMetrics":
+        true_positives = len(predicted & actual)
+        precision = true_positives / len(predicted) if predicted else (1.0 if not actual else 0.0)
+        recall = true_positives / len(actual) if actual else 1.0
+        return cls(precision, recall, true_positives, len(predicted), len(actual))
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f_measure": self.f_measure,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AccuracyMetrics(P={self.precision:.3f}, R={self.recall:.3f}, "
+            f"F={self.f_measure:.3f})"
+        )
+
+
+class _UnionFind:
+    """Union-find over explanation identities, used for gold components."""
+
+    def __init__(self):
+        self.parent: dict = {}
+
+    def find(self, node):
+        self.parent.setdefault(node, node)
+        while self.parent[node] != node:
+            self.parent[node] = self.parent[self.parent[node]]
+            node = self.parent[node]
+        return node
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def _gold_components(problem: ExplainProblem, gold: GoldStandard) -> _UnionFind:
+    components = _UnionFind()
+    for key in problem.canonical_left.keys():
+        components.find((Side.LEFT.value, key))
+    for key in problem.canonical_right.keys():
+        components.find((Side.RIGHT.value, key))
+    for left_key, right_key in gold.evidence_pairs:
+        components.union((Side.LEFT.value, left_key), (Side.RIGHT.value, right_key))
+    return components
+
+
+def evaluate_explanations(
+    explanations: ExplanationSet, gold: GoldStandard, problem: ExplainProblem
+) -> AccuracyMetrics:
+    """Explanation accuracy: provenance by identity, value by gold component."""
+    components = _gold_components(problem, gold)
+
+    predicted: set = {("provenance",) + identity for identity in explanations.provenance_identities()}
+    actual: set = {("provenance",) + identity for identity in gold.provenance}
+
+    predicted |= {
+        ("value", components.find(identity)) for identity in explanations.value_identities()
+    }
+    actual |= {("value", components.find(identity)) for identity in gold.value}
+
+    return AccuracyMetrics.from_sets(predicted, actual)
+
+
+def evaluate_evidence(explanations: ExplanationSet, gold: GoldStandard) -> AccuracyMetrics:
+    """Evidence accuracy: exact tuple-match pairs."""
+    return AccuracyMetrics.from_sets(explanations.evidence_pairs(), set(gold.evidence_pairs))
+
+
+@dataclass
+class MethodEvaluation:
+    """All reported numbers for one method on one problem."""
+
+    method: str
+    explanation: AccuracyMetrics
+    evidence: AccuracyMetrics
+    seconds: float = 0.0
+    num_explanations: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        return {
+            "method": self.method,
+            "expl_precision": self.explanation.precision,
+            "expl_recall": self.explanation.recall,
+            "expl_f": self.explanation.f_measure,
+            "evid_precision": self.evidence.precision,
+            "evid_recall": self.evidence.recall,
+            "evid_f": self.evidence.f_measure,
+            "seconds": self.seconds,
+        }
+
+
+def evaluate_method_output(
+    method_name: str,
+    explanations: ExplanationSet,
+    gold: GoldStandard,
+    problem: ExplainProblem,
+    *,
+    seconds: float = 0.0,
+) -> MethodEvaluation:
+    """Bundle explanation + evidence accuracy for one method run."""
+    return MethodEvaluation(
+        method=method_name,
+        explanation=evaluate_explanations(explanations, gold, problem),
+        evidence=evaluate_evidence(explanations, gold),
+        seconds=seconds,
+        num_explanations=explanations.size,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text tables for the benchmark harness.
+
+The benchmark modules print the same rows/series the paper's figures report
+(method x precision/recall/F-measure, and method x execution time), so a run of
+``pytest benchmarks/ --benchmark-only`` regenerates every table/figure in text
+form.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evaluation.metrics import MethodEvaluation
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *, title: str = "") -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max([len(header)] + [len(row[index]) for row in cells]) if cells else len(header)
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_accuracy_table(
+    evaluations: Sequence[MethodEvaluation], *, kind: str = "explanation", title: str = ""
+) -> str:
+    """A Figure 6a/6b/7a/7b-style accuracy table (method x P/R/F)."""
+    rows = []
+    for evaluation in evaluations:
+        metrics = evaluation.explanation if kind == "explanation" else evaluation.evidence
+        rows.append(
+            [
+                evaluation.method,
+                f"{metrics.precision:.3f}",
+                f"{metrics.recall:.3f}",
+                f"{metrics.f_measure:.3f}",
+            ]
+        )
+    return format_table(
+        ["Method", "Precision", "Recall", "F-measure"],
+        rows,
+        title=title or f"{kind.capitalize()} accuracy",
+    )
+
+
+def format_timing_table(evaluations: Sequence[MethodEvaluation], *, title: str = "") -> str:
+    """A Figure 6c/6f-style execution-time table."""
+    rows = [
+        [evaluation.method, f"{evaluation.seconds:.3f}"] for evaluation in evaluations
+    ]
+    return format_table(["Method", "Time (sec)"], rows, title=title or "Execution time")

@@ -1,0 +1,138 @@
+"""The bipartite match graph ``G = (T1, T2, M_tuple)``."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.matching.tuple_matching import TupleMapping, TupleMatch
+
+
+class Side(enum.Enum):
+    """Which canonical relation a node belongs to."""
+
+    LEFT = "L"
+    RIGHT = "R"
+
+    def other(self) -> "Side":
+        return Side.RIGHT if self is Side.LEFT else Side.LEFT
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """A node of the bipartite graph: a canonical tuple on one side."""
+
+    side: Side
+    key: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.side.value}:{self.key}"
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """An edge of the bipartite graph: a probabilistic tuple match."""
+
+    left_key: str
+    right_key: str
+    probability: float
+
+    @property
+    def left_node(self) -> GraphNode:
+        return GraphNode(Side.LEFT, self.left_key)
+
+    @property
+    def right_node(self) -> GraphNode:
+        return GraphNode(Side.RIGHT, self.right_key)
+
+
+class MatchGraph:
+    """Bipartite graph over left/right canonical tuple keys with match edges.
+
+    Nodes without any incident edge are kept: they correspond to tuples that
+    can only be explained as provenance-based explanations, and they must
+    still be assigned to a partition.
+    """
+
+    def __init__(
+        self,
+        left_keys: Iterable[str],
+        right_keys: Iterable[str],
+        mapping: TupleMapping | Iterable[TupleMatch] = (),
+    ):
+        self.left_keys = list(dict.fromkeys(left_keys))
+        self.right_keys = list(dict.fromkeys(right_keys))
+        self._left_set = set(self.left_keys)
+        self._right_set = set(self.right_keys)
+        self.edges: list[GraphEdge] = []
+        self._left_adjacency: dict[str, list[GraphEdge]] = {key: [] for key in self.left_keys}
+        self._right_adjacency: dict[str, list[GraphEdge]] = {key: [] for key in self.right_keys}
+        for match in mapping:
+            self.add_edge(match.left_key, match.right_key, match.probability)
+
+    # -- construction -------------------------------------------------------------
+    def add_edge(self, left_key: str, right_key: str, probability: float) -> None:
+        if left_key not in self._left_set:
+            self.left_keys.append(left_key)
+            self._left_set.add(left_key)
+            self._left_adjacency[left_key] = []
+        if right_key not in self._right_set:
+            self.right_keys.append(right_key)
+            self._right_set.add(right_key)
+            self._right_adjacency[right_key] = []
+        edge = GraphEdge(left_key, right_key, probability)
+        self.edges.append(edge)
+        self._left_adjacency[left_key].append(edge)
+        self._right_adjacency[right_key].append(edge)
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.left_keys) + len(self.right_keys)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def nodes(self) -> Iterator[GraphNode]:
+        for key in self.left_keys:
+            yield GraphNode(Side.LEFT, key)
+        for key in self.right_keys:
+            yield GraphNode(Side.RIGHT, key)
+
+    def edges_of(self, node: GraphNode) -> Sequence[GraphEdge]:
+        if node.side is Side.LEFT:
+            return self._left_adjacency.get(node.key, ())
+        return self._right_adjacency.get(node.key, ())
+
+    def neighbors(self, node: GraphNode) -> list[GraphNode]:
+        if node.side is Side.LEFT:
+            return [edge.right_node for edge in self._left_adjacency.get(node.key, ())]
+        return [edge.left_node for edge in self._right_adjacency.get(node.key, ())]
+
+    def degree(self, node: GraphNode) -> int:
+        return len(self.edges_of(node))
+
+    def subgraph(self, left_keys: set[str], right_keys: set[str]) -> "MatchGraph":
+        """Induced subgraph over a subset of left/right keys."""
+        sub = MatchGraph(
+            [key for key in self.left_keys if key in left_keys],
+            [key for key in self.right_keys if key in right_keys],
+        )
+        for edge in self.edges:
+            if edge.left_key in left_keys and edge.right_key in right_keys:
+                sub.add_edge(edge.left_key, edge.right_key, edge.probability)
+        return sub
+
+    def to_mapping(self) -> TupleMapping:
+        """The edges as a :class:`TupleMapping` (used to slice M_tuple per partition)."""
+        return TupleMapping(
+            TupleMatch(edge.left_key, edge.right_key, edge.probability) for edge in self.edges
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchGraph({len(self.left_keys)} left, {len(self.right_keys)} right, "
+            f"{len(self.edges)} edges)"
+        )

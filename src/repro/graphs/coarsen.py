@@ -1,0 +1,186 @@
+"""Coarsening: pre-partitioning (Algorithm 2) and heavy-edge matching.
+
+Algorithm 2 merges tuples connected by high-probability matches into
+supernodes before running the graph partitioner.  Those matches must never be
+cut (their adjusted weight is ``p * R``), so collapsing them shrinks the
+partitioning problem drastically -- the paper reports a 200x speedup on 10K
+tuples -- without affecting partition quality.
+
+Heavy-edge matching is the classic multilevel coarsening step used by the
+partitioner itself when the (pre-partitioned) graph is still large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graphs.bipartite import GraphNode, MatchGraph, Side
+from repro.graphs.weighting import WeightingParams, adjust_weight
+
+
+@dataclass
+class SuperNode:
+    """A merged group of bipartite nodes (Algorithm 2, MergeTuples)."""
+
+    index: int
+    left_keys: set[str] = field(default_factory=set)
+    right_keys: set[str] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        """Number of original tuples in the supernode (the balancing measure)."""
+        return len(self.left_keys) + len(self.right_keys)
+
+    def add(self, node: GraphNode) -> None:
+        if node.side is Side.LEFT:
+            self.left_keys.add(node.key)
+        else:
+            self.right_keys.add(node.key)
+
+
+@dataclass
+class CoarseGraph:
+    """The simplified graph ``G_c = (C1, C2, M_c)`` produced by Algorithm 2."""
+
+    supernodes: list[SuperNode]
+    edges: dict[tuple[int, int], float]
+    node_of: dict[GraphNode, int]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.supernodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def adjacency(self) -> list[dict[int, float]]:
+        """Symmetric adjacency lists (neighbor supernode -> total weight)."""
+        adjacency: list[dict[int, float]] = [dict() for _ in self.supernodes]
+        for (a, b), weight in self.edges.items():
+            adjacency[a][b] = adjacency[a].get(b, 0.0) + weight
+            adjacency[b][a] = adjacency[b].get(a, 0.0) + weight
+        return adjacency
+
+    def sizes(self) -> list[int]:
+        return [supernode.size for supernode in self.supernodes]
+
+
+def _high_probability_component(
+    graph: MatchGraph, start: GraphNode, theta_high: float, visited: set[GraphNode]
+) -> list[GraphNode]:
+    """FindHighProbTuplesDFS: nodes reachable from ``start`` via edges with p >= theta_high."""
+    stack = [start]
+    component = []
+    visited.add(start)
+    while stack:
+        node = stack.pop()
+        component.append(node)
+        for edge in graph.edges_of(node):
+            if edge.probability < theta_high:
+                continue
+            neighbor = edge.right_node if node.side is Side.LEFT else edge.left_node
+            if neighbor not in visited:
+                visited.add(neighbor)
+                stack.append(neighbor)
+    return component
+
+
+def prepartition(graph: MatchGraph, params: WeightingParams = WeightingParams()) -> CoarseGraph:
+    """Algorithm 2: merge high-probability-connected tuples into supernodes.
+
+    Runs in ``O(|T1| + |T2| + |M_tuple|)``: one DFS sweep to form supernodes,
+    one pass over the remaining matches to accumulate (re-weighted) edge
+    weights between supernodes.
+    """
+    visited: set[GraphNode] = set()
+    supernodes: list[SuperNode] = []
+    node_of: dict[GraphNode, int] = {}
+
+    # Lines 2-7: merge tuples connected by high-probability matches.
+    for node in graph.nodes():
+        if node in visited:
+            continue
+        component = _high_probability_component(graph, node, params.theta_high, visited)
+        supernode = SuperNode(index=len(supernodes))
+        for member in component:
+            supernode.add(member)
+            node_of[member] = supernode.index
+        supernodes.append(supernode)
+
+    # Lines 8-10: accumulate edge weights between distinct supernodes.
+    edges: dict[tuple[int, int], float] = {}
+    for edge in graph.edges:
+        a = node_of[edge.left_node]
+        b = node_of[edge.right_node]
+        if a == b:
+            continue  # internal to a supernode: can never be cut
+        key = (a, b) if a < b else (b, a)
+        edges[key] = edges.get(key, 0.0) + adjust_weight(edge.probability, params)
+
+    return CoarseGraph(supernodes, edges, node_of)
+
+
+def heavy_edge_matching(
+    adjacency: list[dict[int, float]],
+    sizes: list[float],
+    *,
+    max_merged_size: float,
+) -> list[int]:
+    """One level of heavy-edge-matching coarsening.
+
+    Returns ``coarse_id[i]`` for every node ``i``.  Each node is matched with
+    its heaviest unmatched neighbour, provided the merged size stays within
+    ``max_merged_size`` (so coarsening never creates nodes that cannot fit in
+    a partition).
+    """
+    n = len(adjacency)
+    matched = [False] * n
+    coarse_of = [-1] * n
+    next_id = 0
+
+    # Visit nodes in ascending degree order: low-degree nodes have fewer
+    # chances to be matched later, the classic METIS heuristic.
+    order = sorted(range(n), key=lambda i: len(adjacency[i]))
+    for node in order:
+        if matched[node]:
+            continue
+        best_neighbor = -1
+        best_weight = 0.0
+        for neighbor, weight in adjacency[node].items():
+            if matched[neighbor] or neighbor == node:
+                continue
+            if sizes[node] + sizes[neighbor] > max_merged_size:
+                continue
+            if weight > best_weight:
+                best_weight = weight
+                best_neighbor = neighbor
+        matched[node] = True
+        coarse_of[node] = next_id
+        if best_neighbor >= 0:
+            matched[best_neighbor] = True
+            coarse_of[best_neighbor] = next_id
+        next_id += 1
+    return coarse_of
+
+
+def contract(
+    adjacency: list[dict[int, float]],
+    sizes: list[float],
+    coarse_of: list[int],
+) -> tuple[list[dict[int, float]], list[float]]:
+    """Contract a graph according to a coarse-node assignment."""
+    num_coarse = max(coarse_of) + 1 if coarse_of else 0
+    coarse_adjacency: list[dict[int, float]] = [dict() for _ in range(num_coarse)]
+    coarse_sizes = [0.0] * num_coarse
+    for node, coarse in enumerate(coarse_of):
+        coarse_sizes[coarse] += sizes[node]
+        for neighbor, weight in adjacency[node].items():
+            coarse_neighbor = coarse_of[neighbor]
+            if coarse_neighbor == coarse:
+                continue
+            coarse_adjacency[coarse][coarse_neighbor] = (
+                coarse_adjacency[coarse].get(coarse_neighbor, 0.0) + weight
+            )
+    return coarse_adjacency, coarse_sizes

@@ -1,0 +1,42 @@
+"""Connected components of the bipartite match graph.
+
+Splitting the EXP-3D problem along connected components is the "free"
+optimization mentioned at the start of Section 4: it never changes the optimum
+because no constraint or objective term crosses component boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.bipartite import GraphNode, MatchGraph, Side
+
+
+def connected_components(graph: MatchGraph) -> list[tuple[set[str], set[str]]]:
+    """Connected components as ``(left_keys, right_keys)`` pairs.
+
+    Isolated nodes form singleton components; the output order is
+    deterministic (first-seen order of nodes).
+    """
+    visited: set[GraphNode] = set()
+    components: list[tuple[set[str], set[str]]] = []
+
+    for start in graph.nodes():
+        if start in visited:
+            continue
+        left: set[str] = set()
+        right: set[str] = set()
+        queue = deque([start])
+        visited.add(start)
+        while queue:
+            node = queue.popleft()
+            if node.side is Side.LEFT:
+                left.add(node.key)
+            else:
+                right.add(node.key)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append(neighbor)
+        components.append((left, right))
+    return components

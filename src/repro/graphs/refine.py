@@ -1,0 +1,68 @@
+"""Kernighan–Lin style boundary refinement for balanced partitions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def cut_weight(adjacency: Sequence[dict[int, float]], assignment: Sequence[int]) -> float:
+    """Total weight of edges whose endpoints lie in different partitions."""
+    total = 0.0
+    for node, neighbors in enumerate(adjacency):
+        for neighbor, weight in neighbors.items():
+            if neighbor > node and assignment[node] != assignment[neighbor]:
+                total += weight
+    return total
+
+
+def refine_partition(
+    adjacency: Sequence[dict[int, float]],
+    sizes: Sequence[float],
+    assignment: list[int],
+    num_parts: int,
+    max_part_size: float,
+    *,
+    max_passes: int = 8,
+) -> list[int]:
+    """Greedy boundary refinement.
+
+    Repeatedly moves a node to the neighbouring partition with the largest
+    positive gain (reduction in cut weight), subject to the balance constraint
+    ``|partition| <= max_part_size``.  Terminates when a full pass makes no
+    improving move or after ``max_passes`` passes.
+    """
+    assignment = list(assignment)
+    part_sizes = [0.0] * num_parts
+    for node, part in enumerate(assignment):
+        part_sizes[part] += sizes[node]
+
+    for _ in range(max_passes):
+        improved = False
+        for node in range(len(adjacency)):
+            current = assignment[node]
+            # Weight of this node's edges towards each partition.
+            weight_to: dict[int, float] = {}
+            for neighbor, weight in adjacency[node].items():
+                part = assignment[neighbor]
+                weight_to[part] = weight_to.get(part, 0.0) + weight
+            internal = weight_to.get(current, 0.0)
+
+            best_part = current
+            best_gain = 0.0
+            for part, external in weight_to.items():
+                if part == current:
+                    continue
+                if part_sizes[part] + sizes[node] > max_part_size:
+                    continue
+                gain = external - internal
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_part = part
+            if best_part != current:
+                part_sizes[current] -= sizes[node]
+                part_sizes[best_part] += sizes[node]
+                assignment[node] = best_part
+                improved = True
+        if not improved:
+            break
+    return assignment

@@ -1,0 +1,43 @@
+"""Edge re-weighting for the graph partitioning problem (Section 4).
+
+Cutting a high-probability tuple match hurts the EXP-3D objective far more
+than cutting several low-probability matches, so the paper re-weights edges
+before partitioning:
+
+* ``w = p * R``   when ``p >= theta_h`` (strongly discourage cutting),
+* ``w = p / R``   when ``p <= theta_l`` (cheap to cut),
+* ``w = p``       otherwise.
+
+The paper's defaults are ``theta_l = 0.1``, ``theta_h = 0.9``, ``R = 100``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WeightingParams:
+    """Parameters of the edge re-weighting scheme."""
+
+    theta_low: float = 0.1
+    theta_high: float = 0.9
+    reward: float = 100.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.theta_low < self.theta_high <= 1.0:
+            raise ValueError(
+                f"thresholds must satisfy 0 <= theta_low < theta_high <= 1, "
+                f"got {self.theta_low}, {self.theta_high}"
+            )
+        if self.reward <= 1.0:
+            raise ValueError(f"reward factor R must exceed 1, got {self.reward}")
+
+
+def adjust_weight(probability: float, params: WeightingParams = WeightingParams()) -> float:
+    """The partitioning weight of an edge with match probability ``probability``."""
+    if probability >= params.theta_high:
+        return probability * params.reward
+    if probability <= params.theta_low:
+        return probability / params.reward
+    return probability

@@ -1,0 +1,198 @@
+"""Attribute matches and semantic relations (Definition 2.1).
+
+An attribute match relates a set of attributes of one query's relation to a set
+of attributes of the other with a semantic relation:
+
+* ``EQUIVALENT`` (one-to-one mapping of instantiations),
+* ``LESS_GENERAL`` (many-to-one: many left values map to one right value),
+* ``MORE_GENERAL`` (one-to-many: one left value maps to many right values).
+
+Two queries are *comparable* (Definition 2.2) iff at least one attribute match
+exists between them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+class SemanticRelation(enum.Enum):
+    """The semantic relation phi between two sets of attributes."""
+
+    EQUIVALENT = "=="
+    LESS_GENERAL = "<="
+    MORE_GENERAL = ">="
+
+    def flipped(self) -> "SemanticRelation":
+        """The relation seen from the other side (``A <= B`` iff ``B >= A``)."""
+        if self is SemanticRelation.LESS_GENERAL:
+            return SemanticRelation.MORE_GENERAL
+        if self is SemanticRelation.MORE_GENERAL:
+            return SemanticRelation.LESS_GENERAL
+        return SemanticRelation.EQUIVALENT
+
+    @property
+    def left_degree_limited(self) -> bool:
+        """True when each *left* tuple may match at most one right tuple.
+
+        ``A_i <= A_j`` (less general, many-to-one) and equivalence both limit
+        the degree of left tuples to one (Definition 3.2).
+        """
+        return self in (SemanticRelation.LESS_GENERAL, SemanticRelation.EQUIVALENT)
+
+    @property
+    def right_degree_limited(self) -> bool:
+        """True when each *right* tuple may match at most one left tuple."""
+        return self in (SemanticRelation.MORE_GENERAL, SemanticRelation.EQUIVALENT)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return {"==": "=", "<=": "<=", ">=": ">="}[self.value]
+
+
+@dataclass(frozen=True)
+class AttributeMatch:
+    """A single attribute match ``(A_i phi A_j)``.
+
+    ``left`` and ``right`` are tuples of attribute names in the two queries'
+    provenance relations.  The paper notes that matches over attribute sets can
+    be separated into single-attribute matches; most of the pipeline assumes
+    that normal form (see :meth:`AttributeMatching.normalized`).
+    """
+
+    left: tuple[str, ...]
+    right: tuple[str, ...]
+    relation: SemanticRelation = SemanticRelation.EQUIVALENT
+
+    @classmethod
+    def single(
+        cls, left: str, right: str, relation: SemanticRelation = SemanticRelation.EQUIVALENT
+    ) -> "AttributeMatch":
+        return cls((left,), (right,), relation)
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.left) == 1 and len(self.right) == 1
+
+    def flipped(self) -> "AttributeMatch":
+        """The same match with sides swapped."""
+        return AttributeMatch(self.right, self.left, self.relation.flipped())
+
+    def split(self) -> list["AttributeMatch"]:
+        """Separate a set-valued match into per-attribute matches.
+
+        ``(zip, city) <= (county)`` becomes ``(zip) <= (county)`` and
+        ``(city) <= (county)``, as described in Section 2.1.
+        """
+        if self.is_single:
+            return [self]
+        pieces = []
+        for left_attr in self.left:
+            for right_attr in self.right:
+                pieces.append(AttributeMatch((left_attr,), (right_attr,), self.relation))
+        return pieces
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({', '.join(self.left)}) {self.relation} ({', '.join(self.right)})"
+
+
+class AttributeMatching:
+    """The full set of attribute matches ``M_attr(Q1, Q2)`` between two queries."""
+
+    def __init__(self, matches: Iterable[AttributeMatch] = ()):
+        self.matches = list(matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self) -> Iterator[AttributeMatch]:
+        return iter(self.matches)
+
+    def __bool__(self) -> bool:
+        return bool(self.matches)
+
+    def add(self, match: AttributeMatch) -> None:
+        self.matches.append(match)
+
+    @property
+    def comparable(self) -> bool:
+        """Definition 2.2: queries are comparable iff M_attr is non-empty."""
+        return bool(self.matches)
+
+    def normalized(self) -> "AttributeMatching":
+        """All matches split into single-attribute matches."""
+        pieces: list[AttributeMatch] = []
+        for match in self.matches:
+            pieces.extend(match.split())
+        return AttributeMatching(pieces)
+
+    def left_attributes(self) -> tuple[str, ...]:
+        """Matching attributes on the left side, in first-seen order."""
+        seen: list[str] = []
+        for match in self.matches:
+            for name in match.left:
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def right_attributes(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for match in self.matches:
+            for name in match.right:
+                if name not in seen:
+                    seen.append(name)
+        return tuple(seen)
+
+    def attribute_pairs(self) -> list[tuple[str, str]]:
+        """Pairs ``(left_attr, right_attr)`` over the normalized matches."""
+        return [
+            (match.left[0], match.right[0]) for match in self.normalized()
+        ]
+
+    def dominant_relation(self) -> SemanticRelation:
+        """The semantic relation governing tuple-mapping cardinality.
+
+        When several matches are declared, equivalence is only claimed if all
+        of them are equivalences; otherwise the first directional relation
+        wins.  In practice the paper's datasets declare a single relation.
+        """
+        if not self.matches:
+            return SemanticRelation.EQUIVALENT
+        relations = {match.relation for match in self.matches}
+        if relations == {SemanticRelation.EQUIVALENT}:
+            return SemanticRelation.EQUIVALENT
+        for match in self.matches:
+            if match.relation is not SemanticRelation.EQUIVALENT:
+                return match.relation
+        return SemanticRelation.EQUIVALENT
+
+    def flipped(self) -> "AttributeMatching":
+        return AttributeMatching([match.flipped() for match in self.matches])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "AttributeMatching(" + "; ".join(str(m) for m in self.matches) + ")"
+
+
+def matching(*pairs: Sequence) -> AttributeMatching:
+    """Convenience constructor: ``matching(("program", "college", "<="))``.
+
+    Each argument is ``(left, right)`` (equivalence) or ``(left, right, rel)``
+    where ``rel`` is a :class:`SemanticRelation` or one of ``"=", "<=", ">="``.
+    """
+    result = AttributeMatching()
+    lookup = {
+        "=": SemanticRelation.EQUIVALENT,
+        "==": SemanticRelation.EQUIVALENT,
+        "<=": SemanticRelation.LESS_GENERAL,
+        ">=": SemanticRelation.MORE_GENERAL,
+    }
+    for pair in pairs:
+        if len(pair) == 2:
+            left, right = pair
+            relation = SemanticRelation.EQUIVALENT
+        else:
+            left, right, raw = pair
+            relation = raw if isinstance(raw, SemanticRelation) else lookup[raw]
+        result.add(AttributeMatch.single(left, right, relation))
+    return result

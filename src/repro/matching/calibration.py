@@ -1,0 +1,141 @@
+"""Similarity-to-probability calibration (Section 5.1.2).
+
+The paper converts raw similarity scores into match probabilities in two steps:
+
+1. divide the candidate matches into ``k`` contiguous buckets over similarity
+   (the paper uses 50);
+2. within each bucket, the probability of every match is the fraction of true
+   matches in that bucket, estimated from a labeled sample (or gold standard).
+
+Empty buckets inherit an interpolated probability from their neighbours so the
+calibrator is total over [0, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.matching.tuple_matching import CandidateMatch, TupleMatch, TupleMapping
+
+_MIN_PROBABILITY = 1e-3
+_MAX_PROBABILITY = 1.0 - 1e-3
+
+
+def _clamp(probability: float) -> float:
+    """Keep probabilities away from 0/1 so log-likelihoods stay finite."""
+    return min(max(probability, _MIN_PROBABILITY), _MAX_PROBABILITY)
+
+
+@dataclass
+class SimilarityCalibrator:
+    """Bucket-based similarity-to-probability calibration."""
+
+    num_buckets: int = 50
+    _bucket_probabilities: list[float] = field(default_factory=list, repr=False)
+
+    def _bucket_of(self, similarity: float) -> int:
+        similarity = min(max(similarity, 0.0), 1.0)
+        index = int(similarity * self.num_buckets)
+        return min(index, self.num_buckets - 1)
+
+    def fit(self, similarities: Sequence[float], labels: Sequence[bool]) -> "SimilarityCalibrator":
+        """Estimate per-bucket probabilities from labeled similarities."""
+        if len(similarities) != len(labels):
+            raise ValueError("similarities and labels must have the same length")
+        positives = [0] * self.num_buckets
+        totals = [0] * self.num_buckets
+        for similarity, label in zip(similarities, labels):
+            bucket = self._bucket_of(similarity)
+            totals[bucket] += 1
+            if label:
+                positives[bucket] += 1
+
+        raw: list[float | None] = []
+        for bucket in range(self.num_buckets):
+            if totals[bucket] == 0:
+                raw.append(None)
+            else:
+                raw.append(positives[bucket] / totals[bucket])
+
+        self._bucket_probabilities = self._interpolate(raw)
+        return self
+
+    @staticmethod
+    def _interpolate(raw: list[float | None]) -> list[float]:
+        """Fill empty buckets by linear interpolation between known neighbours."""
+        n = len(raw)
+        known = [i for i, value in enumerate(raw) if value is not None]
+        if not known:
+            # No labels at all: fall back to the identity mapping
+            # (probability = bucket midpoint), which keeps the pipeline usable.
+            return [(i + 0.5) / n for i in range(n)]
+        filled = list(raw)
+        first, last = known[0], known[-1]
+        for i in range(first):
+            filled[i] = raw[first]
+        for i in range(last + 1, n):
+            filled[i] = raw[last]
+        for left, right in zip(known, known[1:]):
+            span = right - left
+            for i in range(left + 1, right):
+                weight = (i - left) / span
+                filled[i] = raw[left] * (1 - weight) + raw[right] * weight
+        return [float(value) for value in filled]
+
+    def probability(self, similarity: float) -> float:
+        """Calibrated match probability for a similarity score."""
+        if not self._bucket_probabilities:
+            raise RuntimeError("calibrator must be fit before use")
+        return _clamp(self._bucket_probabilities[self._bucket_of(similarity)])
+
+    @property
+    def is_fit(self) -> bool:
+        return bool(self._bucket_probabilities)
+
+
+def calibrate_matches(
+    candidates: Iterable[CandidateMatch],
+    true_pairs: set[tuple[str, str]],
+    *,
+    num_buckets: int = 50,
+    sample_fraction: float = 1.0,
+    min_probability: float = 0.0,
+) -> TupleMapping:
+    """Turn scored candidates into a probabilistic :class:`TupleMapping`.
+
+    ``true_pairs`` plays the role of the labeled sample: the calibrator learns
+    bucket probabilities from (a deterministic subsample of) the candidates
+    labeled against it, then assigns every candidate its bucket probability.
+    Candidates whose calibrated probability is below ``min_probability`` are
+    dropped from the initial mapping.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        return TupleMapping()
+
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction must be in (0, 1]")
+    stride = max(int(round(1.0 / sample_fraction)), 1)
+    sample = candidates[::stride] if stride > 1 else candidates
+
+    calibrator = SimilarityCalibrator(num_buckets)
+    calibrator.fit(
+        [candidate.similarity for candidate in sample],
+        [(candidate.left_key, candidate.right_key) in true_pairs for candidate in sample],
+    )
+
+    mapping = TupleMapping()
+    for candidate in candidates:
+        probability = calibrator.probability(candidate.similarity)
+        if probability < min_probability:
+            continue
+        mapping.add(
+            TupleMatch(
+                candidate.left_key,
+                candidate.right_key,
+                probability,
+                candidate.similarity,
+            )
+        )
+    return mapping

@@ -1,0 +1,173 @@
+"""Automatic derivation of attribute matches.
+
+The paper treats attribute matches as input derived by "standard schema
+matching techniques".  To make the reproduction runnable end-to-end without
+external tools, this module implements a simple instance- and name-based
+schema matcher:
+
+* **name similarity** -- token Jaccard over attribute names;
+* **value overlap** -- average best-token-containment of one attribute's
+  values in the other's;
+* **cardinality analysis** -- if distinct values of ``A_i`` map onto fewer
+  distinct values of ``A_j`` (many-to-one), the match is reported as
+  less-general (``A_i <= A_j``); the symmetric case is more-general; otherwise
+  equivalence.
+
+The matcher is intentionally conservative: it only proposes matches whose
+combined score clears a threshold, and the Explain3D pipeline always lets the
+user override its output with explicitly declared matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.matching.attribute_match import AttributeMatch, AttributeMatching, SemanticRelation
+from repro.matching.similarity import token_containment, token_jaccard, tokenize
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Summary of one attribute's values used for matching."""
+
+    name: str
+    values: tuple
+    is_numeric: bool
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence) -> "AttributeProfile":
+        cleaned = tuple(value for value in values if value is not None)
+        numeric = bool(cleaned) and all(
+            isinstance(value, (int, float)) and not isinstance(value, bool)
+            for value in cleaned
+        )
+        return cls(name, cleaned, numeric)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(set(self.values))
+
+
+class SchemaMatcher:
+    """Instance-based schema matcher producing :class:`AttributeMatching`."""
+
+    def __init__(
+        self,
+        *,
+        min_score: float = 0.35,
+        name_weight: float = 0.4,
+        value_weight: float = 0.6,
+        containment_margin: float = 0.25,
+    ):
+        if abs(name_weight + value_weight - 1.0) > 1e-9:
+            raise ValueError("name_weight and value_weight must sum to 1")
+        self.min_score = min_score
+        self.name_weight = name_weight
+        self.value_weight = value_weight
+        self.containment_margin = containment_margin
+
+    # -- scoring ------------------------------------------------------------------
+    def _value_overlap(self, left: AttributeProfile, right: AttributeProfile) -> float:
+        """Mean best containment of left values in right values (sampled)."""
+        if not left.values or not right.values:
+            return 0.0
+        if left.is_numeric != right.is_numeric:
+            return 0.0
+        if left.is_numeric and right.is_numeric:
+            left_set = set(left.values)
+            right_set = set(right.values)
+            union = left_set | right_set
+            return len(left_set & right_set) / len(union) if union else 0.0
+
+        sample = list(dict.fromkeys(left.values))[:200]
+        right_sample = list(dict.fromkeys(right.values))[:400]
+        right_tokens = [tokenize(value) for value in right_sample]
+        total = 0.0
+        for value in sample:
+            value_tokens = tokenize(value)
+            if not value_tokens:
+                continue
+            best = 0.0
+            for tokens in right_tokens:
+                if not tokens:
+                    continue
+                containment = len(value_tokens & tokens) / len(value_tokens)
+                if containment > best:
+                    best = containment
+                    if best == 1.0:
+                        break
+            total += best
+        return total / len(sample) if sample else 0.0
+
+    def score(self, left: AttributeProfile, right: AttributeProfile) -> float:
+        """Combined match score of two attribute profiles in [0, 1]."""
+        name_score = token_jaccard(left.name, right.name)
+        value_score = (
+            self._value_overlap(left, right) + self._value_overlap(right, left)
+        ) / 2.0
+        return self.name_weight * name_score + self.value_weight * value_score
+
+    def _relation_for(
+        self, left: AttributeProfile, right: AttributeProfile
+    ) -> SemanticRelation:
+        """Decide the semantic relation from directional containment."""
+        left_in_right = self._value_overlap(left, right)
+        right_in_left = self._value_overlap(right, left)
+        if left_in_right > right_in_left + self.containment_margin:
+            # Left values are (parts of) right values: many programs, one college.
+            return SemanticRelation.LESS_GENERAL
+        if right_in_left > left_in_right + self.containment_margin:
+            return SemanticRelation.MORE_GENERAL
+        return SemanticRelation.EQUIVALENT
+
+    # -- matching -----------------------------------------------------------------
+    def match_profiles(
+        self,
+        left_profiles: Sequence[AttributeProfile],
+        right_profiles: Sequence[AttributeProfile],
+    ) -> AttributeMatching:
+        """Greedy best-first matching of attribute profiles."""
+        scored: list[tuple[float, AttributeProfile, AttributeProfile]] = []
+        for left in left_profiles:
+            for right in right_profiles:
+                score = self.score(left, right)
+                if score >= self.min_score:
+                    scored.append((score, left, right))
+        scored.sort(key=lambda item: item[0], reverse=True)
+
+        used_left: set[str] = set()
+        used_right: set[str] = set()
+        result = AttributeMatching()
+        for score, left, right in scored:
+            if left.name in used_left or right.name in used_right:
+                continue
+            used_left.add(left.name)
+            used_right.add(right.name)
+            result.add(
+                AttributeMatch.single(left.name, right.name, self._relation_for(left, right))
+            )
+        return result
+
+    def match_provenance(self, left_provenance, right_provenance) -> AttributeMatching:
+        """Match the categorical attributes of two provenance relations."""
+        left_profiles = [
+            AttributeProfile.from_values(name, left_provenance.values(name))
+            for name in left_provenance.attributes
+        ]
+        right_profiles = [
+            AttributeProfile.from_values(name, right_provenance.values(name))
+            for name in right_provenance.attributes
+        ]
+        # Numeric measure attributes (impacts, ids) are poor join keys for
+        # semantic matching; prefer string attributes when any exist.
+        left_strings = [p for p in left_profiles if not p.is_numeric]
+        right_strings = [p for p in right_profiles if not p.is_numeric]
+        if left_strings and right_strings:
+            return self.match_profiles(left_strings, right_strings)
+        return self.match_profiles(left_profiles, right_profiles)
+
+
+def infer_attribute_matches(left_provenance, right_provenance, **kwargs) -> AttributeMatching:
+    """Convenience wrapper: infer ``M_attr`` from two provenance relations."""
+    return SchemaMatcher(**kwargs).match_provenance(left_provenance, right_provenance)

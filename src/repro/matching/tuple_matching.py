@@ -1,0 +1,169 @@
+"""Tuple matches and the initial tuple mapping (Definition 2.4).
+
+A tuple match ``(t_i, t_j, p)`` associates a tuple of one canonical relation
+with a tuple of the other, with probability ``p`` that they refer to the same
+(or containment-associated) entity.  The *initial* mapping is produced by a
+record-linkage step (similarity scoring + calibration); Explain3D's Stage 2
+refines it into the *evidence mapping* ``M*_tuple``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.matching.attribute_match import AttributeMatching
+from repro.matching.blocking import TokenBlocker, all_pairs
+from repro.matching.similarity import combined_similarity
+
+
+@dataclass(frozen=True)
+class CandidateMatch:
+    """A scored candidate pair before probability calibration."""
+
+    left_key: str
+    right_key: str
+    similarity: float
+
+
+@dataclass(frozen=True)
+class TupleMatch:
+    """A probabilistic tuple match ``(t_i, t_j, p)``."""
+
+    left_key: str
+    right_key: str
+    probability: float
+    similarity: float = 0.0
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        return (self.left_key, self.right_key)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TupleMatch({self.left_key} ~ {self.right_key}, p={self.probability:.3f})"
+
+
+class TupleMapping:
+    """A set of tuple matches with by-side indexes.
+
+    Used both for the initial mapping ``M_tuple`` and the refined evidence
+    mapping ``M*_tuple``.
+    """
+
+    def __init__(self, matches: Iterable[TupleMatch] = ()):
+        self._matches: list[TupleMatch] = []
+        self._by_left: dict[str, list[TupleMatch]] = defaultdict(list)
+        self._by_right: dict[str, list[TupleMatch]] = defaultdict(list)
+        self._pairs: set[tuple[str, str]] = set()
+        for match in matches:
+            self.add(match)
+
+    # -- container protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __iter__(self) -> Iterator[TupleMatch]:
+        return iter(self._matches)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return tuple(pair) in self._pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TupleMapping({len(self._matches)} matches)"
+
+    # -- mutation -----------------------------------------------------------------
+    def add(self, match: TupleMatch) -> None:
+        if match.pair in self._pairs:
+            return
+        self._matches.append(match)
+        self._pairs.add(match.pair)
+        self._by_left[match.left_key].append(match)
+        self._by_right[match.right_key].append(match)
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def matches(self) -> tuple[TupleMatch, ...]:
+        return tuple(self._matches)
+
+    def pairs(self) -> set[tuple[str, str]]:
+        return set(self._pairs)
+
+    def for_left(self, key: str) -> tuple[TupleMatch, ...]:
+        return tuple(self._by_left.get(key, ()))
+
+    def for_right(self, key: str) -> tuple[TupleMatch, ...]:
+        return tuple(self._by_right.get(key, ()))
+
+    def left_keys(self) -> set[str]:
+        return set(self._by_left.keys())
+
+    def right_keys(self) -> set[str]:
+        return set(self._by_right.keys())
+
+    def probability(self, left_key: str, right_key: str) -> float | None:
+        for match in self._by_left.get(left_key, ()):
+            if match.right_key == right_key:
+                return match.probability
+        return None
+
+    def filtered(self, predicate: Callable[[TupleMatch], bool]) -> "TupleMapping":
+        return TupleMapping(match for match in self._matches if predicate(match))
+
+    def above(self, threshold: float) -> "TupleMapping":
+        """Matches with probability >= threshold (the THRESHOLD baseline)."""
+        return self.filtered(lambda match: match.probability >= threshold)
+
+    def restricted_to(self, left_keys: set[str], right_keys: set[str]) -> "TupleMapping":
+        return self.filtered(
+            lambda match: match.left_key in left_keys and match.right_key in right_keys
+        )
+
+    def best_per_left(self) -> "TupleMapping":
+        """Keep only the highest-probability match of each left tuple."""
+        best: dict[str, TupleMatch] = {}
+        for match in self._matches:
+            current = best.get(match.left_key)
+            if current is None or match.probability > current.probability:
+                best[match.left_key] = match
+        return TupleMapping(best.values())
+
+    def sorted_by_probability(self, *, descending: bool = True) -> list[TupleMatch]:
+        return sorted(
+            self._matches, key=lambda match: match.probability, reverse=descending
+        )
+
+
+def generate_candidates(
+    left_tuples: Sequence,
+    right_tuples: Sequence,
+    attribute_matches: AttributeMatching,
+    *,
+    min_similarity: float = 0.0,
+    use_blocking: bool = True,
+) -> list[CandidateMatch]:
+    """Score candidate pairs of canonical tuples by combined similarity.
+
+    ``left_tuples`` / ``right_tuples`` are objects exposing ``key`` and a
+    ``values`` mapping (both :class:`~repro.relational.provenance.ProvenanceTuple`
+    and :class:`~repro.core.canonical.CanonicalTuple` qualify).  Pairs scoring
+    at or below ``min_similarity`` are dropped.
+    """
+    attribute_pairs = attribute_matches.attribute_pairs()
+    left_values = [t.values for t in left_tuples]
+    right_values = [t.values for t in right_tuples]
+
+    if use_blocking and len(left_tuples) * len(right_tuples) > 10_000:
+        blocker = TokenBlocker(attribute_pairs)
+        pair_iter = blocker.candidate_pairs(left_values, right_values)
+    else:
+        pair_iter = all_pairs(left_values, right_values)
+
+    candidates: list[CandidateMatch] = []
+    for i, j in pair_iter:
+        similarity = combined_similarity(left_values[i], right_values[j], attribute_pairs)
+        if similarity > min_similarity:
+            candidates.append(
+                CandidateMatch(left_tuples[i].key, right_tuples[j].key, similarity)
+            )
+    return candidates

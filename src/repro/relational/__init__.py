@@ -1,0 +1,86 @@
+"""In-memory relational engine with provenance tracking.
+
+This subpackage is the data substrate for the Explain3D reproduction.  It
+provides:
+
+* :mod:`repro.relational.schema` -- attributes, data types, and schemas.
+* :mod:`repro.relational.relation` -- immutable rows and relations.
+* :mod:`repro.relational.expressions` -- predicate expressions used in
+  selections and join conditions.
+* :mod:`repro.relational.query` -- a small relational-algebra query AST of the
+  form ``Q = pi_o sigma_C(X)`` where ``X`` may contain joins, unions and
+  subqueries and ``o`` is either a projection list or one of the five SQL
+  aggregates.
+* :mod:`repro.relational.executor` -- a query executor over a
+  :class:`~repro.relational.executor.Database` that tracks why-provenance
+  (the set of base rows each output row derives from).
+* :mod:`repro.relational.provenance` -- derivation of the provenance relation
+  ``P(A1, ..., Ak, I)`` of Definition 2.3 in the paper.
+* :mod:`repro.relational.csvio` -- CSV and record-list loading helpers.
+"""
+
+from repro.relational.schema import Attribute, DataType, Schema
+from repro.relational.relation import Relation, Row
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    col,
+)
+from repro.relational.query import (
+    AggregateFunction,
+    Aggregate,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.executor import Database, execute
+from repro.relational.provenance import ProvenanceRelation, ProvenanceTuple, provenance_relation
+from repro.relational.errors import (
+    ExecutionError,
+    RelationalError,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+
+__all__ = [
+    "Attribute",
+    "DataType",
+    "Schema",
+    "Relation",
+    "Row",
+    "Predicate",
+    "Comparison",
+    "AttributeComparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "col",
+    "Query",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Aggregate",
+    "AggregateFunction",
+    "Database",
+    "execute",
+    "ProvenanceRelation",
+    "ProvenanceTuple",
+    "provenance_relation",
+    "RelationalError",
+    "SchemaError",
+    "ExecutionError",
+    "UnknownAttributeError",
+    "UnknownRelationError",
+]

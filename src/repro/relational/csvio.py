@@ -1,0 +1,81 @@
+"""CSV and record-list loading helpers for base relations."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DataType, Schema
+
+
+def _infer_dtype(values: Sequence[str]) -> DataType:
+    """Infer a column type from string cell values (CSV has no types)."""
+    non_empty = [value for value in values if value not in ("", None)]
+    if not non_empty:
+        return DataType.STRING
+
+    def all_match(converter) -> bool:
+        for value in non_empty:
+            try:
+                converter(value)
+            except (TypeError, ValueError):
+                return False
+        return True
+
+    if all_match(int):
+        return DataType.INTEGER
+    if all_match(float):
+        return DataType.FLOAT
+    return DataType.STRING
+
+
+def load_csv(path: str | Path, *, name: str | None = None, schema: Schema | None = None) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    Types are inferred column-by-column unless an explicit ``schema`` is given;
+    empty cells become NULLs.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"CSV file {path} is empty")
+    header, *data = rows
+    if schema is None:
+        columns = list(zip(*data)) if data else [[] for _ in header]
+        schema = Schema(
+            [Attribute(name_, _infer_dtype(column)) for name_, column in zip(header, columns)]
+        )
+    relation = Relation(schema, name=name or path.stem)
+    for raw in data:
+        values = [cell if cell != "" else None for cell in raw]
+        relation.append(values)
+    return relation
+
+
+def save_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation:
+            writer.writerow(["" if value is None else value for value in row.values])
+
+
+def relation_from_rows(
+    name: str, attribute_names: Sequence[str], rows: Sequence[Sequence], *, dtypes: Sequence[DataType] | None = None
+) -> Relation:
+    """Build a base relation from positional rows (used by dataset generators)."""
+    if dtypes is None:
+        records = [dict(zip(attribute_names, row)) for row in rows]
+        return Relation.from_records(records, name=name)
+    schema = Schema([Attribute(n, d) for n, d in zip(attribute_names, dtypes)])
+    relation = Relation(schema, name=name)
+    for row in rows:
+        relation.append(row)
+    return relation

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the relational substrate."""
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """Raised when a schema is malformed or two schemas are incompatible."""
+
+
+class UnknownAttributeError(SchemaError):
+    """Raised when an attribute name is not part of a schema."""
+
+    def __init__(self, attribute, schema_names):
+        self.attribute = attribute
+        self.schema_names = tuple(schema_names)
+        super().__init__(
+            f"unknown attribute {attribute!r}; schema has {list(self.schema_names)}"
+        )
+
+
+class UnknownRelationError(RelationalError):
+    """Raised when a query references a relation not present in the database."""
+
+    def __init__(self, relation, known):
+        self.relation = relation
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown relation {relation!r}; database has {list(self.known)}"
+        )
+
+
+class ExecutionError(RelationalError):
+    """Raised when a query cannot be evaluated (type errors, empty aggregates...)."""

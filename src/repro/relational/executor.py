@@ -1,0 +1,242 @@
+"""Query executor with why-provenance tracking.
+
+The executor evaluates the query AST of :mod:`repro.relational.query` against a
+:class:`Database` of named base relations.  Every produced row carries the set
+of base-row identifiers it derives from, which Stage 1 of Explain3D uses to
+construct provenance relations (Definition 2.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.relational.errors import ExecutionError, SchemaError, UnknownRelationError
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Difference,
+    Join,
+    Project,
+    Query,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Attribute, DataType, Schema
+
+
+class Database:
+    """A named collection of base relations."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+
+    def add(self, relation: Relation, name: str | None = None) -> None:
+        """Register a base relation (its rows get lineage ids if missing)."""
+        label = name or relation.name
+        if not label:
+            raise SchemaError("base relations must have a name")
+        relation.name = label
+        self._relations[label] = relation
+
+    def add_records(self, name: str, records, schema: Schema | None = None) -> Relation:
+        relation = Relation.from_records(records, schema, name=name)
+        self.add(relation, name)
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name, self._relations.keys()) from None
+
+    def relations(self) -> dict[str, Relation]:
+        return dict(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {name: len(rel) for name, rel in self._relations.items()}
+        return f"Database({self.name}, {sizes})"
+
+
+# ---------------------------------------------------------------------------
+# Node evaluation
+# ---------------------------------------------------------------------------
+
+def _eval_scan(node: Scan, db: Database) -> Relation:
+    base = db.relation(node.relation)
+    result = Relation(base.schema, name=node.relation)
+    for index, row in enumerate(base):
+        lineage = row.lineage or frozenset({f"{node.relation}:{index}"})
+        result.append_row(Row(row.values, lineage))
+    return result
+
+
+def _eval_select(node: Select, db: Database) -> Relation:
+    child = evaluate(node.child, db)
+    return child.select(node.predicate)
+
+
+def _eval_project(node: Project, db: Database) -> Relation:
+    child = evaluate(node.child, db)
+    projected = child.project(list(node.attributes))
+    if node.distinct:
+        projected = projected.distinct()
+    return projected
+
+
+def _eval_join(node: Join, db: Database) -> Relation:
+    left = evaluate(node.left, db)
+    right = evaluate(node.right, db)
+    schema = left.schema.concat(right.schema)
+    result = Relation(schema)
+
+    # Hash join on the first equality pair when available; nested loop otherwise.
+    pairs = list(node.on)
+    if pairs:
+        probe_attr, build_attr = pairs[0]
+        buckets: dict[object, list[Row]] = defaultdict(list)
+        build_index = right.schema.index(build_attr)
+        for row in right:
+            buckets[row.values[build_index]].append(row)
+        probe_index = left.schema.index(probe_attr)
+        candidates = (
+            (lrow, rrow)
+            for lrow in left
+            for rrow in buckets.get(lrow.values[probe_index], ())
+        )
+    else:
+        candidates = ((lrow, rrow) for lrow in left for rrow in right)
+
+    remaining = pairs[1:] if pairs else []
+    left_names = left.schema.names
+    for lrow, rrow in candidates:
+        ok = True
+        for left_attr, right_attr in remaining:
+            lval = lrow.values[left.schema.index(left_attr)]
+            rval = rrow.values[right.schema.index(right_attr)]
+            if lval is None or rval is None or lval != rval:
+                ok = False
+                break
+        if not ok:
+            continue
+        combined_values = lrow.values + rrow.values
+        if node.condition is not None:
+            record = dict(zip(schema.names, combined_values))
+            # also expose original left names for predicates written against them
+            record.update(dict(zip(left_names, lrow.values)))
+            if not node.condition(record):
+                continue
+        result.append_row(Row(combined_values, lrow.lineage | rrow.lineage))
+    return result
+
+
+def _eval_union(node: Union, db: Database) -> Relation:
+    if not node.inputs:
+        raise ExecutionError("union requires at least one input")
+    relations = [evaluate(child, db) for child in node.inputs]
+    result = relations[0]
+    for other in relations[1:]:
+        result = result.union(other)
+    return result
+
+
+def _eval_difference(node: Difference, db: Database) -> Relation:
+    left = evaluate(node.left, db)
+    right = evaluate(node.right, db)
+    key_indices_left = [left.schema.index(name) for name in node.on]
+    key_indices_right = [right.schema.index(name) for name in node.on]
+    right_keys = {
+        tuple(row.values[i] for i in key_indices_right) for row in right
+    }
+    result = Relation(left.schema, name=left.name)
+    for row in left:
+        key = tuple(row.values[i] for i in key_indices_left)
+        if key not in right_keys:
+            result.append_row(row)
+    return result
+
+
+def _eval_aggregate(node: Aggregate, db: Database) -> Relation:
+    child = evaluate(node.child, db)
+    function = node.function
+
+    def compute(rows: Iterable[Row]) -> tuple[float, frozenset]:
+        rows = list(rows)
+        lineage = frozenset().union(*(row.lineage for row in rows)) if rows else frozenset()
+        if function is AggregateFunction.COUNT:
+            if node.attribute is None:
+                return float(len(rows)), lineage
+            index = child.schema.index(node.attribute)
+            return float(sum(1 for row in rows if row.values[index] is not None)), lineage
+        index = child.schema.index(node.attribute)
+        values = [row.values[index] for row in rows]
+        return function.combine(values), lineage
+
+    out_attr = Attribute(node.alias, DataType.FLOAT)
+    if node.group_by:
+        group_indices = [child.schema.index(name) for name in node.group_by]
+        groups: dict[tuple, list[Row]] = defaultdict(list)
+        order: list[tuple] = []
+        for row in child:
+            key = tuple(row.values[i] for i in group_indices)
+            if key not in groups:
+                order.append(key)
+            groups[key].append(row)
+        schema = child.schema.project(list(node.group_by)).extend([out_attr])
+        result = Relation(schema)
+        for key in order:
+            value, lineage = compute(groups[key])
+            result.append_row(Row(key + (value,), lineage))
+        return result
+
+    schema = Schema([out_attr])
+    result = Relation(schema)
+    rows = list(child)
+    if not rows and function is not AggregateFunction.COUNT:
+        # SQL would return NULL; we surface it as an explicit empty aggregate.
+        result.append_row(Row((None,), frozenset()))
+        return result
+    value, lineage = compute(rows)
+    result.append_row(Row((value,), lineage))
+    return result
+
+
+_DISPATCH = {
+    Scan: _eval_scan,
+    Select: _eval_select,
+    Project: _eval_project,
+    Join: _eval_join,
+    Union: _eval_union,
+    Difference: _eval_difference,
+    Aggregate: _eval_aggregate,
+}
+
+
+def evaluate(node: QueryNode, db: Database) -> Relation:
+    """Evaluate a query AST node against a database."""
+    handler = _DISPATCH.get(type(node))
+    if handler is None:
+        raise ExecutionError(f"no executor for node type {type(node).__name__}")
+    return handler(node, db)
+
+
+def execute(query: Query, db: Database) -> Relation:
+    """Execute a named query and return its result relation."""
+    return evaluate(query.root, db)
+
+
+def scalar_result(query: Query, db: Database) -> float | None:
+    """Execute an aggregate query and return its single scalar value."""
+    result = execute(query, db)
+    if len(result) != 1 or len(result.schema) != 1:
+        raise ExecutionError(
+            f"query {query.name} is not a scalar aggregate (got {len(result)} rows)"
+        )
+    return result[0].values[0]

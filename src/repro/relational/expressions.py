@@ -1,0 +1,273 @@
+"""Predicate expressions for selections and join conditions.
+
+The paper considers queries of the form ``Q = pi_o sigma_C(X)`` where the
+condition ``C`` may use any comparison operators (no UDFs).  This module
+provides a small predicate AST that can be evaluated against a row dictionary,
+plus a fluent ``col("name")`` helper for building conditions in examples and
+tests.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.relational.errors import ExecutionError
+
+_OPERATORS: dict[str, Callable] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+def _compare(op: str, left, right) -> bool:
+    """Apply a comparison operator with SQL-ish NULL semantics.
+
+    Any comparison involving ``None`` is false (like SQL's three-valued logic
+    collapsing to NOT TRUE in a WHERE clause).
+    """
+    if left is None or right is None:
+        return False
+    func = _OPERATORS.get(op)
+    if func is None:
+        raise ExecutionError(f"unsupported comparison operator {op!r}")
+    try:
+        return bool(func(left, right))
+    except TypeError as exc:
+        raise ExecutionError(f"cannot compare {left!r} {op} {right!r}") from exc
+
+
+class Predicate:
+    """Base class for all predicate expressions."""
+
+    def __call__(self, record: dict) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def attributes(self) -> set[str]:
+        """Names of the attributes this predicate references."""
+        return set()
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """A predicate that accepts every row (``sigma_true`` = identity)."""
+
+    def __call__(self, record: dict) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """Compare an attribute against a constant: ``attr op value``."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __call__(self, record: dict) -> bool:
+        return _compare(self.op, record.get(self.attribute), self.value)
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.attribute} {self.op} {self.value!r})"
+
+
+@dataclass(frozen=True)
+class AttributeComparison(Predicate):
+    """Compare two attributes: ``attr1 op attr2`` (used for join conditions)."""
+
+    left: str
+    op: str
+    right: str
+
+    def __call__(self, record: dict) -> bool:
+        return _compare(self.op, record.get(self.left), record.get(self.right))
+
+    def attributes(self) -> set[str]:
+        return {self.left, self.right}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Membership(Predicate):
+    """``attr IN (v1, v2, ...)`` membership test."""
+
+    attribute: str
+    values: tuple
+
+    def __call__(self, record: dict) -> bool:
+        value = record.get(self.attribute)
+        return value is not None and value in self.values
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.attribute} IN {self.values!r})"
+
+
+@dataclass(frozen=True)
+class Contains(Predicate):
+    """Substring containment test on string attributes."""
+
+    attribute: str
+    needle: str
+    case_sensitive: bool = False
+
+    def __call__(self, record: dict) -> bool:
+        value = record.get(self.attribute)
+        if value is None:
+            return False
+        haystack = str(value)
+        needle = self.needle
+        if not self.case_sensitive:
+            haystack = haystack.lower()
+            needle = needle.lower()
+        return needle in haystack
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.attribute} CONTAINS {self.needle!r})"
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    """``attr IS NULL`` (or ``IS NOT NULL`` with ``negate=True``)."""
+
+    attribute: str
+    negate: bool = False
+
+    def __call__(self, record: dict) -> bool:
+        is_null = record.get(self.attribute) is None
+        return not is_null if self.negate else is_null
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    def __init__(self, *children: Predicate):
+        self.children = tuple(children)
+
+    def __call__(self, record: dict) -> bool:
+        return all(child(record) for child in self.children)
+
+    def attributes(self) -> set[str]:
+        names: set[str] = set()
+        for child in self.children:
+            names |= child.attributes()
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " AND ".join(repr(child) for child in self.children) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    def __init__(self, *children: Predicate):
+        self.children = tuple(children)
+
+    def __call__(self, record: dict) -> bool:
+        return any(child(record) for child in self.children)
+
+    def attributes(self) -> set[str]:
+        names: set[str] = set()
+        for child in self.children:
+            names |= child.attributes()
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + " OR ".join(repr(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a child predicate."""
+
+    child: Predicate
+
+    def __call__(self, record: dict) -> bool:
+        return not self.child(record)
+
+    def attributes(self) -> set[str]:
+        return self.child.attributes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(NOT {self.child!r})"
+
+
+class ColumnRef:
+    """Fluent builder: ``col("year") >= 1990`` produces a :class:`Comparison`."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Comparison(self.name, "=", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Comparison(self.name, "!=", other)
+
+    def __lt__(self, other):
+        return Comparison(self.name, "<", other)
+
+    def __le__(self, other):
+        return Comparison(self.name, "<=", other)
+
+    def __gt__(self, other):
+        return Comparison(self.name, ">", other)
+
+    def __ge__(self, other):
+        return Comparison(self.name, ">=", other)
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def isin(self, values: Iterable) -> Membership:
+        return Membership(self.name, tuple(values))
+
+    def contains(self, needle: str, *, case_sensitive: bool = False) -> Contains:
+        return Contains(self.name, needle, case_sensitive)
+
+    def is_null(self) -> IsNull:
+        return IsNull(self.name)
+
+    def not_null(self) -> IsNull:
+        return IsNull(self.name, negate=True)
+
+    def equals_column(self, other: "ColumnRef | str") -> AttributeComparison:
+        other_name = other.name if isinstance(other, ColumnRef) else str(other)
+        return AttributeComparison(self.name, "=", other_name)
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand for building predicates: ``col("Univ") == "A"``."""
+    return ColumnRef(name)

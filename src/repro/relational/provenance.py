@@ -1,0 +1,137 @@
+"""Provenance relations (Definition 2.3).
+
+Given a query ``Q = pi_o sigma_C(X)`` over a database, the provenance relation
+``P(A1, ..., Ak, I)`` contains one tuple per row of ``sigma_C(X)`` (the
+evaluated inner expression after filtering) together with its *impact* ``I``:
+
+* ``I = 1`` for non-aggregate queries and COUNT;
+* ``I = pi_o(t)`` (the aggregated attribute's value) for SUM/AVG/MAX/MIN.
+
+The impact measures the tuple's statistical contribution to the query result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.relational.errors import ExecutionError
+from repro.relational.executor import Database, evaluate
+from repro.relational.query import Aggregate, AggregateFunction, Project, Query
+
+
+@dataclass(frozen=True)
+class ProvenanceTuple:
+    """A single tuple of a provenance relation.
+
+    ``key`` is a stable identifier within the provenance relation (``"P1:3"``),
+    ``values`` maps attribute names to values, ``impact`` is the tuple's
+    contribution to the query result, and ``lineage`` points back to the base
+    rows it derives from.
+    """
+
+    key: str
+    values: dict
+    impact: float
+    lineage: frozenset = field(default_factory=frozenset)
+
+    def value(self, attribute: str):
+        return self.values.get(attribute)
+
+    def with_impact(self, impact: float) -> "ProvenanceTuple":
+        return ProvenanceTuple(self.key, dict(self.values), impact, self.lineage)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProvenanceTuple({self.key}, I={self.impact}, {self.values})"
+
+
+class ProvenanceRelation:
+    """The provenance relation ``P`` of a query (Definition 2.3)."""
+
+    def __init__(
+        self,
+        query: Query,
+        attributes: Sequence[str],
+        tuples: Sequence[ProvenanceTuple],
+        *,
+        label: str = "P",
+    ):
+        self.query = query
+        self.attributes = tuple(attributes)
+        self.tuples = list(tuples)
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[ProvenanceTuple]:
+        return iter(self.tuples)
+
+    def __getitem__(self, index: int) -> ProvenanceTuple:
+        return self.tuples[index]
+
+    def total_impact(self) -> float:
+        return sum(t.impact for t in self.tuples)
+
+    def by_key(self) -> dict[str, ProvenanceTuple]:
+        return {t.key: t for t in self.tuples}
+
+    def values(self, attribute: str) -> list:
+        return [t.value(attribute) for t in self.tuples]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProvenanceRelation({self.label}, query={self.query.name}, "
+            f"{len(self.tuples)} tuples, total impact {self.total_impact():g})"
+        )
+
+
+def _impact_for(query: Query, record: dict) -> float:
+    """Impact of a provenance tuple for ``query`` (Definition 2.3)."""
+    function = query.aggregate_function
+    if function is None or function is AggregateFunction.COUNT:
+        return 1.0
+    attribute = query.aggregate_attribute
+    value = record.get(attribute)
+    if value is None:
+        return 0.0
+    try:
+        # Strings holding numbers are coerced (SQL-style implicit cast), so
+        # SUM/AVG/... over generic "info" columns behave like the executor.
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(
+            f"aggregate attribute {attribute!r} of query {query.name} has a non-numeric "
+            f"value {value!r}"
+        ) from exc
+
+
+def provenance_relation(query: Query, db: Database, *, label: str | None = None) -> ProvenanceRelation:
+    """Derive the provenance relation of ``query`` over ``db``.
+
+    The inner expression ``sigma_C(X)`` is the query with its outermost
+    projection/aggregation stripped; every surviving row becomes a provenance
+    tuple with the appropriate impact.
+    """
+    label = label or f"P[{query.name}]"
+    root = query.root
+    if isinstance(root, (Aggregate, Project)):
+        inner = root.child
+    else:
+        inner = root
+    relation = evaluate(inner, db)
+
+    tuples = []
+    names = relation.schema.names
+    for index, row in enumerate(relation):
+        record = dict(zip(names, row.values))
+        impact = _impact_for(query, record)
+        tuples.append(
+            ProvenanceTuple(
+                key=f"{label}:{index}",
+                values=record,
+                impact=impact,
+                lineage=row.lineage,
+            )
+        )
+    return ProvenanceRelation(query, names, tuples, label=label)

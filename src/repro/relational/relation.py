@@ -1,0 +1,218 @@
+"""Rows and relations for the in-memory relational engine.
+
+Rows carry *why-provenance*: the set of identifiers of the base rows they were
+derived from.  Provenance is the backbone of Explain3D's Stage 1, which maps
+query outputs back to the tuples that produced them (Definition 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.relational.errors import SchemaError, UnknownAttributeError
+from repro.relational.schema import Attribute, DataType, Schema
+
+
+@dataclass(frozen=True)
+class Row:
+    """An immutable row: a tuple of values plus why-provenance.
+
+    ``lineage`` holds identifiers of the base rows (``"<relation>:<position>"``)
+    that this row was derived from.  Rows of base relations have a singleton
+    lineage referring to themselves.
+    """
+
+    values: tuple
+    lineage: frozenset = field(default_factory=frozenset)
+
+    def value(self, schema: Schema, name: str):
+        return self.values[schema.index(name)]
+
+    def as_dict(self, schema: Schema) -> dict:
+        return dict(zip(schema.names, self.values))
+
+    def merged_lineage(self, other: "Row") -> frozenset:
+        return self.lineage | other.lineage
+
+
+class Relation:
+    """An ordered bag of rows conforming to a schema.
+
+    Relations are append-only; all algebraic operations return new relations.
+    Duplicate rows are allowed (bag semantics), matching SQL behaviour for the
+    queries the paper considers.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Row] | None = None,
+        *,
+        name: str = "",
+    ):
+        self.schema = schema
+        self.name = name
+        self._rows: list[Row] = list(rows) if rows is not None else []
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[dict],
+        schema: Schema | None = None,
+        *,
+        name: str = "",
+    ) -> "Relation":
+        """Build a base relation from a list of dictionaries.
+
+        Each row receives a singleton lineage ``{"<name>:<position>"}`` so that
+        provenance can be traced back to it.
+        """
+        if schema is None:
+            schema = Schema.infer(records)
+        relation = cls(schema, name=name)
+        for record in records:
+            values = schema.coerce_row([record.get(attr) for attr in schema.names])
+            relation.append(values)
+        return relation
+
+    def append(self, values: Sequence, lineage: frozenset | None = None) -> Row:
+        """Append a row of raw values; returns the created :class:`Row`."""
+        coerced = self.schema.coerce_row(values)
+        if lineage is None:
+            label = self.name or "R"
+            lineage = frozenset({f"{label}:{len(self._rows)}"})
+        row = Row(coerced, lineage)
+        self._rows.append(row)
+        return row
+
+    def append_row(self, row: Row) -> None:
+        if len(row.values) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row.values)} does not match schema arity {len(self.schema)}"
+            )
+        self._rows.append(row)
+
+    # -- container protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name or '<anonymous>'}, {len(self)} rows, {self.schema!r})"
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        return tuple(self._rows)
+
+    def column(self, name: str) -> list:
+        index = self.schema.index(name)
+        return [row.values[index] for row in self._rows]
+
+    def distinct_values(self, name: str) -> set:
+        return set(self.column(name))
+
+    def as_dicts(self) -> list[dict]:
+        return [row.as_dict(self.schema) for row in self._rows]
+
+    def row_id(self, index: int) -> str:
+        """Identifier of a base row (only meaningful for base relations)."""
+        label = self.name or "R"
+        return f"{label}:{index}"
+
+    # -- algebra ------------------------------------------------------------------
+    def select(self, predicate) -> "Relation":
+        """Rows satisfying ``predicate`` (a callable or Predicate over row dicts)."""
+        result = Relation(self.schema, name=self.name)
+        for row in self._rows:
+            record = row.as_dict(self.schema)
+            if predicate(record):
+                result.append_row(row)
+        return result
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Projection onto ``names`` (bag semantics; lineage preserved)."""
+        schema = self.schema.project(names)
+        indices = [self.schema.index(name) for name in names]
+        result = Relation(schema, name=self.name)
+        for row in self._rows:
+            result.append_row(Row(tuple(row.values[i] for i in indices), row.lineage))
+        return result
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        schema = self.schema.rename(mapping)
+        return Relation(schema, self._rows, name=self.name)
+
+    def extend_column(self, attribute: Attribute, values: Sequence) -> "Relation":
+        """Return a relation with one extra column appended."""
+        if len(values) != len(self._rows):
+            raise SchemaError("extend_column needs one value per row")
+        schema = self.schema.extend([attribute])
+        result = Relation(schema, name=self.name)
+        for row, value in zip(self._rows, values):
+            coerced = attribute.dtype.coerce(value)
+            result.append_row(Row(row.values + (coerced,), row.lineage))
+        return result
+
+    def union(self, other: "Relation") -> "Relation":
+        if self.schema.names != other.schema.names:
+            raise SchemaError(
+                f"union requires identical schemas: {self.schema.names} vs {other.schema.names}"
+            )
+        result = Relation(self.schema, list(self._rows), name=self.name)
+        for row in other:
+            result.append_row(row)
+        return result
+
+    def distinct(self) -> "Relation":
+        """Duplicate elimination; lineages of duplicates are merged."""
+        seen: dict[tuple, frozenset] = {}
+        order: list[tuple] = []
+        for row in self._rows:
+            if row.values in seen:
+                seen[row.values] = seen[row.values] | row.lineage
+            else:
+                seen[row.values] = row.lineage
+                order.append(row.values)
+        result = Relation(self.schema, name=self.name)
+        for values in order:
+            result.append_row(Row(values, seen[values]))
+        return result
+
+    def sorted_by(self, name: str, *, reverse: bool = False) -> "Relation":
+        index = self.schema.index(name)
+        rows = sorted(
+            self._rows,
+            key=lambda row: (row.values[index] is None, row.values[index]),
+            reverse=reverse,
+        )
+        return Relation(self.schema, rows, name=self.name)
+
+    def head(self, count: int) -> "Relation":
+        return Relation(self.schema, self._rows[:count], name=self.name)
+
+    # -- pretty printing ----------------------------------------------------------
+    def to_table(self, *, max_rows: int = 20) -> str:
+        """A plain-text rendering, used by the examples and benchmark reports."""
+        names = self.schema.names
+        shown = self._rows[:max_rows]
+        cells = [[str(value) for value in row.values] for row in shown]
+        widths = [
+            max([len(name)] + [len(row[i]) for row in cells]) if cells else len(name)
+            for i, name in enumerate(names)
+        ]
+        header = " | ".join(name.ljust(width) for name, width in zip(names, widths))
+        rule = "-+-".join("-" * width for width in widths)
+        lines = [header, rule]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if len(self._rows) > max_rows:
+            lines.append(f"... ({len(self._rows) - max_rows} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Attributes, data types and schemas for the in-memory relational engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.relational.errors import SchemaError, UnknownAttributeError
+
+
+class DataType(enum.Enum):
+    """Supported attribute data types.
+
+    The engine is deliberately small: strings, integers, floats and booleans
+    cover every dataset used by the paper (academic program listings, IMDb
+    views and the synthetic generator of Section 5.3).
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+
+    def coerce(self, value):
+        """Coerce ``value`` to this data type.
+
+        ``None`` is passed through unchanged (SQL-style NULL).  Raises
+        :class:`SchemaError` when the value cannot be represented.
+        """
+        if value is None:
+            return None
+        try:
+            if self is DataType.STRING:
+                return str(value)
+            if self is DataType.INTEGER:
+                return int(value)
+            if self is DataType.FLOAT:
+                return float(value)
+            if self is DataType.BOOLEAN:
+                if isinstance(value, str):
+                    lowered = value.strip().lower()
+                    if lowered in {"true", "t", "1", "yes"}:
+                        return True
+                    if lowered in {"false", "f", "0", "no"}:
+                        return False
+                    raise ValueError(value)
+                return bool(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"cannot coerce {value!r} to {self.value}") from exc
+        raise SchemaError(f"unsupported data type {self!r}")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @classmethod
+    def infer(cls, value) -> "DataType":
+        """Infer the data type of a single Python value."""
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        return cls.STRING
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation schema."""
+
+    name: str
+    dtype: DataType = DataType.STRING
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    def renamed(self, name: str) -> "Attribute":
+        return Attribute(name, self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.dtype.value}"
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute | tuple[str, DataType] | str]):
+        normalized: list[Attribute] = []
+        for item in attributes:
+            if isinstance(item, Attribute):
+                normalized.append(item)
+            elif isinstance(item, tuple):
+                name, dtype = item
+                normalized.append(Attribute(name, dtype))
+            else:
+                normalized.append(Attribute(str(item)))
+        names = [attr.name for attr in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes = tuple(normalized)
+        self._index = {attr.name: pos for pos, attr in enumerate(self._attributes)}
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(attr) for attr in self._attributes)
+        return f"Schema({inner})"
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise UnknownAttributeError(name, self.names) from None
+
+    def index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self.names) from None
+
+    def dtype(self, name: str) -> DataType:
+        return self.attribute(name).dtype
+
+    # -- derivation ---------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        return Schema([self.attribute(name) for name in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed according to ``mapping``."""
+        return Schema(
+            [
+                attr.renamed(mapping.get(attr.name, attr.name))
+                for attr in self._attributes
+            ]
+        )
+
+    def extend(self, attributes: Iterable[Attribute]) -> "Schema":
+        """Schema with extra attributes appended."""
+        return Schema(list(self._attributes) + list(attributes))
+
+    def concat(self, other: "Schema", *, disambiguate: bool = True) -> "Schema":
+        """Concatenate two schemas, optionally disambiguating name clashes.
+
+        Clashing attribute names on the right-hand side are suffixed with
+        ``_r`` (then ``_r2``, ``_r3`` ... if needed), which mirrors what a
+        user would do with SQL aliases.
+        """
+        taken = set(self.names)
+        right: list[Attribute] = []
+        for attr in other:
+            name = attr.name
+            if name in taken:
+                if not disambiguate:
+                    raise SchemaError(f"attribute {name!r} exists on both sides of a join")
+                candidate = f"{name}_r"
+                counter = 2
+                while candidate in taken:
+                    candidate = f"{name}_r{counter}"
+                    counter += 1
+                name = candidate
+            taken.add(name)
+            right.append(attr.renamed(name))
+        return Schema(list(self._attributes) + right)
+
+    def coerce_row(self, values: Sequence) -> tuple:
+        """Coerce a sequence of raw values to the schema's data types."""
+        if len(values) != len(self._attributes):
+            raise SchemaError(
+                f"row has {len(values)} values but schema has {len(self._attributes)} attributes"
+            )
+        return tuple(
+            attr.dtype.coerce(value) for attr, value in zip(self._attributes, values)
+        )
+
+    @classmethod
+    def infer(cls, records: Sequence[dict]) -> "Schema":
+        """Infer a schema from a non-empty list of dictionaries."""
+        if not records:
+            raise SchemaError("cannot infer a schema from an empty record list")
+        names = list(records[0].keys())
+        attributes = []
+        for name in names:
+            dtype = DataType.STRING
+            for record in records:
+                value = record.get(name)
+                if value is not None:
+                    dtype = DataType.infer(value)
+                    break
+            attributes.append(Attribute(name, dtype))
+        return cls(attributes)

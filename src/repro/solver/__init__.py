@@ -1,0 +1,58 @@
+"""Mixed integer linear programming substrate.
+
+The paper solves the EXP-3D optimization with IBM CPLEX.  CPLEX is proprietary
+and unavailable offline, so this subpackage provides the solving substrate:
+
+* :mod:`repro.solver.model` -- variables, linear expressions, constraints and
+  the :class:`~repro.solver.model.MILPModel` container.
+* :mod:`repro.solver.linearize` -- big-M linearization helpers for the
+  products of binary and continuous variables that appear in the paper's
+  Equations (8) and (11).
+* :mod:`repro.solver.lp` -- LP relaxation solving on top of
+  ``scipy.optimize.linprog`` (HiGHS).
+* :mod:`repro.solver.branch_and_bound` -- a pure-Python branch-and-bound MILP
+  solver built on the LP relaxation.
+* :mod:`repro.solver.backends` -- a common interface with two interchangeable
+  backends: the built-in branch and bound, and HiGHS' own MIP solver exposed
+  through ``scipy.optimize.milp``.
+"""
+
+from repro.solver.model import (
+    Constraint,
+    ConstraintSense,
+    LinearExpression,
+    MILPModel,
+    ObjectiveSense,
+    Variable,
+    VariableType,
+)
+from repro.solver.lp import LPResult, LPStatus, solve_lp_relaxation
+from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver.backends import HighsSolver, MILPSolution, MILPSolver, SolverError, default_solver
+from repro.solver.linearize import (
+    add_binary_product,
+    add_equality_indicator,
+    add_product_with_binary,
+)
+
+__all__ = [
+    "Variable",
+    "VariableType",
+    "LinearExpression",
+    "Constraint",
+    "ConstraintSense",
+    "ObjectiveSense",
+    "MILPModel",
+    "LPResult",
+    "LPStatus",
+    "solve_lp_relaxation",
+    "BranchAndBoundSolver",
+    "HighsSolver",
+    "MILPSolver",
+    "MILPSolution",
+    "SolverError",
+    "default_solver",
+    "add_binary_product",
+    "add_product_with_binary",
+    "add_equality_indicator",
+]

@@ -1,0 +1,120 @@
+"""Common solver interface with interchangeable backends.
+
+Two backends are provided:
+
+* :class:`HighsSolver` -- HiGHS' branch-and-cut MIP solver exposed through
+  ``scipy.optimize.milp``.  This plays the role of CPLEX in the paper and is
+  the default.
+* :class:`BranchAndBoundSolver` (adapted through :class:`BnBSolverBackend`) --
+  the pure-Python branch and bound of :mod:`repro.solver.branch_and_bound`,
+  useful as an independent cross-check in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+from scipy.optimize import LinearConstraint, milp
+from scipy.optimize import Bounds as ScipyBounds
+
+from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver.model import MILPModel
+
+
+class SolverError(RuntimeError):
+    """Raised when a MILP could not be solved to optimality."""
+
+
+@dataclass
+class MILPSolution:
+    """A solved assignment: values by variable name plus the objective value."""
+
+    objective: float
+    values: dict[str, float]
+
+    def value(self, name: str) -> float:
+        return self.values[name]
+
+    def binary(self, name: str) -> bool:
+        return round(self.values[name]) >= 1
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+class MILPSolver(Protocol):
+    """Protocol implemented by all solver backends."""
+
+    def solve(self, model: MILPModel) -> MILPSolution:  # pragma: no cover - protocol
+        ...
+
+
+def _to_solution(model: MILPModel, values: np.ndarray, objective: float) -> MILPSolution:
+    named = {variable.name: float(values[variable.index]) for variable in model.variables}
+    return MILPSolution(objective=float(objective), values=named)
+
+
+class HighsSolver:
+    """MILP solving through ``scipy.optimize.milp`` (HiGHS branch and cut)."""
+
+    def __init__(self, *, time_limit: float | None = None, mip_rel_gap: float = 1e-6):
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+
+    def solve(self, model: MILPModel) -> MILPSolution:
+        arrays = model.to_arrays()
+        n = model.num_variables
+        if n == 0:
+            return MILPSolution(objective=arrays["objective_offset"], values={})
+
+        constraints = []
+        if arrays["A_ub"] is not None:
+            constraints.append(
+                LinearConstraint(arrays["A_ub"], -np.inf * np.ones(len(arrays["b_ub"])), arrays["b_ub"])
+            )
+        if arrays["A_eq"] is not None:
+            constraints.append(
+                LinearConstraint(arrays["A_eq"], arrays["b_eq"], arrays["b_eq"])
+            )
+        lower = np.array([bound[0] for bound in arrays["bounds"]], dtype=float)
+        upper = np.array([bound[1] for bound in arrays["bounds"]], dtype=float)
+
+        options = {"mip_rel_gap": self.mip_rel_gap}
+        if self.time_limit is not None:
+            options["time_limit"] = self.time_limit
+
+        result = milp(
+            c=arrays["c"],
+            constraints=constraints or None,
+            bounds=ScipyBounds(lower, upper),
+            integrality=arrays["integrality"],
+            options=options,
+        )
+        if not result.success or result.x is None:
+            raise SolverError(f"HiGHS failed to solve model {model.name!r}: {result.message}")
+        objective = arrays["objective_sign"] * result.fun + arrays["objective_offset"]
+        return _to_solution(model, result.x, objective)
+
+
+class BnBSolverBackend:
+    """Adapter exposing :class:`BranchAndBoundSolver` through the common interface."""
+
+    def __init__(self, **kwargs):
+        self._solver = BranchAndBoundSolver(**kwargs)
+
+    @property
+    def stats(self):
+        return self._solver.stats
+
+    def solve(self, model: MILPModel) -> MILPSolution:
+        values, objective = self._solver.solve(model)
+        if values is None:
+            raise SolverError(f"branch and bound found no feasible solution for {model.name!r}")
+        return _to_solution(model, values, objective)
+
+
+def default_solver() -> MILPSolver:
+    """The default MILP backend used by the Explain3D pipeline."""
+    return HighsSolver()

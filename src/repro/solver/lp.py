@@ -1,0 +1,78 @@
+"""LP relaxation solving on top of ``scipy.optimize.linprog`` (HiGHS)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class LPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Result of an LP relaxation solve.
+
+    ``objective`` is reported in the *original* sense of the model (maximized
+    objectives are un-negated), so callers can compare it directly with
+    incumbent solutions.
+    """
+
+    status: LPStatus
+    objective: float
+    values: np.ndarray | None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+_STATUS_BY_CODE = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ERROR,       # iteration limit
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.ERROR,
+}
+
+
+def solve_lp_relaxation(arrays: dict, *, extra_bounds: dict[int, tuple[float, float]] | None = None) -> LPResult:
+    """Solve the LP relaxation of a model exported with :meth:`MILPModel.to_arrays`.
+
+    ``extra_bounds`` overrides individual variable bounds -- this is how the
+    branch-and-bound solver tightens bounds along each branch without copying
+    the whole model.
+    """
+    bounds = list(arrays["bounds"])
+    if extra_bounds:
+        for index, bound in extra_bounds.items():
+            lower = max(bounds[index][0], bound[0])
+            upper = min(bounds[index][1], bound[1])
+            if lower > upper:
+                return LPResult(LPStatus.INFEASIBLE, float("nan"), None)
+            bounds[index] = (lower, upper)
+
+    result = linprog(
+        c=arrays["c"],
+        A_ub=arrays["A_ub"],
+        b_ub=arrays["b_ub"],
+        A_eq=arrays["A_eq"],
+        b_eq=arrays["b_eq"],
+        bounds=bounds,
+        method="highs",
+    )
+    status = _STATUS_BY_CODE.get(result.status, LPStatus.ERROR)
+    if status is not LPStatus.OPTIMAL or result.x is None:
+        return LPResult(status, float("nan"), None)
+
+    # linprog minimizes sign * objective; convert back to the model's sense.
+    sign = arrays["objective_sign"]
+    objective = sign * result.fun + arrays["objective_offset"]
+    return LPResult(LPStatus.OPTIMAL, float(objective), np.asarray(result.x))

@@ -1,0 +1,128 @@
+"""Shared fixtures: the running example of Figure 1 and small generated pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    Priors,
+    Scan,
+    TupleMapping,
+    TupleMatch,
+    col,
+    count_query,
+    matching,
+)
+from repro.core.problem import build_problem
+from repro.datasets.academic import AcademicConfig, generate_academic_pair
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+
+
+@pytest.fixture()
+def figure1_db1() -> Database:
+    """Dataset D1 of Figure 1: one row per (program, degree)."""
+    db = Database("D1")
+    db.add_records(
+        "D1",
+        [
+            {"Program": "Accounting", "Degree": "B.S."},
+            {"Program": "CS", "Degree": "B.A."},
+            {"Program": "CS", "Degree": "B.S."},
+            {"Program": "ECE", "Degree": "B.S."},
+            {"Program": "EE", "Degree": "B.S."},
+            {"Program": "Management", "Degree": "B.A."},
+            {"Program": "Design", "Degree": "B.A."},
+        ],
+    )
+    return db
+
+
+@pytest.fixture()
+def figure1_db2() -> Database:
+    """Dataset D2 of Figure 1: majors per university."""
+    db = Database("D2")
+    db.add_records(
+        "D2",
+        [
+            {"Univ": "A", "Major": "Accounting"},
+            {"Univ": "A", "Major": "CSE"},
+            {"Univ": "A", "Major": "ECE"},
+            {"Univ": "A", "Major": "EE"},
+            {"Univ": "A", "Major": "Management"},
+            {"Univ": "A", "Major": "Design"},
+            {"Univ": "B", "Major": "Art"},
+        ],
+    )
+    return db
+
+
+@pytest.fixture()
+def figure1_queries():
+    """Q1 and Q2 of Figure 1."""
+    q1 = count_query("Q1", Scan("D1"), attribute="Program")
+    q2 = count_query("Q2", Scan("D2"), predicate=(col("Univ") == "A"), attribute="Major")
+    return q1, q2
+
+
+@pytest.fixture()
+def figure1_mapping() -> TupleMapping:
+    """The initial probabilistic tuple mapping of Example 2 (canonical keys).
+
+    Canonical tuples are ordered by first appearance: T1:0=Accounting, T1:1=CS,
+    T1:2=ECE, T1:3=EE, T1:4=Management, T1:5=Design and similarly for T2 (with
+    CSE at T2:1).
+    """
+    return TupleMapping(
+        [
+            TupleMatch("T1:0", "T2:0", 0.95),
+            TupleMatch("T1:1", "T2:1", 0.9),
+            TupleMatch("T1:2", "T2:2", 0.95),
+            TupleMatch("T1:3", "T2:3", 0.95),
+            TupleMatch("T1:4", "T2:4", 0.95),
+            TupleMatch("T1:5", "T2:5", 0.95),
+        ]
+    )
+
+
+@pytest.fixture()
+def figure1_problem(figure1_db1, figure1_db2, figure1_queries, figure1_mapping):
+    """The fully assembled EXP-3D problem for Q1 vs Q2 of Figure 1."""
+    q1, q2 = figure1_queries
+    return build_problem(
+        q1,
+        figure1_db1,
+        q2,
+        figure1_db2,
+        attribute_matches=matching(("Program", "Major")),
+        tuple_mapping=figure1_mapping,
+        priors=Priors(0.9, 0.9),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_academic_pair():
+    """A small academic dataset pair used by integration tests."""
+    config = AcademicConfig(
+        name="academic_small",
+        matched_programs=30,
+        many_to_one_programs=3,
+        left_only_majors=6,
+        right_only_programs=4,
+        confusable_pairs=3,
+        other_university_programs=10,
+        seed=3,
+    )
+    return generate_academic_pair(config)
+
+
+@pytest.fixture(scope="session")
+def small_academic_problem(small_academic_pair):
+    return small_academic_pair.build_problem()
+
+
+@pytest.fixture(scope="session")
+def small_synthetic_pair():
+    return generate_synthetic_pair(
+        SyntheticConfig(num_tuples=120, difference_ratio=0.2, vocabulary_size=300, seed=5)
+    )

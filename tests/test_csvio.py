@@ -1,0 +1,55 @@
+"""Tests for CSV loading/saving helpers."""
+
+import pytest
+
+from repro.relational.csvio import load_csv, relation_from_rows, save_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        relation = Relation.from_records(
+            [
+                {"name": "Alpha", "year": 1999, "gross": 1.5},
+                {"name": "Beta", "year": 2001, "gross": None},
+            ],
+            name="movies",
+        )
+        path = tmp_path / "movies.csv"
+        save_csv(relation, path)
+        loaded = load_csv(path)
+        assert loaded.schema.names == ("name", "year", "gross")
+        assert loaded.schema.dtype("year") is DataType.INTEGER
+        assert loaded.column("name") == ["Alpha", "Beta"]
+        assert loaded.column("gross") == [1.5, None]
+
+    def test_load_names_relation_after_stem(self, tmp_path):
+        relation = Relation.from_records([{"a": 1}], name="x")
+        path = tmp_path / "things.csv"
+        save_csv(relation, path)
+        assert load_csv(path).name == "things"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_type_inference_falls_back_to_string(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("a,b\n1,x\n2.5,y\n")
+        loaded = load_csv(path)
+        assert loaded.schema.dtype("a") is DataType.FLOAT
+        assert loaded.schema.dtype("b") is DataType.STRING
+
+    def test_relation_from_rows(self):
+        relation = relation_from_rows("t", ["a", "b"], [[1, "x"], [2, "y"]])
+        assert relation.schema.dtype("a") is DataType.INTEGER
+        assert len(relation) == 2
+
+    def test_relation_from_rows_with_dtypes(self):
+        relation = relation_from_rows(
+            "t", ["a"], [["3"]], dtypes=[DataType.INTEGER]
+        )
+        assert relation.column("a") == [3]

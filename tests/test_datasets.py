@@ -1,0 +1,211 @@
+"""Tests for the dataset generators and their gold standards."""
+
+import pytest
+
+from repro.datasets.academic import AcademicConfig, generate_academic_pair, osu_config, umass_config
+from repro.datasets.corruption import CorruptionConfig, inject_errors
+from repro.datasets.gold import build_gold_from_entities
+from repro.datasets.imdb import IMDbConfig, generate_imdb_workload
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+from repro.relational.executor import scalar_result
+
+
+class TestCorruption:
+    def test_rate_zero_changes_nothing(self):
+        records = [{"a": 1, "b": "hello world"} for _ in range(20)]
+        corrupted, report = inject_errors(records, CorruptionConfig(rate=0.0))
+        assert corrupted == records
+        assert report.count == 0
+
+    def test_rate_one_changes_everything(self):
+        records = [{"a": 10} for _ in range(20)]
+        corrupted, report = inject_errors(records, CorruptionConfig(rate=1.0, attributes=("a",)))
+        assert report.count == 20
+        assert all(row["a"] != 10 for row in corrupted)
+
+    def test_originals_not_mutated(self):
+        records = [{"a": 10}]
+        inject_errors(records, CorruptionConfig(rate=1.0, attributes=("a",)))
+        assert records[0]["a"] == 10
+
+    def test_report_records_cells(self):
+        records = [{"a": 10, "b": "x y"} for _ in range(10)]
+        _, report = inject_errors(records, CorruptionConfig(rate=1.0, attributes=("a", "b")))
+        assert report.rows() <= set(range(10))
+        assert all(len(cell) == 4 for cell in report.cells)
+
+    def test_string_corruption_changes_value(self):
+        records = [{"s": "alpha beta gamma"} for _ in range(5)]
+        corrupted, report = inject_errors(records, CorruptionConfig(rate=1.0, attributes=("s",)))
+        assert report.count == 5
+        assert all(row["s"] != "alpha beta gamma" for row in corrupted)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(rate=1.5)
+
+
+class TestAcademicGenerator:
+    def test_umass_sizes_match_figure4(self):
+        pair = generate_academic_pair(umass_config())
+        problem, gold = pair.build_problem()
+        # Figure 4 reports |P| = 113/81 and |T| = 95/81 for UMass vs NCES.
+        assert len(problem.provenance_right) == 81
+        assert len(problem.canonical_right) == 81
+        assert len(problem.canonical_left) == 95
+        assert 105 <= len(problem.provenance_left) <= 135
+        assert gold.num_explanations > 0
+
+    def test_osu_sizes_match_figure4(self):
+        pair = generate_academic_pair(osu_config())
+        problem, _ = pair.build_problem()
+        assert len(problem.canonical_left) == 206
+        assert len(problem.canonical_right) in (152, 153)
+
+    def test_queries_disagree(self):
+        pair = generate_academic_pair(umass_config())
+        left = scalar_result(pair.query_left, pair.db_left)
+        right = scalar_result(pair.query_right, pair.db_right)
+        assert left != right
+
+    def test_deterministic(self):
+        first = generate_academic_pair(umass_config())
+        second = generate_academic_pair(umass_config())
+        assert first.db_left.relation("Major").as_dicts() == second.db_left.relation("Major").as_dicts()
+        assert first.db_right.relation("Stats").as_dicts() == second.db_right.relation("Stats").as_dicts()
+
+    def test_gold_consistency_with_impacts(self, small_academic_pair):
+        problem, gold = small_academic_pair.build_problem()
+        # Every gold evidence pair refers to existing canonical tuples.
+        left_keys = set(problem.canonical_left.keys())
+        right_keys = set(problem.canonical_right.keys())
+        for left_key, right_key in gold.evidence_pairs:
+            assert left_key in left_keys and right_key in right_keys
+        # Provenance gold never overlaps with matched tuples.
+        matched_left = {pair[0] for pair in gold.evidence_pairs}
+        for side, key in gold.provenance:
+            if side == "L":
+                assert key not in matched_left
+
+    def test_other_universities_filtered_out(self):
+        pair = generate_academic_pair(umass_config())
+        problem, _ = pair.build_problem()
+        # The right provenance only contains the target university's programs.
+        assert len(problem.provenance_right) < len(pair.db_right.relation("Stats"))
+
+    def test_custom_config_scales(self):
+        config = AcademicConfig(
+            name="tiny", matched_programs=10, many_to_one_programs=1,
+            left_only_majors=2, right_only_programs=2, confusable_pairs=1,
+            other_university_programs=5, seed=1,
+        )
+        problem, gold = generate_academic_pair(config).build_problem()
+        assert len(problem.canonical_left) == 13
+        assert len(problem.canonical_right) == 12
+        assert gold.num_explanations >= 2
+
+
+class TestSyntheticGenerator:
+    def test_gold_counts_track_difference_ratio(self):
+        config = SyntheticConfig(num_tuples=200, difference_ratio=0.2, vocabulary_size=400, seed=9)
+        pair = generate_synthetic_pair(config)
+        problem, gold = pair.build_problem()
+        dropped = int(round(config.num_tuples * config.difference_ratio))
+        assert len(gold.provenance) == dropped
+        # Corrupted tuples form value-explanation components (two identities each).
+        assert len(gold.value) >= dropped
+
+    def test_zero_difference_ratio_agrees(self):
+        config = SyntheticConfig(num_tuples=50, difference_ratio=0.0, vocabulary_size=200, seed=2)
+        pair = generate_synthetic_pair(config)
+        left = scalar_result(pair.query_left, pair.db_left)
+        right = scalar_result(pair.query_right, pair.db_right)
+        assert left == right
+
+    def test_vocabulary_size_controls_match_density(self):
+        small_vocab = generate_synthetic_pair(
+            SyntheticConfig(num_tuples=100, difference_ratio=0.2, vocabulary_size=30, seed=3)
+        )
+        large_vocab = generate_synthetic_pair(
+            SyntheticConfig(num_tuples=100, difference_ratio=0.2, vocabulary_size=2000, seed=3)
+        )
+        dense, _ = small_vocab.build_problem()
+        sparse, _ = large_vocab.build_problem()
+        assert len(dense.mapping) > len(sparse.mapping)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_tuples=0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(difference_ratio=1.0)
+        with pytest.raises(ValueError):
+            SyntheticConfig(vocabulary_size=3)
+
+    def test_deterministic(self):
+        config = SyntheticConfig(num_tuples=50, seed=11)
+        assert (
+            generate_synthetic_pair(config).db_left.relation("Table").as_dicts()
+            == generate_synthetic_pair(config).db_left.relation("Table").as_dicts()
+        )
+
+
+class TestIMDbGenerator:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_imdb_workload(IMDbConfig(num_movies=120, num_people=150, seed=23))
+
+    def test_views_have_expected_relations(self, workload):
+        assert {"Movie", "Actor", "Director", "MovieActor", "MovieDirector"} <= set(
+            workload.db_view1.relations()
+        )
+        assert {"Movie", "MovieInfo", "Person", "MoviePerson"} <= set(workload.db_view2.relations())
+
+    def test_view1_loses_genres(self, workload):
+        """Migration loss: view 1 stores one genre per movie, view 2 stores all."""
+        view1_genres = len(workload.db_view1.relation("Movie"))
+        view2_genre_rows = sum(
+            1 for row in workload.db_view2.relation("MovieInfo").as_dicts() if row["info_type"] == "genre"
+        )
+        assert view2_genre_rows > view1_genres
+
+    def test_years_with_movies(self, workload):
+        years = workload.years_with_movies(minimum=2)
+        assert years
+        assert all(workload.config.year_range[0] <= year <= workload.config.year_range[1] for year in years)
+
+    def test_unknown_template_rejected(self, workload):
+        with pytest.raises(ValueError):
+            workload.pair("Q99", 2000)
+
+    @pytest.mark.parametrize("template", ["Q3", "Q5", "Q7"])
+    def test_movie_templates_build_and_have_gold(self, workload, template):
+        # Pick a year for which the template has provenance on both sides
+        # (sparse templates like "comedies in <year>" can be empty for some years).
+        for year in workload.years_with_movies(minimum=3):
+            pair = workload.pair(template, year)
+            problem, gold = pair.build_problem()
+            if len(problem.canonical_left) and len(problem.canonical_right):
+                break
+        assert len(problem.canonical_left) > 0
+        assert len(problem.canonical_right) > 0
+        assert len(gold.evidence_pairs) > 0
+
+    def test_person_template_builds(self, workload):
+        pair = workload.pair("Q10", "Comedy")
+        problem, gold = pair.build_problem()
+        assert len(problem.canonical_left) > 0
+        assert gold.evidence_pairs
+
+    def test_gold_pairs_share_entities(self, workload):
+        year = workload.years_with_movies(minimum=3)[1]
+        pair = workload.pair("Q3", year)
+        problem, gold = pair.build_problem()
+        # Rebuilding the gold from the same entity maps is deterministic.
+        again = build_gold_from_entities(
+            problem.canonical_left,
+            problem.canonical_right,
+            pair.entity_ids_left,
+            pair.entity_ids_right,
+        )
+        assert again.evidence_pairs == gold.evidence_pairs
+        assert again.provenance == gold.provenance

@@ -1,0 +1,101 @@
+"""Integration tests: the Explain3D facade end to end."""
+
+import pytest
+
+from repro import Explain3D, Explain3DConfig, Priors, matching
+from repro.baselines import Explain3DMethod, ThresholdBaseline
+from repro.evaluation import evaluate_evidence, evaluate_explanations, run_method
+
+
+class TestFacadeOnFigure1:
+    def test_explain_end_to_end(self, figure1_db1, figure1_db2, figure1_queries, figure1_mapping):
+        q1, q2 = figure1_queries
+        engine = Explain3D(Explain3DConfig(partitioning="none", priors=Priors(0.9, 0.9)))
+        report = engine.explain(
+            q1, figure1_db1, q2, figure1_db2,
+            attribute_matches=matching(("Program", "Major")),
+            tuple_mapping=figure1_mapping,
+        )
+        assert report.problem.result_left == 7.0
+        assert report.problem.result_right == 6.0
+        assert len(report.explanations.value) == 1
+        assert not report.explanations.provenance
+        assert len(report.evidence) == 6
+        assert report.timings["total"] > 0
+        description = report.describe()
+        assert "Query results disagree" in description
+        assert "wrong impact" in description
+
+    def test_explain_with_automatic_stage1(self, figure1_db1, figure1_db2, figure1_queries):
+        """Without a provided mapping, the record-linkage stage runs on its own."""
+        q1, q2 = figure1_queries
+        engine = Explain3D(Explain3DConfig(partitioning="none"))
+        report = engine.explain(
+            q1, figure1_db1, q2, figure1_db2, attribute_matches=matching(("Program", "Major"))
+        )
+        # Every exact-name program is matched; CS/CSE has no token overlap so it
+        # cannot be recovered from similarity alone.
+        assert len(report.evidence) >= 5
+        assert report.summary is not None
+
+    def test_schema_matching_fallback(self, figure1_db1, figure1_db2, figure1_queries):
+        """With no attribute matches given, the schema matcher must find Program~Major."""
+        q1, q2 = figure1_queries
+        engine = Explain3D(Explain3DConfig(partitioning="none"))
+        report = engine.explain(q1, figure1_db1, q2, figure1_db2)
+        pairs = report.problem.attribute_matches.attribute_pairs()
+        assert ("Program", "Major") in pairs
+
+    def test_summarization_can_be_disabled(self, figure1_db1, figure1_db2, figure1_queries):
+        q1, q2 = figure1_queries
+        engine = Explain3D(Explain3DConfig(partitioning="none", summarize=False))
+        report = engine.explain(
+            q1, figure1_db1, q2, figure1_db2, attribute_matches=matching(("Program", "Major"))
+        )
+        assert report.summary.size == 0
+
+
+class TestFacadeOnGeneratedData:
+    def test_academic_pair_accuracy(self, small_academic_pair):
+        problem, gold = small_academic_pair.build_problem()
+        engine = Explain3D(Explain3DConfig(partitioning="components"))
+        report = engine.explain_problem(problem)
+        explanation_metrics = evaluate_explanations(report.explanations, gold, problem)
+        evidence_metrics = evaluate_evidence(report.explanations, gold)
+        # The generated pair is small and mostly clean; Explain3D should do well.
+        assert evidence_metrics.f_measure > 0.75
+        assert explanation_metrics.f_measure > 0.55
+
+    def test_explain3d_beats_threshold_on_academic(self, small_academic_pair):
+        problem, gold = small_academic_pair.build_problem()
+        exp3d = run_method(Explain3DMethod(), problem, gold)
+        threshold = run_method(ThresholdBaseline(0.9), problem, gold)
+        assert exp3d.evidence.f_measure >= threshold.evidence.f_measure
+        assert exp3d.explanation.f_measure >= threshold.explanation.f_measure - 0.05
+
+    def test_synthetic_pair_near_perfect(self, small_synthetic_pair):
+        problem, gold = small_synthetic_pair.build_problem()
+        engine = Explain3D(Explain3DConfig(partitioning="smart", batch_size=100))
+        report = engine.explain_problem(problem)
+        explanation_metrics = evaluate_explanations(report.explanations, gold, problem)
+        evidence_metrics = evaluate_evidence(report.explanations, gold)
+        assert explanation_metrics.f_measure > 0.9
+        assert evidence_metrics.f_measure > 0.9
+
+    def test_partitioned_and_exact_agree_on_synthetic(self, small_synthetic_pair):
+        problem, gold = small_synthetic_pair.build_problem()
+        exact = Explain3D(Explain3DConfig(partitioning="none")).explain_problem(problem)
+        batched = Explain3D(
+            Explain3DConfig(partitioning="smart", batch_size=60)
+        ).explain_problem(problem)
+        exact_metrics = evaluate_explanations(exact.explanations, gold, problem)
+        batched_metrics = evaluate_explanations(batched.explanations, gold, problem)
+        # Smart partitioning should not lose noticeable accuracy (Section 5.3).
+        assert batched_metrics.f_measure >= exact_metrics.f_measure - 0.05
+
+    def test_report_describe_runs(self, small_academic_pair):
+        problem, _ = small_academic_pair.build_problem()
+        report = Explain3D(Explain3DConfig(partitioning="components")).explain_problem(problem)
+        text = report.describe(max_items=3)
+        assert "explanations" in text
+        assert "partition" in text

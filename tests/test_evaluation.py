@@ -1,0 +1,138 @@
+"""Tests for the evaluation metrics, harness and reporting."""
+
+import pytest
+
+from repro.baselines import GreedyBaseline, ThresholdBaseline
+from repro.core.explanations import ExplanationSet, ProvenanceExplanation, ValueExplanation
+from repro.datasets.gold import GoldStandard
+from repro.evaluation.harness import average_evaluations, run_method, run_methods
+from repro.evaluation.metrics import (
+    AccuracyMetrics,
+    evaluate_evidence,
+    evaluate_explanations,
+    evaluate_method_output,
+)
+from repro.evaluation.reporting import format_accuracy_table, format_table, format_timing_table
+from repro.graphs.bipartite import Side
+from repro.matching.tuple_matching import TupleMapping, TupleMatch
+
+
+class TestAccuracyMetrics:
+    def test_from_sets(self):
+        metrics = AccuracyMetrics.from_sets({1, 2, 3}, {2, 3, 4})
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(2 / 3)
+        assert metrics.f_measure == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        metrics = AccuracyMetrics.from_sets({1}, {1})
+        assert metrics.f_measure == 1.0
+
+    def test_empty_prediction_with_nonempty_gold(self):
+        metrics = AccuracyMetrics.from_sets(set(), {1})
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f_measure == 0.0
+
+    def test_both_empty(self):
+        metrics = AccuracyMetrics.from_sets(set(), set())
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_as_dict(self):
+        assert set(AccuracyMetrics.from_sets({1}, {1}).as_dict()) == {
+            "precision", "recall", "f_measure",
+        }
+
+
+class TestExplanationEvaluation:
+    def test_perfect_prediction(self, figure1_problem):
+        gold = GoldStandard(
+            evidence_pairs={(l, r) for l, r in zip(
+                figure1_problem.canonical_left.keys(), figure1_problem.canonical_right.keys()
+            )},
+            provenance=set(),
+            value={("L", "T1:1"), ("R", "T2:1")},
+        )
+        predicted = ExplanationSet(
+            value=[ValueExplanation(Side.RIGHT, "T2:1", 1.0, 2.0)],
+            evidence=TupleMapping([TupleMatch(l, r, 1.0) for l, r in gold.evidence_pairs]),
+        )
+        explanation_metrics = evaluate_explanations(predicted, gold, figure1_problem)
+        evidence_metrics = evaluate_evidence(predicted, gold)
+        assert explanation_metrics.f_measure == 1.0
+        assert evidence_metrics.f_measure == 1.0
+
+    def test_value_explanations_matched_per_component(self, figure1_problem):
+        """Correcting either endpoint of a mismatched component counts as correct."""
+        gold = GoldStandard(
+            evidence_pairs={("T1:1", "T2:1")},
+            provenance=set(),
+            value={("R", "T2:1")},
+        )
+        predicted_left_side = ExplanationSet(
+            value=[ValueExplanation(Side.LEFT, "T1:1", 2.0, 1.0)],
+            evidence=TupleMapping([TupleMatch("T1:1", "T2:1", 1.0)]),
+        )
+        metrics = evaluate_explanations(predicted_left_side, gold, figure1_problem)
+        assert metrics.f_measure == 1.0
+
+    def test_provenance_requires_exact_identity(self, figure1_problem):
+        gold = GoldStandard(provenance={("L", "T1:0")})
+        predicted = ExplanationSet(provenance=[ProvenanceExplanation(Side.RIGHT, "T2:0")])
+        metrics = evaluate_explanations(predicted, gold, figure1_problem)
+        assert metrics.f_measure == 0.0
+
+    def test_method_output_bundle(self, figure1_problem):
+        gold = GoldStandard(provenance={("L", "T1:0")})
+        predicted = ExplanationSet(provenance=[ProvenanceExplanation(Side.LEFT, "T1:0")])
+        evaluation = evaluate_method_output("test", predicted, gold, figure1_problem, seconds=1.5)
+        assert evaluation.method == "test"
+        assert evaluation.seconds == 1.5
+        assert evaluation.explanation.f_measure == 1.0
+        assert evaluation.as_row()["expl_f"] == 1.0
+
+
+class TestHarness:
+    def test_run_method_and_methods(self, small_academic_problem):
+        problem, gold = small_academic_problem
+        evaluation = run_method(ThresholdBaseline(0.9), problem, gold)
+        assert 0.0 <= evaluation.explanation.f_measure <= 1.0
+        result = run_methods([ThresholdBaseline(0.9), GreedyBaseline()], problem, gold, name="x")
+        assert len(result.evaluations) == 2
+        assert result.method("Greedy").seconds >= 0.0
+        assert result.problem_stats["canonical_left"] == len(problem.canonical_left)
+
+    def test_average_evaluations(self, small_academic_problem):
+        problem, gold = small_academic_problem
+        first = run_method(ThresholdBaseline(0.9), problem, gold)
+        average = average_evaluations([first, first])
+        assert average.explanation.precision == pytest.approx(first.explanation.precision)
+        assert average.extras["runs"] == 2
+
+    def test_average_requires_single_method(self, small_academic_problem):
+        problem, gold = small_academic_problem
+        first = run_method(ThresholdBaseline(0.9), problem, gold)
+        second = run_method(GreedyBaseline(), problem, gold)
+        with pytest.raises(ValueError):
+            average_evaluations([first, second])
+        with pytest.raises(ValueError):
+            average_evaluations([])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "333" in table
+
+    def test_accuracy_and_timing_tables(self, small_academic_problem):
+        problem, gold = small_academic_problem
+        evaluations = [run_method(ThresholdBaseline(0.9), problem, gold)]
+        accuracy = format_accuracy_table(evaluations, kind="explanation")
+        evidence = format_accuracy_table(evaluations, kind="evidence", title="Evidence")
+        timing = format_timing_table(evaluations)
+        assert "Precision" in accuracy
+        assert evidence.splitlines()[0] == "Evidence"
+        assert "Time (sec)" in timing

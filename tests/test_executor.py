@@ -1,0 +1,205 @@
+"""Unit tests for the query AST and executor."""
+
+import pytest
+
+from repro.relational.errors import ExecutionError, UnknownRelationError
+from repro.relational.executor import Database, evaluate, execute, scalar_result
+from repro.relational.expressions import col
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Difference,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    Union,
+    aggregate_query,
+    count_query,
+    projection_query,
+    sum_query,
+    where,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("test")
+    database.add_records(
+        "Movie",
+        [
+            {"movie_id": 1, "title": "Alpha", "year": 1999, "gross": 10.0, "genre": "Drama"},
+            {"movie_id": 2, "title": "Beta", "year": 1999, "gross": 5.0, "genre": "Comedy"},
+            {"movie_id": 3, "title": "Gamma", "year": 2001, "gross": 8.0, "genre": "Comedy"},
+        ],
+    )
+    database.add_records(
+        "Cast",
+        [
+            {"movie_id": 1, "actor": "Ann"},
+            {"movie_id": 1, "actor": "Bob"},
+            {"movie_id": 2, "actor": "Ann"},
+        ],
+    )
+    return database
+
+
+class TestDatabase:
+    def test_relation_lookup(self, db):
+        assert len(db.relation("Movie")) == 3
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.relation("Nope")
+
+    def test_contains(self, db):
+        assert "Cast" in db
+        assert "Nope" not in db
+
+
+class TestOperators:
+    def test_scan(self, db):
+        result = evaluate(Scan("Movie"), db)
+        assert len(result) == 3
+        assert result[0].lineage == frozenset({"Movie:0"})
+
+    def test_select(self, db):
+        result = evaluate(Select(Scan("Movie"), col("year") == 1999), db)
+        assert len(result) == 2
+
+    def test_project_distinct(self, db):
+        result = evaluate(Project(Scan("Movie"), ("year",), distinct=True), db)
+        assert len(result) == 2
+
+    def test_project_keeps_duplicates_when_not_distinct(self, db):
+        result = evaluate(Project(Scan("Movie"), ("year",), distinct=False), db)
+        assert len(result) == 3
+
+    def test_join_equality(self, db):
+        join = Join(Scan("Movie"), Scan("Cast"), on=(("movie_id", "movie_id"),))
+        result = evaluate(join, db)
+        assert len(result) == 3
+        # Lineage merges both sides.
+        assert any("Cast:0" in row.lineage and "Movie:0" in row.lineage for row in result)
+
+    def test_join_disambiguates_schema(self, db):
+        join = Join(Scan("Movie"), Scan("Cast"), on=(("movie_id", "movie_id"),))
+        result = evaluate(join, db)
+        assert "movie_id_r" in result.schema
+
+    def test_join_with_condition(self, db):
+        join = Join(
+            Scan("Movie"),
+            Scan("Cast"),
+            on=(("movie_id", "movie_id"),),
+            condition=(col("actor") == "Ann"),
+        )
+        assert len(evaluate(join, db)) == 2
+
+    def test_cross_join_without_keys(self, db):
+        join = Join(Scan("Movie"), Scan("Cast"))
+        assert len(evaluate(join, db)) == 9
+
+    def test_union(self, db):
+        union = Union((Scan("Movie"), Scan("Movie")))
+        assert len(evaluate(union, db)) == 6
+
+    def test_union_empty_raises(self, db):
+        with pytest.raises(ExecutionError):
+            evaluate(Union(()), db)
+
+    def test_difference(self, db):
+        comedies = Select(Scan("Movie"), col("genre") == "Comedy")
+        result = evaluate(Difference(Scan("Movie"), comedies, on=("movie_id",)), db)
+        assert [row.as_dict(result.schema)["title"] for row in result] == ["Alpha"]
+
+
+class TestAggregates:
+    def test_count(self, db):
+        query = count_query("c", Scan("Movie"), attribute="title")
+        assert scalar_result(query, db) == 3
+
+    def test_count_with_predicate(self, db):
+        query = count_query("c", Scan("Movie"), attribute="title", predicate=(col("genre") == "Comedy"))
+        assert scalar_result(query, db) == 2
+
+    def test_sum(self, db):
+        query = sum_query("s", Scan("Movie"), "gross")
+        assert scalar_result(query, db) == pytest.approx(23.0)
+
+    def test_avg(self, db):
+        query = aggregate_query("a", AggregateFunction.AVG, Scan("Movie"), "gross")
+        assert scalar_result(query, db) == pytest.approx(23.0 / 3)
+
+    def test_max_min(self, db):
+        assert scalar_result(aggregate_query("m", AggregateFunction.MAX, Scan("Movie"), "gross"), db) == 10.0
+        assert scalar_result(aggregate_query("m", AggregateFunction.MIN, Scan("Movie"), "gross"), db) == 5.0
+
+    def test_aggregate_lineage_covers_all_inputs(self, db):
+        result = execute(sum_query("s", Scan("Movie"), "gross"), db)
+        assert result[0].lineage == frozenset({"Movie:0", "Movie:1", "Movie:2"})
+
+    def test_group_by(self, db):
+        aggregate = Aggregate(Scan("Movie"), AggregateFunction.COUNT, "title", group_by=("year",), alias="n")
+        result = evaluate(aggregate, db)
+        counts = {row.as_dict(result.schema)["year"]: row.as_dict(result.schema)["n"] for row in result}
+        assert counts == {1999: 2.0, 2001: 1.0}
+
+    def test_string_numbers_are_coerced(self):
+        db = Database("strings")
+        db.add_records("T", [{"v": "1.5"}, {"v": "2.5"}])
+        assert scalar_result(sum_query("s", Scan("T"), "v"), db) == pytest.approx(4.0)
+
+    def test_sum_over_empty_returns_null(self, db):
+        query = sum_query("s", Scan("Movie"), "gross", predicate=(col("year") == 1900))
+        assert scalar_result(query, db) is None
+
+    def test_count_over_empty_is_zero(self, db):
+        query = count_query("c", Scan("Movie"), attribute="title", predicate=(col("year") == 1900))
+        assert scalar_result(query, db) == 0
+
+    def test_aggregate_requires_attribute(self):
+        with pytest.raises(ExecutionError):
+            Aggregate(Scan("Movie"), AggregateFunction.SUM, None)
+
+    def test_non_numeric_aggregate_raises(self, db):
+        query = sum_query("s", Scan("Movie"), "title")
+        with pytest.raises(ExecutionError):
+            scalar_result(query, db)
+
+
+class TestQueryHelpers:
+    def test_where_none_is_identity(self):
+        node = Scan("Movie")
+        assert where(node, None) is node
+
+    def test_query_properties(self, db):
+        query = sum_query("s", Scan("Movie"), "gross", predicate=(col("year") == 1999))
+        assert query.is_aggregate
+        assert query.aggregate_function is AggregateFunction.SUM
+        assert query.aggregate_attribute == "gross"
+        assert query.referenced_relations() == {"Movie"}
+
+    def test_projection_query_output_attributes(self, db):
+        query = projection_query("p", Scan("Movie"), ["title"])
+        assert not query.is_aggregate
+        assert query.output_attributes == ("title",)
+
+    def test_scalar_result_rejects_non_scalar(self, db):
+        query = projection_query("p", Scan("Movie"), ["title"])
+        with pytest.raises(ExecutionError):
+            scalar_result(query, db)
+
+    def test_requires_one_to_one(self):
+        assert AggregateFunction.AVG.requires_one_to_one
+        assert AggregateFunction.MAX.requires_one_to_one
+        assert not AggregateFunction.SUM.requires_one_to_one
+        assert not AggregateFunction.COUNT.requires_one_to_one
+
+    def test_unknown_node_type(self, db):
+        class Strange(Query):  # pragma: no cover - definition only
+            pass
+
+        with pytest.raises(ExecutionError):
+            evaluate(object(), db)  # type: ignore[arg-type]

@@ -1,0 +1,127 @@
+"""Unit tests for repro.relational.expressions."""
+
+import pytest
+
+from repro.relational.errors import ExecutionError
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Or,
+    TruePredicate,
+    col,
+)
+
+
+RECORD = {"name": "Computer Science", "year": 1999, "gross": None, "country": "USA"}
+
+
+class TestComparison:
+    def test_equality(self):
+        assert Comparison("country", "=", "USA")(RECORD)
+        assert not Comparison("country", "=", "UK")(RECORD)
+
+    def test_inequality_operators(self):
+        assert Comparison("year", ">", 1990)(RECORD)
+        assert Comparison("year", "<=", 1999)(RECORD)
+        assert not Comparison("year", "<", 1999)(RECORD)
+        assert Comparison("year", "!=", 2000)(RECORD)
+
+    def test_null_comparisons_are_false(self):
+        assert not Comparison("gross", ">", 0)(RECORD)
+        assert not Comparison("missing", "=", 1)(RECORD)
+
+    def test_unsupported_operator(self):
+        with pytest.raises(ExecutionError):
+            Comparison("year", "~", 1)(RECORD)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(ExecutionError):
+            Comparison("name", "<", 5)(RECORD)
+
+    def test_attributes(self):
+        assert Comparison("year", "=", 1999).attributes() == {"year"}
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = And(Comparison("year", "=", 1999), Comparison("country", "=", "USA"))
+        assert predicate(RECORD)
+
+    def test_and_short_circuit_false(self):
+        predicate = And(Comparison("year", "=", 1998), Comparison("country", "=", "USA"))
+        assert not predicate(RECORD)
+
+    def test_or(self):
+        predicate = Or(Comparison("year", "=", 1998), Comparison("country", "=", "USA"))
+        assert predicate(RECORD)
+
+    def test_not(self):
+        assert Not(Comparison("year", "=", 1998))(RECORD)
+
+    def test_operator_overloads(self):
+        predicate = (col("year") == 1999) & ~(col("country") == "UK")
+        assert predicate(RECORD)
+        predicate = (col("year") == 1998) | (col("country") == "USA")
+        assert predicate(RECORD)
+
+    def test_attributes_union(self):
+        predicate = And(Comparison("a", "=", 1), Or(Comparison("b", "=", 2), Comparison("c", "=", 3)))
+        assert predicate.attributes() == {"a", "b", "c"}
+
+    def test_true_predicate(self):
+        assert TruePredicate()({})
+
+
+class TestSpecialPredicates:
+    def test_membership(self):
+        assert Membership("country", ("USA", "UK"))(RECORD)
+        assert not Membership("country", ("France",))(RECORD)
+        assert not Membership("gross", (None, 1))(RECORD)
+
+    def test_contains_case_insensitive(self):
+        assert Contains("name", "computer")(RECORD)
+        assert not Contains("name", "biology")(RECORD)
+
+    def test_contains_case_sensitive(self):
+        assert not Contains("name", "computer", case_sensitive=True)(RECORD)
+
+    def test_contains_null(self):
+        assert not Contains("gross", "x")(RECORD)
+
+    def test_is_null(self):
+        assert IsNull("gross")(RECORD)
+        assert not IsNull("year")(RECORD)
+        assert IsNull("year", negate=True)(RECORD)
+
+    def test_attribute_comparison(self):
+        record = {"a": 5, "b": 5, "c": 7}
+        assert AttributeComparison("a", "=", "b")(record)
+        assert not AttributeComparison("a", "=", "c")(record)
+        assert AttributeComparison("c", ">", "a")(record)
+
+
+class TestColBuilder:
+    def test_col_comparisons(self):
+        assert (col("year") >= 1999)(RECORD)
+        assert (col("year") <= 1999)(RECORD)
+        assert (col("year") > 1998)(RECORD)
+        assert (col("year") < 2000)(RECORD)
+        assert (col("year") != 1998)(RECORD)
+
+    def test_col_isin_and_contains(self):
+        assert col("country").isin(["USA"])(RECORD)
+        assert col("name").contains("science")(RECORD)
+
+    def test_col_null_helpers(self):
+        assert col("gross").is_null()(RECORD)
+        assert col("year").not_null()(RECORD)
+
+    def test_col_equals_column(self):
+        predicate = col("a").equals_column(col("b"))
+        assert predicate({"a": 1, "b": 1})
+        assert not predicate({"a": 1, "b": 2})

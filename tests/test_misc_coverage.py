@@ -1,0 +1,92 @@
+"""Additional coverage: configuration plumbing, name pools, and IMDb templates."""
+
+import pytest
+
+from repro import Explain3D, Explain3DConfig, Priors
+from repro.core.partitioning import PartitionedSolver, SolveConfig
+from repro.datasets import names as name_pools
+from repro.datasets.imdb import IMDbConfig, generate_imdb_workload
+from repro.graphs.weighting import WeightingParams
+
+
+class TestConfigPlumbing:
+    def test_solve_config_mirrors_facade_config(self):
+        config = Explain3DConfig(
+            partitioning="smart",
+            batch_size=123,
+            weighting=WeightingParams(reward=50.0),
+            use_prepartitioning=False,
+        )
+        solve_config = config.solve_config()
+        assert solve_config.partitioning == "smart"
+        assert solve_config.batch_size == 123
+        assert solve_config.weighting.reward == 50.0
+        assert solve_config.use_prepartitioning is False
+
+    def test_expected_partitions(self, figure1_problem):
+        solver = PartitionedSolver(figure1_problem, SolveConfig(batch_size=5))
+        assert solver.expected_partitions() == 3
+
+    def test_facade_accepts_custom_priors(self, figure1_db1, figure1_db2, figure1_queries):
+        from repro import matching
+
+        q1, q2 = figure1_queries
+        engine = Explain3D(Explain3DConfig(partitioning="none", priors=Priors(0.8, 0.8)))
+        report = engine.explain(
+            q1, figure1_db1, q2, figure1_db2, attribute_matches=matching(("Program", "Major"))
+        )
+        assert report.problem.priors == Priors(0.8, 0.8)
+
+
+class TestNamePools:
+    def test_pool_is_unique_and_deterministic(self):
+        pool = name_pools.program_name_pool(300)
+        assert len(pool) == 300
+        assert len(set(pool)) == 300
+        assert pool == name_pools.program_name_pool(300)
+
+    def test_pool_starts_with_plain_fields(self):
+        pool = name_pools.program_name_pool(50)
+        assert pool[: len(name_pools.BASE_FIELDS[:50])] == name_pools.BASE_FIELDS[:50]
+
+    def test_pool_too_large_raises(self):
+        with pytest.raises(ValueError):
+            name_pools.program_name_pool(10_000_000)
+
+
+class TestDatasetPairOptions:
+    def test_uncalibrated_mapping_uses_similarity(self, small_academic_pair):
+        problem, _ = small_academic_pair.build_problem(calibrate_with_gold=False)
+        for match in problem.mapping:
+            assert match.probability == pytest.approx(
+                min(max(match.similarity, 1e-3), 1 - 1e-3)
+            )
+
+    def test_min_similarity_override(self, small_academic_pair):
+        loose, _ = small_academic_pair.build_problem(min_similarity=0.1)
+        strict, _ = small_academic_pair.build_problem(min_similarity=0.6)
+        assert len(strict.mapping) < len(loose.mapping)
+
+
+class TestRemainingIMDbTemplates:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return generate_imdb_workload(IMDbConfig(num_movies=100, num_people=120, seed=31))
+
+    @pytest.mark.parametrize("template", ["Q2", "Q4", "Q6", "Q8", "Q9"])
+    def test_templates_produce_comparable_problems(self, workload, template):
+        param = 1960 if template == "Q2" else workload.years_with_movies(minimum=2)[0]
+        pair = workload.pair(template, param)
+        problem, gold = pair.build_problem()
+        assert problem.attribute_matches.comparable
+        # The two sides always describe overlapping sets of movies/people.
+        assert len(problem.canonical_left) + len(problem.canonical_right) >= 0
+        assert gold is not None
+
+    def test_q1_short_movies(self, workload):
+        year = workload.years_with_movies(minimum=2)[0]
+        pair = workload.pair("Q1", year)
+        problem, _ = pair.build_problem()
+        # Person-centric matching: left groups by (firstname, lastname).
+        assert problem.canonical_left.attributes == ("firstname", "lastname")
+        assert problem.canonical_right.attributes == ("name",)

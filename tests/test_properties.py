@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) over the core invariants.
+
+These tests generate random small EXP-3D instances and check the paper's
+structural guarantees:
+
+* the MILP solution is *complete* (valid mapping + impact equality,
+  Definition 3.4);
+* the MILP objective dominates the greedy objective (it is the optimum of the
+  same function);
+* canonicalization preserves total impact;
+* the smart partitioner covers every tuple exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.greedy import GreedyBaseline
+from repro.core.canonical import CanonicalRelation, CanonicalTuple, canonicalize
+from repro.core.milp_model import MILPTransformation
+from repro.core.problem import ExplainProblem
+from repro.core.scoring import ExplanationScorer, Priors, is_complete, mapping_is_valid
+from repro.graphs.bipartite import MatchGraph, Side
+from repro.graphs.smart_partition import SmartPartitioner
+from repro.matching.attribute_match import SemanticRelation, matching
+from repro.matching.tuple_matching import TupleMapping, TupleMatch
+from repro.relational.provenance import provenance_relation
+from repro.relational.query import Scan, count_query, sum_query
+from repro.relational.executor import Database
+
+
+# ---------------------------------------------------------------------------
+# Random EXP-3D instances.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def exp3d_instances(draw):
+    """A random small EXP-3D instance with an equivalence attribute match."""
+    num_left = draw(st.integers(1, 6))
+    num_right = draw(st.integers(1, 6))
+    left_impacts = draw(
+        st.lists(st.integers(1, 5), min_size=num_left, max_size=num_left)
+    )
+    right_impacts = draw(
+        st.lists(st.integers(1, 5), min_size=num_right, max_size=num_right)
+    )
+    left = CanonicalRelation(
+        Side.LEFT,
+        ("name",),
+        [
+            CanonicalTuple(f"T1:{i}", Side.LEFT, {"name": f"l{i}"}, float(impact))
+            for i, impact in enumerate(left_impacts)
+        ],
+        label="T1",
+    )
+    right = CanonicalRelation(
+        Side.RIGHT,
+        ("name",),
+        [
+            CanonicalTuple(f"T2:{j}", Side.RIGHT, {"name": f"r{j}"}, float(impact))
+            for j, impact in enumerate(right_impacts)
+        ],
+        label="T2",
+    )
+    pairs = [(i, j) for i in range(num_left) for j in range(num_right)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=min(len(pairs), 10))
+    )
+    probabilities = draw(
+        st.lists(
+            st.floats(0.05, 0.95, allow_nan=False), min_size=len(chosen), max_size=len(chosen)
+        )
+    )
+    mapping = TupleMapping(
+        [
+            TupleMatch(f"T1:{i}", f"T2:{j}", probability)
+            for (i, j), probability in zip(chosen, probabilities)
+        ]
+    )
+    relation = draw(st.sampled_from(list(SemanticRelation)))
+    attribute_matches = {
+        SemanticRelation.EQUIVALENT: matching(("name", "name")),
+        SemanticRelation.LESS_GENERAL: matching(("name", "name", "<=")),
+        SemanticRelation.MORE_GENERAL: matching(("name", "name", ">=")),
+    }[relation]
+    priors = Priors(
+        alpha=draw(st.floats(0.6, 0.99)), beta=draw(st.floats(0.55, 0.99))
+    )
+    return ExplainProblem(
+        canonical_left=left,
+        canonical_right=right,
+        attribute_matches=attribute_matches,
+        mapping=mapping,
+        priors=priors,
+    )
+
+
+class TestMILPProperties:
+    @given(exp3d_instances())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_solution_is_complete_and_valid(self, problem):
+        explanations = MILPTransformation(
+            problem.canonical_left,
+            problem.canonical_right,
+            problem.mapping,
+            problem.relation,
+            problem.priors,
+        ).solve()
+        assert mapping_is_valid(explanations.evidence, problem.relation)
+        assert is_complete(
+            problem.canonical_left, problem.canonical_right, explanations, problem.relation
+        )
+        # Every selected evidence pair comes from the initial mapping.
+        assert explanations.evidence_pairs() <= problem.mapping.pairs()
+
+    @given(exp3d_instances())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_milp_objective_dominates_greedy(self, problem):
+        milp = MILPTransformation(
+            problem.canonical_left,
+            problem.canonical_right,
+            problem.mapping,
+            problem.relation,
+            problem.priors,
+        ).solve()
+        greedy = GreedyBaseline().explain(problem)
+        scorer = ExplanationScorer(
+            problem.canonical_left, problem.canonical_right, problem.mapping, problem.priors
+        )
+        assert scorer.score(milp) >= scorer.score(greedy) - 1e-6
+
+    @given(exp3d_instances())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_explanations_reference_existing_tuples(self, problem):
+        explanations = MILPTransformation(
+            problem.canonical_left,
+            problem.canonical_right,
+            problem.mapping,
+            problem.relation,
+            problem.priors,
+        ).solve()
+        left_keys = set(problem.canonical_left.keys())
+        right_keys = set(problem.canonical_right.keys())
+        for explanation in explanations.provenance:
+            keys = left_keys if explanation.side is Side.LEFT else right_keys
+            assert explanation.key in keys
+        for explanation in explanations.value:
+            keys = left_keys if explanation.side is Side.LEFT else right_keys
+            assert explanation.key in keys
+
+
+class TestCanonicalizationProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c", "d"]), st.integers(1, 9)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_impact_preserved_for_sum(self, rows):
+        db = Database("prop")
+        db.add_records("T", [{"name": name, "v": value} for name, value in rows])
+        query = sum_query("q", Scan("T"), "v")
+        provenance = provenance_relation(query, db)
+        canonical = canonicalize(provenance, matching(("name", "name")), Side.LEFT)
+        assert canonical.total_impact() == pytest.approx(provenance.total_impact())
+        assert len(canonical) == len({name for name, _ in rows})
+
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=15)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_count_canonical_impacts_are_group_sizes(self, names):
+        db = Database("prop")
+        db.add_records("T", [{"name": name} for name in names])
+        query = count_query("q", Scan("T"), attribute="name")
+        provenance = provenance_relation(query, db)
+        canonical = canonicalize(provenance, matching(("name", "name")), Side.LEFT)
+        for canonical_tuple in canonical:
+            assert canonical_tuple.impact == names.count(canonical_tuple.value("name"))
+
+
+class TestPartitionProperties:
+    @given(
+        st.integers(5, 40),
+        st.integers(3, 12),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_partitions_are_a_partition(self, n, batch, rng):
+        mapping = TupleMapping(
+            [
+                TupleMatch(f"l{i}", f"r{rng.randrange(n)}", 0.05 + 0.9 * rng.random())
+                for i in range(n)
+            ]
+        )
+        graph = MatchGraph([f"l{i}" for i in range(n)], [f"r{j}" for j in range(n)], mapping)
+        result = SmartPartitioner(batch_size=max(batch, 2)).partition(graph)
+        left_seen = sorted(key for partition in result for key in partition.left_keys)
+        right_seen = sorted(key for partition in result for key in partition.right_keys)
+        assert left_seen == sorted(graph.left_keys)
+        assert right_seen == sorted(graph.right_keys)

@@ -1,0 +1,109 @@
+"""Unit tests for provenance relations (Definition 2.3)."""
+
+import pytest
+
+from repro.relational.executor import Database
+from repro.relational.expressions import col
+from repro.relational.provenance import provenance_relation
+from repro.relational.query import (
+    AggregateFunction,
+    Join,
+    Scan,
+    aggregate_query,
+    count_query,
+    projection_query,
+    sum_query,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("prov")
+    database.add_records(
+        "Stats",
+        [
+            {"program": "CS", "bach": 2, "univ": "A"},
+            {"program": "EE", "bach": 1, "univ": "A"},
+            {"program": "Art", "bach": 3, "univ": "B"},
+        ],
+    )
+    return database
+
+
+class TestImpacts:
+    def test_count_impacts_are_one(self, db):
+        query = count_query("q", Scan("Stats"), attribute="program")
+        provenance = provenance_relation(query, db)
+        assert [t.impact for t in provenance] == [1.0, 1.0, 1.0]
+
+    def test_sum_impacts_equal_attribute(self, db):
+        query = sum_query("q", Scan("Stats"), "bach")
+        provenance = provenance_relation(query, db)
+        assert [t.impact for t in provenance] == [2.0, 1.0, 3.0]
+
+    def test_projection_impacts_are_one(self, db):
+        query = projection_query("q", Scan("Stats"), ["program"])
+        provenance = provenance_relation(query, db)
+        assert all(t.impact == 1.0 for t in provenance)
+
+    def test_avg_impacts_equal_attribute(self, db):
+        query = aggregate_query("q", AggregateFunction.AVG, Scan("Stats"), "bach")
+        provenance = provenance_relation(query, db)
+        assert provenance.total_impact() == 6.0
+
+    def test_null_impact_is_zero(self):
+        database = Database("nulls")
+        database.add_records("T", [{"v": 3}, {"v": None}])
+        provenance = provenance_relation(sum_query("q", Scan("T"), "v"), database)
+        assert [t.impact for t in provenance] == [3.0, 0.0]
+
+
+class TestFiltering:
+    def test_selection_restricts_provenance(self, db):
+        query = sum_query("q", Scan("Stats"), "bach", predicate=(col("univ") == "A"))
+        provenance = provenance_relation(query, db)
+        assert len(provenance) == 2
+        assert provenance.total_impact() == 3.0
+
+    def test_provenance_matches_query_result(self, db):
+        from repro.relational.executor import scalar_result
+
+        query = sum_query("q", Scan("Stats"), "bach", predicate=(col("univ") == "A"))
+        assert provenance_relation(query, db).total_impact() == scalar_result(query, db)
+
+
+class TestStructure:
+    def test_keys_are_unique_and_labelled(self, db):
+        query = count_query("Q7", Scan("Stats"), attribute="program")
+        provenance = provenance_relation(query, db)
+        keys = [t.key for t in provenance]
+        assert len(set(keys)) == len(keys)
+        assert all(key.startswith("P[Q7]") for key in keys)
+
+    def test_lineage_points_to_base_rows(self, db):
+        query = count_query("q", Scan("Stats"), attribute="program")
+        provenance = provenance_relation(query, db)
+        assert provenance[0].lineage == frozenset({"Stats:0"})
+
+    def test_join_provenance_merges_lineage(self, db):
+        db.add_records("Univ", [{"univ": "A", "state": "MA"}, {"univ": "B", "state": "OH"}])
+        query = sum_query(
+            "q", Join(Scan("Stats"), Scan("Univ"), on=(("univ", "univ"),)), "bach"
+        )
+        provenance = provenance_relation(query, db)
+        assert len(provenance) == 3
+        assert any("Univ:0" in t.lineage for t in provenance)
+
+    def test_by_key_and_values(self, db):
+        query = count_query("q", Scan("Stats"), attribute="program")
+        provenance = provenance_relation(query, db)
+        key = provenance[1].key
+        assert provenance.by_key()[key].value("program") == "EE"
+        assert provenance.values("program") == ["CS", "EE", "Art"]
+
+    def test_with_impact_copies(self, db):
+        query = count_query("q", Scan("Stats"), attribute="program")
+        original = provenance_relation(query, db)[0]
+        changed = original.with_impact(5.0)
+        assert changed.impact == 5.0
+        assert original.impact == 1.0

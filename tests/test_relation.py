@@ -1,0 +1,117 @@
+"""Unit tests for repro.relational.relation."""
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Attribute, DataType, Schema
+
+
+@pytest.fixture()
+def movies() -> Relation:
+    return Relation.from_records(
+        [
+            {"title": "Alpha", "year": 1999, "gross": 10.0},
+            {"title": "Beta", "year": 2001, "gross": 5.5},
+            {"title": "Gamma", "year": 1999, "gross": 7.25},
+        ],
+        name="movies",
+    )
+
+
+class TestConstruction:
+    def test_from_records_infers_schema(self, movies):
+        assert movies.schema.dtype("year") is DataType.INTEGER
+        assert len(movies) == 3
+
+    def test_base_rows_get_singleton_lineage(self, movies):
+        assert movies[0].lineage == frozenset({"movies:0"})
+        assert movies[2].lineage == frozenset({"movies:2"})
+
+    def test_append_coerces(self, movies):
+        row = movies.append(["Delta", "2005", "1.0"])
+        assert row.values == ("Delta", 2005, 1.0)
+
+    def test_append_row_arity_checked(self, movies):
+        with pytest.raises(SchemaError):
+            movies.append_row(Row(("too", "short")))
+
+    def test_row_id(self, movies):
+        assert movies.row_id(1) == "movies:1"
+
+
+class TestAccessors:
+    def test_column(self, movies):
+        assert movies.column("title") == ["Alpha", "Beta", "Gamma"]
+
+    def test_distinct_values(self, movies):
+        assert movies.distinct_values("year") == {1999, 2001}
+
+    def test_as_dicts(self, movies):
+        assert movies.as_dicts()[1] == {"title": "Beta", "year": 2001, "gross": 5.5}
+
+    def test_row_value_and_dict(self, movies):
+        row = movies[0]
+        assert row.value(movies.schema, "title") == "Alpha"
+        assert row.as_dict(movies.schema)["gross"] == 10.0
+
+
+class TestAlgebra:
+    def test_select(self, movies):
+        result = movies.select(lambda record: record["year"] == 1999)
+        assert len(result) == 2
+        assert {r.values[0] for r in result} == {"Alpha", "Gamma"}
+
+    def test_project_keeps_lineage(self, movies):
+        result = movies.project(["title"])
+        assert result.schema.names == ("title",)
+        assert result[1].lineage == frozenset({"movies:1"})
+
+    def test_rename(self, movies):
+        renamed = movies.rename({"title": "name"})
+        assert "name" in renamed.schema
+
+    def test_extend_column(self, movies):
+        extended = movies.extend_column(Attribute("flag", DataType.BOOLEAN), [True, False, True])
+        assert extended.column("flag") == [True, False, True]
+
+    def test_extend_column_wrong_length(self, movies):
+        with pytest.raises(SchemaError):
+            movies.extend_column(Attribute("flag"), ["only-one"])
+
+    def test_union(self, movies):
+        doubled = movies.union(movies)
+        assert len(doubled) == 6
+
+    def test_union_schema_mismatch(self, movies):
+        other = Relation(Schema(["a"]), name="other")
+        with pytest.raises(SchemaError):
+            movies.union(other)
+
+    def test_distinct_merges_lineage(self):
+        relation = Relation.from_records(
+            [{"x": 1}, {"x": 1}, {"x": 2}], name="r"
+        )
+        distinct = relation.distinct()
+        assert len(distinct) == 2
+        assert distinct[0].lineage == frozenset({"r:0", "r:1"})
+
+    def test_sorted_by(self, movies):
+        ordered = movies.sorted_by("gross")
+        assert [row.values[0] for row in ordered] == ["Beta", "Gamma", "Alpha"]
+
+    def test_sorted_by_reverse(self, movies):
+        ordered = movies.sorted_by("gross", reverse=True)
+        assert ordered[0].values[0] == "Alpha"
+
+    def test_head(self, movies):
+        assert len(movies.head(2)) == 2
+
+    def test_to_table_contains_header_and_rows(self, movies):
+        table = movies.to_table()
+        assert "title" in table
+        assert "Alpha" in table
+
+    def test_to_table_truncates(self, movies):
+        table = movies.to_table(max_rows=1)
+        assert "more rows" in table

@@ -1,0 +1,122 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational.errors import SchemaError, UnknownAttributeError
+from repro.relational.schema import Attribute, DataType, Schema
+
+
+class TestDataType:
+    def test_coerce_string(self):
+        assert DataType.STRING.coerce(42) == "42"
+
+    def test_coerce_integer(self):
+        assert DataType.INTEGER.coerce("7") == 7
+
+    def test_coerce_float(self):
+        assert DataType.FLOAT.coerce("2.5") == 2.5
+
+    def test_coerce_boolean_from_string(self):
+        assert DataType.BOOLEAN.coerce("true") is True
+        assert DataType.BOOLEAN.coerce("no") is False
+
+    def test_coerce_boolean_invalid(self):
+        with pytest.raises(SchemaError):
+            DataType.BOOLEAN.coerce("maybe")
+
+    def test_coerce_none_passthrough(self):
+        assert DataType.INTEGER.coerce(None) is None
+
+    def test_coerce_invalid_integer(self):
+        with pytest.raises(SchemaError):
+            DataType.INTEGER.coerce("hello")
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+
+    def test_infer(self):
+        assert DataType.infer(True) is DataType.BOOLEAN
+        assert DataType.infer(3) is DataType.INTEGER
+        assert DataType.infer(3.5) is DataType.FLOAT
+        assert DataType.infer("x") is DataType.STRING
+
+
+class TestAttribute:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_renamed_keeps_dtype(self):
+        attr = Attribute("year", DataType.INTEGER)
+        assert attr.renamed("release_year") == Attribute("release_year", DataType.INTEGER)
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema(
+            [Attribute("name"), Attribute("year", DataType.INTEGER), Attribute("gross", DataType.FLOAT)]
+        )
+
+    def test_construction_from_mixed_forms(self):
+        schema = Schema(["a", ("b", DataType.INTEGER), Attribute("c", DataType.FLOAT)])
+        assert schema.names == ("a", "b", "c")
+        assert schema.dtype("b") is DataType.INTEGER
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_contains_and_index(self):
+        schema = self.make()
+        assert "year" in schema
+        assert schema.index("year") == 1
+
+    def test_unknown_attribute(self):
+        with pytest.raises(UnknownAttributeError):
+            self.make().index("missing")
+
+    def test_project_preserves_order(self):
+        schema = self.make().project(["gross", "name"])
+        assert schema.names == ("gross", "name")
+
+    def test_rename(self):
+        schema = self.make().rename({"name": "title"})
+        assert schema.names == ("title", "year", "gross")
+
+    def test_extend(self):
+        schema = self.make().extend([Attribute("extra")])
+        assert schema.names[-1] == "extra"
+
+    def test_concat_disambiguates(self):
+        left = Schema(["id", "name"])
+        right = Schema(["id", "value"])
+        combined = left.concat(right)
+        assert combined.names == ("id", "name", "id_r", "value")
+
+    def test_concat_without_disambiguation_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["id"]).concat(Schema(["id"]), disambiguate=False)
+
+    def test_coerce_row(self):
+        schema = self.make()
+        assert schema.coerce_row(["x", "1999", "3.5"]) == ("x", 1999, 3.5)
+
+    def test_coerce_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            self.make().coerce_row(["only-one"])
+
+    def test_infer_from_records(self):
+        schema = Schema.infer([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert schema.dtype("a") is DataType.INTEGER
+        assert schema.dtype("b") is DataType.STRING
+
+    def test_infer_empty_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.infer([])
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())

@@ -1,0 +1,78 @@
+"""Unit tests for the instance-based schema matcher."""
+
+import pytest
+
+from repro.matching.schema_matcher import AttributeProfile, SchemaMatcher, infer_attribute_matches
+from repro.matching.attribute_match import SemanticRelation
+from repro.relational.executor import Database
+from repro.relational.provenance import provenance_relation
+from repro.relational.query import Scan, count_query, sum_query
+
+
+@pytest.fixture()
+def profiles():
+    programs = AttributeProfile.from_values(
+        "Program", ["Computer Science", "Electrical Engineering", "History", "Biology"]
+    )
+    majors = AttributeProfile.from_values(
+        "Major", ["Computer Science", "Electrical Engineering", "History", "Chemistry"]
+    )
+    years = AttributeProfile.from_values("year", [1999, 2000, 2001])
+    return programs, majors, years
+
+
+class TestProfiles:
+    def test_numeric_detection(self, profiles):
+        programs, _, years = profiles
+        assert years.is_numeric
+        assert not programs.is_numeric
+
+    def test_distinct_count(self, profiles):
+        assert profiles[0].distinct_count == 4
+
+
+class TestScoring:
+    def test_similar_attributes_score_high(self, profiles):
+        programs, majors, years = profiles
+        matcher = SchemaMatcher()
+        assert matcher.score(programs, majors) > 0.4
+        assert matcher.score(programs, years) < 0.2
+
+    def test_type_mismatch_gets_no_value_score(self, profiles):
+        programs, _, years = profiles
+        assert SchemaMatcher()._value_overlap(programs, years) == 0.0
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            SchemaMatcher(name_weight=0.9, value_weight=0.9)
+
+
+class TestMatching:
+    def test_match_profiles_greedy_one_to_one(self, profiles):
+        programs, majors, years = profiles
+        result = SchemaMatcher().match_profiles([programs, years], [majors, years])
+        pairs = result.attribute_pairs()
+        assert ("Program", "Major") in pairs
+
+    def test_match_provenance_infers_program_major(self):
+        db1 = Database("d1")
+        db1.add_records("Major", [{"Major": "Computer Science", "Degree": "B.S."},
+                                  {"Major": "History", "Degree": "B.A."}])
+        db2 = Database("d2")
+        db2.add_records("Stats", [{"Program": "Computer Science", "bach": 1},
+                                  {"Program": "History", "bach": 1}])
+        p1 = provenance_relation(count_query("q1", Scan("Major"), attribute="Major"), db1)
+        p2 = provenance_relation(sum_query("q2", Scan("Stats"), "bach"), db2)
+        matches = infer_attribute_matches(p1, p2)
+        assert matches.comparable
+        assert ("Major", "Program") in matches.attribute_pairs()
+
+    def test_containment_direction(self):
+        # Left values are contained in right values -> less general.
+        left = AttributeProfile.from_values("major", ["Accounting", "Finance"])
+        right = AttributeProfile.from_values(
+            "college", ["Accounting and Finance School", "Engineering College"]
+        )
+        matcher = SchemaMatcher(containment_margin=0.1)
+        assert matcher._relation_for(left, right) is SemanticRelation.LESS_GENERAL
+        assert matcher._relation_for(right, left) is SemanticRelation.MORE_GENERAL
