@@ -50,6 +50,8 @@ class Explain3DConfig:
     summarize: bool = True
     min_summary_precision: float = 0.75
     solver: Optional[MILPSolver] = None
+    workers: Optional[int] = None   # None resolves to os.cpu_count(); 1 is sequential
+    executor: str = "thread"
 
     def solve_config(self) -> SolveConfig:
         return SolveConfig(
@@ -58,6 +60,8 @@ class Explain3DConfig:
             weighting=self.weighting,
             use_prepartitioning=self.use_prepartitioning,
             solver=self.solver,
+            workers=self.workers,
+            executor=self.executor,  # type: ignore[arg-type]
         )
 
 

@@ -79,7 +79,8 @@ class ExplanationSet:
         identities |= {("value",) + explanation.identity for explanation in self.value}
         return identities
 
-    def evidence_pairs(self) -> set[tuple[str, str]]:
+    def evidence_pairs(self) -> frozenset[tuple[str, str]]:
+        """A frozen view of the selected (left, right) pairs -- do not mutate."""
         return self.evidence.pairs()
 
     def explained_keys(self, side: Side) -> set[str]:

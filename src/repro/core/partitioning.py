@@ -8,12 +8,22 @@ Three solving modes are supported:
 * ``"smart"``  -- the smart-partitioning optimizer: pre-partitioning,
   balanced min-cut graph partitioning with ``L_max = batch_size``, one MILP
   per partition (the paper's BATCH-``b``).
+
+Each partition's restriction + MILP build + solve is an independent unit: with
+``workers > 1`` the units are dispatched to a thread or process pool
+(partitions are disjoint sub-problems, so the merge is order-preserving and
+the result is identical to the sequential ``workers=1`` path).  Restricting
+the canonical relations and the mapping to the partitions is done in a single
+pass that buckets tuples and matches by partition, instead of one full scan
+per partition.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -21,13 +31,15 @@ from repro.core.canonical import CanonicalRelation
 from repro.core.explanations import ExplanationSet
 from repro.core.milp_model import MILPTransformation
 from repro.core.problem import ExplainProblem
-from repro.core.scoring import MatchLogProbability
+from repro.core.scoring import MatchLogProbability, Priors
 from repro.graphs.smart_partition import SmartPartitioner, TuplePartition
 from repro.graphs.weighting import WeightingParams
+from repro.matching.attribute_match import SemanticRelation
 from repro.matching.tuple_matching import TupleMapping
 from repro.solver.backends import MILPSolver, default_solver
 
 PartitioningMode = Literal["none", "components", "smart"]
+ExecutorKind = Literal["thread", "process"]
 
 
 @dataclass
@@ -39,6 +51,16 @@ class SolveConfig:
     weighting: WeightingParams = field(default_factory=WeightingParams)
     use_prepartitioning: bool = True
     solver: MILPSolver | None = None
+    workers: int | None = None      # None resolves to os.cpu_count()
+    executor: ExecutorKind = "thread"
+
+    def resolved_workers(self) -> int:
+        """The worker count to use: ``workers`` or, when unset, ``os.cpu_count()``."""
+        if self.workers is not None:
+            if self.workers < 1:
+                raise ValueError(f"workers must be positive, got {self.workers}")
+            return self.workers
+        return os.cpu_count() or 1
 
 
 @dataclass
@@ -52,25 +74,89 @@ class SolveStats:
     partition_time: float = 0.0
     solve_time: float = 0.0
     total_time: float = 0.0
+    workers_used: int = 1
     milp_sizes: list[dict] = field(default_factory=list)
 
 
-def _restrict_canonical(relation: CanonicalRelation, keys: frozenset[str]) -> CanonicalRelation:
-    """A canonical relation restricted to a subset of its tuples."""
-    return CanonicalRelation(
-        relation.side,
-        relation.attributes,
-        [t for t in relation.tuples if t.key in keys],
-        label=relation.label,
-        provenance=relation.provenance,
-    )
+def _restrict_by_partition(
+    problem: ExplainProblem, partitions: list[TuplePartition]
+) -> tuple[list[CanonicalRelation], list[CanonicalRelation], list[TupleMapping]]:
+    """Bucket canonical tuples and matches by partition in one pass each.
+
+    Partitions are disjoint by construction, so a key belongs to at most one
+    partition and a match is internal to a partition exactly when both its
+    endpoints land in the same one.  Tuple and match order within each bucket
+    follows the original relation/mapping order, which keeps the per-partition
+    MILPs identical to the former per-partition full-scan restriction.
+    """
+    left_of: dict[str, int] = {}
+    right_of: dict[str, int] = {}
+    for position, partition in enumerate(partitions):
+        for key in partition.left_keys:
+            left_of[key] = position
+        for key in partition.right_keys:
+            right_of[key] = position
+
+    left_buckets: list[list] = [[] for _ in partitions]
+    for canonical_tuple in problem.canonical_left.tuples:
+        position = left_of.get(canonical_tuple.key)
+        if position is not None:
+            left_buckets[position].append(canonical_tuple)
+    right_buckets: list[list] = [[] for _ in partitions]
+    for canonical_tuple in problem.canonical_right.tuples:
+        position = right_of.get(canonical_tuple.key)
+        if position is not None:
+            right_buckets[position].append(canonical_tuple)
+    match_buckets: list[list] = [[] for _ in partitions]
+    for match in problem.mapping:
+        position = left_of.get(match.left_key)
+        if position is not None and right_of.get(match.right_key) == position:
+            match_buckets[position].append(match)
+
+    template_left = problem.canonical_left
+    template_right = problem.canonical_right
+    # The restricted relations exist only for MILP building; dropping the
+    # provenance back-reference keeps process-pool payloads small.
+    lefts = [
+        CanonicalRelation(
+            template_left.side, template_left.attributes, bucket, label=template_left.label
+        )
+        for bucket in left_buckets
+    ]
+    rights = [
+        CanonicalRelation(
+            template_right.side, template_right.attributes, bucket, label=template_right.label
+        )
+        for bucket in right_buckets
+    ]
+    mappings = [TupleMapping(bucket) for bucket in match_buckets]
+    return lefts, rights, mappings
 
 
-def _restrict_mapping(mapping: TupleMapping, partition: TuplePartition) -> TupleMapping:
-    return mapping.filtered(
-        lambda match: match.left_key in partition.left_keys
-        and match.right_key in partition.right_keys
+def _solve_partition_task(
+    task: tuple[int, CanonicalRelation, CanonicalRelation, TupleMapping, SemanticRelation, Priors, MILPSolver]
+) -> tuple[ExplanationSet, dict]:
+    """One independent unit of work: build and solve a partition's MILP.
+
+    Module-level (and fed picklable arguments) so it can run on a process
+    pool as well as on threads or inline.
+    """
+    index, left, right, mapping, relation, priors, solver = task
+    transformation = MILPTransformation(
+        left, right, mapping, relation, priors, solver=solver, name=f"exp3d_part{index}"
     )
+    piece = transformation.solve()
+    return piece, transformation.problem_size()
+
+
+def _worker_solver(solver: MILPSolver) -> MILPSolver:
+    """A per-task solver instance when the backend supports cloning."""
+    clone = getattr(solver, "clone", None)
+    return clone() if callable(clone) else solver
+
+
+def _supports_cloning(solver: MILPSolver) -> bool:
+    return callable(getattr(solver, "clone", None))
 
 
 class PartitionedSolver:
@@ -100,21 +186,21 @@ class PartitionedSolver:
             result = SmartPartitioner.by_connected_components(graph)
             self.stats.num_supernodes = result.num_supernodes
             return list(result.partitions)
-        if mode == "smart":
-            partitioner = SmartPartitioner(
-                batch_size=self.config.batch_size,
-                weighting=self.config.weighting,
-                use_prepartitioning=self.config.use_prepartitioning,
-            )
-            result = partitioner.partition(graph)
-            self.stats.num_supernodes = result.num_supernodes
-            self.stats.cut_edges = result.cut_edges
-            return list(result.partitions)
-        raise ValueError(f"unknown partitioning mode {mode!r}")
+        partitioner = SmartPartitioner(
+            batch_size=self.config.batch_size,
+            weighting=self.config.weighting,
+            use_prepartitioning=self.config.use_prepartitioning,
+        )
+        result = partitioner.partition(graph)
+        self.stats.num_supernodes = result.num_supernodes
+        self.stats.cut_edges = result.cut_edges
+        return list(result.partitions)
 
     # -- solving ------------------------------------------------------------------------
     def solve(self) -> ExplanationSet:
-        """Solve all sub-problems and merge their explanation sets."""
+        """Solve all sub-problems (possibly in parallel) and merge the results."""
+        if self.config.executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor kind {self.config.executor!r}")
         start = time.perf_counter()
         partitions = self._partitions()
         self.stats.num_partitions = len(partitions)
@@ -122,25 +208,45 @@ class PartitionedSolver:
         self.stats.partition_time = time.perf_counter() - start
 
         solve_start = time.perf_counter()
-        pieces: list[ExplanationSet] = []
+        lefts, rights, mappings = _restrict_by_partition(self.problem, partitions)
         covered_pairs: set[tuple[str, str]] = set()
-        for partition in partitions:
-            left = _restrict_canonical(self.problem.canonical_left, partition.left_keys)
-            right = _restrict_canonical(self.problem.canonical_right, partition.right_keys)
-            mapping = _restrict_mapping(self.problem.mapping, partition)
+        for mapping in mappings:
             covered_pairs.update(mapping.pairs())
-            transformation = MILPTransformation(
-                left,
-                right,
-                mapping,
+
+        workers = self.config.resolved_workers()
+        if workers > 1 and not _supports_cloning(self.solver):
+            # A backend without clone() may mutate internal state during a
+            # solve (the MILPSolver protocol only requires solve()), so one
+            # shared instance must never serve concurrent partitions.
+            workers = 1
+        self.stats.workers_used = max(1, min(workers, len(partitions)))
+        parallel = self.stats.workers_used > 1 and len(partitions) > 1
+        tasks = [
+            (
+                partition.index,
+                lefts[position],
+                rights[position],
+                mappings[position],
                 self.problem.relation,
                 self.problem.priors,
-                solver=self.solver,
-                name=f"exp3d_part{partition.index}",
+                # Sequential solving keeps the caller's instance (its post-solve
+                # state, e.g. BnB stats, stays observable as before).
+                _worker_solver(self.solver) if parallel else self.solver,
             )
-            piece = transformation.solve()
-            self.stats.milp_sizes.append(transformation.problem_size())
-            pieces.append(piece)
+            for position, partition in enumerate(partitions)
+        ]
+        if not parallel:
+            # Deterministic sequential fallback (also the workers=1 reference path).
+            results = [_solve_partition_task(task) for task in tasks]
+        else:
+            pool_type = ThreadPoolExecutor if self.config.executor == "thread" else ProcessPoolExecutor
+            with pool_type(max_workers=self.stats.workers_used) as pool:
+                # Executor.map preserves task order, so the merge below is
+                # independent of completion order.
+                results = list(pool.map(_solve_partition_task, tasks))
+
+        pieces = [piece for piece, _ in results]
+        self.stats.milp_sizes.extend(size for _, size in results)
         merged = ExplanationSet.merge_all(pieces)
 
         # Matches cut across partitions are implicitly rejected (z = 0); add

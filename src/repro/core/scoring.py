@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.core.canonical import CanonicalRelation
@@ -63,22 +64,32 @@ class Priors:
             raise ValueError(f"alpha must be in (0.5, 1], got {self.alpha}")
         if not 0.5 < self.beta <= 1.0:
             raise ValueError(f"beta must be in (0.5, 1], got {self.beta}")
+        # The log-space constants are consumed once per canonical tuple in the
+        # scoring and MILP hot loops; compute them once at construction (the
+        # dataclass is frozen, so alpha/beta can never change afterwards).
+        object.__setattr__(self, "_removed", math.log(_clamp(1.0 - self.alpha)))
+        object.__setattr__(
+            self, "_kept_unchanged", math.log(_clamp(self.alpha)) + math.log(_clamp(self.beta))
+        )
+        object.__setattr__(
+            self, "_kept_changed", math.log(_clamp(self.alpha)) + math.log(_clamp(1.0 - self.beta))
+        )
 
     # -- the log-space constants of Equation (8) -----------------------------------
     @property
     def removed(self) -> float:
         """``a = log(1 - alpha)``: tuple is a provenance-based explanation."""
-        return math.log(_clamp(1.0 - self.alpha))
+        return self._removed
 
     @property
     def kept_unchanged(self) -> float:
         """``log(alpha) + log(beta)``: tuple kept with its original impact."""
-        return math.log(_clamp(self.alpha)) + math.log(_clamp(self.beta))
+        return self._kept_unchanged
 
     @property
     def kept_changed(self) -> float:
         """``log(alpha) + log(1 - beta)``: tuple kept, impact corrected (value explanation)."""
-        return math.log(_clamp(self.alpha)) + math.log(_clamp(1.0 - self.beta))
+        return self._kept_changed
 
 
 @dataclass(frozen=True)
@@ -90,8 +101,16 @@ class MatchLogProbability:
 
     @classmethod
     def of(cls, probability: float) -> "MatchLogProbability":
-        probability = _clamp(probability)
-        return cls(math.log(probability), math.log(1.0 - probability))
+        return _match_log_terms(probability)
+
+
+@lru_cache(maxsize=1 << 16)
+def _match_log_terms(probability: float) -> MatchLogProbability:
+    """Memoized construction: match probabilities repeat heavily (calibration
+    buckets them), and ``of`` is called per match in scoring, MILP building and
+    partition merging."""
+    probability = _clamp(probability)
+    return MatchLogProbability(math.log(probability), math.log(1.0 - probability))
 
 
 class ExplanationScorer:

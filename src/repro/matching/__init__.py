@@ -27,6 +27,12 @@ from repro.matching.similarity import (
     value_similarity,
 )
 from repro.matching.blocking import TokenBlocker, all_pairs
+from repro.matching.features import (
+    BatchScorer,
+    TupleFeatureCache,
+    batch_similarity,
+    pair_similarity,
+)
 from repro.matching.tuple_matching import (
     CandidateMatch,
     TupleMatch,
@@ -47,6 +53,10 @@ __all__ = [
     "combined_similarity",
     "TokenBlocker",
     "all_pairs",
+    "TupleFeatureCache",
+    "BatchScorer",
+    "batch_similarity",
+    "pair_similarity",
     "CandidateMatch",
     "TupleMatch",
     "TupleMapping",

@@ -3,6 +3,12 @@
 Section 5.1.2 of the paper uses token-wise Jaccard similarity for string
 attributes, normalized Euclidean distance for numeric attributes, and the mean
 over matched attributes as the combined tuple similarity.
+
+The functions here are the *scalar reference* implementations: they tokenize
+their arguments on every call.  The candidate-generation hot path instead
+caches token sets and numeric columns once per tuple and scores whole blocks
+of pairs in one vectorized shot -- see :mod:`repro.matching.features`, whose
+results are bit-identical to these functions.
 """
 
 from __future__ import annotations

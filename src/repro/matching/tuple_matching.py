@@ -11,16 +11,22 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, NamedTuple, Sequence
+
+import numpy as np
 
 from repro.matching.attribute_match import AttributeMatching
-from repro.matching.blocking import TokenBlocker, all_pairs
-from repro.matching.similarity import combined_similarity
+from repro.matching.blocking import TokenBlocker
+from repro.matching.features import BatchScorer, TupleFeatureCache
 
 
-@dataclass(frozen=True)
-class CandidateMatch:
-    """A scored candidate pair before probability calibration."""
+class CandidateMatch(NamedTuple):
+    """A scored candidate pair before probability calibration.
+
+    A ``NamedTuple`` rather than a dataclass: candidate generation constructs
+    one per surviving pair, and tuple construction is several times cheaper
+    than a frozen dataclass's ``__init__``.
+    """
 
     left_key: str
     right_key: str
@@ -56,6 +62,8 @@ class TupleMapping:
         self._by_left: dict[str, list[TupleMatch]] = defaultdict(list)
         self._by_right: dict[str, list[TupleMatch]] = defaultdict(list)
         self._pairs: set[tuple[str, str]] = set()
+        self._probability: dict[tuple[str, str], float] = {}
+        self._pairs_view: frozenset[tuple[str, str]] | None = None
         for match in matches:
             self.add(match)
 
@@ -78,6 +86,8 @@ class TupleMapping:
             return
         self._matches.append(match)
         self._pairs.add(match.pair)
+        self._probability[match.pair] = match.probability
+        self._pairs_view = None
         self._by_left[match.left_key].append(match)
         self._by_right[match.right_key].append(match)
 
@@ -86,8 +96,11 @@ class TupleMapping:
     def matches(self) -> tuple[TupleMatch, ...]:
         return tuple(self._matches)
 
-    def pairs(self) -> set[tuple[str, str]]:
-        return set(self._pairs)
+    def pairs(self) -> frozenset[tuple[str, str]]:
+        """A frozen view of all (left, right) pairs, cached between mutations."""
+        if self._pairs_view is None:
+            self._pairs_view = frozenset(self._pairs)
+        return self._pairs_view
 
     def for_left(self, key: str) -> tuple[TupleMatch, ...]:
         return tuple(self._by_left.get(key, ()))
@@ -102,10 +115,7 @@ class TupleMapping:
         return set(self._by_right.keys())
 
     def probability(self, left_key: str, right_key: str) -> float | None:
-        for match in self._by_left.get(left_key, ()):
-            if match.right_key == right_key:
-                return match.probability
-        return None
+        return self._probability.get((left_key, right_key))
 
     def filtered(self, predicate: Callable[[TupleMatch], bool]) -> "TupleMapping":
         return TupleMapping(match for match in self._matches if predicate(match))
@@ -141,6 +151,7 @@ def generate_candidates(
     *,
     min_similarity: float = 0.0,
     use_blocking: bool = True,
+    block_threshold: int = 10_000,
 ) -> list[CandidateMatch]:
     """Score candidate pairs of canonical tuples by combined similarity.
 
@@ -148,22 +159,60 @@ def generate_candidates(
     ``values`` mapping (both :class:`~repro.relational.provenance.ProvenanceTuple`
     and :class:`~repro.core.canonical.CanonicalTuple` qualify).  Pairs scoring
     at or below ``min_similarity`` are dropped.
+
+    Features (token sets, numeric columns) are cached once per tuple and all
+    candidate pairs are scored in one vectorized batch; blocking engages when
+    the cross product exceeds ``block_threshold`` pairs.  The blocker is exact
+    (see :class:`~repro.matching.blocking.TokenBlocker`), so the result is
+    identical to scoring every pair.
     """
     attribute_pairs = attribute_matches.attribute_pairs()
     left_values = [t.values for t in left_tuples]
     right_values = [t.values for t in right_tuples]
-
-    if use_blocking and len(left_tuples) * len(right_tuples) > 10_000:
-        blocker = TokenBlocker(attribute_pairs)
-        pair_iter = blocker.candidate_pairs(left_values, right_values)
-    else:
-        pair_iter = all_pairs(left_values, right_values)
+    left_features = TupleFeatureCache(left_values, [pair[0] for pair in attribute_pairs])
+    right_features = TupleFeatureCache(right_values, [pair[1] for pair in attribute_pairs])
+    left_keys = np.asarray([t.key for t in left_tuples], dtype=object)
+    right_keys = np.asarray([t.key for t in right_tuples], dtype=object)
 
     candidates: list[CandidateMatch] = []
-    for i, j in pair_iter:
-        similarity = combined_similarity(left_values[i], right_values[j], attribute_pairs)
-        if similarity > min_similarity:
-            candidates.append(
-                CandidateMatch(left_tuples[i].key, right_tuples[j].key, similarity)
+    scorer = BatchScorer(left_features, right_features, attribute_pairs)
+
+    def score_pairs(ii: np.ndarray, jj: np.ndarray) -> None:
+        similarities = scorer.score(ii, jj)
+        keep = np.flatnonzero(similarities > min_similarity)
+        if keep.size:
+            candidates.extend(
+                map(
+                    CandidateMatch,
+                    left_keys[ii[keep]].tolist(),
+                    right_keys[jj[keep]].tolist(),
+                    similarities[keep].tolist(),
+                )
             )
+
+    if use_blocking and len(left_tuples) * len(right_tuples) > block_threshold:
+        blocker = TokenBlocker(attribute_pairs)
+        ii, jj = blocker.candidate_pair_arrays(
+            left_values,
+            right_values,
+            left_features=left_features,
+            right_features=right_features,
+        )
+        score_pairs(ii, jj)
+    elif len(left_tuples) and len(right_tuples):
+        # Unblocked cross product: score in bounded row-major chunks so the
+        # pair index arrays (and their sparse intermediates) never hold more
+        # than ~1M pairs at once, keeping memory proportional to the output.
+        num_right = len(right_tuples)
+        rows_per_chunk = max(1, _UNBLOCKED_PAIR_CHUNK // num_right)
+        for row_start in range(0, len(left_tuples), rows_per_chunk):
+            rows = np.arange(
+                row_start, min(row_start + rows_per_chunk, len(left_tuples)), dtype=np.intp
+            )
+            ii = np.repeat(rows, num_right)
+            jj = np.tile(np.arange(num_right, dtype=np.intp), len(rows))
+            score_pairs(ii, jj)
     return candidates
+
+
+_UNBLOCKED_PAIR_CHUNK = 1 << 20

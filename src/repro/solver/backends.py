@@ -63,6 +63,10 @@ class HighsSolver:
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
 
+    def clone(self) -> "HighsSolver":
+        """A fresh, identically configured instance for a parallel worker."""
+        return HighsSolver(time_limit=self.time_limit, mip_rel_gap=self.mip_rel_gap)
+
     def solve(self, model: MILPModel) -> MILPSolution:
         arrays = model.to_arrays()
         n = model.num_variables
@@ -102,11 +106,20 @@ class BnBSolverBackend:
     """Adapter exposing :class:`BranchAndBoundSolver` through the common interface."""
 
     def __init__(self, **kwargs):
+        self._kwargs = dict(kwargs)
         self._solver = BranchAndBoundSolver(**kwargs)
 
     @property
     def stats(self):
         return self._solver.stats
+
+    def clone(self) -> "BnBSolverBackend":
+        """A fresh instance for a parallel worker.
+
+        The underlying branch-and-bound solver mutates its ``stats`` during a
+        solve, so concurrent partitions must not share one instance.
+        """
+        return BnBSolverBackend(**self._kwargs)
 
     def solve(self, model: MILPModel) -> MILPSolution:
         values, objective = self._solver.solve(model)

@@ -56,22 +56,28 @@ class BranchAndBoundSolver:
         self.stats = BranchAndBoundStats()
 
     # -- helpers ------------------------------------------------------------------
-    def _most_fractional(self, values: np.ndarray, integral_indices: list[int]) -> Optional[int]:
-        """Index of the integral variable whose value is farthest from integer."""
-        best_index = None
-        best_distance = self.integrality_tolerance
-        for index in integral_indices:
-            value = values[index]
-            distance = abs(value - round(value))
-            if distance > best_distance:
-                best_distance = distance
-                best_index = index
-        return best_index
+    def _most_fractional(self, values: np.ndarray, integral_indices) -> Optional[int]:
+        """Index of the integral variable whose value is farthest from integer.
 
-    def _round_solution(self, values: np.ndarray, integral_indices: list[int]) -> np.ndarray:
+        Vectorized: ``argmax`` of the per-variable distances to the nearest
+        integer, matching the scalar loop (first index wins ties; ``None``
+        when every distance is within the integrality tolerance).
+        """
+        indices = np.asarray(integral_indices, dtype=np.intp)
+        if indices.size == 0:
+            return None
+        integral_values = values[indices]
+        distances = np.abs(integral_values - np.round(integral_values))
+        best = int(np.argmax(distances))
+        if distances[best] <= self.integrality_tolerance:
+            return None
+        return int(indices[best])
+
+    def _round_solution(self, values: np.ndarray, integral_indices) -> np.ndarray:
         rounded = np.array(values, dtype=float)
-        for index in integral_indices:
-            rounded[index] = round(rounded[index])
+        indices = np.asarray(integral_indices, dtype=np.intp)
+        if indices.size:
+            rounded[indices] = np.round(rounded[indices])
         return rounded
 
     # -- main entry point ---------------------------------------------------------
@@ -83,7 +89,7 @@ class BranchAndBoundSolver:
         """
         self.stats = BranchAndBoundStats()
         arrays = model.to_arrays()
-        integral_indices = model.integral_indices()
+        integral_indices = np.asarray(model.integral_indices(), dtype=np.intp)
         maximize = model.objective_sense is ObjectiveSense.MAXIMIZE
 
         def better(candidate: float, incumbent: float) -> bool:
