@@ -1,0 +1,156 @@
+"""Service-layer benchmark: cold vs warm request throughput.
+
+Simulates the workload the service layer exists for -- a practitioner probing
+the *same* dataset pair with many successive requests (repeats plus config
+perturbations).  Three passes run over the same request sequence:
+
+* **direct** -- one-shot ``Explain3D.explain()`` per request (the pre-service
+  baseline: every request redoes provenance, tokenization, matching);
+* **cold**   -- a fresh :class:`ExplainService` seeing the sequence for the
+  first time (artifact caches fill as it goes);
+* **warm**   -- the same service seeing the sequence again (report-cache hits).
+
+Result equivalence between the direct and the served reports is asserted for
+every request, so a reported speedup is always for identical output.  Results
+(including cache hit/miss counters) go to ``BENCH_service.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.explain3d import Explain3D, Explain3DConfig
+from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+from repro.service import ExplainRequest, ExplainService
+
+RESULT_PATH = ROOT / "BENCH_service.json"
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _reports_equal(a, b) -> bool:
+    return (
+        a.explanations.explanation_identities() == b.explanations.explanation_identities()
+        and a.explanations.evidence_pairs() == b.explanations.evidence_pairs()
+        and abs(a.explanations.objective - b.explanations.objective) < 1e-9
+    )
+
+
+def build_workload(num_tuples: int = 300):
+    """One dataset pair + a request mix of repeats and config perturbations."""
+    pair = generate_synthetic_pair(
+        SyntheticConfig(num_tuples=num_tuples, difference_ratio=0.2, vocabulary_size=500)
+    )
+    base = Explain3DConfig(partitioning="smart", batch_size=100)
+    configs = [
+        base,
+        Explain3DConfig(partitioning="smart", batch_size=100),        # exact repeat
+        Explain3DConfig(partitioning="smart", batch_size=150),        # solve perturbation
+        Explain3DConfig(partitioning="smart", batch_size=100,
+                        min_similarity=0.1),                          # linkage perturbation
+        Explain3DConfig(partitioning="components"),                   # solve perturbation
+        base,                                                         # exact repeat
+    ]
+    requests = [
+        ExplainRequest(
+            pair.query_left, "left", pair.query_right, "right",
+            attribute_matches=pair.attribute_matches, config=config,
+        )
+        for config in configs
+    ]
+    return pair, requests
+
+
+def run_direct(pair, requests):
+    """The pre-service baseline: every request is a full one-shot pipeline."""
+    reports = []
+    start = time.perf_counter()
+    for request in requests:
+        engine = Explain3D(request.config)
+        reports.append(
+            engine.explain(
+                pair.query_left, pair.db_left, pair.query_right, pair.db_right,
+                attribute_matches=pair.attribute_matches,
+            )
+        )
+    return time.perf_counter() - start, reports
+
+
+def run_served(service, requests):
+    reports = []
+    start = time.perf_counter()
+    for request in requests:
+        reports.append(service.explain(request).report)
+    return time.perf_counter() - start, reports
+
+
+def main() -> dict:
+    pair, requests = build_workload()
+
+    direct_seconds, direct_reports = run_direct(pair, requests)
+
+    service = ExplainService()
+    service.register_database(pair.db_left, "left")
+    service.register_database(pair.db_right, "right")
+    cold_seconds, cold_reports = run_served(service, requests)
+    cold_stats = service.stats()
+    warm_seconds, warm_reports = run_served(service, requests)
+    warm_stats = service.stats()
+
+    for index, direct_report in enumerate(direct_reports):
+        if not _reports_equal(direct_report, cold_reports[index]):
+            raise AssertionError(f"request {index}: cold service report diverges from direct")
+        if not _reports_equal(direct_report, warm_reports[index]):
+            raise AssertionError(f"request {index}: warm service report diverges from direct")
+
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    results = {
+        "workload": {
+            "dataset": pair.name,
+            "requests_per_pass": len(requests),
+            "distinct_reports": len({id(r) for r in warm_reports}),
+        },
+        "direct_seconds": round(direct_seconds, 6),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_vs_direct_speedup": round(direct_seconds / cold_seconds, 2) if cold_seconds else None,
+        "warm_vs_cold_speedup": round(warm_speedup, 2),
+        "cache_stats_after_cold": cold_stats["caches"],
+        "cache_stats_after_warm": warm_stats["caches"],
+        "reports_equivalent": True,
+    }
+
+    print(
+        f"[service] {len(requests)} requests: direct {direct_seconds:.4f}s, "
+        f"cold service {cold_seconds:.4f}s "
+        f"({results['cold_vs_direct_speedup']}x vs direct), "
+        f"warm service {warm_seconds:.4f}s ({results['warm_vs_cold_speedup']}x vs cold)"
+    )
+    report_stats = warm_stats["caches"]["report"]
+    print(
+        f"[service] report cache: {report_stats['hits']} hits / "
+        f"{report_stats['misses']} misses; "
+        f"candidates cache: {warm_stats['caches']['candidates']['hits']} hits"
+    )
+
+    if warm_speedup < MIN_WARM_SPEEDUP:
+        raise AssertionError(
+            f"warm pass only {warm_speedup:.2f}x faster than cold "
+            f"(acceptance floor is {MIN_WARM_SPEEDUP}x)"
+        )
+
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,10 @@ The public API re-exports the pieces most users need:
   builders) to express the two disagreeing queries;
 * :func:`matching` and :class:`SemanticRelation` to declare attribute matches;
 * the baselines and dataset generators used by the benchmark harness live in
-  :mod:`repro.baselines`, :mod:`repro.datasets` and :mod:`repro.evaluation`.
+  :mod:`repro.baselines`, :mod:`repro.datasets` and :mod:`repro.evaluation`;
+* the long-lived explanation service (register databases once, serve many
+  requests with content-addressed artifact caching, async jobs and a JSON
+  HTTP API) lives in :mod:`repro.service` (``python -m repro.service``).
 """
 
 from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport

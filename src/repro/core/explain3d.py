@@ -18,8 +18,9 @@ Stage 3 (pattern summarization).
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.core.explanations import ExplanationSet
@@ -99,6 +100,85 @@ class ExplanationReport:
         )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """Machine-readable report: the payload of the service layer's JSON API.
+
+        Everything is JSON-safe (numpy scalars are unwrapped, unknown value
+        types fall back to ``str``); ``json.dumps(report.to_dict())`` always
+        succeeds.
+        """
+        problem = self.problem
+        return _json_safe(
+            {
+                "query_left": {
+                    "name": problem.query_left.name if problem.query_left else None,
+                    "result": problem.result_left,
+                },
+                "query_right": {
+                    "name": problem.query_right.name if problem.query_right else None,
+                    "result": problem.result_right,
+                },
+                "disagreement": problem.disagreement,
+                "statistics": problem.statistics(),
+                "explanations": {
+                    "objective": self.explanations.objective,
+                    "provenance": [
+                        {"side": e.side.value, "key": e.key} for e in self.explanations.provenance
+                    ],
+                    "value": [
+                        {
+                            "side": e.side.value,
+                            "key": e.key,
+                            "old_impact": e.old_impact,
+                            "new_impact": e.new_impact,
+                        }
+                        for e in self.explanations.value
+                    ],
+                    "evidence": [
+                        {
+                            "left": m.left_key,
+                            "right": m.right_key,
+                            "probability": m.probability,
+                            "similarity": m.similarity,
+                        }
+                        for m in self.evidence
+                    ],
+                },
+                "summary": {
+                    "patterns": [
+                        {
+                            "side": p.side.value,
+                            "conditions": [list(condition) for condition in p.conditions],
+                            "covered_targets": p.covered_targets,
+                            "covered_others": p.covered_others,
+                            "precision": p.precision,
+                        }
+                        for p in self.summary.patterns
+                    ],
+                    "residual_keys": [list(residual) for residual in self.summary.residual_keys],
+                },
+                "stats": asdict(self.stats),
+                "timings": dict(self.timings),
+            }
+        )
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The report serialized as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _json_safe(value):
+    """Recursively convert a report structure into plain JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(item) for item in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return _json_safe(value.item())
+    return str(value)
+
 
 class Explain3D:
     """The three-stage Explain3D framework (Section 3) with smart partitioning (Section 4)."""
@@ -134,9 +214,16 @@ class Explain3D:
         )
 
     # -- stages 2 and 3 ------------------------------------------------------------------
-    def explain_problem(self, problem: ExplainProblem) -> ExplanationReport:
-        """Stages 2-3 for an already constructed problem."""
-        timings: dict[str, float] = {}
+    def explain_problem(
+        self, problem: ExplainProblem, *, stage1_seconds: float = 0.0
+    ) -> ExplanationReport:
+        """Stages 2-3 for an already constructed problem.
+
+        ``stage1_seconds`` records how long the caller spent building the
+        problem, so end-to-end timings stay consistent however Stage 1 ran
+        (inline, cached, or injected).
+        """
+        timings: dict[str, float] = {"stage1": stage1_seconds}
 
         solve_start = time.perf_counter()
         solver = PartitionedSolver(problem, self.config.solve_config())
@@ -152,6 +239,9 @@ class Explain3D:
             )
             timings["summarize"] = time.perf_counter() - summarize_start
 
+        # Compute the total exactly once, after every stage key exists --
+        # mutating it afterwards (the old `+= build_time`) desyncs it from
+        # the per-stage keys.
         timings["total"] = sum(timings.values())
         return ExplanationReport(
             problem=problem,
@@ -185,8 +275,4 @@ class Explain3D:
             labeled_pairs=labeled_pairs,
         )
         build_time = time.perf_counter() - build_start
-
-        report = self.explain_problem(problem)
-        report.timings["stage1"] = build_time
-        report.timings["total"] += build_time
-        return report
+        return self.explain_problem(problem, stage1_seconds=build_time)

@@ -18,8 +18,14 @@ from repro.core.scoring import Priors
 from repro.graphs.bipartite import MatchGraph, Side
 from repro.matching.attribute_match import AttributeMatching
 from repro.matching.calibration import calibrate_matches
+from repro.matching.features import TupleFeatureCache
 from repro.matching.schema_matcher import infer_attribute_matches
-from repro.matching.tuple_matching import TupleMapping, TupleMatch, generate_candidates
+from repro.matching.tuple_matching import (
+    CandidateMatch,
+    TupleMapping,
+    TupleMatch,
+    generate_candidates,
+)
 from repro.relational.executor import Database, scalar_result
 from repro.relational.provenance import ProvenanceRelation, provenance_relation
 from repro.relational.query import Query
@@ -27,6 +33,29 @@ from repro.relational.query import Query
 
 class NotComparableError(ValueError):
     """Raised when two queries share no attribute match (Definition 2.2)."""
+
+
+@dataclass
+class Stage1Artifacts:
+    """Reusable Stage-1 byproducts, used as an in/out parameter of :func:`build_problem`.
+
+    Any field left ``None`` is computed as usual and *stored back*, so a
+    long-lived caller (the service layer) can harvest the artifacts of a cold
+    build and inject them into later builds against the same databases:
+
+    * ``provenance_left`` / ``provenance_right`` skip query re-execution;
+    * ``left_features`` / ``right_features`` skip re-tokenization (validated
+      against the canonical tuples, rebuilt when stale);
+    * ``candidates`` are the *unfiltered* scored candidate matches -- they are
+      independent of ``min_similarity``, which is applied per request, so one
+      scored list serves similarity-threshold perturbations too.
+    """
+
+    provenance_left: ProvenanceRelation | None = None
+    provenance_right: ProvenanceRelation | None = None
+    left_features: TupleFeatureCache | None = None
+    right_features: TupleFeatureCache | None = None
+    candidates: list[CandidateMatch] | None = None
 
 
 @dataclass
@@ -80,6 +109,44 @@ class ExplainProblem:
         )
 
 
+def _scored_candidates(
+    canonical_left: CanonicalRelation,
+    canonical_right: CanonicalRelation,
+    attribute_matches: AttributeMatching,
+    artifacts: Stage1Artifacts,
+) -> list[CandidateMatch]:
+    """The unfiltered scored candidate list, reusing/harvesting ``artifacts``.
+
+    Scoring with a ``-inf`` threshold keeps every pair the (exact) blocker
+    emits, so the list can be filtered down to any requested
+    ``min_similarity`` afterwards without rescoring.  Feature caches are
+    validated against the canonical tuples and rebuilt when stale, then
+    stored back for the next request.
+    """
+    attribute_pairs = attribute_matches.attribute_pairs()
+    left_attrs = [pair[0] for pair in attribute_pairs]
+    right_attrs = [pair[1] for pair in attribute_pairs]
+    left_features = artifacts.left_features
+    if left_features is None or not left_features.covers(len(canonical_left), left_attrs):
+        left_features = TupleFeatureCache.from_tuples(canonical_left.tuples, left_attrs)
+    right_features = artifacts.right_features
+    if right_features is None or not right_features.covers(len(canonical_right), right_attrs):
+        right_features = TupleFeatureCache.from_tuples(canonical_right.tuples, right_attrs)
+    artifacts.left_features = left_features
+    artifacts.right_features = right_features
+
+    if artifacts.candidates is None:
+        artifacts.candidates = generate_candidates(
+            canonical_left.tuples,
+            canonical_right.tuples,
+            attribute_matches,
+            min_similarity=float("-inf"),
+            left_features=left_features,
+            right_features=right_features,
+        )
+    return artifacts.candidates
+
+
 def _similarity_as_probability(candidates) -> TupleMapping:
     """Fallback when no labeled pairs exist: clamp similarity into a probability."""
     mapping = TupleMapping()
@@ -105,6 +172,7 @@ def build_problem(
     min_similarity: float = 0.0,
     min_match_probability: float = 0.0,
     compute_results: bool = True,
+    artifacts: Stage1Artifacts | None = None,
 ) -> ExplainProblem:
     """Run Stage 1 and assemble an :class:`ExplainProblem`.
 
@@ -112,9 +180,23 @@ def build_problem(
     scores into probabilities (Section 5.1.2); when absent, similarities are
     used directly as (clamped) probabilities.  ``tuple_mapping`` overrides the
     whole record-linkage step with an externally supplied initial mapping.
+    ``artifacts`` injects (and harvests) reusable Stage-1 byproducts -- see
+    :class:`Stage1Artifacts`; the produced problem is identical with or
+    without it.
     """
-    provenance_left = provenance_relation(query_left, db_left, label=f"P[{query_left.name}]")
-    provenance_right = provenance_relation(query_right, db_right, label=f"P[{query_right.name}]")
+    if artifacts is not None and artifacts.provenance_left is not None:
+        provenance_left = artifacts.provenance_left
+    else:
+        provenance_left = provenance_relation(query_left, db_left, label=f"P[{query_left.name}]")
+    if artifacts is not None and artifacts.provenance_right is not None:
+        provenance_right = artifacts.provenance_right
+    else:
+        provenance_right = provenance_relation(
+            query_right, db_right, label=f"P[{query_right.name}]"
+        )
+    if artifacts is not None:
+        artifacts.provenance_left = provenance_left
+        artifacts.provenance_right = provenance_right
 
     if attribute_matches is None:
         attribute_matches = infer_attribute_matches(provenance_left, provenance_right)
@@ -128,12 +210,20 @@ def build_problem(
     canonical_right = canonicalize(provenance_right, attribute_matches, Side.RIGHT, label="T2")
 
     if tuple_mapping is None:
-        candidates = generate_candidates(
-            canonical_left.tuples,
-            canonical_right.tuples,
-            attribute_matches,
-            min_similarity=min_similarity,
-        )
+        if artifacts is None:
+            candidates = generate_candidates(
+                canonical_left.tuples,
+                canonical_right.tuples,
+                attribute_matches,
+                min_similarity=min_similarity,
+            )
+        else:
+            candidates = _scored_candidates(
+                canonical_left, canonical_right, attribute_matches, artifacts
+            )
+            # The harvested list is unfiltered; apply the request's threshold
+            # with the same strict comparison the generator uses.
+            candidates = [c for c in candidates if c.similarity > min_similarity]
         if labeled_pairs is not None:
             tuple_mapping = calibrate_matches(
                 candidates,

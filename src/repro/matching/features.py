@@ -81,6 +81,19 @@ class TupleFeatureCache:
         """Build a cache from objects exposing a ``values`` mapping."""
         return cls([t.values for t in tuples], attributes)
 
+    def covers(self, num_tuples: int, attributes: Sequence[str]) -> bool:
+        """Whether this cache can serve ``num_tuples`` tuples over ``attributes``.
+
+        All lookups are by attribute name, so a cache built over a superset of
+        the requested attributes is reusable as-is.  The service layer uses
+        this to validate prebuilt caches before injecting them into candidate
+        generation; the cache itself is picklable, so it can also be spilled
+        to disk and reloaded across processes.
+        """
+        return self.num_tuples == num_tuples and all(
+            name in self._attr_index for name in attributes
+        )
+
     def attribute_position(self, name: str) -> int:
         return self._attr_index[name]
 

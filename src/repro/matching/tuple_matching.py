@@ -152,6 +152,8 @@ def generate_candidates(
     min_similarity: float = 0.0,
     use_blocking: bool = True,
     block_threshold: int = 10_000,
+    left_features: TupleFeatureCache | None = None,
+    right_features: TupleFeatureCache | None = None,
 ) -> list[CandidateMatch]:
     """Score candidate pairs of canonical tuples by combined similarity.
 
@@ -165,12 +167,20 @@ def generate_candidates(
     the cross product exceeds ``block_threshold`` pairs.  The blocker is exact
     (see :class:`~repro.matching.blocking.TokenBlocker`), so the result is
     identical to scoring every pair.
+
+    ``left_features`` / ``right_features`` optionally inject prebuilt
+    :class:`TupleFeatureCache` instances (e.g. reused across service requests);
+    a cache that does not cover the tuples and matched attributes is rebuilt.
     """
     attribute_pairs = attribute_matches.attribute_pairs()
     left_values = [t.values for t in left_tuples]
     right_values = [t.values for t in right_tuples]
-    left_features = TupleFeatureCache(left_values, [pair[0] for pair in attribute_pairs])
-    right_features = TupleFeatureCache(right_values, [pair[1] for pair in attribute_pairs])
+    left_attrs = [pair[0] for pair in attribute_pairs]
+    right_attrs = [pair[1] for pair in attribute_pairs]
+    if left_features is None or not left_features.covers(len(left_values), left_attrs):
+        left_features = TupleFeatureCache(left_values, left_attrs)
+    if right_features is None or not right_features.covers(len(right_values), right_attrs):
+        right_features = TupleFeatureCache(right_values, right_attrs)
     left_keys = np.asarray([t.key for t in left_tuples], dtype=object)
     right_keys = np.asarray([t.key for t in right_tuples], dtype=object)
 

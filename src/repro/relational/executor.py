@@ -8,6 +8,7 @@ construct provenance relations (Definition 2.3).
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from typing import Iterable
 
@@ -59,6 +60,19 @@ class Database:
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations
+
+    def fingerprint(self) -> str:
+        """A stable content hash over all base relations (names included).
+
+        Relation names participate because provenance identifiers embed them:
+        the same rows registered under a different name produce different
+        lineage ids and hence different downstream artifacts.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._relations):
+            digest.update(name.encode())
+            digest.update(self._relations[name].fingerprint().encode())
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         sizes = {name: len(rel) for name, rel in self._relations.items()}

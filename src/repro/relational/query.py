@@ -10,7 +10,8 @@ AST; :mod:`repro.relational.executor` evaluates it.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence
 
 from repro.relational.errors import ExecutionError
@@ -215,6 +216,22 @@ class Query:
     def referenced_relations(self) -> set[str]:
         return self.root.referenced_relations()
 
+    def fingerprint(self) -> str:
+        """A stable content hash of the query (name + full AST).
+
+        The name participates because provenance keys embed it
+        (``"P[Q1]:3"``).  The AST is walked field by field (node reprs are
+        cosmetic and lossy), so every attribute, predicate, group-by list and
+        join condition contributes.  Predicates have deterministic reprs;
+        ad-hoc callable conditions fall back to their default repr, which is
+        only stable within one process (such queries still cache correctly
+        in-memory, they just never share cache entries across processes).
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(repr(_canonical_description(self.root)).encode())
+        return digest.hexdigest()
+
     @property
     def is_aggregate(self) -> bool:
         return isinstance(self.root, Aggregate)
@@ -248,6 +265,23 @@ class Query:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Query({self.name}: {self.root!r})"
+
+
+def _canonical_description(node) -> object:
+    """A lossless, deterministic structure describing a query AST node.
+
+    Unlike the node reprs (cosmetic, and e.g. ``Join.__repr__`` omits the
+    extra condition), this covers every dataclass field recursively.
+    """
+    if isinstance(node, QueryNode):
+        return (type(node).__name__,) + tuple(
+            (f.name, _canonical_description(getattr(node, f.name))) for f in fields(node)
+        )
+    if isinstance(node, (list, tuple)):
+        return tuple(_canonical_description(item) for item in node)
+    if isinstance(node, enum.Enum):
+        return (type(node).__name__, node.value)
+    return repr(node)
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@ query outputs back to the tuples that produced them (Definition 2.3).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -126,6 +127,20 @@ class Relation:
         """Identifier of a base row (only meaningful for base relations)."""
         label = self.name or "R"
         return f"{label}:{index}"
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the relation (schema + rows + lineage).
+
+        Two relations with the same typed schema and the same ordered rows
+        (including their provenance lineage) produce the same fingerprint,
+        regardless of how they were constructed.  The service layer uses this
+        to content-address cached Stage-1 artifacts.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr([str(attribute) for attribute in self.schema]).encode())
+        for row in self._rows:
+            digest.update(repr((row.values, sorted(row.lineage))).encode())
+        return digest.hexdigest()
 
     # -- algebra ------------------------------------------------------------------
     def select(self, predicate) -> "Relation":

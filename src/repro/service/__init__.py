@@ -1,0 +1,63 @@
+"""The explanation service layer: a long-lived engine over the Explain3D pipeline.
+
+This subsystem converts the one-shot pipeline into a request-serving system:
+
+* :mod:`repro.service.engine` -- :class:`ExplainService`, which registers
+  databases once and serves many explain requests, reusing content-addressed
+  Stage-1 artifacts across requests;
+* :mod:`repro.service.cache` -- the LRU artifact cache with fingerprinting,
+  hit/miss statistics and optional disk spill;
+* :mod:`repro.service.jobs` -- the bounded-concurrency async job queue;
+* :mod:`repro.service.api` -- the JSON schema, stdlib HTTP daemon and client.
+
+Run the daemon with ``python -m repro.service``.
+"""
+
+from repro.service.cache import ArtifactCache, CacheRegistry, CacheStats, fingerprint_of
+from repro.service.engine import (
+    ExplainRequest,
+    ExplainService,
+    ServiceConfig,
+    ServiceResult,
+    UnknownDatabaseError,
+)
+from repro.service.jobs import Job, JobQueue, JobState
+from repro.service.api import (
+    ServiceClient,
+    ServiceClientError,
+    SpecError,
+    config_from_spec,
+    database_from_spec,
+    mapping_from_spec,
+    matches_from_spec,
+    query_from_spec,
+    request_from_payload,
+    serve,
+    serve_in_background,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheRegistry",
+    "CacheStats",
+    "fingerprint_of",
+    "ExplainRequest",
+    "ExplainService",
+    "ServiceConfig",
+    "ServiceResult",
+    "UnknownDatabaseError",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ServiceClient",
+    "ServiceClientError",
+    "SpecError",
+    "config_from_spec",
+    "database_from_spec",
+    "mapping_from_spec",
+    "matches_from_spec",
+    "query_from_spec",
+    "request_from_payload",
+    "serve",
+    "serve_in_background",
+]

@@ -1,0 +1,125 @@
+"""Run the explanation service daemon: ``python -m repro.service``.
+
+Options cover the service knobs (cache sizes, disk spill, job concurrency)
+plus ``--self-test``, which boots the daemon on an ephemeral port, drives one
+full register + explain round trip through the HTTP client, validates the
+response shape, and exits -- the CI smoke job runs exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.service.api import ServiceClient, serve, serve_in_background
+from repro.service.engine import ExplainService, ServiceConfig
+
+
+def _build_service(args: argparse.Namespace) -> ExplainService:
+    return ExplainService(
+        ServiceConfig(
+            cache_entries=args.cache_entries,
+            report_cache_entries=args.report_cache_entries,
+            spill_dir=args.spill_dir,
+        )
+    )
+
+
+def self_test() -> int:
+    """Boot the daemon, run one explain request end to end, validate the JSON."""
+    service = ExplainService()
+    server, _ = serve_in_background(service, port=0)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    try:
+        assert client.health()["status"] == "ok"
+        client.register_database(
+            "D1",
+            {
+                "D1": [
+                    {"Program": "Accounting", "Degree": "B.S."},
+                    {"Program": "CS", "Degree": "B.A."},
+                    {"Program": "CS", "Degree": "B.S."},
+                    {"Program": "ECE", "Degree": "B.S."},
+                ]
+            },
+        )
+        client.register_database(
+            "D2",
+            {
+                "D2": [
+                    {"Univ": "A", "Major": "Accounting"},
+                    {"Univ": "A", "Major": "CSE"},
+                    {"Univ": "A", "Major": "ECE"},
+                    {"Univ": "B", "Major": "Art"},
+                ]
+            },
+        )
+        payload = {
+            "database_left": "D1",
+            "query_left": {"name": "Q1", "kind": "count", "relation": "D1",
+                           "attribute": "Program"},
+            "database_right": "D2",
+            "query_right": {
+                "name": "Q2", "kind": "count", "relation": "D2", "attribute": "Major",
+                "where": [{"column": "Univ", "op": "=", "value": "A"}],
+            },
+            "attribute_matches": [["Program", "Major"]],
+            "config": {"partitioning": "none"},
+        }
+        report = client.explain(payload)
+        for key in ("query_left", "query_right", "explanations", "summary",
+                    "stats", "timings", "service"):
+            assert key in report, f"report payload missing {key!r}"
+        assert report["query_left"]["result"] == 4.0
+        assert report["query_right"]["result"] == 3.0
+        assert report["service"]["cached_report"] is False
+        warm = client.explain(payload)
+        assert warm["service"]["cached_report"] is True, "repeat request must hit the cache"
+        job = client.submit_job(payload)
+        final = client.wait_for_job(job["id"])
+        assert final["state"] == "done", f"job failed: {final}"
+        stats = client.stats()
+        assert stats["service"]["requests_served"] >= 3
+        print("service self-test ok: cold + warm + async explain round trips passed")
+        return 0
+    finally:
+        server.shutdown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Explain3D explanation service daemon (JSON over HTTP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8311)
+    parser.add_argument("--job-workers", type=int, default=2,
+                        help="concurrent async explain jobs")
+    parser.add_argument("--cache-entries", type=int, default=128,
+                        help="max in-memory entries per artifact cache")
+    parser.add_argument("--report-cache-entries", type=int, default=256)
+    parser.add_argument("--spill-dir", default=None,
+                        help="directory for disk spill of evicted artifacts")
+    parser.add_argument("--self-test", action="store_true",
+                        help="boot on an ephemeral port, run one request, exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    service = _build_service(args)
+    server = serve(service, host=args.host, port=args.port, job_workers=args.job_workers)
+    host, port = server.server_address[:2]
+    print(f"explain service listening on http://{host}:{port} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

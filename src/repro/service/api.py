@@ -1,0 +1,454 @@
+"""JSON request/response schema and the stdlib-only HTTP daemon.
+
+The wire format is deliberately declarative -- a request names registered
+databases and describes its two queries as small JSON specs that compile into
+the query AST of :mod:`repro.relational.query`:
+
+.. code-block:: json
+
+    {
+      "database_left": "D1",
+      "query_left": {"name": "Q1", "kind": "count", "relation": "D1",
+                     "attribute": "Program"},
+      "database_right": "D2",
+      "query_right": {"name": "Q2", "kind": "count", "relation": "D2",
+                      "attribute": "Major",
+                      "where": [{"column": "Univ", "op": "=", "value": "A"}]},
+      "attribute_matches": [["Program", "Major"]],
+      "config": {"partitioning": "none", "priors": {"alpha": 0.9, "beta": 0.9}}
+    }
+
+Endpoints of the daemon (``python -m repro.service``):
+
+* ``GET  /health``        -- liveness probe;
+* ``GET  /stats``         -- cache + job-queue counters;
+* ``POST /databases``     -- register a database from records;
+* ``POST /explain``       -- synchronous explain, returns the full report;
+* ``POST /jobs``          -- asynchronous explain, returns a job id;
+* ``GET  /jobs/<id>``     -- job status (plus the report once done);
+* ``DELETE /jobs/<id>``   -- cancel a still-queued job.
+
+:class:`ServiceClient` is a thin urllib-based helper mirroring the endpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from dataclasses import fields
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.explain3d import Explain3DConfig
+from repro.core.scoring import Priors
+from repro.graphs.weighting import WeightingParams
+from repro.matching.attribute_match import AttributeMatching, matching
+from repro.matching.tuple_matching import TupleMapping, TupleMatch
+from repro.relational.executor import Database
+from repro.relational.expressions import (
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Predicate,
+)
+from repro.relational.query import (
+    AggregateFunction,
+    Query,
+    Scan,
+    aggregate_query,
+    count_query,
+    projection_query,
+    sum_query,
+)
+from repro.service.engine import ExplainRequest, ExplainService, UnknownDatabaseError
+from repro.service.jobs import JobQueue, JobState
+
+
+class SpecError(ValueError):
+    """Raised when a JSON spec cannot be compiled into pipeline objects."""
+
+
+# ---------------------------------------------------------------------------
+# Spec -> object compilation
+# ---------------------------------------------------------------------------
+
+_COMPARISON_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def predicate_from_spec(conditions: list[dict]) -> Predicate | None:
+    """An ANDed predicate from a list of condition specs (None when empty)."""
+    if not conditions:
+        return None
+    parts: list[Predicate] = []
+    for condition in conditions:
+        if not isinstance(condition, dict) or "column" not in condition:
+            raise SpecError(f"each condition needs a 'column': {condition!r}")
+        column = condition["column"]
+        op = condition.get("op", "=")
+        if op in _COMPARISON_OPS:
+            if "value" not in condition:
+                raise SpecError(f"comparison condition needs a 'value': {condition!r}")
+            part: Predicate = Comparison(column, op, condition["value"])
+        elif op == "in":
+            part = Membership(column, tuple(condition.get("values", ())))
+        elif op == "contains":
+            part = Contains(column, str(condition.get("value", "")))
+        elif op == "is_null":
+            part = IsNull(column)
+        elif op == "not_null":
+            part = IsNull(column, negate=True)
+        else:
+            raise SpecError(f"unsupported condition op {op!r}")
+        if condition.get("negate"):
+            part = Not(part)
+        parts.append(part)
+    result = parts[0]
+    for part in parts[1:]:
+        result = result & part
+    return result
+
+
+def query_from_spec(spec: dict) -> Query:
+    """Compile a JSON query spec into a :class:`~repro.relational.query.Query`."""
+    if not isinstance(spec, dict):
+        raise SpecError(f"query spec must be an object, got {type(spec).__name__}")
+    try:
+        name = spec["name"]
+        relation = spec["relation"]
+    except KeyError as exc:
+        raise SpecError(f"query spec needs {exc.args[0]!r}") from None
+    kind = str(spec.get("kind", "count")).lower()
+    predicate = predicate_from_spec(spec.get("where", []))
+    source = Scan(relation)
+    description = spec.get("description", "")
+    if kind == "count":
+        return count_query(
+            name, source, predicate=predicate, attribute=spec.get("attribute"),
+            description=description,
+        )
+    if kind == "sum":
+        if "attribute" not in spec:
+            raise SpecError("sum query needs an 'attribute'")
+        return sum_query(
+            name, source, spec["attribute"], predicate=predicate, description=description
+        )
+    if kind in ("avg", "max", "min"):
+        if "attribute" not in spec:
+            raise SpecError(f"{kind} query needs an 'attribute'")
+        return aggregate_query(
+            name,
+            AggregateFunction[kind.upper()],
+            source,
+            spec["attribute"],
+            predicate=predicate,
+            description=description,
+        )
+    if kind == "project":
+        attributes = spec.get("attributes")
+        if not attributes:
+            raise SpecError("project query needs 'attributes'")
+        return projection_query(
+            name,
+            source,
+            list(attributes),
+            predicate=predicate,
+            distinct=bool(spec.get("distinct", True)),
+            description=description,
+        )
+    raise SpecError(f"unsupported query kind {kind!r}")
+
+
+def database_from_spec(spec: dict) -> Database:
+    """Build a :class:`Database` from ``{"name": ..., "relations": {name: [records]}}``."""
+    if not isinstance(spec, dict) or "name" not in spec:
+        raise SpecError("database spec needs a 'name'")
+    relations = spec.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise SpecError("database spec needs a non-empty 'relations' object")
+    db = Database(spec["name"])
+    for relation_name, records in relations.items():
+        if not isinstance(records, list):
+            raise SpecError(f"relation {relation_name!r} must be a list of records")
+        db.add_records(relation_name, records)
+    return db
+
+
+def matches_from_spec(spec: list) -> AttributeMatching:
+    """``[["Program", "Major"], ["zip", "county", "<="]]`` -> AttributeMatching."""
+    try:
+        return matching(*[tuple(pair) for pair in spec])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecError(f"bad attribute_matches spec: {exc}") from exc
+
+
+def mapping_from_spec(spec: list) -> TupleMapping:
+    """``[["T1:0", "T2:0", 0.95], ...]`` -> an explicit initial TupleMapping."""
+    mapping = TupleMapping()
+    for entry in spec:
+        if not isinstance(entry, (list, tuple)) or len(entry) < 3:
+            raise SpecError(f"mapping entries are [left, right, probability]: {entry!r}")
+        left, right, probability = entry[0], entry[1], float(entry[2])
+        similarity = float(entry[3]) if len(entry) > 3 else 0.0
+        mapping.add(TupleMatch(str(left), str(right), probability, similarity))
+    return mapping
+
+
+_CONFIG_FIELDS = {f.name for f in fields(Explain3DConfig)}
+
+
+def config_from_spec(spec: dict) -> Explain3DConfig:
+    """Compile config overrides; nested priors/weighting are plain objects."""
+    if not isinstance(spec, dict):
+        raise SpecError("config spec must be an object")
+    kwargs = dict(spec)
+    unknown = set(kwargs) - _CONFIG_FIELDS
+    if unknown:
+        raise SpecError(f"unknown config fields: {sorted(unknown)}")
+    if "solver" in kwargs:
+        raise SpecError("solver backends cannot be configured over the wire")
+    try:
+        if "priors" in kwargs:
+            kwargs["priors"] = Priors(**kwargs["priors"])
+        if "weighting" in kwargs:
+            kwargs["weighting"] = WeightingParams(**kwargs["weighting"])
+        return Explain3DConfig(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"bad config spec: {exc}") from exc
+
+
+def request_from_payload(payload: dict) -> ExplainRequest:
+    """Compile a full JSON request payload into an :class:`ExplainRequest`."""
+    if not isinstance(payload, dict):
+        raise SpecError("request payload must be a JSON object")
+    for key in ("query_left", "database_left", "query_right", "database_right"):
+        if key not in payload:
+            raise SpecError(f"request payload needs {key!r}")
+    labeled = payload.get("labeled_pairs")
+    labeled_pairs = None
+    if labeled:
+        try:
+            labeled_pairs = {(str(a), str(b)) for a, b in labeled}
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"labeled_pairs entries are [left, right] pairs: {exc}") from exc
+    return ExplainRequest(
+        query_left=query_from_spec(payload["query_left"]),
+        database_left=str(payload["database_left"]),
+        query_right=query_from_spec(payload["query_right"]),
+        database_right=str(payload["database_right"]),
+        attribute_matches=(
+            matches_from_spec(payload["attribute_matches"])
+            if payload.get("attribute_matches")
+            else None
+        ),
+        tuple_mapping=(
+            mapping_from_spec(payload["tuple_mapping"])
+            if payload.get("tuple_mapping")
+            else None
+        ),
+        labeled_pairs=labeled_pairs,
+        config=config_from_spec(payload["config"]) if payload.get("config") else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The HTTP daemon
+# ---------------------------------------------------------------------------
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service and its job queue."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: ExplainService, *, job_workers: int = 2):
+        super().__init__(address, _ServiceRequestHandler)
+        self.service = service
+        self.jobs = JobQueue(service.explain, max_workers=job_workers)
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer  # narrowed for type checkers
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep test and daemon output clean
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SpecError("empty request body")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON body: {exc}") from exc
+
+    # -- routes -------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/health":
+            self._send_json({"status": "ok"})
+        elif self.path == "/stats":
+            self._send_json(
+                {"service": self.server.service.stats(), "jobs": self.server.jobs.queue_stats()}
+            )
+        elif self.path.startswith("/jobs/"):
+            self._get_job(self.path.removeprefix("/jobs/"))
+        else:
+            self._send_json({"error": f"unknown path {self.path}"}, status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/databases":
+                spec = self._read_json()
+                db = database_from_spec(spec)
+                fingerprint = self.server.service.register_database(db, db.name)
+                self._send_json({"name": db.name, "fingerprint": fingerprint}, status=201)
+            elif self.path == "/explain":
+                request = request_from_payload(self._read_json())
+                result = self.server.service.explain(request)
+                self._send_json(result.to_dict())
+            elif self.path == "/jobs":
+                request = request_from_payload(self._read_json())
+                job = self.server.jobs.submit(request)
+                self._send_json(job.status(), status=202)
+            else:
+                self._send_json({"error": f"unknown path {self.path}"}, status=404)
+        except SpecError as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except UnknownDatabaseError as exc:
+            self._send_json({"error": str(exc)}, status=404)
+        except Exception as exc:  # noqa: BLE001 - surface pipeline errors as JSON
+            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        if not self.path.startswith("/jobs/"):
+            self._send_json({"error": f"unknown path {self.path}"}, status=404)
+            return
+        job_id = self.path.removeprefix("/jobs/")
+        if self.server.jobs.get(job_id) is None:
+            self._send_json({"error": f"unknown job {job_id}"}, status=404)
+        elif self.server.jobs.cancel(job_id):
+            self._send_json({"id": job_id, "state": JobState.CANCELLED.value})
+        else:
+            self._send_json({"error": f"job {job_id} already started"}, status=409)
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.jobs.get(job_id)
+        if job is None:
+            self._send_json({"error": f"unknown job {job_id}"}, status=404)
+            return
+        payload = job.status()
+        if job.state is JobState.DONE:
+            payload["result"] = job.result.to_dict()
+        self._send_json(payload)
+
+
+def serve(
+    service: ExplainService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8311,
+    job_workers: int = 2,
+) -> ServiceHTTPServer:
+    """Create (but do not start) the HTTP server -- call ``serve_forever()``."""
+    return ServiceHTTPServer((host, port), service, job_workers=job_workers)
+
+
+def serve_in_background(
+    service: ExplainService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    job_workers: int = 2,
+) -> tuple[ServiceHTTPServer, threading.Thread]:
+    """Start the daemon on a background thread (port 0 = ephemeral); returns both."""
+    server = serve(service, host=host, port=port, job_workers=job_workers)
+    thread = threading.Thread(target=server.serve_forever, name="explain-http", daemon=True)
+    thread.start()
+    return server, thread
+
+
+# ---------------------------------------------------------------------------
+# The thin client
+# ---------------------------------------------------------------------------
+
+class ServiceClient:
+    """A stdlib-only client for the explanation service daemon."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, method: str, path: str, payload: dict | None = None) -> dict:
+        data = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                detail = json.loads(body).get("error", body.decode(errors="replace"))
+            except (json.JSONDecodeError, AttributeError):
+                detail = body.decode(errors="replace")
+            raise ServiceClientError(exc.code, detail) from None
+
+    def health(self) -> dict:
+        return self._call("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def register_database(self, name: str, relations: dict[str, list[dict]]) -> dict:
+        return self._call("POST", "/databases", {"name": name, "relations": relations})
+
+    def explain(self, payload: dict) -> dict:
+        return self._call("POST", "/explain", payload)
+
+    def submit_job(self, payload: dict) -> dict:
+        return self._call("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def cancel_job(self, job_id: str) -> dict:
+        return self._call("DELETE", f"/jobs/{job_id}")
+
+    def wait_for_job(self, job_id: str, *, timeout: float = 30.0, poll: float = 0.05) -> dict:
+        """Poll a job until it reaches a terminal state; returns the final status."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if JobState(status["state"]).terminal:
+                return status
+            if _time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} did not finish within {timeout}s")
+            _time.sleep(poll)
+
+
+class ServiceClientError(RuntimeError):
+    """An HTTP error response from the daemon, with status code and detail."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail

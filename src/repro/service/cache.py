@@ -1,0 +1,263 @@
+"""Content-addressed artifact caching for the explanation service.
+
+Every cached artifact is addressed by a *fingerprint*: a stable hash of the
+content that produced it (databases, queries, attribute matches, pipeline
+configuration).  Identical inputs therefore share one cache entry no matter
+how many requests reference them, and any change to an input changes its
+fingerprint, so stale artifacts can never be served.
+
+:class:`ArtifactCache` is a thread-safe LRU map with hit/miss/eviction
+statistics and an optional disk spill directory: entries evicted from memory
+are pickled to disk and transparently reloaded on the next request, which
+keeps warm-cache behaviour across memory pressure (and, for picklable
+artifacts, across processes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields, is_dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+def _canonical(value) -> object:
+    """A deterministic, order-independent description of a value.
+
+    Dicts are sorted by key, sets by repr; dataclasses are expanded field by
+    field; objects exposing their own ``fingerprint()`` delegate to it.
+    Everything else falls back to ``repr`` (deterministic for the value types
+    that flow through the pipeline: str, numbers, tuples, enums).
+    """
+    fingerprint_method = getattr(value, "fingerprint", None)
+    if callable(fingerprint_method) and not isinstance(value, type):
+        return value.fingerprint()
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple((f.name, _canonical(getattr(value, f.name))) for f in fields(value)),
+        )
+    if isinstance(value, dict):
+        return tuple(
+            (repr(key), _canonical(item)) for key, item in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(repr(_canonical(item)) for item in value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    return repr(value)
+
+
+def fingerprint_of(*parts) -> str:
+    """A stable sha256 fingerprint of arbitrary (canonicalizable) parts."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(_canonical(part)).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The LRU artifact cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Counters of one artifact cache (all monotonically increasing)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spill_writes: int = 0
+    spill_loads: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "spill_writes": self.spill_writes,
+            "spill_loads": self.spill_loads,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ArtifactCache:
+    """A thread-safe LRU cache of content-addressed artifacts.
+
+    ``max_entries`` bounds the in-memory entry count; evicted entries are
+    optionally spilled to ``spill_dir`` (pickle files named by fingerprint)
+    and reloaded on demand.  Artifacts that fail to pickle are simply dropped
+    on eviction -- the cache is an accelerator, never a source of truth.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        max_entries: int = 128,
+        spill_dir: str | Path | None = None,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.name = name
+        self.max_entries = max_entries
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- core protocol ------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries.keys())
+
+    def get(self, key: str, default=None):
+        """The cached artifact for ``key``, or ``default`` (counts hit/miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            spilled = self._load_spill(key)
+            if spilled is not _MISSING:
+                self.stats.hits += 1
+                self.stats.spill_loads += 1
+                self._insert(key, spilled)
+                return spilled
+            self.stats.misses += 1
+            return default
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            self._insert(key, value)
+
+    def get_or_compute(self, key: str, factory: Callable[[], object]):
+        """Return the cached artifact, computing and caching it on a miss.
+
+        The factory runs outside the lock, so a slow computation never blocks
+        readers of other keys; concurrent misses of the *same* key may compute
+        twice (both produce identical content-addressed results -- the second
+        insert is a no-op overwrite).
+        """
+        sentinel = self.get(key, _MISSING)
+        if sentinel is not _MISSING:
+            return sentinel
+        value = factory()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries, including this cache's spill files on disk.
+
+        Leaving spill files behind would make "cleared" entries transparently
+        reappear on the next ``get``.
+        """
+        with self._lock:
+            self._entries.clear()
+            if self.spill_dir is not None:
+                for path in self.spill_dir.glob(f"{self.name}-*.pkl"):
+                    path.unlink(missing_ok=True)
+
+    # -- internals ----------------------------------------------------------------
+    def _insert(self, key: str, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            evicted_key, evicted_value = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._write_spill(evicted_key, evicted_value)
+
+    def _spill_path(self, key: str) -> Optional[Path]:
+        if self.spill_dir is None:
+            return None
+        return self.spill_dir / f"{self.name}-{key}.pkl"
+
+    def _write_spill(self, key: str, value) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        try:
+            path.write_bytes(pickle.dumps(value))
+            self.stats.spill_writes += 1
+        except Exception:
+            # Unpicklable artifacts (e.g. reports holding ad-hoc callables)
+            # are dropped; the next request recomputes them.
+            path.unlink(missing_ok=True)
+
+    def _load_spill(self, key: str):
+        path = self._spill_path(key)
+        if path is None or not path.exists():
+            return _MISSING
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            path.unlink(missing_ok=True)
+            return _MISSING
+
+
+class CacheRegistry:
+    """The named artifact caches of one service instance, with combined stats."""
+
+    def __init__(self, *, max_entries: int = 128, spill_dir: str | Path | None = None):
+        self.max_entries = max_entries
+        self.spill_dir = spill_dir
+        self._caches: dict[str, ArtifactCache] = {}
+        self._lock = threading.Lock()
+
+    def cache(self, name: str, *, max_entries: int | None = None) -> ArtifactCache:
+        with self._lock:
+            if name not in self._caches:
+                self._caches[name] = ArtifactCache(
+                    name,
+                    max_entries=max_entries or self.max_entries,
+                    spill_dir=self.spill_dir,
+                )
+            return self._caches[name]
+
+    def caches(self) -> Iterable[ArtifactCache]:
+        with self._lock:
+            return list(self._caches.values())
+
+    def stats(self) -> dict:
+        """Per-cache and aggregate counters, JSON-safe."""
+        per_cache = {cache.name: cache.stats.as_dict() for cache in self.caches()}
+        totals = CacheStats()
+        for cache in self.caches():
+            totals.hits += cache.stats.hits
+            totals.misses += cache.stats.misses
+            totals.evictions += cache.stats.evictions
+            totals.spill_writes += cache.stats.spill_writes
+            totals.spill_loads += cache.stats.spill_loads
+        return {"caches": per_cache, "total": totals.as_dict()}
+
+    def clear(self) -> None:
+        for cache in self.caches():
+            cache.clear()

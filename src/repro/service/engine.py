@@ -1,0 +1,384 @@
+"""The long-lived explanation engine: register databases once, explain many times.
+
+:class:`ExplainService` wraps the one-shot :class:`~repro.core.explain3d.Explain3D`
+pipeline in a service that keeps content-addressed Stage-1 artifacts alive
+across requests:
+
+* **provenance** per (database, query) -- skips query re-execution;
+* **features** per (provenance pair, attribute matches) -- the tokenized
+  :class:`~repro.matching.features.TupleFeatureCache` of each side;
+* **candidates** per (provenance pair, attribute matches) -- the unfiltered
+  scored candidate matches (independent of ``min_similarity``);
+* **problem** per (Stage-1 inputs + linkage config) -- the assembled
+  :class:`~repro.core.problem.ExplainProblem`;
+* **report** per (problem + solve/summarize config) -- the finished
+  :class:`~repro.core.explain3d.ExplanationReport`.
+
+A repeated request is a report-cache hit (no recomputation at all); a request
+that perturbs only the solve configuration reuses the cached problem; one that
+perturbs only the linkage thresholds reuses provenance, features and scored
+candidates.  Responses are identical to a direct ``Explain3D.explain()`` call
+with the same inputs -- the caches inject work, never change it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport
+from repro.core.problem import Stage1Artifacts, build_problem
+from repro.matching.attribute_match import AttributeMatching
+from repro.matching.tuple_matching import TupleMapping
+from repro.relational.executor import Database
+from repro.relational.query import Query
+from repro.service.cache import CacheRegistry, fingerprint_of
+
+
+class UnknownDatabaseError(KeyError):
+    """Raised when a request references a database name never registered."""
+
+    def __init__(self, name: str, known):
+        super().__init__(name)
+        self.name = name
+        self.known = sorted(known)
+
+    def __str__(self) -> str:
+        return f"unknown database {self.name!r} (registered: {self.known})"
+
+
+@dataclass
+class ServiceConfig:
+    """Configuration of one :class:`ExplainService` instance."""
+
+    default_pipeline: Explain3DConfig = field(default_factory=Explain3DConfig)
+    cache_entries: int = 128
+    report_cache_entries: int = 256
+    spill_dir: str | Path | None = None
+
+
+@dataclass
+class ExplainRequest:
+    """One explanation request against registered databases.
+
+    ``database_left`` / ``database_right`` are names previously passed to
+    :meth:`ExplainService.register_database`.  ``config`` overrides the
+    service's default pipeline configuration for this request only.
+    """
+
+    query_left: Query
+    database_left: str
+    query_right: Query
+    database_right: str
+    attribute_matches: AttributeMatching | None = None
+    tuple_mapping: TupleMapping | None = None
+    labeled_pairs: set | None = None
+    config: Explain3DConfig | None = None
+
+
+@dataclass
+class ServiceResult:
+    """A served explanation: the report plus service-level bookkeeping."""
+
+    report: ExplanationReport
+    request_fingerprint: str
+    problem_fingerprint: str
+    cached_report: bool
+    cached_problem: bool
+    service_seconds: float
+
+    def to_dict(self) -> dict:
+        payload = self.report.to_dict()
+        payload["service"] = {
+            "request_fingerprint": self.request_fingerprint,
+            "problem_fingerprint": self.problem_fingerprint,
+            "cached_report": self.cached_report,
+            "cached_problem": self.cached_problem,
+            "service_seconds": self.service_seconds,
+        }
+        return payload
+
+
+class ExplainService:
+    """A long-lived engine serving many explain requests over registered databases."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.caches = CacheRegistry(
+            max_entries=self.config.cache_entries, spill_dir=self.config.spill_dir
+        )
+        self._provenance = self.caches.cache("provenance")
+        self._features = self.caches.cache("features")
+        self._candidates = self.caches.cache("candidates")
+        self._problems = self.caches.cache("problem")
+        self._reports = self.caches.cache(
+            "report", max_entries=self.config.report_cache_entries
+        )
+        self._databases: dict[str, Database] = {}
+        self._db_fingerprints: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._requests_served = 0
+
+    # -- database registry ---------------------------------------------------------
+    def register_database(self, db: Database, name: str | None = None) -> str:
+        """Register (or replace) a database; returns its content fingerprint.
+
+        Re-registering a changed database under the same name changes the
+        fingerprint, so every derived artifact is re-keyed automatically --
+        no explicit invalidation step exists or is needed.
+        """
+        label = name or db.name
+        if not label:
+            raise ValueError("databases must be registered under a non-empty name")
+        fingerprint = db.fingerprint()
+        with self._lock:
+            self._databases[label] = db
+            self._db_fingerprints[label] = fingerprint
+        return fingerprint
+
+    def database(self, name: str) -> Database:
+        with self._lock:
+            if name not in self._databases:
+                raise UnknownDatabaseError(name, self._databases.keys())
+            return self._databases[name]
+
+    def databases(self) -> dict[str, str]:
+        """Registered database names mapped to their fingerprints."""
+        with self._lock:
+            return dict(self._db_fingerprints)
+
+    def _db_fingerprint(self, name: str) -> str:
+        with self._lock:
+            if name not in self._db_fingerprints:
+                raise UnknownDatabaseError(name, self._databases.keys())
+            return self._db_fingerprints[name]
+
+    def _snapshot(self, name: str) -> tuple[Database, str]:
+        """The (database, fingerprint) pair read under one lock acquisition.
+
+        Reading them separately would let a concurrent re-registration pair
+        version-1 rows with the version-2 fingerprint, poisoning every cache
+        keyed off it; a request must see one consistent version throughout.
+        """
+        with self._lock:
+            if name not in self._databases:
+                raise UnknownDatabaseError(name, self._databases.keys())
+            return self._databases[name], self._db_fingerprints[name]
+
+    # -- fingerprint keys ----------------------------------------------------------
+    @staticmethod
+    def _matches_part(matches: AttributeMatching | None) -> object:
+        return tuple(matches.matches) if matches is not None else "auto"
+
+    @staticmethod
+    def _mapping_part(mapping: TupleMapping | None) -> object:
+        return tuple(mapping.matches) if mapping is not None else "auto"
+
+    @staticmethod
+    def _stage1_config_part(config: Explain3DConfig) -> object:
+        """The config fields that shape Stage 1 (problem identity)."""
+        return (
+            config.priors,
+            config.num_buckets,
+            config.min_similarity,
+            config.min_match_probability,
+        )
+
+    @staticmethod
+    def _solver_part(solver) -> object:
+        """Cache-key contribution of a solver backend.
+
+        Keyed by class *and* configuration (``vars``), so differently
+        parameterized instances (e.g. a gap-bounded vs an exact HiGHS) never
+        serve each other's cached reports.  Attributes whose reprs are
+        instance-specific make the key conservative -- a safe miss, never a
+        wrong hit.
+        """
+        if solver is None:
+            return "default"
+        try:
+            state = tuple(sorted((k, repr(v)) for k, v in vars(solver).items()))
+        except TypeError:
+            state = repr(solver)
+        return (type(solver).__name__, state)
+
+    @staticmethod
+    def _solve_config_part(config: Explain3DConfig) -> object:
+        """The config fields that shape the solved report.
+
+        ``workers`` and ``executor`` are deliberately excluded: the parallel
+        and sequential solve paths produce identical results (asserted by the
+        perf-equivalence suite), so perturbing them should hit the report
+        cache rather than resolve.
+        """
+        return (
+            config.partitioning,
+            config.batch_size,
+            config.weighting,
+            config.use_prepartitioning,
+            config.summarize,
+            config.min_summary_precision,
+            ExplainService._solver_part(config.solver),
+        )
+
+    def _problem_key(
+        self, request: ExplainRequest, config: Explain3DConfig, left_fp: str, right_fp: str
+    ) -> str:
+        return fingerprint_of(
+            left_fp,
+            request.query_left,
+            right_fp,
+            request.query_right,
+            self._matches_part(request.attribute_matches),
+            self._mapping_part(request.tuple_mapping),
+            request.labeled_pairs if request.labeled_pairs is not None else "none",
+            self._stage1_config_part(config),
+        )
+
+    def _report_key(self, problem_key: str, config: Explain3DConfig) -> str:
+        return fingerprint_of(problem_key, self._solve_config_part(config))
+
+    # -- the serving path ----------------------------------------------------------
+    def explain(self, request: ExplainRequest) -> ServiceResult:
+        """Serve one request, reusing every cached artifact that applies."""
+        started = time.perf_counter()
+        config = request.config or self.config.default_pipeline
+        # One consistent (database, fingerprint) snapshot per side serves the
+        # whole request, even if a re-registration lands mid-flight.
+        left = self._snapshot(request.database_left)
+        right = self._snapshot(request.database_right)
+        problem_key = self._problem_key(request, config, left[1], right[1])
+        report_key = self._report_key(problem_key, config)
+
+        cached_report = self._reports.get(report_key)
+        if cached_report is not None:
+            with self._lock:
+                self._requests_served += 1
+            return ServiceResult(
+                report=cached_report,
+                request_fingerprint=report_key,
+                problem_fingerprint=problem_key,
+                cached_report=True,
+                cached_problem=True,
+                service_seconds=time.perf_counter() - started,
+            )
+
+        build_start = time.perf_counter()
+        problem = self._problems.get(problem_key)
+        cached_problem = problem is not None
+        if problem is None:
+            problem = self._build_problem(request, config, left, right)
+            self._problems.put(problem_key, problem)
+        build_seconds = time.perf_counter() - build_start
+
+        engine = Explain3D(config)
+        report = engine.explain_problem(problem, stage1_seconds=build_seconds)
+        self._reports.put(report_key, report)
+        with self._lock:
+            self._requests_served += 1
+        return ServiceResult(
+            report=report,
+            request_fingerprint=report_key,
+            problem_fingerprint=problem_key,
+            cached_report=False,
+            cached_problem=cached_problem,
+            service_seconds=time.perf_counter() - started,
+        )
+
+    def _build_problem(
+        self,
+        request: ExplainRequest,
+        config: Explain3DConfig,
+        left: tuple[Database, str],
+        right: tuple[Database, str],
+    ):
+        """Cold problem construction, threading cached Stage-1 artifacts through."""
+        db_left, left_fp = left
+        db_right, right_fp = right
+
+        provenance_key_left = fingerprint_of(left_fp, request.query_left, "L")
+        provenance_key_right = fingerprint_of(right_fp, request.query_right, "R")
+        # Features and scored candidates depend on the provenance pair and the
+        # attribute matches only -- *not* on min_similarity or calibration, so
+        # threshold-perturbed requests reuse them wholesale.
+        linkage_key = fingerprint_of(
+            provenance_key_left,
+            provenance_key_right,
+            self._matches_part(request.attribute_matches),
+        )
+
+        artifacts = Stage1Artifacts(
+            provenance_left=self._provenance.get(provenance_key_left),
+            provenance_right=self._provenance.get(provenance_key_right),
+        )
+        features = self._features.get(linkage_key)
+        if features is not None:
+            artifacts.left_features, artifacts.right_features = features
+        artifacts.candidates = self._candidates.get(linkage_key)
+
+        problem = build_problem(
+            request.query_left,
+            db_left,
+            request.query_right,
+            db_right,
+            attribute_matches=request.attribute_matches,
+            tuple_mapping=request.tuple_mapping,
+            labeled_pairs=request.labeled_pairs,
+            priors=config.priors,
+            num_buckets=config.num_buckets,
+            min_similarity=config.min_similarity,
+            min_match_probability=config.min_match_probability,
+            artifacts=artifacts,
+        )
+
+        # Harvest whatever the build produced for the next request.
+        self._provenance.put(provenance_key_left, artifacts.provenance_left)
+        self._provenance.put(provenance_key_right, artifacts.provenance_right)
+        if artifacts.left_features is not None and artifacts.right_features is not None:
+            self._features.put(
+                linkage_key, (artifacts.left_features, artifacts.right_features)
+            )
+        if artifacts.candidates is not None:
+            self._candidates.put(linkage_key, artifacts.candidates)
+        return problem
+
+    # -- introspection ---------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters: requests served, registered databases, cache stats."""
+        with self._lock:
+            served = self._requests_served
+            databases = dict(self._db_fingerprints)
+        return {
+            "requests_served": served,
+            "databases": databases,
+            **self.caches.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        self.caches.clear()
+
+    # -- conveniences -----------------------------------------------------------------
+    def request(
+        self,
+        query_left: Query,
+        database_left: str,
+        query_right: Query,
+        database_right: str,
+        **kwargs,
+    ) -> ExplainRequest:
+        """Shorthand for building an :class:`ExplainRequest`."""
+        return ExplainRequest(
+            query_left=query_left,
+            database_left=database_left,
+            query_right=query_right,
+            database_right=database_right,
+            **kwargs,
+        )
+
+    def with_config(self, request: ExplainRequest, **overrides) -> ExplainRequest:
+        """A copy of ``request`` with pipeline-config fields overridden."""
+        base = request.config or self.config.default_pipeline
+        return replace(request, config=replace(base, **overrides))

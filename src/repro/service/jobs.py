@@ -1,0 +1,248 @@
+"""Async job queue for the explanation service.
+
+Requests are enqueued as :class:`Job` objects and drained by a bounded pool of
+worker threads (layered on the same threading substrate as the Stage-2 worker
+pools of :mod:`repro.core.partitioning` -- a job's partitions may themselves
+solve in parallel, governed by its ``SolveConfig``).  Jobs expose their
+status, can be cancelled while still queued, and batches can be submitted and
+awaited as a unit.
+
+The queue is deliberately generic over its runner: anything accepting an
+:class:`~repro.service.engine.ExplainRequest`-shaped payload and returning a
+result works, which keeps the queue testable in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One unit of queued work and its lifecycle."""
+
+    id: str
+    request: object
+    state: JobState = JobState.QUEUED
+    result: object = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state; True if it did."""
+        return self._done.wait(timeout)
+
+    def status(self) -> dict:
+        """JSON-safe status snapshot (the ``GET /jobs/<id>`` payload)."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+@dataclass
+class QueueStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+        }
+
+
+class JobQueue:
+    """A bounded-concurrency job queue over a request runner.
+
+    ``runner`` is typically ``ExplainService.explain``.  ``max_workers``
+    bounds how many requests run concurrently; further submissions queue up
+    (FIFO).  Worker threads are daemonic and started lazily on first submit,
+    so constructing a queue is free.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[object], object],
+        *,
+        max_workers: int = 2,
+        max_retained: int = 1024,
+        name: str = "explain-jobs",
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if max_retained < 1:
+            raise ValueError(f"max_retained must be positive, got {max_retained}")
+        self.runner = runner
+        self.max_workers = max_workers
+        self.max_retained = max_retained
+        self.name = name
+        self.stats = QueueStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._counter = itertools.count(1)
+        self._workers: list[threading.Thread] = []
+        self._shutdown = threading.Event()
+
+    # -- submission ---------------------------------------------------------------
+    def submit(self, request) -> Job:
+        """Enqueue one request; returns its :class:`Job` handle immediately."""
+        if self._shutdown.is_set():
+            raise RuntimeError("job queue has been shut down")
+        with self._lock:
+            job = Job(id=f"job-{next(self._counter)}", request=request)
+            self._jobs[job.id] = job
+            self.stats.submitted += 1
+            self._prune_retained()
+        self._queue.put(job)
+        self._ensure_workers()
+        return job
+
+    def _prune_retained(self) -> None:
+        """Drop the oldest *terminal* jobs beyond ``max_retained`` (lock held).
+
+        Finished jobs hold full reports; without pruning, a long-lived daemon
+        would retain one per job forever.  Live (queued/running) jobs are
+        never dropped.
+        """
+        if len(self._jobs) <= self.max_retained:
+            return
+        excess = len(self._jobs) - self.max_retained
+        for job_id in [
+            job.id for job in self._jobs.values() if job.state.terminal
+        ][:excess]:
+            del self._jobs[job_id]
+
+    def submit_batch(self, requests: Sequence) -> list[Job]:
+        """Enqueue a batch; pair with :meth:`wait_all` to await it as a unit."""
+        return [self.submit(request) for request in requests]
+
+    # -- lifecycle ----------------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started yet; False if it already ran."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            self.stats.cancelled += 1
+            job._done.set()
+            return True
+
+    @staticmethod
+    def wait_all(jobs: Sequence[Job], timeout: float | None = None) -> bool:
+        """Wait for every job in the sequence; True if all finished in time."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in jobs:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not job.wait(remaining):
+                return False
+        return True
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queue_stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state.value] = states.get(job.state.value, 0) + 1
+        return {
+            "workers": self.max_workers,
+            "states": states,
+            **self.stats.as_dict(),
+        }
+
+    def shutdown(self, *, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop accepting work; optionally wait for in-flight jobs to settle.
+
+        Still-queued jobs are cancelled (terminal state, ``wait()`` returns)
+        rather than abandoned in a forever-QUEUED limbo.
+        """
+        self._shutdown.set()
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state is JobState.QUEUED:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    self.stats.cancelled += 1
+                    job._done.set()
+        for _ in self._workers:
+            self._queue.put(None)  # wake blocked workers
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout)
+
+    # -- workers ------------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        with self._lock:
+            while len(self._workers) < self.max_workers:
+                worker = threading.Thread(
+                    target=self._drain,
+                    name=f"{self.name}-{len(self._workers)}",
+                    daemon=True,
+                )
+                self._workers.append(worker)
+                worker.start()
+
+    def _drain(self) -> None:
+        while not self._shutdown.is_set():
+            job = self._queue.get()
+            if job is None:
+                break
+            with self._lock:
+                if job.state is not JobState.QUEUED:
+                    continue  # cancelled while waiting
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+            try:
+                job.result = self.runner(job.request)
+            except Exception as exc:  # noqa: BLE001 - job errors must not kill workers
+                with self._lock:
+                    job.state = JobState.FAILED
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finished_at = time.time()
+                    self.stats.failed += 1
+            else:
+                with self._lock:
+                    job.state = JobState.DONE
+                    job.finished_at = time.time()
+                    self.stats.completed += 1
+            finally:
+                job._done.set()

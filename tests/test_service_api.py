@@ -1,0 +1,226 @@
+"""The JSON API: spec compilation, the HTTP daemon, and the client helper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Explain3D, Explain3DConfig, Priors, Scan, col, count_query, matching
+from repro.service import (
+    ExplainService,
+    ServiceClient,
+    ServiceClientError,
+    SpecError,
+    config_from_spec,
+    database_from_spec,
+    mapping_from_spec,
+    query_from_spec,
+    request_from_payload,
+    serve_in_background,
+)
+
+D1_RECORDS = [
+    {"Program": "Accounting", "Degree": "B.S."},
+    {"Program": "CS", "Degree": "B.A."},
+    {"Program": "CS", "Degree": "B.S."},
+    {"Program": "ECE", "Degree": "B.S."},
+    {"Program": "EE", "Degree": "B.S."},
+    {"Program": "Management", "Degree": "B.A."},
+    {"Program": "Design", "Degree": "B.A."},
+]
+D2_RECORDS = [
+    {"Univ": "A", "Major": "Accounting"},
+    {"Univ": "A", "Major": "CSE"},
+    {"Univ": "A", "Major": "ECE"},
+    {"Univ": "A", "Major": "EE"},
+    {"Univ": "A", "Major": "Management"},
+    {"Univ": "A", "Major": "Design"},
+    {"Univ": "B", "Major": "Art"},
+]
+
+EXPLAIN_PAYLOAD = {
+    "database_left": "D1",
+    "query_left": {"name": "Q1", "kind": "count", "relation": "D1", "attribute": "Program"},
+    "database_right": "D2",
+    "query_right": {
+        "name": "Q2",
+        "kind": "count",
+        "relation": "D2",
+        "attribute": "Major",
+        "where": [{"column": "Univ", "op": "=", "value": "A"}],
+    },
+    "attribute_matches": [["Program", "Major"]],
+    "tuple_mapping": [
+        ["T1:0", "T2:0", 0.95],
+        ["T1:1", "T2:1", 0.90],
+        ["T1:2", "T2:2", 0.95],
+        ["T1:3", "T2:3", 0.95],
+        ["T1:4", "T2:4", 0.95],
+        ["T1:5", "T2:5", 0.95],
+    ],
+    "config": {"partitioning": "none", "priors": {"alpha": 0.9, "beta": 0.9}},
+}
+
+
+class TestSpecCompilation:
+    def test_query_spec_matches_builder(self):
+        spec = {
+            "name": "Q2",
+            "kind": "count",
+            "relation": "D2",
+            "attribute": "Major",
+            "where": [{"column": "Univ", "op": "=", "value": "A"}],
+        }
+        built = query_from_spec(spec)
+        reference = count_query(
+            "Q2", Scan("D2"), predicate=(col("Univ") == "A"), attribute="Major"
+        )
+        assert built.fingerprint() == reference.fingerprint()
+
+    def test_query_spec_kinds(self):
+        assert query_from_spec(
+            {"name": "S", "kind": "sum", "relation": "R", "attribute": "v"}
+        ).aggregate_function.value == "SUM"
+        assert query_from_spec(
+            {"name": "A", "kind": "avg", "relation": "R", "attribute": "v"}
+        ).aggregate_function.value == "AVG"
+        projected = query_from_spec(
+            {"name": "P", "kind": "project", "relation": "R", "attributes": ["a", "b"]}
+        )
+        assert projected.output_attributes == ("a", "b")
+
+    def test_query_spec_errors(self):
+        with pytest.raises(SpecError):
+            query_from_spec({"kind": "count", "relation": "R"})  # no name
+        with pytest.raises(SpecError):
+            query_from_spec({"name": "Q", "relation": "R", "kind": "median"})
+        with pytest.raises(SpecError):
+            query_from_spec({"name": "Q", "kind": "sum", "relation": "R"})  # no attribute
+        with pytest.raises(SpecError):
+            query_from_spec(
+                {"name": "Q", "kind": "count", "relation": "R",
+                 "where": [{"column": "x", "op": "regex", "value": "y"}]}
+            )
+
+    def test_database_spec(self):
+        db = database_from_spec({"name": "D1", "relations": {"D1": D1_RECORDS}})
+        assert len(db.relation("D1")) == 7
+        with pytest.raises(SpecError):
+            database_from_spec({"name": "D1"})
+        with pytest.raises(SpecError):
+            database_from_spec({"relations": {"R": []}})
+
+    def test_mapping_and_config_specs(self):
+        mapping = mapping_from_spec([["T1:0", "T2:0", 0.95, 0.8]])
+        match = next(iter(mapping))
+        assert match.probability == 0.95 and match.similarity == 0.8
+        config = config_from_spec({"partitioning": "none", "priors": {"alpha": 0.9, "beta": 0.9}})
+        assert config.partitioning == "none"
+        assert config.priors == Priors(0.9, 0.9)
+        with pytest.raises(SpecError):
+            config_from_spec({"no_such_field": 1})
+        with pytest.raises(SpecError):
+            config_from_spec({"priors": {"alpha": 0.2, "beta": 0.9}})  # invalid prior
+
+    def test_request_payload_requires_all_parts(self):
+        with pytest.raises(SpecError):
+            request_from_payload({"database_left": "D1"})
+
+
+@pytest.fixture(scope="module")
+def running_server():
+    service = ExplainService()
+    server, thread = serve_in_background(service, port=0)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register_database("D1", {"D1": D1_RECORDS})
+    client.register_database("D2", {"D2": D2_RECORDS})
+    yield client
+    server.shutdown()
+
+
+class TestHTTPDaemon:
+    def test_health_and_stats(self, running_server):
+        assert running_server.health() == {"status": "ok"}
+        stats = running_server.stats()
+        assert "service" in stats and "jobs" in stats
+
+    def test_sync_explain_equals_direct_pipeline(self, running_server):
+        payload = running_server.explain(EXPLAIN_PAYLOAD)
+        # rebuild the identical problem directly, bypassing the service
+        from repro import Database, TupleMapping, TupleMatch
+
+        db1 = Database("D1")
+        db1.add_records("D1", D1_RECORDS)
+        db2 = Database("D2")
+        db2.add_records("D2", D2_RECORDS)
+        mapping = TupleMapping(
+            TupleMatch(left, right, probability)
+            for left, right, probability in EXPLAIN_PAYLOAD["tuple_mapping"]
+        )
+        direct = Explain3D(Explain3DConfig(partitioning="none", priors=Priors(0.9, 0.9))).explain(
+            query_from_spec(EXPLAIN_PAYLOAD["query_left"]),
+            db1,
+            query_from_spec(EXPLAIN_PAYLOAD["query_right"]),
+            db2,
+            attribute_matches=matching(("Program", "Major")),
+            tuple_mapping=mapping,
+        )
+        expected = direct.to_dict()
+        assert payload["query_left"]["result"] == 7.0
+        assert payload["query_right"]["result"] == 6.0
+        assert payload["explanations"]["provenance"] == expected["explanations"]["provenance"]
+        assert payload["explanations"]["value"] == expected["explanations"]["value"]
+        assert sorted(
+            (e["left"], e["right"]) for e in payload["explanations"]["evidence"]
+        ) == sorted((e["left"], e["right"]) for e in expected["explanations"]["evidence"])
+        assert payload["summary"]["patterns"] == expected["summary"]["patterns"]
+
+    def test_repeat_request_hits_report_cache(self, running_server):
+        running_server.explain(EXPLAIN_PAYLOAD)
+        warm = running_server.explain(EXPLAIN_PAYLOAD)
+        assert warm["service"]["cached_report"] is True
+
+    def test_async_job_roundtrip(self, running_server):
+        job = running_server.submit_job(EXPLAIN_PAYLOAD)
+        assert job["state"] in ("queued", "running", "done")
+        final = running_server.wait_for_job(job["id"], timeout=30)
+        assert final["state"] == "done"
+        assert final["result"]["query_left"]["result"] == 7.0
+
+    def test_unknown_job_and_path_are_404(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.job("job-99999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server._call("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_payload_is_400(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.explain({"database_left": "D1"})
+        assert excinfo.value.status == 400
+
+    def test_malformed_labeled_pairs_is_400(self, running_server):
+        payload = dict(EXPLAIN_PAYLOAD, labeled_pairs=[["a", "b", "c"]])
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.explain(payload)
+        assert excinfo.value.status == 400  # client error, not a 500
+
+    def test_unknown_database_is_404(self, running_server):
+        payload = dict(EXPLAIN_PAYLOAD, database_left="ghost")
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.explain(payload)
+        assert excinfo.value.status == 404
+
+    def test_cancel_finished_job_is_409(self, running_server):
+        job = running_server.submit_job(EXPLAIN_PAYLOAD)
+        running_server.wait_for_job(job["id"], timeout=30)
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.cancel_job(job["id"])
+        assert excinfo.value.status == 409
+
+    def test_response_is_pure_json(self, running_server):
+        payload = running_server.explain(EXPLAIN_PAYLOAD)
+        json.dumps(payload)  # no exotic types survived serialization
