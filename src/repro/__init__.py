@@ -10,7 +10,10 @@ The public API re-exports the pieces most users need:
   :mod:`repro.baselines`, :mod:`repro.datasets` and :mod:`repro.evaluation`;
 * the long-lived explanation service (register databases once, serve many
   requests with content-addressed artifact caching, async jobs and a JSON
-  HTTP API) lives in :mod:`repro.service` (``python -m repro.service``).
+  HTTP API) lives in :mod:`repro.service` (``python -m repro.service``);
+* :func:`parse_query` turns a real SQL string into a bound :class:`Query`
+  (the full frontend lives in :mod:`repro.sql`; ``python -m repro.sql``
+  parses, validates, pretty-prints and explains from the command line).
 """
 
 from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport
@@ -44,6 +47,7 @@ from repro.relational.query import (
 )
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, DataType, Schema
+from repro.sql import parse_query
 
 __version__ = "1.0.0"
 
@@ -71,6 +75,7 @@ __all__ = [
     "execute",
     "scalar_result",
     "col",
+    "parse_query",
     "Query",
     "Scan",
     "Select",

@@ -40,10 +40,14 @@ class AggregateFunction(enum.Enum):
     def combine(self, values: Sequence[float]) -> float:
         """Apply the aggregate to a sequence of numeric values.
 
-        Values are coerced to float when possible (SQL-style implicit cast), so
-        aggregates work over string columns that hold numbers -- e.g. the
-        ``MovieInfo.info`` attribute of the IMDb view 2 schema.
+        COUNT is value-agnostic: it counts non-NULL entries without touching
+        their types.  The numeric aggregates coerce to float when possible
+        (SQL-style implicit cast), so they work over string columns that hold
+        numbers -- e.g. the ``MovieInfo.info`` attribute of the IMDb view 2
+        schema -- and raise :class:`ExecutionError` otherwise.
         """
+        if self is AggregateFunction.COUNT:
+            return float(sum(1 for value in values if value is not None))
         cleaned = []
         for value in values:
             if value is None:
@@ -51,13 +55,9 @@ class AggregateFunction(enum.Enum):
             try:
                 cleaned.append(float(value))
             except (TypeError, ValueError):
-                if self is not AggregateFunction.COUNT:
-                    raise ExecutionError(
-                        f"{self.value} over non-numeric value {value!r}"
-                    ) from None
-                cleaned.append(value)
-        if self is AggregateFunction.COUNT:
-            return float(len(cleaned))
+                raise ExecutionError(
+                    f"{self.value} over non-numeric value {value!r}"
+                ) from None
         if not cleaned:
             raise ExecutionError(f"{self.value} over an empty input is undefined")
         if self is AggregateFunction.SUM:
@@ -80,6 +80,17 @@ class QueryNode:
         for child in self.children():
             names |= child.referenced_relations()
         return names
+
+    def to_sql(self) -> str:
+        """SQL text for this tree (see :func:`repro.sql.lower.node_to_sql`).
+
+        Re-parsing and re-lowering the printed SQL yields a
+        fingerprint-identical AST; constructs with no SQL form (ad-hoc
+        callable predicates) raise :class:`repro.sql.errors.SqlPrintError`.
+        """
+        from repro.sql.lower import node_to_sql
+
+        return node_to_sql(self)
 
 
 @dataclass(frozen=True)
@@ -231,6 +242,10 @@ class Query:
         digest.update(self.name.encode())
         digest.update(repr(_canonical_description(self.root)).encode())
         return digest.hexdigest()
+
+    def to_sql(self) -> str:
+        """SQL text of the query body (the name lives outside the SQL)."""
+        return self.root.to_sql()
 
     @property
     def is_aggregate(self) -> bool:

@@ -66,6 +66,33 @@ class DataType(enum.Enum):
         return cls.STRING
 
 
+def concat_names(
+    left: Sequence[str], right: Sequence[str]
+) -> tuple[tuple[str, ...], dict[str, str]]:
+    """Join-concatenation name scheme: right-side clashes get ``_r`` suffixes.
+
+    Returns the combined name list plus the rename map of the right side.
+    The single source of truth for both :meth:`Schema.concat` (what the
+    executor produces) and the SQL binder (what predicates must reference).
+    """
+    taken = set(left)
+    combined = list(left)
+    renamed: dict[str, str] = {}
+    for name in right:
+        out = name
+        if name in taken:
+            candidate = f"{name}_r"
+            counter = 2
+            while candidate in taken:
+                candidate = f"{name}_r{counter}"
+                counter += 1
+            out = candidate
+        taken.add(out)
+        combined.append(out)
+        renamed[name] = out
+    return tuple(combined), renamed
+
+
 @dataclass(frozen=True)
 class Attribute:
     """A named, typed attribute of a relation schema."""
@@ -174,23 +201,18 @@ class Schema:
 
         Clashing attribute names on the right-hand side are suffixed with
         ``_r`` (then ``_r2``, ``_r3`` ... if needed), which mirrors what a
-        user would do with SQL aliases.
+        user would do with SQL aliases.  The rename scheme is shared with the
+        SQL binder through :func:`concat_names` so that bound predicates
+        always reference the names the executor actually produces.
         """
-        taken = set(self.names)
-        right: list[Attribute] = []
-        for attr in other:
-            name = attr.name
-            if name in taken:
-                if not disambiguate:
-                    raise SchemaError(f"attribute {name!r} exists on both sides of a join")
-                candidate = f"{name}_r"
-                counter = 2
-                while candidate in taken:
-                    candidate = f"{name}_r{counter}"
-                    counter += 1
-                name = candidate
-            taken.add(name)
-            right.append(attr.renamed(name))
+        if not disambiguate:
+            for attr in other:
+                if attr.name in self._index:
+                    raise SchemaError(
+                        f"attribute {attr.name!r} exists on both sides of a join"
+                    )
+        _, renamed = concat_names(self.names, [attr.name for attr in other])
+        right = [attr.renamed(renamed[attr.name]) for attr in other]
         return Schema(list(self._attributes) + right)
 
     def coerce_row(self, values: Sequence) -> tuple:

@@ -34,6 +34,7 @@ from repro.service.api import (
     request_from_payload,
     serve,
     serve_in_background,
+    source_from_spec,
 )
 
 __all__ = [
@@ -60,4 +61,5 @@ __all__ = [
     "request_from_payload",
     "serve",
     "serve_in_background",
+    "source_from_spec",
 ]

@@ -18,6 +18,23 @@ the query AST of :mod:`repro.relational.query`:
       "config": {"partitioning": "none", "priors": {"alpha": 0.9, "beta": 0.9}}
     }
 
+A query spec may equally be **real SQL** (parsed, bound against the
+registered database and lowered by :mod:`repro.sql`)::
+
+    {"name": "Q2", "sql": "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'"}
+
+or use a **nested source** instead of a flat relation, composing joins,
+unions and differences declaratively::
+
+    {"name": "Q2", "kind": "sum", "attribute": "bach_degr",
+     "source": {"join": {"left": "School", "right": "Stats",
+                         "on": [["ID", "ID"]]}},
+     "where": [{"column": "Univ_name", "op": "=", "value": "UMass-Amherst"}]}
+
+Malformed specs produce structured errors: :class:`SpecError` carries a
+JSON-pointer-style ``path`` ("/query_left/where/0/op") that the daemon
+returns alongside the message.
+
 Endpoints of the daemon (``python -m repro.service``):
 
 * ``GET  /health``        -- liveness probe;
@@ -56,8 +73,13 @@ from repro.relational.expressions import (
 )
 from repro.relational.query import (
     AggregateFunction,
+    Difference,
+    Join,
     Query,
+    QueryNode,
     Scan,
+    Select,
+    Union,
     aggregate_query,
     count_query,
     projection_query,
@@ -65,10 +87,24 @@ from repro.relational.query import (
 )
 from repro.service.engine import ExplainRequest, ExplainService, UnknownDatabaseError
 from repro.service.jobs import JobQueue, JobState
+from repro.sql import SqlError
+from repro.sql import parse_query as parse_sql_query
 
 
 class SpecError(ValueError):
-    """Raised when a JSON spec cannot be compiled into pipeline objects."""
+    """Raised when a JSON spec cannot be compiled into pipeline objects.
+
+    ``path`` is a JSON-pointer-style location of the offending field within
+    the request payload (e.g. ``/query_left/where/0/op``); the daemon returns
+    it alongside the message so clients can highlight the exact field.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+    def to_payload(self) -> dict:
+        return {"error": str(self), "path": self.path}
 
 
 # ---------------------------------------------------------------------------
@@ -78,19 +114,25 @@ class SpecError(ValueError):
 _COMPARISON_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
 
 
-def predicate_from_spec(conditions: list[dict]) -> Predicate | None:
+def predicate_from_spec(conditions: list[dict], path: str = "") -> Predicate | None:
     """An ANDed predicate from a list of condition specs (None when empty)."""
     if not conditions:
         return None
+    if not isinstance(conditions, list):
+        raise SpecError("'where' must be a list of condition objects", path)
     parts: list[Predicate] = []
-    for condition in conditions:
+    for index, condition in enumerate(conditions):
+        here = f"{path}/{index}"
         if not isinstance(condition, dict) or "column" not in condition:
-            raise SpecError(f"each condition needs a 'column': {condition!r}")
+            raise SpecError(f"each condition needs a 'column': {condition!r}", here)
         column = condition["column"]
         op = condition.get("op", "=")
         if op in _COMPARISON_OPS:
             if "value" not in condition:
-                raise SpecError(f"comparison condition needs a 'value': {condition!r}")
+                raise SpecError(
+                    f"comparison condition needs a 'value': {condition!r}",
+                    f"{here}/value",
+                )
             part: Predicate = Comparison(column, op, condition["value"])
         elif op == "in":
             part = Membership(column, tuple(condition.get("values", ())))
@@ -101,7 +143,7 @@ def predicate_from_spec(conditions: list[dict]) -> Predicate | None:
         elif op == "not_null":
             part = IsNull(column, negate=True)
         else:
-            raise SpecError(f"unsupported condition op {op!r}")
+            raise SpecError(f"unsupported condition op {op!r}", f"{here}/op")
         if condition.get("negate"):
             part = Not(part)
         parts.append(part)
@@ -111,18 +153,147 @@ def predicate_from_spec(conditions: list[dict]) -> Predicate | None:
     return result
 
 
-def query_from_spec(spec: dict) -> Query:
-    """Compile a JSON query spec into a :class:`~repro.relational.query.Query`."""
+def source_from_spec(spec, path: str = "") -> QueryNode:
+    """A query-tree source from a spec: a relation name, or a nested object.
+
+    Accepted shapes (exactly one of the object keys)::
+
+        "Movie"                                  -- a base relation
+        {"relation": "Movie"}                    -- the same, spelled out
+        {"join": {"left": ..., "right": ...,
+                  "on": [["m_id", "m_id"]]}}     -- equi-join of two sources
+        {"union": [..., ...]}                    -- n-ary bag union
+        {"difference": {"left": ..., "right": ...,
+                        "on": ["name"]}}         -- anti-join on key columns
+
+    Any object form may carry ``"where": [...]`` to wrap the source in a
+    selection.  Sources nest arbitrarily.
+    """
+    if isinstance(spec, str):
+        return Scan(spec)
     if not isinstance(spec, dict):
-        raise SpecError(f"query spec must be an object, got {type(spec).__name__}")
+        raise SpecError(
+            f"source spec must be a relation name or an object, "
+            f"got {type(spec).__name__}",
+            path,
+        )
+    kinds = [key for key in ("relation", "join", "union", "difference") if key in spec]
+    if len(kinds) != 1:
+        raise SpecError(
+            "source spec needs exactly one of 'relation', 'join', "
+            f"'union', 'difference'; got {sorted(spec)}",
+            path,
+        )
+    kind = kinds[0]
+    node: QueryNode
+    if kind == "relation":
+        node = Scan(str(spec["relation"]))
+    elif kind == "join":
+        body = spec["join"]
+        if not isinstance(body, dict) or "left" not in body or "right" not in body:
+            raise SpecError("'join' needs 'left' and 'right' sources", f"{path}/join")
+        pairs: list[tuple[str, str]] = []
+        for index, pair in enumerate(body.get("on", [])):
+            if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                raise SpecError(
+                    f"join 'on' entries are [left_attr, right_attr] pairs: {pair!r}",
+                    f"{path}/join/on/{index}",
+                )
+            pairs.append((str(pair[0]), str(pair[1])))
+        node = Join(
+            source_from_spec(body["left"], f"{path}/join/left"),
+            source_from_spec(body["right"], f"{path}/join/right"),
+            on=tuple(pairs),
+        )
+    elif kind == "union":
+        body = spec["union"]
+        if not isinstance(body, list) or len(body) < 2:
+            raise SpecError(
+                "'union' needs a list of at least two sources", f"{path}/union"
+            )
+        node = Union(
+            tuple(
+                source_from_spec(member, f"{path}/union/{index}")
+                for index, member in enumerate(body)
+            )
+        )
+    else:  # difference
+        body = spec["difference"]
+        if not isinstance(body, dict) or "left" not in body or "right" not in body:
+            raise SpecError(
+                "'difference' needs 'left' and 'right' sources", f"{path}/difference"
+            )
+        on = body.get("on")
+        if not isinstance(on, list) or not on:
+            raise SpecError(
+                "'difference' needs a non-empty 'on' list of key columns",
+                f"{path}/difference/on",
+            )
+        node = Difference(
+            source_from_spec(body["left"], f"{path}/difference/left"),
+            source_from_spec(body["right"], f"{path}/difference/right"),
+            on=tuple(str(name) for name in on),
+        )
+    inner_where = predicate_from_spec(spec.get("where", []), f"{path}/where")
+    if inner_where is not None:
+        node = Select(node, inner_where)
+    return node
+
+
+def query_from_spec(spec: dict, database=None, path: str = "") -> Query:
+    """Compile a JSON query spec into a :class:`~repro.relational.query.Query`.
+
+    Three spec families are accepted:
+
+    * ``{"sql": "SELECT ..."}`` -- real SQL, parsed and lowered by
+      :mod:`repro.sql` (bound against ``database`` when one is given);
+    * ``{"kind": ..., "relation": ...}`` -- the flat single-relation form;
+    * ``{"kind": ..., "source": {...}}`` -- the same kinds over a nested
+      join/union/difference source tree (:func:`source_from_spec`).
+    """
+    if not isinstance(spec, dict):
+        raise SpecError(
+            f"query spec must be an object, got {type(spec).__name__}", path
+        )
+    if "sql" in spec:
+        conflicting = sorted(
+            {"kind", "relation", "source", "where", "attribute", "attributes",
+             "distinct"} & set(spec)
+        )
+        if conflicting:
+            raise SpecError(
+                f"a 'sql' query spec cannot also carry declarative keys "
+                f"{conflicting}; put the whole query in the SQL string",
+                f"{path}/sql",
+            )
+        name = spec.get("name", "Q")
+        try:
+            return parse_sql_query(
+                str(spec["sql"]),
+                database,
+                name=name,
+                description=spec.get("description", ""),
+            )
+        except SqlError as exc:
+            raise SpecError(f"bad SQL: {exc}", f"{path}/sql") from exc
     try:
         name = spec["name"]
-        relation = spec["relation"]
     except KeyError as exc:
-        raise SpecError(f"query spec needs {exc.args[0]!r}") from None
+        raise SpecError(f"query spec needs {exc.args[0]!r}", path) from None
+    if "relation" in spec and "source" in spec:
+        raise SpecError(
+            "query spec cannot carry both 'relation' and 'source'; "
+            "put the relation inside the source tree",
+            path,
+        )
+    if "relation" in spec:
+        source: QueryNode = Scan(spec["relation"])
+    elif "source" in spec:
+        source = source_from_spec(spec["source"], f"{path}/source")
+    else:
+        raise SpecError("query spec needs 'relation', 'source' or 'sql'", path)
     kind = str(spec.get("kind", "count")).lower()
-    predicate = predicate_from_spec(spec.get("where", []))
-    source = Scan(relation)
+    predicate = predicate_from_spec(spec.get("where", []), f"{path}/where")
     description = spec.get("description", "")
     if kind == "count":
         return count_query(
@@ -131,13 +302,13 @@ def query_from_spec(spec: dict) -> Query:
         )
     if kind == "sum":
         if "attribute" not in spec:
-            raise SpecError("sum query needs an 'attribute'")
+            raise SpecError("sum query needs an 'attribute'", f"{path}/attribute")
         return sum_query(
             name, source, spec["attribute"], predicate=predicate, description=description
         )
     if kind in ("avg", "max", "min"):
         if "attribute" not in spec:
-            raise SpecError(f"{kind} query needs an 'attribute'")
+            raise SpecError(f"{kind} query needs an 'attribute'", f"{path}/attribute")
         return aggregate_query(
             name,
             AggregateFunction[kind.upper()],
@@ -149,7 +320,7 @@ def query_from_spec(spec: dict) -> Query:
     if kind == "project":
         attributes = spec.get("attributes")
         if not attributes:
-            raise SpecError("project query needs 'attributes'")
+            raise SpecError("project query needs 'attributes'", f"{path}/attributes")
         return projection_query(
             name,
             source,
@@ -158,7 +329,7 @@ def query_from_spec(spec: dict) -> Query:
             distinct=bool(spec.get("distinct", True)),
             description=description,
         )
-    raise SpecError(f"unsupported query kind {kind!r}")
+    raise SpecError(f"unsupported query kind {kind!r}", f"{path}/kind")
 
 
 def database_from_spec(spec: dict) -> Database:
@@ -176,20 +347,23 @@ def database_from_spec(spec: dict) -> Database:
     return db
 
 
-def matches_from_spec(spec: list) -> AttributeMatching:
+def matches_from_spec(spec: list, path: str = "") -> AttributeMatching:
     """``[["Program", "Major"], ["zip", "county", "<="]]`` -> AttributeMatching."""
     try:
         return matching(*[tuple(pair) for pair in spec])
     except (KeyError, TypeError, ValueError) as exc:
-        raise SpecError(f"bad attribute_matches spec: {exc}") from exc
+        raise SpecError(f"bad attribute_matches spec: {exc}", path) from exc
 
 
-def mapping_from_spec(spec: list) -> TupleMapping:
+def mapping_from_spec(spec: list, path: str = "") -> TupleMapping:
     """``[["T1:0", "T2:0", 0.95], ...]`` -> an explicit initial TupleMapping."""
     mapping = TupleMapping()
-    for entry in spec:
+    for index, entry in enumerate(spec):
         if not isinstance(entry, (list, tuple)) or len(entry) < 3:
-            raise SpecError(f"mapping entries are [left, right, probability]: {entry!r}")
+            raise SpecError(
+                f"mapping entries are [left, right, probability]: {entry!r}",
+                f"{path}/{index}",
+            )
         left, right, probability = entry[0], entry[1], float(entry[2])
         similarity = float(entry[3]) if len(entry) > 3 else 0.0
         mapping.add(TupleMatch(str(left), str(right), probability, similarity))
@@ -199,16 +373,16 @@ def mapping_from_spec(spec: list) -> TupleMapping:
 _CONFIG_FIELDS = {f.name for f in fields(Explain3DConfig)}
 
 
-def config_from_spec(spec: dict) -> Explain3DConfig:
+def config_from_spec(spec: dict, path: str = "") -> Explain3DConfig:
     """Compile config overrides; nested priors/weighting are plain objects."""
     if not isinstance(spec, dict):
-        raise SpecError("config spec must be an object")
+        raise SpecError("config spec must be an object", path)
     kwargs = dict(spec)
     unknown = set(kwargs) - _CONFIG_FIELDS
     if unknown:
-        raise SpecError(f"unknown config fields: {sorted(unknown)}")
+        raise SpecError(f"unknown config fields: {sorted(unknown)}", path)
     if "solver" in kwargs:
-        raise SpecError("solver backends cannot be configured over the wire")
+        raise SpecError("solver backends cannot be configured over the wire", f"{path}/solver")
     try:
         if "priors" in kwargs:
             kwargs["priors"] = Priors(**kwargs["priors"])
@@ -216,40 +390,67 @@ def config_from_spec(spec: dict) -> Explain3DConfig:
             kwargs["weighting"] = WeightingParams(**kwargs["weighting"])
         return Explain3DConfig(**kwargs)
     except (TypeError, ValueError) as exc:
-        raise SpecError(f"bad config spec: {exc}") from exc
+        raise SpecError(f"bad config spec: {exc}", path) from exc
 
 
-def request_from_payload(payload: dict) -> ExplainRequest:
-    """Compile a full JSON request payload into an :class:`ExplainRequest`."""
+def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainRequest:
+    """Compile a full JSON request payload into an :class:`ExplainRequest`.
+
+    ``database_resolver`` maps a registered database name to its
+    :class:`Database` so SQL query specs bind against the real schema (the
+    daemon passes the service's registry).  A name the resolver cannot serve
+    compiles leniently here and surfaces as an unknown-database error once
+    the request reaches the engine.
+    """
     if not isinstance(payload, dict):
         raise SpecError("request payload must be a JSON object")
     for key in ("query_left", "database_left", "query_right", "database_right"):
         if key not in payload:
-            raise SpecError(f"request payload needs {key!r}")
+            raise SpecError(f"request payload needs {key!r}", f"/{key}")
+
+    def _database(name_key: str):
+        if database_resolver is None:
+            return None
+        try:
+            return database_resolver(str(payload[name_key]))
+        except KeyError:
+            return None
+
     labeled = payload.get("labeled_pairs")
     labeled_pairs = None
     if labeled:
         try:
             labeled_pairs = {(str(a), str(b)) for a, b in labeled}
         except (TypeError, ValueError) as exc:
-            raise SpecError(f"labeled_pairs entries are [left, right] pairs: {exc}") from exc
+            raise SpecError(
+                f"labeled_pairs entries are [left, right] pairs: {exc}",
+                "/labeled_pairs",
+            ) from exc
     return ExplainRequest(
-        query_left=query_from_spec(payload["query_left"]),
+        query_left=query_from_spec(
+            payload["query_left"], _database("database_left"), "/query_left"
+        ),
         database_left=str(payload["database_left"]),
-        query_right=query_from_spec(payload["query_right"]),
+        query_right=query_from_spec(
+            payload["query_right"], _database("database_right"), "/query_right"
+        ),
         database_right=str(payload["database_right"]),
         attribute_matches=(
-            matches_from_spec(payload["attribute_matches"])
+            matches_from_spec(payload["attribute_matches"], "/attribute_matches")
             if payload.get("attribute_matches")
             else None
         ),
         tuple_mapping=(
-            mapping_from_spec(payload["tuple_mapping"])
+            mapping_from_spec(payload["tuple_mapping"], "/tuple_mapping")
             if payload.get("tuple_mapping")
             else None
         ),
         labeled_pairs=labeled_pairs,
-        config=config_from_spec(payload["config"]) if payload.get("config") else None,
+        config=(
+            config_from_spec(payload["config"], "/config")
+            if payload.get("config")
+            else None
+        ),
     )
 
 
@@ -316,17 +517,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 fingerprint = self.server.service.register_database(db, db.name)
                 self._send_json({"name": db.name, "fingerprint": fingerprint}, status=201)
             elif self.path == "/explain":
-                request = request_from_payload(self._read_json())
+                request = request_from_payload(
+                    self._read_json(), database_resolver=self.server.service.database
+                )
                 result = self.server.service.explain(request)
                 self._send_json(result.to_dict())
             elif self.path == "/jobs":
-                request = request_from_payload(self._read_json())
+                request = request_from_payload(
+                    self._read_json(), database_resolver=self.server.service.database
+                )
                 job = self.server.jobs.submit(request)
                 self._send_json(job.status(), status=202)
             else:
                 self._send_json({"error": f"unknown path {self.path}"}, status=404)
         except SpecError as exc:
-            self._send_json({"error": str(exc)}, status=400)
+            self._send_json(exc.to_payload(), status=400)
         except UnknownDatabaseError as exc:
             self._send_json({"error": str(exc)}, status=404)
         except Exception as exc:  # noqa: BLE001 - surface pipeline errors as JSON

@@ -1,0 +1,51 @@
+"""SQL frontend: parse real SQL into the Explain3D query AST.
+
+The paper defines its workloads as SQL queries ``Q = pi_o sigma_C(X)`` over
+two disjoint databases; this package turns such SQL strings into the
+executable :class:`~repro.relational.query.Query` trees the rest of the
+pipeline consumes:
+
+* :func:`parse_query` -- SQL string + optional database -> bound ``Query``;
+* :func:`parse_statement` -- SQL string -> syntactic AST (no binding);
+* :func:`lower_statement` -- syntactic AST -> relational query node;
+* :func:`node_to_sql` / :func:`query_to_sql` -- pretty-print a query AST
+  back to SQL (an exact inverse on the lowerer's image: parse -> lower ->
+  print -> parse -> lower is fingerprint-identical);
+* :mod:`repro.sql.fuzz` -- a random well-formed query generator used by the
+  CI smoke step and the round-trip property tests;
+* ``python -m repro.sql`` -- CLI to parse, validate, pretty-print, fuzz and
+  run a full explain from two SQL strings.
+
+Errors carry source positions (:class:`~repro.sql.errors.SqlError` and
+subclasses) and render caret-annotated excerpts via ``err.describe()``.
+"""
+
+from repro.sql.errors import (
+    BindError,
+    LexError,
+    ParseError,
+    SqlError,
+    SqlPrintError,
+)
+from repro.sql.lower import (
+    Lowered,
+    lower_statement,
+    node_to_sql,
+    parse_query,
+    query_to_sql,
+)
+from repro.sql.parser import parse as parse_statement
+
+__all__ = [
+    "BindError",
+    "LexError",
+    "Lowered",
+    "ParseError",
+    "SqlError",
+    "SqlPrintError",
+    "lower_statement",
+    "node_to_sql",
+    "parse_query",
+    "parse_statement",
+    "query_to_sql",
+]

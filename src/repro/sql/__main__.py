@@ -1,0 +1,172 @@
+"""SQL frontend CLI: ``python -m repro.sql``.
+
+Modes:
+
+* ``python -m repro.sql "SELECT COUNT(Major) FROM Major"`` -- parse, lower
+  and pretty-print one query (bind against a dataset with ``--dataset``);
+* ``--explain --left SQL --right SQL --dataset academic`` -- run the full
+  Explain3D pipeline from two SQL strings over a generated dataset pair;
+* ``--fuzz N [--seed S]`` -- the CI smoke: N random well-formed queries must
+  parse, bind, lower, execute and survive a ``to_sql`` round trip;
+* ``--self-test`` -- golden-catalog round trips + a fuzz batch + one full
+  SQL-driven explain; exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.relational.executor import Database, execute
+from repro.sql import SqlError, node_to_sql, parse_query
+from repro.sql.fuzz import random_query_sql, toy_database
+
+
+def _load_dataset(name: str):
+    """(db_left, db_right, attribute_matches) of a named dataset pair."""
+    if name == "figure1":
+        from repro.datasets.sql_catalog import figure1_databases
+
+        return figure1_databases()
+    if name == "academic":
+        from repro.datasets.academic import generate_academic_pair
+
+        pair = generate_academic_pair()
+    elif name == "synthetic":
+        from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+
+        pair = generate_synthetic_pair(SyntheticConfig(num_tuples=200, seed=42))
+    elif name == "imdb":
+        from repro.datasets.imdb import generate_imdb_workload
+
+        workload = generate_imdb_workload()
+        pair = workload.pair("Q3", workload.years_with_movies()[0])
+    else:
+        raise SystemExit(f"unknown dataset {name!r}; "
+                         "choose figure1, academic, synthetic or imdb")
+    return pair.db_left, pair.db_right, pair.attribute_matches
+
+
+def _print_query(sql: str, db: Database | None, name: str) -> int:
+    try:
+        query = parse_query(sql, db, name=name)
+    except SqlError as exc:
+        print(exc.describe(), file=sys.stderr)
+        return 1
+    print(f"-- {query.name} (fingerprint {query.fingerprint()[:16]})")
+    print(f"ast: {query.root!r}")
+    print(f"sql: {node_to_sql(query.root)}")
+    if db is not None:
+        result = execute(query, db)
+        print(f"result: {len(result)} row(s) over {list(result.schema.names)}")
+    return 0
+
+
+def _run_fuzz(count: int, seed: int, verbose: bool = False) -> int:
+    """Parse/lower/execute/round-trip ``count`` random queries; 0 = all good."""
+    db = toy_database()
+    failures = 0
+    for round_index in range(count):
+        rng = random.Random(seed + round_index)
+        sql = random_query_sql(rng, db)
+        try:
+            query = parse_query(sql, db, name=f"F{round_index}")
+            execute(query, db)
+            printed = node_to_sql(query.root)
+            reparsed = parse_query(printed, db, name=f"F{round_index}")
+            if reparsed.fingerprint() != query.fingerprint():
+                raise AssertionError(
+                    f"round trip changed the AST:\n  in:  {sql}\n  out: {printed}"
+                )
+        except Exception as exc:  # noqa: BLE001 - report and count every failure
+            failures += 1
+            print(f"FUZZ FAILURE (seed {seed + round_index}): {sql}", file=sys.stderr)
+            print(f"  {type(exc).__name__}: {exc}", file=sys.stderr)
+        else:
+            if verbose:
+                print(f"ok (seed {seed + round_index}): {sql}")
+    print(f"fuzz: {count - failures}/{count} queries ok")
+    return 1 if failures else 0
+
+
+def _run_explain(left_sql: str, right_sql: str, dataset: str) -> int:
+    from repro.core.explain3d import Explain3D, Explain3DConfig
+
+    db_left, db_right, matches = _load_dataset(dataset)
+    try:
+        query_left = parse_query(left_sql, db_left, name="Q1")
+        query_right = parse_query(right_sql, db_right, name="Q2")
+    except SqlError as exc:
+        print(exc.describe(), file=sys.stderr)
+        return 1
+    engine = Explain3D(Explain3DConfig(partitioning="none"))
+    report = engine.explain(
+        query_left, db_left, query_right, db_right, attribute_matches=matches
+    )
+    print(report.describe())
+    return 0
+
+
+def _self_test() -> int:
+    from repro.datasets.sql_catalog import catalog_self_check
+
+    print("catalog:", catalog_self_check())
+    status = _run_fuzz(60, seed=1000)
+    if status:
+        return status
+    print("explain: figure1 from two SQL strings ...")
+    status = _run_explain(
+        "SELECT COUNT(Program) FROM D1",
+        "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'",
+        "figure1",
+    )
+    if status:
+        return status
+    print("sql self-test ok: catalog + fuzz + SQL-driven explain passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sql",
+        description="Parse, validate, pretty-print and explain Explain3D SQL queries",
+    )
+    parser.add_argument("sql", nargs="?", help="a SQL query to parse and lower")
+    parser.add_argument("--dataset", default=None,
+                        help="bind against a generated dataset pair "
+                             "(figure1, academic, synthetic, imdb)")
+    parser.add_argument("--side", choices=("left", "right"), default="left",
+                        help="which database of the pair to bind a single query against")
+    parser.add_argument("--name", default="Q", help="query name for fingerprints")
+    parser.add_argument("--explain", action="store_true",
+                        help="run a full explain from --left and --right SQL strings")
+    parser.add_argument("--left", default=None, help="left query SQL for --explain")
+    parser.add_argument("--right", default=None, help="right query SQL for --explain")
+    parser.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="generate and check N random well-formed queries")
+    parser.add_argument("--seed", type=int, default=0, help="fuzz base seed")
+    parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--self-test", action="store_true",
+                        help="catalog round trips + fuzz batch + one SQL explain")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return _self_test()
+    if args.fuzz:
+        return _run_fuzz(args.fuzz, args.seed, verbose=args.verbose)
+    if args.explain:
+        if not args.left or not args.right:
+            parser.error("--explain needs --left and --right SQL strings")
+        return _run_explain(args.left, args.right, args.dataset or "figure1")
+    if not args.sql:
+        parser.error("give a SQL string, --fuzz N, --explain or --self-test")
+    db = None
+    if args.dataset:
+        db_left, db_right, _ = _load_dataset(args.dataset)
+        db = db_left if args.side == "left" else db_right
+    return _print_query(args.sql, db, args.name)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,264 @@
+"""The *syntactic* AST produced by :mod:`repro.sql.parser`.
+
+These nodes mirror the SQL text (qualified names, join chains, compound
+operators) and carry source positions for error reporting.  They are distinct
+from the *semantic* query AST of :mod:`repro.relational.query`;
+:mod:`repro.sql.lower` translates between the two with the help of the binder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Scalar expressions and boolean predicates (syntax level).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference: ``c`` or ``t.c``."""
+
+    name: str
+    table: Optional[str] = None
+    position: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: string, int, float, bool or NULL (None)."""
+
+    value: object
+    position: int = 0
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class ComparisonExpr:
+    """``left op right`` with op in = == != <> < <= > >=."""
+
+    left: Operand
+    op: str
+    right: Operand
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class InListExpr:
+    """``ref [NOT] IN (v1, v2, ...)`` over literal values."""
+
+    ref: ColumnRef
+    values: tuple[Literal, ...]
+    negated: bool = False
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class InSelectExpr:
+    """``(r1, r2) [NOT] IN (SELECT ...)`` -- lowered to a Difference."""
+
+    refs: tuple[ColumnRef, ...]
+    query: "Statement"
+    negated: bool = False
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class BetweenExpr:
+    """``ref [NOT] BETWEEN low AND high``."""
+
+    ref: ColumnRef
+    low: Literal
+    high: Literal
+    negated: bool = False
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class LikeExpr:
+    """``ref [NOT] LIKE 'pattern'``."""
+
+    ref: ColumnRef
+    pattern: str
+    negated: bool = False
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class IsNullExpr:
+    """``ref IS [NOT] NULL``."""
+
+    ref: ColumnRef
+    negated: bool = False
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    operand: "BoolExpr"
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    """Binary conjunction; chains parse left-associatively."""
+
+    left: "BoolExpr"
+    right: "BoolExpr"
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    """Binary disjunction; chains parse left-associatively."""
+
+    left: "BoolExpr"
+    right: "BoolExpr"
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class BoolLiteral:
+    """``TRUE`` / ``FALSE`` used as a predicate."""
+
+    value: bool
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class ParenExpr:
+    """An explicitly parenthesized boolean group.
+
+    Kept as a marker node so that top-level AND-conjunct splitting (join
+    extraction, NOT IN handling) never reaches inside user parentheses --
+    which is what makes ``to_sql`` round trips structure-preserving.
+    """
+
+    inner: "BoolExpr"
+    position: int = 0
+
+
+BoolExpr = Union[
+    ComparisonExpr, InListExpr, InSelectExpr, BetweenExpr, LikeExpr,
+    IsNullExpr, NotExpr, AndExpr, OrExpr, BoolLiteral, ParenExpr,
+]
+
+
+# ---------------------------------------------------------------------------
+# Select lists.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *``."""
+
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class ColumnItem:
+    """A plain output column.  Aliases are rejected at bind time (the
+    relational algebra of the paper has no rename operator)."""
+
+    ref: ColumnRef
+    alias: Optional[str] = None
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """``FN(column)`` / ``COUNT(*)`` with an optional ``AS alias``."""
+
+    function: str                     # SUM / COUNT / AVG / MAX / MIN (upper)
+    argument: Optional[ColumnRef]     # None = COUNT(*)
+    alias: Optional[str] = None
+    position: int = 0
+
+
+SelectItem = Union[Star, ColumnItem, AggregateItem]
+
+
+# ---------------------------------------------------------------------------
+# FROM clause sources.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableSource:
+    """A base relation, optionally aliased: ``Movie`` / ``Movie AS m``."""
+
+    name: str
+    alias: Optional[str] = None
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class SubquerySource:
+    """A parenthesized statement in FROM: ``(SELECT ...) [AS alias]``."""
+
+    statement: "Statement"
+    alias: Optional[str] = None
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class JoinSource:
+    """``left JOIN right ON condition`` -- chains nest left-associatively."""
+
+    left: "FromSource"
+    right: Union[TableSource, SubquerySource]
+    condition: BoolExpr
+    position: int = 0
+
+
+FromSource = Union[TableSource, SubquerySource, JoinSource]
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectCore:
+    """One ``SELECT ... FROM ... [WHERE ...] [GROUP BY ...]`` block.
+
+    ``sources`` is the comma-separated FROM list (each element may itself be
+    a JOIN chain); equi-join conditions between comma sources are recovered
+    from the WHERE clause during lowering.
+    """
+
+    items: tuple[SelectItem, ...]
+    sources: tuple[FromSource, ...]
+    distinct: bool = False
+    where: Optional[BoolExpr] = None
+    group_by: tuple[ColumnRef, ...] = ()
+    position: int = 0
+
+
+@dataclass(frozen=True)
+class ParenStatement:
+    """A parenthesized compound used as a unit: ``(a UNION b) EXCEPT c``."""
+
+    statement: "Statement"
+    position: int = 0
+
+
+SelectUnit = Union[SelectCore, ParenStatement]
+
+
+@dataclass(frozen=True)
+class CompoundSelect:
+    """``unit (UNION|EXCEPT unit)*`` -- ops apply left-associatively, with
+    consecutive UNIONs flattened into one n-ary union during lowering."""
+
+    first: SelectUnit
+    tail: tuple[tuple[str, SelectUnit], ...] = field(default_factory=tuple)
+    position: int = 0
+
+
+Statement = Union[SelectCore, CompoundSelect, ParenStatement]

@@ -1,0 +1,189 @@
+"""Name resolution against a :class:`~repro.relational.executor.Database`.
+
+The binder tracks, for every FROM source, which columns it contributes and
+what each of them is called in the *output schema* of the accumulated query
+tree.  Join concatenation renames clashing right-side columns exactly like
+:meth:`repro.relational.schema.Schema.concat` does (``x`` -> ``x_r`` ->
+``x_r2`` ...), so bound predicates reference the names the executor will
+actually put in each row record.
+
+Two modes:
+
+* **strict** (a database is given): relation and column names are validated
+  and misspellings produce :class:`~repro.sql.errors.BindError` with the
+  source position and a did-you-mean suggestion;
+* **lenient** (``db=None``): schemas are unknown, names pass through
+  unchecked -- used by the CLI to validate syntax without data and by
+  ``query_from_spec`` when no database context is available.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from repro.relational.executor import Database
+from repro.relational.errors import UnknownRelationError
+from repro.relational.schema import concat_names as concat_output
+from repro.sql import ast
+from repro.sql.errors import BindError
+
+
+@dataclass
+class SourceBinding:
+    """One FROM source: its alias, columns, and their current output names."""
+
+    alias: str | None
+    columns: tuple[str, ...] | None          # None = unknown (lenient mode)
+    output_of: dict[str, str] = field(default_factory=dict)
+
+    def has_column(self, name: str) -> bool:
+        return self.columns is None or name in self.columns
+
+    def output_name(self, name: str) -> str:
+        return self.output_of.get(name, name)
+
+
+@dataclass
+class TreeScope:
+    """The binding state of one lowered query tree (node + name environment)."""
+
+    bindings: list[SourceBinding]
+    columns: tuple[str, ...] | None          # output schema names, in order
+    source: str                              # original SQL text (for errors)
+    lenient: bool = False
+
+    # -- resolution ---------------------------------------------------------------
+    def resolve(self, ref: ast.ColumnRef) -> str:
+        """The output-schema name a column reference denotes.
+
+        Unqualified names resolve directly against the output schema (which
+        is what the executor keys row records by); qualified names resolve
+        through their source, following any join renames -- so ``mi.m_id``
+        can reach a column whose output name became ``m_id_r``.
+        """
+        if ref.table is not None:
+            binding = self._binding_for_alias(ref)
+            if not binding.has_column(ref.name):
+                raise self._unknown_column(ref, binding.columns or ())
+            return binding.output_name(ref.name)
+        if self.columns is not None:
+            if ref.name in self.columns:
+                return ref.name
+            if not self.lenient:
+                raise self._unknown_column(ref, self.columns)
+        return ref.name
+
+    def membership(self, ref: ast.ColumnRef) -> bool | None:
+        """Does this scope contain the reference?  ``None`` = unknowable.
+
+        Qualified references are decidable even in lenient mode (aliases are
+        syntax-level); unqualified ones are only decidable when the output
+        schema is known.
+        """
+        if ref.table is not None:
+            matches = [b for b in self.bindings if b.alias == ref.table]
+            if not matches:
+                return False
+            if any(b.columns is None for b in matches):
+                return True
+            return any(ref.name in b.columns for b in matches)
+        if self.columns is None:
+            return None
+        return ref.name in self.columns
+
+    def can_resolve(self, ref: ast.ColumnRef) -> bool:
+        return self.membership(ref) is not False
+
+    def _binding_for_alias(self, ref: ast.ColumnRef) -> SourceBinding:
+        matches = [b for b in self.bindings if b.alias == ref.table]
+        if not matches:
+            known = sorted({b.alias for b in self.bindings if b.alias})
+            raise BindError(
+                f"unknown table or alias {ref.table!r}; in scope: {known}",
+                position=ref.position,
+                source=self.source,
+            )
+        if len(matches) > 1:
+            raise BindError(
+                f"table name {ref.table!r} appears more than once in FROM; "
+                "give each occurrence a distinct alias",
+                position=ref.position,
+                source=self.source,
+            )
+        return matches[0]
+
+    def _unknown_column(self, ref: ast.ColumnRef, available) -> BindError:
+        hint = ""
+        close = difflib.get_close_matches(ref.name, list(available), n=1)
+        if close:
+            hint = f"; did you mean {close[0]!r}?"
+        where = f" in {ref.table!r}" if ref.table else ""
+        return BindError(
+            f"unknown column {ref.name!r}{where}; available: {sorted(available)}{hint}",
+            position=ref.position,
+            source=self.source,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scope construction.
+# ---------------------------------------------------------------------------
+
+def bind_table(
+    db: Database | None, name: str, position: int, source: str
+) -> tuple[str, ...] | None:
+    """Column names of a base relation (None in lenient mode)."""
+    if db is None:
+        return None
+    try:
+        return db.relation(name).schema.names
+    except UnknownRelationError as exc:
+        hint = ""
+        close = difflib.get_close_matches(name, list(exc.known), n=1)
+        if close:
+            hint = f"; did you mean {close[0]!r}?"
+        raise BindError(
+            f"unknown relation {name!r}; database has {sorted(exc.known)}{hint}",
+            position=position,
+            source=source,
+        ) from None
+
+
+def scope_for_source(
+    alias: str | None,
+    columns: tuple[str, ...] | None,
+    source: str,
+    lenient: bool,
+) -> TreeScope:
+    """A single-source scope (one table or one subquery)."""
+    binding = SourceBinding(alias=alias, columns=columns)
+    return TreeScope([binding], columns, source, lenient=lenient)
+
+
+def join_scopes(left: TreeScope, right: TreeScope) -> TreeScope:
+    """The scope of ``Join(left_tree, right_tree)``.
+
+    Left-side output names survive unchanged; right-side names go through the
+    rename map.  Right-side bindings' existing renames compose with the new
+    ones so deep join chains stay addressable through their original aliases.
+    """
+    if left.columns is not None and right.columns is not None:
+        combined, renamed = concat_output(left.columns, right.columns)
+    else:
+        combined, renamed = None, {}
+    new_bindings = list(left.bindings)
+    for binding in right.bindings:
+        composed = {
+            src: renamed.get(out, out) for src, out in binding.output_of.items()
+        }
+        if binding.columns is not None:
+            for name in binding.columns:
+                if name not in composed:
+                    composed[name] = renamed.get(name, name)
+        new_bindings.append(
+            SourceBinding(binding.alias, binding.columns, composed)
+        )
+    return TreeScope(
+        new_bindings, combined, left.source, lenient=left.lenient or right.lenient
+    )

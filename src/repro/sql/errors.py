@@ -1,0 +1,102 @@
+"""Error hierarchy of the SQL frontend, with source positions.
+
+Every error raised while tokenizing, parsing or binding a SQL string carries
+the character offset it refers to, so callers (the CLI, the service API and
+the tests) can render a caret pointing at the offending token::
+
+    SELECT COUNT(title) FORM Movie
+                        ^^^^
+    line 1, column 21: expected FROM, found identifier 'FORM'
+"""
+
+from __future__ import annotations
+
+
+class SqlError(ValueError):
+    """Base class for all SQL frontend errors.
+
+    ``position`` is a 0-based character offset into the source string (or
+    ``None`` when no position applies, e.g. printing errors).  ``line`` and
+    ``column`` are 1-based and derived lazily from the source text.
+    """
+
+    def __init__(self, message: str, *, position: int | None = None, source: str | None = None):
+        self.bare_message = message
+        self.position = position
+        self.source = source
+        super().__init__(self._format(message, position, source))
+
+    @staticmethod
+    def _format(message: str, position: int | None, source: str | None) -> str:
+        if position is None or source is None:
+            return message
+        line, column = line_and_column(source, position)
+        return f"line {line}, column {column}: {message}"
+
+    @property
+    def line(self) -> int | None:
+        if self.position is None or self.source is None:
+            return None
+        return line_and_column(self.source, self.position)[0]
+
+    @property
+    def column(self) -> int | None:
+        if self.position is None or self.source is None:
+            return None
+        return line_and_column(self.source, self.position)[1]
+
+    def describe(self) -> str:
+        """The error message plus a caret-annotated source excerpt."""
+        if self.position is None or self.source is None:
+            return str(self)
+        line_no, column = line_and_column(self.source, self.position)
+        lines = self.source.splitlines()
+        # An end-of-input position after a trailing newline lands one past
+        # the last splitlines() entry; point the caret at an empty line.
+        line_text = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+        caret = " " * (column - 1) + "^"
+        return f"{line_text}\n{caret}\n{self}"
+
+
+class LexError(SqlError):
+    """Raised when the tokenizer hits a character it cannot interpret."""
+
+
+class ParseError(SqlError):
+    """Raised on a grammar violation.
+
+    ``expected`` lists the token kinds/keywords the parser would have
+    accepted at this point; ``found`` describes the actual token.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        position: int | None = None,
+        source: str | None = None,
+        expected: tuple[str, ...] = (),
+        found: str = "",
+    ):
+        self.expected = tuple(expected)
+        self.found = found
+        super().__init__(message, position=position, source=source)
+
+
+class BindError(SqlError):
+    """Raised when a name cannot be resolved against the database schema."""
+
+
+class SqlPrintError(SqlError):
+    """Raised when a query AST contains constructs ``to_sql`` cannot express
+    (e.g. ad-hoc callable predicates)."""
+
+
+def line_and_column(source: str, position: int) -> tuple[int, int]:
+    """1-based (line, column) of a character offset in ``source``."""
+    clamped = max(0, min(position, len(source)))
+    prefix = source[:clamped]
+    line = prefix.count("\n") + 1
+    last_newline = prefix.rfind("\n")
+    column = clamped - last_newline
+    return line, column

@@ -1,0 +1,195 @@
+"""Tokenizer for the SQL subset of the paper's query class.
+
+Produces a flat list of :class:`Token` with character offsets, which the
+recursive-descent parser (:mod:`repro.sql.parser`) consumes.  The lexer knows:
+
+* keywords (case-insensitive; ``SELECT``, ``FROM``, ``JOIN`` ...);
+* identifiers (bare or double-quoted, e.g. ``"Table"`` to escape a keyword);
+* string literals in single quotes with ``''`` escaping;
+* integer and float numerics (``1994``, ``4.5``, ``1e-3``);
+* operators and punctuation (``= == != <> < <= > >= ( ) , . *``);
+* comments (``-- to end of line`` and ``/* block */``).
+
+The five aggregate function names (SUM/COUNT/AVG/MAX/MIN) are deliberately
+*not* keywords -- they are ordinary identifiers that the parser recognizes by
+context (identifier followed by ``(`` in a select list), so relations or
+columns may freely be named ``count`` or ``min``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.errors import LexError
+
+# Keyword set, uppercase.  TRUE/FALSE/NULL lex as keywords and become literals
+# in the parser.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "DISTINCT", "AS", "FROM", "JOIN", "ON", "WHERE",
+        "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+        "GROUP", "BY", "UNION", "EXCEPT", "TRUE", "FALSE",
+    }
+)
+
+# Token kinds.
+KEYWORD = "keyword"        # value = uppercase keyword text
+IDENT = "identifier"       # value = identifier text (case preserved)
+STRING = "string"          # value = decoded string
+NUMBER = "number"          # value = int or float
+SYMBOL = "symbol"          # value = operator / punctuation text
+EOF = "eof"
+
+_SYMBOLS = (
+    # longest first so that e.g. "<=" wins over "<"
+    "==", "!=", "<>", "<=", ">=", "=", "<", ">", "(", ")", ",", ".", "*", "-", "+",
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token with its character offset into the source."""
+
+    kind: str
+    value: object
+    position: int
+    text: str = ""
+
+    def describe(self) -> str:
+        """Human-readable form used in parser error messages."""
+        if self.kind is EOF or self.kind == EOF:
+            return "end of input"
+        if self.kind == KEYWORD:
+            return str(self.value)
+        if self.kind == SYMBOL:
+            return f"{self.value!r}"
+        if self.kind == STRING:
+            return f"string {self.value!r}"
+        if self.kind == NUMBER:
+            return f"number {self.value!r}"
+        return f"identifier {self.text or self.value!r}"
+
+    def matches(self, kind: str, value: object = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # -- whitespace ------------------------------------------------------
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        # -- comments --------------------------------------------------------
+        if source.startswith("--", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", position=i, source=source)
+            i = end + 2
+            continue
+        # -- string literal --------------------------------------------------
+        if ch == "'":
+            start = i
+            value, i = _read_string(source, i)
+            tokens.append(Token(STRING, value, start, text=value))
+            continue
+        # -- quoted identifier ----------------------------------------------
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise LexError("unterminated quoted identifier", position=i, source=source)
+            name = source[i + 1 : end]
+            if not name:
+                raise LexError("empty quoted identifier", position=i, source=source)
+            tokens.append(Token(IDENT, name, i, text=name))
+            i = end + 1
+            continue
+        # -- numerics --------------------------------------------------------
+        if ch in _DIGITS or (ch == "." and i + 1 < n and source[i + 1] in _DIGITS):
+            value, i, text = _read_number(source, i)
+            tokens.append(Token(NUMBER, value, i - len(text), text=text))
+            continue
+        # -- identifiers / keywords -----------------------------------------
+        if ch in _IDENT_START:
+            start = i
+            while i < n and source[i] in _IDENT_CONT:
+                i += 1
+            word = source[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start, text=word))
+            else:
+                tokens.append(Token(IDENT, word, start, text=word))
+            continue
+        # -- symbols ---------------------------------------------------------
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token(SYMBOL, symbol, i, text=symbol))
+                i += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", position=i, source=source)
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _read_string(source: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string starting at ``start``; '' escapes a quote."""
+    pieces: list[str] = []
+    i = start + 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "'":
+            if i + 1 < n and source[i + 1] == "'":
+                pieces.append("'")
+                i += 2
+                continue
+            return "".join(pieces), i + 1
+        pieces.append(ch)
+        i += 1
+    raise LexError("unterminated string literal", position=start, source=source)
+
+
+def _read_number(source: str, start: int) -> tuple[int | float, int, str]:
+    """Read an integer or float literal; returns (value, end, text)."""
+    i = start
+    n = len(source)
+    is_float = False
+    while i < n and source[i] in _DIGITS:
+        i += 1
+    if i < n and source[i] == ".":
+        # A dot only continues the number when followed by a digit, so that
+        # qualified names like ``1.x`` never arise (``t.c`` starts with an
+        # identifier and is handled elsewhere).
+        if i + 1 < n and source[i + 1] in _DIGITS:
+            is_float = True
+            i += 1
+            while i < n and source[i] in _DIGITS:
+                i += 1
+        elif i == start:
+            raise LexError("malformed number", position=start, source=source)
+    if i < n and source[i] in "eE":
+        j = i + 1
+        if j < n and source[j] in "+-":
+            j += 1
+        if j < n and source[j] in _DIGITS:
+            is_float = True
+            i = j
+            while i < n and source[i] in _DIGITS:
+                i += 1
+    text = source[start:i]
+    value: int | float = float(text) if is_float else int(text)
+    return value, i, text

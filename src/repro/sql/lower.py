@@ -1,0 +1,746 @@
+"""Lowering SQL syntax to the relational query AST, and printing it back.
+
+``lower_statement`` turns a parsed :mod:`repro.sql.ast` statement into the
+executor's :class:`~repro.relational.query.QueryNode` tree:
+
+* ``FROM a JOIN b ON ...`` and ``FROM a, b WHERE a.x = b.y`` both become
+  :class:`~repro.relational.query.Join` (equi-join conjuncts turn into
+  ``on`` pairs, anything else into the join's extra ``condition``);
+* plain WHERE conjuncts become one :class:`~repro.relational.query.Select`;
+* ``(k1, k2) NOT IN (SELECT ...)`` conjuncts become
+  :class:`~repro.relational.query.Difference` nodes applied after the
+  selection, in conjunct order;
+* a single aggregate (with optional GROUP BY) becomes
+  :class:`~repro.relational.query.Aggregate`; a plain column list becomes
+  :class:`~repro.relational.query.Project`; ``SELECT *`` adds no node;
+* ``UNION`` chains flatten into one n-ary
+  :class:`~repro.relational.query.Union`; ``EXCEPT`` becomes a
+  :class:`~repro.relational.query.Difference` keyed on the left side's
+  output columns.
+
+AND/OR chains bind to *left-nested binary* ``And``/``Or`` (exactly how the
+fluent ``&``/``|`` builders nest), and explicit parentheses are preserved as
+nesting boundaries -- which together make the companion printers
+(``node_to_sql`` / ``query_to_sql``) exact inverses: parse -> lower ->
+print -> parse -> lower yields a fingerprint-identical AST.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Difference,
+    Join,
+    Project,
+    Query,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+)
+from repro.sql import ast
+from repro.sql.binder import (
+    TreeScope,
+    bind_table,
+    join_scopes,
+    scope_for_source,
+)
+from repro.sql.errors import BindError, SqlPrintError
+from repro.sql.lexer import KEYWORDS
+from repro.sql.parser import parse
+
+
+@dataclass(frozen=True)
+class Lowered:
+    """A lowered statement: the query node plus its output column names
+    (``None`` when unknown, i.e. lenient mode with ``SELECT *``)."""
+
+    node: QueryNode
+    columns: tuple[str, ...] | None
+
+
+@dataclass
+class _State:
+    """An in-progress FROM tree: the node plus its binding scope."""
+
+    node: QueryNode
+    scope: TreeScope
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+def parse_query(
+    sql: str,
+    db=None,
+    *,
+    name: str = "Q",
+    description: str = "",
+) -> Query:
+    """Parse, bind and lower one SQL string into a named :class:`Query`.
+
+    With a :class:`~repro.relational.executor.Database`, every relation and
+    column name is validated (strict mode); without one, names pass through
+    unchecked (lenient mode) -- useful for syntax validation and printing.
+    """
+    statement = parse(sql)
+    lowered = lower_statement(statement, db, sql)
+    return Query(name=name, root=lowered.node, description=description)
+
+
+def lower_statement(statement: ast.Statement, db, source: str) -> Lowered:
+    """Lower a parsed statement against ``db`` (``None`` = lenient)."""
+    lenient = db is None
+    if isinstance(statement, ast.ParenStatement):
+        return lower_statement(statement.statement, db, source)
+    if isinstance(statement, ast.CompoundSelect):
+        return _lower_compound(statement, db, source, lenient)
+    return _lower_select_core(statement, db, source, lenient)
+
+
+# ---------------------------------------------------------------------------
+# Compound statements (UNION / EXCEPT).
+# ---------------------------------------------------------------------------
+
+def _lower_unit(unit: ast.SelectUnit, db, source: str, lenient: bool) -> Lowered:
+    if isinstance(unit, ast.ParenStatement):
+        return lower_statement(unit.statement, db, source)
+    return _lower_select_core(unit, db, source, lenient)
+
+
+def _collapse_union(pending: list[Lowered]) -> Lowered:
+    if len(pending) == 1:
+        return pending[0]
+    return Lowered(Union(tuple(item.node for item in pending)), pending[0].columns)
+
+
+def _lower_compound(
+    statement: ast.CompoundSelect, db, source: str, lenient: bool
+) -> Lowered:
+    pending = [_lower_unit(statement.first, db, source, lenient)]
+    for op, unit in statement.tail:
+        nxt = _lower_unit(unit, db, source, lenient)
+        reference = pending[0]
+        if (
+            reference.columns is not None
+            and nxt.columns is not None
+            and reference.columns != nxt.columns
+        ):
+            raise BindError(
+                f"{op} inputs have different output schemas: "
+                f"{list(reference.columns)} vs {list(nxt.columns)}",
+                position=_unit_position(unit),
+                source=source,
+            )
+        if op == "UNION":
+            pending.append(nxt)
+            continue
+        left = _collapse_union(pending)
+        if left.columns is None:
+            raise BindError(
+                "EXCEPT needs known output columns; bind against a database "
+                "or project explicit columns on its left side",
+                position=_unit_position(unit),
+                source=source,
+            )
+        node = Difference(left.node, nxt.node, on=left.columns)
+        pending = [Lowered(node, left.columns)]
+    return _collapse_union(pending)
+
+
+def _unit_position(unit: ast.SelectUnit) -> int:
+    return unit.position
+
+
+# ---------------------------------------------------------------------------
+# SELECT cores.
+# ---------------------------------------------------------------------------
+
+def _conjuncts(expr: ast.BoolExpr | None) -> list[ast.BoolExpr]:
+    """Top-level AND conjuncts (never reaching inside explicit parentheses)."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.AndExpr):
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _fold_and(predicates: list[Predicate]) -> Predicate:
+    result = predicates[0]
+    for part in predicates[1:]:
+        result = And(result, part)
+    return result
+
+
+def _lower_select_core(
+    core: ast.SelectCore, db, source: str, lenient: bool
+) -> Lowered:
+    states = [_lower_from_item(item, db, source, lenient) for item in core.sources]
+    conjuncts = _conjuncts(core.where)
+    used = [False] * len(conjuncts)
+
+    # Fold comma-separated FROM items left to right, pulling matching
+    # equi-join conjuncts out of WHERE as ``on`` pairs.
+    acc = states[0]
+    for state in states[1:]:
+        pairs: list[tuple[str, str]] = []
+        for index, conjunct in enumerate(conjuncts):
+            if used[index]:
+                continue
+            pair = _try_join_pair(conjunct, acc.scope, state.scope)
+            if pair is not None:
+                pairs.append(pair)
+                used[index] = True
+        scope = join_scopes(acc.scope, state.scope)
+        acc = _State(Join(acc.node, state.node, on=tuple(pairs)), scope)
+
+    # Remaining WHERE conjuncts: plain predicates first, then NOT IN
+    # subqueries (in conjunct order) as Difference nodes.
+    plain: list[ast.BoolExpr] = []
+    subqueries: list[ast.InSelectExpr] = []
+    for index, conjunct in enumerate(conjuncts):
+        if used[index]:
+            continue
+        if isinstance(conjunct, ast.InSelectExpr):
+            if not conjunct.negated:
+                raise BindError(
+                    "IN (SELECT ...) is only supported in its negated form "
+                    "(NOT IN), which lowers to a set difference",
+                    position=conjunct.position,
+                    source=source,
+                )
+            subqueries.append(conjunct)
+            continue
+        if isinstance(conjunct, ast.BoolLiteral) and conjunct.value:
+            continue  # WHERE TRUE is the identity selection
+        plain.append(conjunct)
+
+    node = acc.node
+    if plain:
+        node = Select(node, _fold_and([_bind_predicate(c, acc.scope) for c in plain]))
+
+    for conjunct in subqueries:
+        on = tuple(acc.scope.resolve(ref) for ref in conjunct.refs)
+        sub = lower_statement(conjunct.query, db, source)
+        if sub.columns is not None:
+            for ref, key in zip(conjunct.refs, on):
+                if key not in sub.columns:
+                    raise BindError(
+                        f"NOT IN subquery does not produce column {key!r}; "
+                        f"it outputs {list(sub.columns)}",
+                        position=ref.position,
+                        source=source,
+                    )
+        node = Difference(node, sub.node, on=on)
+
+    return _lower_select_list(core, node, acc.scope, source)
+
+
+def _lower_select_list(
+    core: ast.SelectCore, node: QueryNode, scope: TreeScope, source: str
+) -> Lowered:
+    aggregates = [item for item in core.items if isinstance(item, ast.AggregateItem)]
+    columns = [item for item in core.items if isinstance(item, ast.ColumnItem)]
+    stars = [item for item in core.items if isinstance(item, ast.Star)]
+
+    if stars:
+        if len(core.items) > 1:
+            raise BindError(
+                "* cannot be combined with other select items",
+                position=stars[0].position,
+                source=source,
+            )
+        if core.group_by:
+            raise BindError(
+                "GROUP BY requires an aggregate select list",
+                position=core.group_by[0].position,
+                source=source,
+            )
+        if core.distinct:
+            if scope.columns is None:
+                raise BindError(
+                    "SELECT DISTINCT * needs a known schema; "
+                    "bind against a database",
+                    position=stars[0].position,
+                    source=source,
+                )
+            return Lowered(
+                Project(node, scope.columns, distinct=True), scope.columns
+            )
+        return Lowered(node, scope.columns)
+
+    if aggregates:
+        if len(aggregates) > 1:
+            raise BindError(
+                "at most one aggregate per query "
+                "(the paper's query class is pi_o sigma_C(X))",
+                position=aggregates[1].position,
+                source=source,
+            )
+        if core.distinct:
+            raise BindError(
+                "SELECT DISTINCT cannot be combined with an aggregate",
+                position=aggregates[0].position,
+                source=source,
+            )
+        item = aggregates[0]
+        function = AggregateFunction[item.function]
+        if item.argument is None and function is not AggregateFunction.COUNT:
+            raise BindError(
+                f"{function.value}(*) is not defined; only COUNT(*) may take *",
+                position=item.position,
+                source=source,
+            )
+        attribute = scope.resolve(item.argument) if item.argument is not None else None
+        group_by = tuple(scope.resolve(ref) for ref in core.group_by)
+        for column in columns:
+            if column.alias is not None:
+                raise BindError(
+                    "column aliases are not supported "
+                    "(the relational algebra has no rename operator)",
+                    position=column.position,
+                    source=source,
+                )
+            resolved = scope.resolve(column.ref)
+            if resolved not in group_by:
+                raise BindError(
+                    f"column {resolved!r} must appear in GROUP BY",
+                    position=column.position,
+                    source=source,
+                )
+        alias = item.alias or function.value.lower()
+        if alias in group_by:
+            raise BindError(
+                f"aggregate alias {alias!r} collides with a GROUP BY column",
+                position=item.position,
+                source=source,
+            )
+        if len(set(group_by)) != len(group_by):
+            raise BindError(
+                "GROUP BY lists the same column twice",
+                position=core.group_by[0].position,
+                source=source,
+            )
+        lowered = Aggregate(node, function, attribute, group_by=group_by, alias=alias)
+        return Lowered(lowered, group_by + (alias,))
+
+    if core.group_by:
+        raise BindError(
+            "GROUP BY requires an aggregate in the select list",
+            position=core.group_by[0].position,
+            source=source,
+        )
+    attributes = []
+    for column in columns:
+        if column.alias is not None:
+            raise BindError(
+                "column aliases are not supported "
+                "(the relational algebra has no rename operator)",
+                position=column.position,
+                source=source,
+            )
+        resolved = scope.resolve(column.ref)
+        if resolved in attributes:
+            raise BindError(
+                f"column {resolved!r} is selected twice "
+                "(the output schema needs unique names)",
+                position=column.position,
+                source=source,
+            )
+        attributes.append(resolved)
+    projected = tuple(attributes)
+    return Lowered(Project(node, projected, distinct=core.distinct), projected)
+
+
+# ---------------------------------------------------------------------------
+# FROM items and joins.
+# ---------------------------------------------------------------------------
+
+def _lower_from_item(
+    item: ast.FromSource, db, source: str, lenient: bool
+) -> _State:
+    if isinstance(item, ast.TableSource):
+        names = bind_table(db, item.name, item.position, source)
+        scope = scope_for_source(item.alias or item.name, names, source, lenient)
+        return _State(Scan(item.name), scope)
+    if isinstance(item, ast.SubquerySource):
+        sub = lower_statement(item.statement, db, source)
+        scope = scope_for_source(item.alias, sub.columns, source, lenient)
+        return _State(sub.node, scope)
+    left = _lower_from_item(item.left, db, source, lenient)
+    right = _lower_from_item(item.right, db, source, lenient)
+    return _join_states(left, right, item.condition, source)
+
+
+def _join_states(
+    left: _State, right: _State, condition: ast.BoolExpr, source: str
+) -> _State:
+    pairs: list[tuple[str, str]] = []
+    extra: list[ast.BoolExpr] = []
+    for conjunct in _conjuncts(condition):
+        if isinstance(conjunct, ast.BoolLiteral) and conjunct.value:
+            continue  # ON TRUE = unconditional (cross) join
+        pair = _try_join_pair(conjunct, left.scope, right.scope, assume_cross=True)
+        if pair is not None:
+            pairs.append(pair)
+        else:
+            extra.append(conjunct)
+    combined = join_scopes(left.scope, right.scope)
+    bound_condition = None
+    if extra:
+        bound_condition = _fold_and([_bind_predicate(c, combined) for c in extra])
+    node = Join(left.node, right.node, on=tuple(pairs), condition=bound_condition)
+    return _State(node, combined)
+
+
+def _try_join_pair(
+    conjunct: ast.BoolExpr,
+    left: TreeScope,
+    right: TreeScope,
+    *,
+    assume_cross: bool = False,
+) -> tuple[str, str] | None:
+    """``(left_attr, right_attr)`` if the conjunct is a cross-side equality.
+
+    When a name could belong to either side (``ON actor_id = actor_id``), the
+    natural reading wins: the first reference binds left, the second right.
+
+    In lenient mode (unknown schemas) an unqualified name's side is
+    unknowable; such conjuncts only become join pairs inside an ON clause
+    (``assume_cross=True``), where the user explicitly declared a join
+    condition.  WHERE conjuncts over comma sources must *prove* the
+    cross-side split (via schemas or qualification) -- otherwise a same-side
+    filter like ``label = city`` would silently turn into a bogus on-pair.
+    """
+    if not (
+        isinstance(conjunct, ast.ComparisonExpr)
+        and conjunct.op in ("=", "==")
+        and isinstance(conjunct.left, ast.ColumnRef)
+        and isinstance(conjunct.right, ast.ColumnRef)
+    ):
+        return None
+    a, b = conjunct.left, conjunct.right
+    unknown_ok = assume_cross  # treat "unknowable" as a match only inside ON
+
+    def holds(membership: bool | None) -> bool:
+        return membership is True or (membership is None and unknown_ok)
+
+    if holds(left.membership(a)) and holds(right.membership(b)):
+        return left.resolve(a), right.resolve(b)
+    if holds(left.membership(b)) and holds(right.membership(a)):
+        return left.resolve(b), right.resolve(a)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Predicate binding.
+# ---------------------------------------------------------------------------
+
+_FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+_WILDCARDS = ("%", "_")
+
+
+def _bind_predicate(expr: ast.BoolExpr, scope: TreeScope) -> Predicate:
+    source = scope.source
+    if isinstance(expr, ast.ParenExpr):
+        return _bind_predicate(expr.inner, scope)
+    if isinstance(expr, ast.ComparisonExpr):
+        return _bind_comparison(expr, scope)
+    if isinstance(expr, ast.InListExpr):
+        predicate: Predicate = Membership(
+            scope.resolve(expr.ref), tuple(value.value for value in expr.values)
+        )
+        return Not(predicate) if expr.negated else predicate
+    if isinstance(expr, ast.InSelectExpr):
+        raise BindError(
+            "NOT IN (SELECT ...) is only supported as a top-level AND "
+            "conjunct of WHERE",
+            position=expr.position,
+            source=source,
+        )
+    if isinstance(expr, ast.BetweenExpr):
+        name = scope.resolve(expr.ref)
+        between = And(
+            Comparison(name, ">=", expr.low.value),
+            Comparison(name, "<=", expr.high.value),
+        )
+        return Not(between) if expr.negated else between
+    if isinstance(expr, ast.LikeExpr):
+        predicate = _bind_like(expr, scope)
+        return Not(predicate) if expr.negated else predicate
+    if isinstance(expr, ast.IsNullExpr):
+        return IsNull(scope.resolve(expr.ref), negate=expr.negated)
+    if isinstance(expr, ast.NotExpr):
+        return Not(_bind_predicate(expr.operand, scope))
+    if isinstance(expr, ast.AndExpr):
+        return And(
+            _bind_predicate(expr.left, scope), _bind_predicate(expr.right, scope)
+        )
+    if isinstance(expr, ast.OrExpr):
+        return Or(
+            _bind_predicate(expr.left, scope), _bind_predicate(expr.right, scope)
+        )
+    if isinstance(expr, ast.BoolLiteral):
+        return TruePredicate() if expr.value else Not(TruePredicate())
+    raise BindError(
+        f"unsupported expression {type(expr).__name__}",
+        position=getattr(expr, "position", 0),
+        source=source,
+    )
+
+
+def _bind_comparison(expr: ast.ComparisonExpr, scope: TreeScope) -> Predicate:
+    left_ref = isinstance(expr.left, ast.ColumnRef)
+    right_ref = isinstance(expr.right, ast.ColumnRef)
+    if left_ref and right_ref:
+        return AttributeComparison(
+            scope.resolve(expr.left), expr.op, scope.resolve(expr.right)
+        )
+    if left_ref:
+        return Comparison(scope.resolve(expr.left), expr.op, expr.right.value)
+    if right_ref:
+        flipped = _FLIPPED_OPS.get(expr.op, expr.op)
+        return Comparison(scope.resolve(expr.right), flipped, expr.left.value)
+    raise BindError(
+        "comparison needs at least one column reference",
+        position=expr.position,
+        source=scope.source,
+    )
+
+
+def _bind_like(expr: ast.LikeExpr, scope: TreeScope) -> Predicate:
+    name = scope.resolve(expr.ref)
+    pattern = expr.pattern
+    if not any(wildcard in pattern for wildcard in _WILDCARDS):
+        return Comparison(name, "=", pattern)
+    if (
+        len(pattern) >= 2
+        and pattern.startswith("%")
+        and pattern.endswith("%")
+        and not any(wildcard in pattern[1:-1] for wildcard in _WILDCARDS)
+    ):
+        return Contains(name, pattern[1:-1])
+    raise BindError(
+        f"unsupported LIKE pattern {pattern!r}: only exact strings and "
+        "'%substring%' containment are expressible",
+        position=expr.position,
+        source=scope.source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pretty-printing query ASTs back to SQL.
+# ---------------------------------------------------------------------------
+
+def node_to_sql(node: QueryNode) -> str:
+    """SQL text for a query AST node.
+
+    On the image of the lowerer (and on every hand-built dataset query) this
+    is an exact inverse: re-parsing and re-lowering the printed SQL yields a
+    fingerprint-identical AST.  Constructs the SQL subset cannot express
+    (ad-hoc callable predicates, n-ary Union of one input, exotic literal
+    types) raise :class:`SqlPrintError`.
+    """
+    return _SqlPrinter().statement(node)
+
+
+def query_to_sql(query: Query) -> str:
+    """SQL text for a named query (the name itself lives outside the SQL)."""
+    return node_to_sql(query.root)
+
+
+_BARE_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+class _SqlPrinter:
+    def __init__(self):
+        self._alias_counter = 0
+
+    def _fresh_alias(self) -> str:
+        self._alias_counter += 1
+        return f"sq{self._alias_counter}"
+
+    # -- statements --------------------------------------------------------------
+    def statement(self, node: QueryNode) -> str:
+        if isinstance(node, Aggregate):
+            items = [self.ident(name) for name in node.group_by]
+            argument = "*" if node.attribute is None else self.ident(node.attribute)
+            items.append(
+                f"{node.function.value}({argument}) AS {self.ident(node.alias)}"
+            )
+            group = ""
+            if node.group_by:
+                names = ", ".join(self.ident(name) for name in node.group_by)
+                group = f" GROUP BY {names}"
+            return f"SELECT {', '.join(items)} {self.body(node.child)}{group}"
+        if isinstance(node, Project):
+            distinct = "DISTINCT " if node.distinct else ""
+            names = ", ".join(self.ident(name) for name in node.attributes)
+            return f"SELECT {distinct}{names} {self.body(node.child)}"
+        if isinstance(node, Union):
+            if len(node.inputs) < 2:
+                raise SqlPrintError(
+                    f"cannot print a Union of {len(node.inputs)} input(s)"
+                )
+            parts = []
+            for member in node.inputs:
+                text = self.statement(member)
+                parts.append(f"({text})" if isinstance(member, Union) else text)
+            return " UNION ".join(parts)
+        return f"SELECT * {self.body(node)}"
+
+    def body(self, node: QueryNode) -> str:
+        """``FROM ... [WHERE ...]`` for the tree below a projection/aggregate."""
+        differences: list[Difference] = []
+        while isinstance(node, Difference):
+            differences.append(node)
+            node = node.left
+        differences.reverse()  # innermost first = original conjunct order
+        predicate = None
+        if isinstance(node, Select):
+            predicate = node.predicate
+            node = node.child
+        clauses: list[str] = []
+        if predicate is not None and not isinstance(predicate, TruePredicate):
+            clauses.append(self.predicate(predicate))
+        for difference in differences:
+            if not difference.on:
+                raise SqlPrintError("cannot print a Difference with no key columns")
+            keys = ", ".join(self.ident(key) for key in difference.on)
+            clauses.append(f"({keys}) NOT IN ({self.statement(difference.right)})")
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        return f"FROM {self.from_expr(node)}{where}"
+
+    def from_expr(self, node: QueryNode) -> str:
+        if isinstance(node, Scan):
+            return self.ident(node.relation)
+        if isinstance(node, Join):
+            return self.join_expr(node)
+        return f"({self.statement(node)})"
+
+    def join_expr(self, node: Join) -> str:
+        if isinstance(node.left, Join):
+            left_sql = self.join_expr(node.left)
+        elif isinstance(node.left, Scan):
+            left_sql = self.ident(node.left.relation)
+        else:
+            left_sql = f"({self.statement(node.left)})"
+        taken = _scan_names(node.left)
+        if isinstance(node.right, Scan):
+            if node.right.relation in taken:
+                alias = self._fresh_alias()
+                right_sql = f"{self.ident(node.right.relation)} AS {self.ident(alias)}"
+            else:
+                alias = node.right.relation
+                right_sql = self.ident(node.right.relation)
+        else:
+            alias = self._fresh_alias()
+            right_sql = f"({self.statement(node.right)}) AS {self.ident(alias)}"
+        clauses = [
+            f"{self.ident(left_attr)} = {self.ident(alias)}.{self.ident(right_attr)}"
+            for left_attr, right_attr in node.on
+        ]
+        if node.condition is not None and not isinstance(node.condition, TruePredicate):
+            # Parenthesize the extra condition so the re-parser cannot read a
+            # same-side equality inside it (e.g. ``A.k = A.v`` lowered to
+            # names of the combined schema) as another cross-side join pair.
+            text = self.predicate(node.condition)
+            if not text.startswith("("):
+                text = f"({text})"
+            clauses.append(text)
+        if not clauses:
+            clauses = ["TRUE"]
+        return f"{left_sql} JOIN {right_sql} ON {' AND '.join(clauses)}"
+
+    # -- predicates ---------------------------------------------------------------
+    def predicate(self, predicate: Predicate) -> str:
+        if isinstance(predicate, Comparison):
+            return (
+                f"{self.ident(predicate.attribute)} {predicate.op} "
+                f"{self.literal(predicate.value)}"
+            )
+        if isinstance(predicate, AttributeComparison):
+            return (
+                f"{self.ident(predicate.left)} {predicate.op} "
+                f"{self.ident(predicate.right)}"
+            )
+        if isinstance(predicate, Membership):
+            values = ", ".join(self.literal(value) for value in predicate.values)
+            return f"{self.ident(predicate.attribute)} IN ({values})"
+        if isinstance(predicate, Contains):
+            needle = predicate.needle
+            if any(wildcard in needle for wildcard in _WILDCARDS):
+                raise SqlPrintError(
+                    f"cannot print Contains needle {needle!r} "
+                    "(would collide with LIKE wildcards)"
+                )
+            return f"{self.ident(predicate.attribute)} LIKE {self.literal('%' + needle + '%')}"
+        if isinstance(predicate, IsNull):
+            negate = "NOT " if predicate.negate else ""
+            return f"{self.ident(predicate.attribute)} IS {negate}NULL"
+        if isinstance(predicate, Not):
+            return f"(NOT {self.predicate(predicate.child)})"
+        if isinstance(predicate, And):
+            return "(" + " AND ".join(self.predicate(c) for c in predicate.children) + ")"
+        if isinstance(predicate, Or):
+            return "(" + " OR ".join(self.predicate(c) for c in predicate.children) + ")"
+        if isinstance(predicate, TruePredicate):
+            return "TRUE"
+        raise SqlPrintError(
+            f"cannot express predicate {predicate!r} in SQL "
+            "(ad-hoc predicates have no SQL form)"
+        )
+
+    # -- atoms --------------------------------------------------------------------
+    def ident(self, name: str) -> str:
+        if _BARE_IDENT.match(name) and name.upper() not in KEYWORDS:
+            return name
+        if '"' in name:
+            raise SqlPrintError(
+                f"cannot quote identifier {name!r} (contains a double quote)"
+            )
+        return f'"{name}"'
+
+    def literal(self, value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, float):
+            if not math.isfinite(value):
+                raise SqlPrintError(f"cannot print non-finite float {value!r}")
+            return repr(value)
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        raise SqlPrintError(f"cannot print literal {value!r} of type {type(value).__name__}")
+
+
+def _scan_names(node: QueryNode) -> set[str]:
+    """Base-relation names appearing anywhere in a FROM-side tree."""
+    if isinstance(node, Scan):
+        return {node.relation}
+    if isinstance(node, Join):
+        return _scan_names(node.left) | _scan_names(node.right)
+    return set()

@@ -1,0 +1,431 @@
+"""Recursive-descent parser for the Explain3D SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    statement    := select_unit ((UNION | EXCEPT) select_unit)*
+    select_unit  := select_core | '(' statement ')'
+    select_core  := SELECT [DISTINCT] select_list
+                    FROM from_item (',' from_item)*
+                    [WHERE bool_expr] [GROUP BY ref (',' ref)*]
+    select_list  := '*' | item (',' item)*
+    item         := AGG '(' ('*' | ref) ')' [[AS] ident] | ref [AS ident]
+    from_item    := source (JOIN source ON bool_expr)*
+    source       := ident [[AS] ident] | '(' statement ')' [[AS] ident]
+    bool_expr    := and_expr (OR and_expr)*          -- left-associative
+    and_expr     := not_expr (AND not_expr)*         -- left-associative
+    not_expr     := NOT not_expr | primary
+    primary      := '(' bool_expr ')'
+                  | '(' ref (',' ref)* ')' [NOT] IN '(' statement ')'
+                  | TRUE | FALSE
+                  | operand postfix
+    postfix      := cmp_op operand
+                  | [NOT] IN '(' (statement | literal_list) ')'
+                  | [NOT] BETWEEN literal AND literal
+                  | [NOT] LIKE string
+                  | IS [NOT] NULL
+    operand      := ref | literal
+    ref          := ident ['.' ident]
+
+AND/OR chains build *left-nested binary* trees, mirroring how the fluent
+``col(...) & col(...)`` builders nest, so lowered predicates are
+fingerprint-identical to hand-built ones.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+from repro.sql.errors import ParseError
+from repro.sql.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    Token,
+    tokenize,
+)
+
+AGGREGATE_FUNCTIONS = ("SUM", "COUNT", "AVG", "MAX", "MIN")
+
+_COMPARISON_OPS = ("=", "==", "!=", "<>", "<", "<=", ">", ">=")
+
+
+def parse(source: str) -> ast.Statement:
+    """Parse a SQL string into a syntactic :class:`~repro.sql.ast.Statement`."""
+    parser = Parser(source)
+    statement = parser.parse_statement()
+    parser.expect_end()
+    return statement
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.kind == KEYWORD and token.value in keywords
+
+    def at_symbol(self, *symbols: str) -> bool:
+        token = self.peek()
+        return token.kind == SYMBOL and token.value in symbols
+
+    def accept_keyword(self, *keywords: str) -> Token | None:
+        if self.at_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def accept_symbol(self, *symbols: str) -> Token | None:
+        if self.at_symbol(*symbols):
+            return self.advance()
+        return None
+
+    def error(self, *expected: str) -> ParseError:
+        token = self.peek()
+        wanted = ", ".join(expected)
+        return ParseError(
+            f"expected {wanted}, found {token.describe()}",
+            position=token.position,
+            source=self.source,
+            expected=tuple(expected),
+            found=token.describe(),
+        )
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            raise self.error(keyword)
+        return token
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.accept_symbol(symbol)
+        if token is None:
+            raise self.error(f"{symbol!r}")
+        return token
+
+    def expect_ident(self, what: str = "identifier") -> Token:
+        token = self.peek()
+        if token.kind != IDENT:
+            raise self.error(what)
+        return self.advance()
+
+    def expect_end(self) -> None:
+        if self.peek().kind != EOF:
+            raise self.error("end of input")
+
+    # -- statements -------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        position = self.peek().position
+        first = self.parse_select_unit()
+        tail: list[tuple[str, ast.SelectUnit]] = []
+        while self.at_keyword("UNION", "EXCEPT"):
+            op = self.advance().value
+            tail.append((str(op), self.parse_select_unit()))
+        if not tail:
+            return first
+        return ast.CompoundSelect(first=first, tail=tuple(tail), position=position)
+
+    def parse_select_unit(self) -> ast.SelectUnit:
+        if self.at_symbol("("):
+            position = self.advance().position
+            inner = self.parse_statement()
+            self.expect_symbol(")")
+            return ast.ParenStatement(inner, position=position)
+        return self.parse_select_core()
+
+    def parse_select_core(self) -> ast.SelectCore:
+        position = self.expect_keyword("SELECT").position
+        distinct = self.accept_keyword("DISTINCT") is not None
+        items = self.parse_select_list()
+        self.expect_keyword("FROM")
+        sources = [self.parse_from_item()]
+        while self.accept_symbol(","):
+            sources.append(self.parse_from_item())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_bool_expr()
+        group_by: tuple[ast.ColumnRef, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            refs = [self.parse_ref()]
+            while self.accept_symbol(","):
+                refs.append(self.parse_ref())
+            group_by = tuple(refs)
+        return ast.SelectCore(
+            items=tuple(items),
+            sources=tuple(sources),
+            distinct=distinct,
+            where=where,
+            group_by=group_by,
+            position=position,
+        )
+
+    # -- select list ------------------------------------------------------------
+    def parse_select_list(self) -> list[ast.SelectItem]:
+        if self.at_symbol("*"):
+            return [ast.Star(self.advance().position)]
+        items = [self.parse_select_item()]
+        while self.accept_symbol(","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        if (
+            token.kind == IDENT
+            and str(token.value).upper() in AGGREGATE_FUNCTIONS
+            and self.peek(1).matches(SYMBOL, "(")
+        ):
+            self.advance()
+            function = str(token.value).upper()
+            self.expect_symbol("(")
+            argument: ast.ColumnRef | None = None
+            if not self.accept_symbol("*"):
+                argument = self.parse_ref()
+            self.expect_symbol(")")
+            # Aliases need an explicit AS: a bare identifier after an item is
+            # far more often a typo (SELECT COUNT(x) FORM ...) than an alias,
+            # and the AS-less form would swallow it silently.
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = str(self.expect_ident("alias").value)
+            return ast.AggregateItem(function, argument, alias, position=token.position)
+        ref = self.parse_ref()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = str(self.expect_ident("alias").value)
+        return ast.ColumnItem(ref, alias, position=ref.position)
+
+    # -- FROM clause -------------------------------------------------------------
+    def parse_from_item(self) -> ast.FromSource:
+        source: ast.FromSource = self.parse_source()
+        while self.at_keyword("JOIN"):
+            position = self.advance().position
+            right = self.parse_source()
+            self.expect_keyword("ON")
+            condition = self.parse_bool_expr()
+            source = ast.JoinSource(source, right, condition, position=position)
+        return source
+
+    def parse_source(self) -> ast.TableSource | ast.SubquerySource:
+        if self.at_symbol("("):
+            position = self.advance().position
+            statement = self.parse_statement()
+            self.expect_symbol(")")
+            alias = self._parse_optional_alias()
+            return ast.SubquerySource(statement, alias, position=position)
+        token = self.expect_ident("table name")
+        alias = self._parse_optional_alias()
+        return ast.TableSource(str(token.value), alias, position=token.position)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self.accept_keyword("AS"):
+            return str(self.expect_ident("alias").value)
+        if self.peek().kind == IDENT:
+            return str(self.advance().value)
+        return None
+
+    # -- boolean expressions ------------------------------------------------------
+    def parse_bool_expr(self) -> ast.BoolExpr:
+        expr = self.parse_and_expr()
+        while self.at_keyword("OR"):
+            position = self.advance().position
+            expr = ast.OrExpr(expr, self.parse_and_expr(), position=position)
+        return expr
+
+    def parse_and_expr(self) -> ast.BoolExpr:
+        expr = self.parse_not_expr()
+        while self.at_keyword("AND"):
+            position = self.advance().position
+            expr = ast.AndExpr(expr, self.parse_not_expr(), position=position)
+        return expr
+
+    def parse_not_expr(self) -> ast.BoolExpr:
+        if self.at_keyword("NOT"):
+            position = self.advance().position
+            return ast.NotExpr(self.parse_not_expr(), position=position)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.BoolExpr:
+        token = self.peek()
+        if token.matches(KEYWORD, "TRUE"):
+            self.advance()
+            return ast.BoolLiteral(True, position=token.position)
+        if token.matches(KEYWORD, "FALSE"):
+            self.advance()
+            return ast.BoolLiteral(False, position=token.position)
+        if self.at_symbol("("):
+            if self._looks_like_row_list():
+                return self._parse_row_in()
+            position = self.advance().position
+            inner = self.parse_bool_expr()
+            self.expect_symbol(")")
+            return ast.ParenExpr(inner, position=position)
+        operand = self.parse_operand()
+        return self.parse_postfix(operand)
+
+    def _looks_like_row_list(self) -> bool:
+        """Lookahead: does ``(`` start ``(ref, ref, ...) [NOT] IN``?
+
+        Refs are regular (``ident ['.' ident]``), so a bounded token scan
+        distinguishes a row-value list from a parenthesized boolean
+        expression without backtracking.
+        """
+        offset = 1  # past '('
+        while True:
+            if self.peek(offset).kind != IDENT:
+                return False
+            offset += 1
+            if self.peek(offset).matches(SYMBOL, "."):
+                offset += 1
+                if self.peek(offset).kind != IDENT:
+                    return False
+                offset += 1
+            token = self.peek(offset)
+            if token.matches(SYMBOL, ","):
+                offset += 1
+                continue
+            if token.matches(SYMBOL, ")"):
+                after = self.peek(offset + 1)
+                return after.matches(KEYWORD, "IN") or after.matches(KEYWORD, "NOT")
+            return False
+
+    def _parse_row_in(self) -> ast.InSelectExpr:
+        position = self.expect_symbol("(").position
+        refs = [self.parse_ref()]
+        while self.accept_symbol(","):
+            refs.append(self.parse_ref())
+        self.expect_symbol(")")
+        negated = self.accept_keyword("NOT") is not None
+        self.expect_keyword("IN")
+        self.expect_symbol("(")
+        statement = self.parse_statement()
+        self.expect_symbol(")")
+        return ast.InSelectExpr(tuple(refs), statement, negated, position=position)
+
+    def parse_postfix(self, operand: ast.Operand) -> ast.BoolExpr:
+        token = self.peek()
+        if token.kind == SYMBOL and token.value in _COMPARISON_OPS:
+            op = str(self.advance().value)
+            right = self.parse_operand()
+            return ast.ComparisonExpr(operand, op, right, position=token.position)
+
+        negated = False
+        if self.at_keyword("NOT"):
+            # postfix negation: NOT IN / NOT BETWEEN / NOT LIKE
+            if not self.peek(1).kind == KEYWORD or self.peek(1).value not in (
+                "IN", "BETWEEN", "LIKE",
+            ):
+                raise self.error("IN", "BETWEEN", "LIKE")
+            self.advance()
+            negated = True
+
+        if self.at_keyword("IN"):
+            ref = self._require_ref(operand, "IN")
+            position = self.advance().position
+            self.expect_symbol("(")
+            if self.at_keyword("SELECT") or self.at_symbol("("):
+                statement = self.parse_statement()
+                self.expect_symbol(")")
+                return ast.InSelectExpr((ref,), statement, negated, position=position)
+            values: list[ast.Literal] = []
+            if not self.at_symbol(")"):
+                values.append(self.parse_literal())
+                while self.accept_symbol(","):
+                    values.append(self.parse_literal())
+            self.expect_symbol(")")
+            return ast.InListExpr(ref, tuple(values), negated, position=position)
+
+        if self.at_keyword("BETWEEN"):
+            ref = self._require_ref(operand, "BETWEEN")
+            position = self.advance().position
+            low = self.parse_literal()
+            self.expect_keyword("AND")
+            high = self.parse_literal()
+            return ast.BetweenExpr(ref, low, high, negated, position=position)
+
+        if self.at_keyword("LIKE"):
+            ref = self._require_ref(operand, "LIKE")
+            position = self.advance().position
+            pattern = self.peek()
+            if pattern.kind != STRING:
+                raise self.error("string pattern")
+            self.advance()
+            return ast.LikeExpr(ref, str(pattern.value), negated, position=position)
+
+        if self.at_keyword("IS"):
+            ref = self._require_ref(operand, "IS NULL")
+            self.advance()
+            is_negated = self.accept_keyword("NOT") is not None
+            self.expect_keyword("NULL")
+            return ast.IsNullExpr(ref, is_negated, position=ref.position)
+
+        raise self.error("comparison operator", "IN", "BETWEEN", "LIKE", "IS")
+
+    def _require_ref(self, operand: ast.Operand, construct: str) -> ast.ColumnRef:
+        if not isinstance(operand, ast.ColumnRef):
+            raise ParseError(
+                f"{construct} requires a column reference on its left side",
+                position=operand.position,
+                source=self.source,
+                expected=("column reference",),
+            )
+        return operand
+
+    # -- operands ----------------------------------------------------------------
+    def parse_operand(self) -> ast.Operand:
+        token = self.peek()
+        if token.kind == IDENT:
+            return self.parse_ref()
+        return self.parse_literal()
+
+    def parse_ref(self) -> ast.ColumnRef:
+        token = self.expect_ident("column reference")
+        if self.at_symbol("."):
+            self.advance()
+            column = self.expect_ident("column name")
+            return ast.ColumnRef(
+                str(column.value), table=str(token.value), position=token.position
+            )
+        return ast.ColumnRef(str(token.value), position=token.position)
+
+    def parse_literal(self) -> ast.Literal:
+        token = self.peek()
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.value, position=token.position)
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Literal(token.value, position=token.position)
+        if token.matches(SYMBOL, "-") or token.matches(SYMBOL, "+"):
+            sign = self.advance()
+            number = self.peek()
+            if number.kind != NUMBER:
+                raise self.error("number")
+            self.advance()
+            value = number.value if sign.value == "+" else -number.value  # type: ignore[operator]
+            return ast.Literal(value, position=sign.position)
+        if token.matches(KEYWORD, "TRUE"):
+            self.advance()
+            return ast.Literal(True, position=token.position)
+        if token.matches(KEYWORD, "FALSE"):
+            self.advance()
+            return ast.Literal(False, position=token.position)
+        if token.matches(KEYWORD, "NULL"):
+            self.advance()
+            return ast.Literal(None, position=token.position)
+        raise self.error("literal value")

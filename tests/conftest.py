@@ -16,45 +16,20 @@ from repro import (
 )
 from repro.core.problem import build_problem
 from repro.datasets.academic import AcademicConfig, generate_academic_pair
+from repro.datasets.sql_catalog import figure1_databases
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
 
 
 @pytest.fixture()
 def figure1_db1() -> Database:
     """Dataset D1 of Figure 1: one row per (program, degree)."""
-    db = Database("D1")
-    db.add_records(
-        "D1",
-        [
-            {"Program": "Accounting", "Degree": "B.S."},
-            {"Program": "CS", "Degree": "B.A."},
-            {"Program": "CS", "Degree": "B.S."},
-            {"Program": "ECE", "Degree": "B.S."},
-            {"Program": "EE", "Degree": "B.S."},
-            {"Program": "Management", "Degree": "B.A."},
-            {"Program": "Design", "Degree": "B.A."},
-        ],
-    )
-    return db
+    return figure1_databases()[0]
 
 
 @pytest.fixture()
 def figure1_db2() -> Database:
     """Dataset D2 of Figure 1: majors per university."""
-    db = Database("D2")
-    db.add_records(
-        "D2",
-        [
-            {"Univ": "A", "Major": "Accounting"},
-            {"Univ": "A", "Major": "CSE"},
-            {"Univ": "A", "Major": "ECE"},
-            {"Univ": "A", "Major": "EE"},
-            {"Univ": "A", "Major": "Management"},
-            {"Univ": "A", "Major": "Design"},
-            {"Univ": "B", "Major": "Art"},
-        ],
-    )
-    return db
+    return figure1_databases()[1]
 
 
 @pytest.fixture()

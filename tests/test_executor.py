@@ -203,3 +203,46 @@ class TestQueryHelpers:
 
         with pytest.raises(ExecutionError):
             evaluate(object(), db)  # type: ignore[arg-type]
+
+
+class TestAggregateCombineCoercion:
+    """Regression: COUNT must count non-NULLs without coercing values.
+
+    The old implementation appended un-coerced values into the numeric
+    ``cleaned`` list and relied on ``len`` ignoring their types -- it worked
+    by accident and would have broken any future branch touching the values.
+    """
+
+    def test_count_over_mixed_types_counts_non_nulls(self):
+        values = ["Drama", None, 3, "4.5", None, object()]
+        assert AggregateFunction.COUNT.combine(values) == 4.0
+
+    def test_count_over_all_nulls_is_zero(self):
+        assert AggregateFunction.COUNT.combine([None, None]) == 0.0
+
+    def test_numeric_aggregates_coerce_numeric_strings(self):
+        assert AggregateFunction.SUM.combine(["2", 3, "4.5"]) == 9.5
+        assert AggregateFunction.MAX.combine(["2", "10"]) == 10.0
+
+    def test_numeric_aggregates_reject_non_numeric_values(self):
+        for function in (AggregateFunction.SUM, AggregateFunction.AVG,
+                         AggregateFunction.MAX, AggregateFunction.MIN):
+            with pytest.raises(ExecutionError):
+                function.combine(["Drama", 3])
+
+    def test_count_query_over_mixed_type_column(self):
+        db = Database("mixed")
+        db.add_records(
+            "T",
+            [
+                {"k": "a", "v": "12"},
+                {"k": "b", "v": "oops"},
+                {"k": "c", "v": None},
+                {"k": "d", "v": "3"},
+            ],
+        )
+        count = count_query("c", Scan("T"), attribute="v")
+        assert scalar_result(count, db) == 3.0
+        total = sum_query("s", Scan("T"), "v")
+        with pytest.raises(ExecutionError):
+            scalar_result(total, db)

@@ -224,3 +224,194 @@ class TestHTTPDaemon:
     def test_response_is_pure_json(self, running_server):
         payload = running_server.explain(EXPLAIN_PAYLOAD)
         json.dumps(payload)  # no exotic types survived serialization
+
+
+class TestSqlAndNestedSpecs:
+    """PR 3: SQL query specs, nested sources, and structured spec errors."""
+
+    def test_sql_spec_matches_builder_fingerprint(self):
+        built = query_from_spec(
+            {"name": "Q2", "sql": "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'"}
+        )
+        reference = count_query(
+            "Q2", Scan("D2"), predicate=(col("Univ") == "A"), attribute="Major"
+        )
+        assert built.fingerprint() == reference.fingerprint()
+
+    def test_sql_spec_binds_against_database_when_given(self):
+        from repro import Database
+
+        db = Database("D2")
+        db.add_records("D2", D2_RECORDS)
+        built = query_from_spec(
+            {"name": "Q2", "sql": "SELECT COUNT(Major) FROM D2"}, db
+        )
+        assert built.name == "Q2"
+        with pytest.raises(SpecError) as excinfo:
+            query_from_spec(
+                {"name": "Q2", "sql": "SELECT COUNT(Mojor) FROM D2"}, db, "/query_right"
+            )
+        assert "did you mean 'Major'" in str(excinfo.value)
+        assert excinfo.value.path == "/query_right/sql"
+
+    def test_nested_join_source_spec(self):
+        from repro.relational.query import Join
+
+        built = query_from_spec(
+            {
+                "name": "Q",
+                "kind": "sum",
+                "attribute": "bach_degr",
+                "source": {
+                    "join": {"left": "School", "right": "Stats", "on": [["ID", "ID"]]}
+                },
+                "where": [{"column": "Univ_name", "op": "=", "value": "X"}],
+            }
+        )
+        join = built.root.child.child
+        assert isinstance(join, Join)
+        assert join.on == (("ID", "ID"),)
+
+    def test_nested_union_and_difference_sources(self):
+        from repro.relational.query import Difference, Union
+
+        union_query = query_from_spec(
+            {"name": "Q", "kind": "count", "source": {"union": ["A", "B"]}}
+        )
+        assert isinstance(union_query.root.child, Union)
+        diff_query = query_from_spec(
+            {
+                "name": "Q",
+                "kind": "count",
+                "source": {
+                    "difference": {
+                        "left": {"relation": "A", "where": [{"column": "g", "value": "F"}]},
+                        "right": "B",
+                        "on": ["name"],
+                    }
+                },
+            }
+        )
+        assert isinstance(diff_query.root.child, Difference)
+        assert diff_query.root.child.on == ("name",)
+
+    def test_spec_errors_carry_json_pointer_paths(self):
+        with pytest.raises(SpecError) as excinfo:
+            query_from_spec(
+                {"name": "Q", "relation": "R",
+                 "where": [{"column": "x", "op": "bogus"}]},
+                None,
+                "/query_left",
+            )
+        assert excinfo.value.path == "/query_left/where/0/op"
+        with pytest.raises(SpecError) as excinfo:
+            query_from_spec(
+                {"name": "Q", "source": {"join": {"left": "A"}}}, None, "/query_left"
+            )
+        assert excinfo.value.path == "/query_left/source/join"
+        with pytest.raises(SpecError) as excinfo:
+            query_from_spec(
+                {"name": "Q", "source": {"union": ["A"]}}, None, "/query_left"
+            )
+        assert excinfo.value.path == "/query_left/source/union"
+        with pytest.raises(SpecError) as excinfo:
+            request_from_payload({"database_left": "D1"})
+        assert excinfo.value.path.startswith("/query_left") or excinfo.value.path.startswith("/")
+
+    def test_sql_spec_rejects_conflicting_declarative_keys(self):
+        with pytest.raises(SpecError) as excinfo:
+            query_from_spec(
+                {"name": "Q", "sql": "SELECT COUNT(x) FROM R",
+                 "where": [{"column": "y", "value": 1}]},
+                None,
+                "/query_left",
+            )
+        assert "declarative keys" in str(excinfo.value)
+        assert excinfo.value.path == "/query_left/sql"
+
+    def test_source_spec_rejects_ambiguous_objects(self):
+        from repro.service.api import source_from_spec
+
+        with pytest.raises(SpecError):
+            source_from_spec({"relation": "A", "join": {}}, "/q")
+        with pytest.raises(SpecError):
+            source_from_spec(42, "/q")
+
+
+SQL_EXPLAIN_PAYLOAD = {
+    "database_left": "D1",
+    "query_left": {"name": "Q1", "sql": "SELECT COUNT(Program) FROM D1"},
+    "database_right": "D2",
+    "query_right": {
+        "name": "Q2",
+        "sql": "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'",
+    },
+    "attribute_matches": [["Program", "Major"]],
+    "tuple_mapping": EXPLAIN_PAYLOAD["tuple_mapping"],
+    "config": EXPLAIN_PAYLOAD["config"],
+}
+
+
+class TestHTTPSqlRequests:
+    def test_sql_request_output_identical_to_programmatic_path(self, running_server):
+        programmatic = running_server.explain(EXPLAIN_PAYLOAD)
+        via_sql = running_server.explain(SQL_EXPLAIN_PAYLOAD)
+        # The SQL specs lower to fingerprint-identical queries, so the whole
+        # request keys the same cached problem and report.
+        assert (
+            via_sql["service"]["problem_fingerprint"]
+            == programmatic["service"]["problem_fingerprint"]
+        )
+        assert (
+            via_sql["service"]["request_fingerprint"]
+            == programmatic["service"]["request_fingerprint"]
+        )
+        scrub = lambda payload: {k: v for k, v in payload.items() if k != "service"}
+        assert scrub(via_sql) == scrub(programmatic)
+
+    def test_sql_request_binds_against_registered_schema(self, running_server):
+        bad = dict(SQL_EXPLAIN_PAYLOAD)
+        bad["query_right"] = {"name": "Q2", "sql": "SELECT COUNT(Mojor) FROM D2"}
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.explain(bad)
+        assert excinfo.value.status == 400
+        assert "did you mean 'Major'" in excinfo.value.detail
+
+    def test_error_payload_includes_json_pointer_path(self, running_server):
+        import urllib.request
+
+        bad = dict(EXPLAIN_PAYLOAD)
+        bad["query_right"] = {
+            "name": "Q2", "relation": "D2",
+            "where": [{"column": "Univ", "op": "bogus"}],
+        }
+        request = urllib.request.Request(
+            f"{running_server.base_url}/explain",
+            data=json.dumps(bad).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            body = json.loads(exc.read())
+            assert exc.code == 400
+            assert body["path"] == "/query_right/where/0/op"
+
+    def test_async_job_accepts_sql_specs(self, running_server):
+        job = running_server.submit_job(SQL_EXPLAIN_PAYLOAD)
+        final = running_server.wait_for_job(job["id"], timeout=30)
+        assert final["state"] == "done"
+        assert final["result"]["query_left"]["result"] == 7.0
+
+    def test_relation_and_source_conflict_rejected(self):
+        with pytest.raises(SpecError) as excinfo:
+            query_from_spec(
+                {"name": "Q", "kind": "count", "relation": "A",
+                 "source": {"union": ["X", "Y"]}},
+                None,
+                "/query_left",
+            )
+        assert "both 'relation' and 'source'" in str(excinfo.value)
+        assert excinfo.value.path == "/query_left"

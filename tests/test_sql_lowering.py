@@ -1,0 +1,454 @@
+"""Binding and lowering SQL to the relational AST, and the to_sql round trip."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, col, count_query, parse_query
+from repro.relational.executor import execute
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Or,
+)
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Difference,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    Union,
+)
+from repro.sql import BindError, SqlPrintError, node_to_sql
+from repro.sql.fuzz import random_query_sql, toy_database
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    database = Database("test")
+    database.add_records(
+        "Movie",
+        [
+            {"movie_id": 1, "title": "Midnight Harvest", "year": 1994, "gross": 12.5},
+            {"movie_id": 2, "title": "Iron Compass", "year": 1994, "gross": None},
+            {"movie_id": 3, "title": "Silent Echo", "year": 1999, "gross": 3.0},
+        ],
+    )
+    database.add_records(
+        "Cast",
+        [
+            {"movie_id": 1, "person": "Ada"},
+            {"movie_id": 2, "person": "Grace"},
+            {"movie_id": 3, "person": "Ada"},
+        ],
+    )
+    return database
+
+
+class TestLoweringShapes:
+    def test_count_with_where_matches_builder(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(title) FROM Movie WHERE year = 1994", db, name="Q"
+        )
+        hand = count_query(
+            "Q", Scan("Movie"), predicate=(col("year") == 1994), attribute="title"
+        )
+        assert parsed.fingerprint() == hand.fingerprint()
+
+    def test_select_star_adds_no_node(self, db):
+        parsed = parse_query("SELECT * FROM Movie", db)
+        assert parsed.root == Scan("Movie")
+
+    def test_default_aggregate_aliases_match_builders(self, db):
+        assert parse_query("SELECT SUM(gross) FROM Movie", db).root.alias == "sum"
+        assert parse_query("SELECT COUNT(*) FROM Movie", db).root.alias == "count"
+        assert parse_query("SELECT AVG(gross) FROM Movie", db).root.alias == "avg"
+
+    def test_join_on_becomes_pairs(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie JOIN Cast ON Movie.movie_id = Cast.movie_id",
+            db,
+        )
+        join = parsed.root.child
+        assert isinstance(join, Join)
+        assert join.on == (("movie_id", "movie_id"),)
+        assert join.condition is None
+
+    def test_comma_join_extracts_equi_pairs_from_where(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie, Cast "
+            "WHERE Movie.movie_id = Cast.movie_id AND year = 1994",
+            db,
+        )
+        select = parsed.root.child
+        assert isinstance(select, Select)
+        assert select.predicate == Comparison("year", "=", 1994)
+        join = select.child
+        assert join.on == (("movie_id", "movie_id"),)
+
+    def test_reversed_on_equality_still_pairs_left_right(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie JOIN Cast ON Cast.movie_id = Movie.movie_id",
+            db,
+        )
+        assert parsed.root.child.on == (("movie_id", "movie_id"),)
+
+    def test_non_equi_on_conjunct_becomes_condition(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie JOIN Cast "
+            "ON Movie.movie_id = Cast.movie_id AND year > 1990",
+            db,
+        )
+        join = parsed.root.child
+        assert join.on == (("movie_id", "movie_id"),)
+        assert join.condition == Comparison("year", ">", 1990)
+
+    def test_join_renames_are_reachable_via_qualified_names(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie JOIN Cast ON Movie.movie_id = Cast.movie_id "
+            "WHERE Cast.movie_id > 1",
+            db,
+        )
+        select = parsed.root.child
+        # Cast.movie_id clashes with Movie's and is renamed movie_id_r.
+        assert select.predicate == Comparison("movie_id_r", ">", 1)
+
+    def test_where_true_is_identity(self, db):
+        parsed = parse_query("SELECT COUNT(*) FROM Movie WHERE TRUE", db)
+        assert parsed.root.child == Scan("Movie")
+
+    def test_on_true_is_cross_join(self, db):
+        parsed = parse_query("SELECT COUNT(*) FROM Movie JOIN Cast ON TRUE", db)
+        join = parsed.root.child
+        assert join.on == () and join.condition is None
+
+    def test_not_in_subquery_becomes_difference_after_select(self, db):
+        parsed = parse_query(
+            "SELECT DISTINCT person FROM Cast WHERE person != 'Eve' "
+            "AND movie_id NOT IN (SELECT * FROM Movie WHERE year = 1999)",
+            db,
+        )
+        project = parsed.root
+        assert isinstance(project, Project)
+        difference = project.child
+        assert isinstance(difference, Difference)
+        assert difference.on == ("movie_id",)
+        assert isinstance(difference.left, Select)
+
+    def test_union_flattens_and_except_uses_output_columns(self, db):
+        parsed = parse_query(
+            "SELECT title FROM Movie UNION SELECT title FROM Movie "
+            "UNION SELECT title FROM Movie",
+            db,
+        )
+        assert isinstance(parsed.root, Union)
+        assert len(parsed.root.inputs) == 3
+
+        except_parsed = parse_query(
+            "SELECT title FROM Movie EXCEPT SELECT title FROM Movie WHERE year = 1999",
+            db,
+        )
+        assert isinstance(except_parsed.root, Difference)
+        assert except_parsed.root.on == ("title",)
+
+    def test_parenthesized_compound_stays_nested(self, db):
+        parsed = parse_query(
+            "(SELECT title FROM Movie UNION SELECT title FROM Movie) "
+            "EXCEPT SELECT title FROM Movie",
+            db,
+        )
+        assert isinstance(parsed.root, Difference)
+        assert isinstance(parsed.root.left, Union)
+
+    def test_group_by(self, db):
+        parsed = parse_query(
+            "SELECT year, COUNT(title) FROM Movie GROUP BY year", db
+        )
+        root = parsed.root
+        assert isinstance(root, Aggregate)
+        assert root.group_by == ("year",)
+        assert root.function is AggregateFunction.COUNT
+
+    def test_predicate_forms(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie WHERE year IN (1994, 1999) "
+            "AND gross BETWEEN 1 AND 20 AND title LIKE '%Echo%' "
+            "AND gross IS NOT NULL AND title = 'x' OR NOT year = 2000",
+            db,
+        )
+        predicate = parsed.root.child.predicate
+        assert isinstance(predicate, Or)
+        left = predicate.children[0]
+        assert isinstance(left, And)
+        assert isinstance(predicate.children[1], Not)
+        # dig out the individual conjuncts
+        flat: list = []
+
+        def flatten(p):
+            if isinstance(p, And) and len(p.children) == 2:
+                flatten(p.children[0])
+                flat.append(p.children[1])
+            else:
+                flat.append(p)
+
+        flatten(left)
+        assert flat[0] == Membership("year", (1994, 1999))
+        assert repr(flat[1]) == repr(
+            And(Comparison("gross", ">=", 1), Comparison("gross", "<=", 20))
+        )
+        assert flat[2] == Contains("title", "Echo")
+        assert flat[3] == IsNull("gross", negate=True)
+
+    def test_attribute_comparison_and_flipped_literal(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie WHERE 1995 > year AND movie_id = movie_id",
+            db,
+        )
+        predicate = parsed.root.child.predicate
+        assert predicate.children[0] == Comparison("year", "<", 1995)
+        assert predicate.children[1] == AttributeComparison("movie_id", "=", "movie_id")
+
+    def test_like_exact_pattern_is_equality(self, db):
+        parsed = parse_query("SELECT COUNT(*) FROM Movie WHERE title LIKE 'Iron Compass'", db)
+        assert parsed.root.child.predicate == Comparison("title", "=", "Iron Compass")
+
+    def test_lenient_mode_skips_schema_checks(self):
+        parsed = parse_query("SELECT COUNT(whatever) FROM NoSuchTable")
+        assert parsed.root.attribute == "whatever"
+
+    def test_lenient_comma_join_only_pairs_provable_conjuncts(self):
+        """Regression: without schemas, unqualified equalities must stay in
+        WHERE (a same-side filter like ``label = city`` is not provably a
+        cross-table join condition)."""
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM R, S WHERE id = rid AND label = city"
+        )
+        select = parsed.root.child
+        assert isinstance(select, Select)
+        join = select.child
+        assert join.on == ()
+        assert isinstance(select.predicate, And)
+
+    def test_lenient_comma_join_pairs_qualified_conjuncts(self):
+        parsed = parse_query("SELECT COUNT(*) FROM R, S WHERE R.id = S.rid")
+        assert parsed.root.child.on == (("id", "rid"),)
+
+    def test_lenient_on_clause_keeps_natural_join_reading(self):
+        parsed = parse_query("SELECT COUNT(*) FROM R JOIN S ON id = rid")
+        assert parsed.root.child.on == (("id", "rid"),)
+
+
+class TestBindErrors:
+    def test_unknown_relation_suggests(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT COUNT(*) FROM Movi", db)
+        assert "did you mean 'Movie'" in str(excinfo.value)
+        assert excinfo.value.column == 22
+
+    def test_unknown_column_suggests_and_points(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT COUNT(titel) FROM Movie", db)
+        assert "did you mean 'title'" in str(excinfo.value)
+        assert excinfo.value.column == 14
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT COUNT(*) FROM Movie WHERE m.year = 1", db)
+        assert "unknown table or alias" in str(excinfo.value)
+
+    def test_duplicate_table_needs_aliases(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query(
+                "SELECT COUNT(*) FROM Movie JOIN Movie ON Movie.movie_id = Movie.movie_id "
+                "WHERE Movie.year = 1994",
+                db,
+            )
+        assert "distinct alias" in str(excinfo.value)
+
+    def test_aliases_disambiguate_self_joins(self, db):
+        parsed = parse_query(
+            "SELECT COUNT(*) FROM Movie AS a JOIN Movie AS b ON a.movie_id = b.movie_id "
+            "WHERE b.year = 1994",
+            db,
+        )
+        select = parsed.root.child
+        assert select.predicate == Comparison("year_r", "=", 1994)
+
+    def test_column_alias_rejected(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT title AS t FROM Movie", db)
+        assert "rename" in str(excinfo.value)
+
+    def test_two_aggregates_rejected(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT SUM(gross), COUNT(*) FROM Movie", db)
+        assert "at most one aggregate" in str(excinfo.value)
+
+    def test_group_by_without_aggregate(self, db):
+        with pytest.raises(BindError):
+            parse_query("SELECT year FROM Movie GROUP BY year", db)
+
+    def test_plain_column_must_be_grouped(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT title, COUNT(*) FROM Movie GROUP BY year", db)
+        assert "GROUP BY" in str(excinfo.value)
+
+    def test_positive_in_subquery_rejected(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query(
+                "SELECT * FROM Movie WHERE movie_id IN (SELECT * FROM Cast)", db
+            )
+        assert "NOT IN" in str(excinfo.value)
+
+    def test_not_in_subquery_must_produce_key(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query(
+                "SELECT * FROM Movie WHERE title NOT IN (SELECT person FROM Cast)",
+                db,
+            )
+        assert "does not produce column" in str(excinfo.value)
+
+    def test_unsupported_like_pattern(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT * FROM Movie WHERE title LIKE 'Iron%'", db)
+        assert "LIKE" in str(excinfo.value)
+
+    def test_sum_star_rejected(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT SUM(*) FROM Movie", db)
+        assert "COUNT(*)" in str(excinfo.value)
+
+    def test_aggregate_alias_colliding_with_group_by_rejected(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query(
+                "SELECT year, COUNT(title) AS year FROM Movie GROUP BY year", db
+            )
+        assert "collides with a GROUP BY column" in str(excinfo.value)
+
+    def test_duplicate_projection_column_rejected(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT title, title FROM Movie", db)
+        assert "selected twice" in str(excinfo.value)
+
+    def test_union_schema_mismatch(self, db):
+        with pytest.raises(BindError) as excinfo:
+            parse_query("SELECT title FROM Movie UNION SELECT person, movie_id FROM Cast", db)
+        assert "different output schemas" in str(excinfo.value)
+
+
+class TestToSqlRoundTrip:
+    def test_handbuilt_queries_round_trip(self, db):
+        handbuilt = [
+            count_query("Q", Scan("Movie"), attribute="title"),
+            Query("Q", Project(Scan("Cast"), ("person",), distinct=True)),
+            Query(
+                "Q",
+                Aggregate(
+                    Select(
+                        Join(Scan("Movie"), Scan("Cast"), on=(("movie_id", "movie_id"),)),
+                        col("year") == 1994,
+                    ),
+                    AggregateFunction.SUM,
+                    "gross",
+                    alias="sum",
+                ),
+            ),
+            Query(
+                "Q",
+                Union(
+                    (
+                        Project(Scan("Movie"), ("title",), distinct=True),
+                        Project(Scan("Movie"), ("title",), distinct=True),
+                    )
+                ),
+            ),
+            Query(
+                "Q",
+                Project(
+                    Difference(
+                        Select(Scan("Cast"), col("person") == "Ada"),
+                        Scan("Movie"),
+                        on=("movie_id",),
+                    ),
+                    ("person",),
+                ),
+            ),
+            Query(
+                "Q",
+                Aggregate(
+                    Scan("Movie"),
+                    AggregateFunction.COUNT,
+                    None,
+                    group_by=("year",),
+                    alias="n",
+                ),
+            ),
+        ]
+        for query in handbuilt:
+            printed = query.to_sql()
+            reparsed = parse_query(printed, db, name=query.name)
+            assert reparsed.fingerprint() == query.fingerprint(), printed
+
+    def test_query_node_to_sql_method(self, db):
+        node = Select(Scan("Movie"), col("year") == 1994)
+        assert "WHERE year = 1994" in node.to_sql()
+
+    def test_same_side_on_equality_round_trips_as_condition(self, db):
+        """Regression: ``ON Movie.year = Movie.movie_id`` lowers to an extra
+        condition (not an on-pair); its printed form must re-parse as a
+        condition too, not get claimed as a cross-side join pair."""
+        query = parse_query(
+            "SELECT COUNT(*) FROM Movie JOIN Cast ON Movie.year = Movie.movie_id",
+            db,
+            name="Q",
+        )
+        join = query.root.child
+        assert join.on == () and join.condition is not None
+        printed = node_to_sql(query.root)
+        reparsed = parse_query(printed, db, name="Q")
+        assert reparsed.fingerprint() == query.fingerprint(), printed
+        original = execute(query, db)
+        round_tripped = execute(reparsed, db)
+        assert [row.values for row in original] == [row.values for row in round_tripped]
+
+    def test_self_join_printing_generates_aliases(self, db):
+        node = Join(Scan("Movie"), Scan("Movie"), on=(("movie_id", "movie_id"),))
+        printed = node.to_sql()
+        reparsed = parse_query(printed, db, name="Q")
+        assert reparsed.root == node
+
+    def test_unprintable_predicate_raises(self, db):
+        class Weird:
+            pass
+
+        node = Select(Scan("Movie"), Weird())  # not a Predicate the printer knows
+        with pytest.raises(SqlPrintError):
+            node_to_sql(node)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_fuzz_round_trip_property(self, seed):
+        """parse -> lower -> print -> parse -> lower is fingerprint-stable,
+        and both ASTs execute to identical relations."""
+        db = toy_database()
+        sql = random_query_sql(random.Random(seed), db)
+        query = parse_query(sql, db, name="F")
+        printed = node_to_sql(query.root)
+        reparsed = parse_query(printed, db, name="F")
+        assert reparsed.fingerprint() == query.fingerprint(), (
+            f"\n in: {sql}\nout: {printed}"
+        )
+        original = execute(query, db)
+        round_tripped = execute(reparsed, db)
+        assert [row.values for row in original] == [row.values for row in round_tripped]

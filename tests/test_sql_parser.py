@@ -1,0 +1,226 @@
+"""The SQL frontend's lexer and parser: tokens, shapes, and error positions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import LexError, ParseError, parse_statement
+from repro.sql import ast
+from repro.sql.lexer import IDENT, KEYWORD, NUMBER, STRING, SYMBOL, tokenize
+
+
+class TestLexer:
+    def test_keywords_are_case_insensitive(self):
+        for text in ("SELECT", "select", "Select"):
+            token = tokenize(text)[0]
+            assert token.kind == KEYWORD and token.value == "SELECT"
+
+    def test_identifiers_preserve_case_and_quoting_escapes_keywords(self):
+        tokens = tokenize('Movie "Table" "select"')
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            (IDENT, "Movie"), (IDENT, "Table"), (IDENT, "select"),
+        ]
+
+    def test_aggregate_names_are_plain_identifiers(self):
+        token = tokenize("count")[0]
+        assert token.kind == IDENT
+
+    def test_string_literals_escape_quotes(self):
+        token = tokenize("'O''Brien'")[0]
+        assert token.kind == STRING and token.value == "O'Brien"
+
+    def test_numbers_keep_int_float_distinction(self):
+        values = [t.value for t in tokenize("1994 4.5 1e3 2.5e-2")[:-1]]
+        assert values == [1994, 4.5, 1000.0, 0.025]
+        assert isinstance(values[0], int) and isinstance(values[2], float)
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT -- trailing\n/* block\ncomment */ 1")
+        assert [t.kind for t in tokens[:-1]] == [KEYWORD, NUMBER]
+
+    def test_operators(self):
+        symbols = [t.value for t in tokenize("= == != <> < <= > >= ( ) , . *")[:-1]]
+        assert symbols == ["=", "==", "!=", "<>", "<", "<=", ">", ">=",
+                           "(", ")", ",", ".", "*"]
+
+    def test_positions_are_character_offsets(self):
+        tokens = tokenize("SELECT  Major")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 8
+
+    def test_string_tokens_anchor_at_their_opening_quote(self):
+        tokens = tokenize("SELECT 'abc' FROM T")
+        assert tokens[1].kind == STRING and tokens[1].position == 7
+        escaped = tokenize("'O''Brien' x")
+        assert escaped[0].position == 0 and escaped[1].position == 11
+
+    @pytest.mark.parametrize("bad, fragment", [
+        ("'unterminated", "unterminated string"),
+        ("/* never closed", "unterminated block comment"),
+        ('"no close', "unterminated quoted identifier"),
+        ("a ; b", "unexpected character ';'"),
+    ])
+    def test_lex_errors_carry_position(self, bad, fragment):
+        with pytest.raises(LexError) as excinfo:
+            tokenize(bad)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.position is not None
+
+
+class TestParserShapes:
+    def test_simple_aggregate(self):
+        stmt = parse_statement("SELECT COUNT(Major) FROM Major")
+        assert isinstance(stmt, ast.SelectCore)
+        item = stmt.items[0]
+        assert isinstance(item, ast.AggregateItem)
+        assert item.function == "COUNT" and item.argument.name == "Major"
+
+    def test_count_star_and_alias(self):
+        stmt = parse_statement("SELECT COUNT(*) AS n FROM R")
+        item = stmt.items[0]
+        assert item.argument is None and item.alias == "n"
+
+    def test_distinct_projection(self):
+        stmt = parse_statement("SELECT DISTINCT a, b FROM R")
+        assert stmt.distinct is True
+        assert [i.ref.name for i in stmt.items] == ["a", "b"]
+
+    def test_join_chain_nests_left_associatively(self):
+        stmt = parse_statement(
+            "SELECT * FROM A JOIN B ON A.x = B.x JOIN C ON B.y = C.y"
+        )
+        outer = stmt.sources[0]
+        assert isinstance(outer, ast.JoinSource)
+        assert isinstance(outer.left, ast.JoinSource)
+        assert outer.right.name == "C"
+
+    def test_subquery_source_with_alias(self):
+        stmt = parse_statement("SELECT * FROM (SELECT * FROM R WHERE x = 1) AS s")
+        source = stmt.sources[0]
+        assert isinstance(source, ast.SubquerySource) and source.alias == "s"
+
+    def test_comma_sources(self):
+        stmt = parse_statement("SELECT * FROM A, B WHERE A.x = B.y")
+        assert len(stmt.sources) == 2
+
+    def test_and_or_precedence_and_left_nesting(self):
+        stmt = parse_statement("SELECT * FROM R WHERE a = 1 AND b = 2 OR c = 3")
+        where = stmt.where
+        assert isinstance(where, ast.OrExpr)
+        assert isinstance(where.left, ast.AndExpr)
+
+    def test_parentheses_are_preserved_as_nodes(self):
+        stmt = parse_statement("SELECT * FROM R WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(stmt.where.right, ast.ParenExpr)
+        assert isinstance(stmt.where.right.inner, ast.OrExpr)
+
+    def test_in_between_like_is_null(self):
+        stmt = parse_statement(
+            "SELECT * FROM R WHERE a IN (1, 2) AND b NOT BETWEEN 3 AND 4 "
+            "AND c LIKE '%x%' AND d IS NOT NULL"
+        )
+        conjuncts = []
+
+        def flatten(expr):
+            if isinstance(expr, ast.AndExpr):
+                flatten(expr.left)
+                flatten(expr.right)
+            else:
+                conjuncts.append(expr)
+
+        flatten(stmt.where)
+        kinds = [type(c) for c in conjuncts]
+        assert kinds == [ast.InListExpr, ast.BetweenExpr, ast.LikeExpr, ast.IsNullExpr]
+        assert conjuncts[1].negated is True
+        assert conjuncts[3].negated is True
+
+    def test_row_list_not_in_subquery(self):
+        stmt = parse_statement(
+            "SELECT * FROM R WHERE (a, b) NOT IN (SELECT a, b FROM S)"
+        )
+        where = stmt.where
+        assert isinstance(where, ast.InSelectExpr)
+        assert [ref.name for ref in where.refs] == ["a", "b"]
+        assert where.negated is True
+
+    def test_single_column_not_in_subquery(self):
+        stmt = parse_statement("SELECT * FROM R WHERE a NOT IN (SELECT * FROM S)")
+        assert isinstance(stmt.where, ast.InSelectExpr)
+
+    def test_group_by(self):
+        stmt = parse_statement("SELECT g, COUNT(x) FROM R GROUP BY g")
+        assert [ref.name for ref in stmt.group_by] == ["g"]
+
+    def test_union_and_except_chain(self):
+        stmt = parse_statement("SELECT a FROM R UNION SELECT a FROM S EXCEPT SELECT a FROM T")
+        assert isinstance(stmt, ast.CompoundSelect)
+        assert [op for op, _ in stmt.tail] == ["UNION", "EXCEPT"]
+
+    def test_parenthesized_compound_is_a_unit(self):
+        stmt = parse_statement("(SELECT a FROM R UNION SELECT a FROM S) EXCEPT SELECT a FROM T")
+        assert isinstance(stmt.first, ast.ParenStatement)
+        assert isinstance(stmt.first.statement, ast.CompoundSelect)
+
+    def test_qualified_refs_and_literals(self):
+        stmt = parse_statement(
+            "SELECT * FROM R WHERE R.x = 'str' AND y != -4 AND z = TRUE AND w = NULL"
+        )
+        assert stmt.where is not None
+
+    def test_table_named_like_keyword_must_be_quoted(self):
+        stmt = parse_statement('SELECT SUM(val) FROM "Table"')
+        assert stmt.sources[0].name == "Table"
+
+
+class TestParseErrors:
+    def test_misspelled_from_reports_position_and_expected(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT COUNT(title) FORM Movie")
+        error = excinfo.value
+        assert "FROM" in error.expected
+        assert error.line == 1 and error.column == 21
+        assert "identifier 'FORM'" in str(error)
+
+    def test_missing_closing_paren(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT COUNT(title FROM Movie")
+        assert "')'" in excinfo.value.expected
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT * FROM R extra nonsense")
+        assert "end of input" in excinfo.value.expected
+
+    def test_incomplete_where(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT * FROM R WHERE x")
+        assert any("comparison" in item for item in excinfo.value.expected)
+
+    def test_multiline_error_positions(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT *\nFROM Movie\nWHERE year == == 4")
+        assert excinfo.value.line == 3
+
+    def test_describe_renders_a_caret(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT COUNT(title) FORM Movie")
+        rendered = excinfo.value.describe()
+        lines = rendered.splitlines()
+        assert lines[0] == "SELECT COUNT(title) FORM Movie"
+        assert lines[1].index("^") == 20
+
+    def test_like_requires_a_string_pattern(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT * FROM R WHERE x LIKE 5")
+        assert "string pattern" in excinfo.value.expected
+
+    def test_between_on_literal_left_side(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT * FROM R WHERE 5 BETWEEN 1 AND 2")
+        assert "column reference" in str(excinfo.value)
+
+    def test_describe_survives_eof_after_trailing_newline(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement("SELECT COUNT(x) FROM\n")
+        rendered = excinfo.value.describe()  # regression: used to IndexError
+        assert "expected table name" in rendered
