@@ -1,0 +1,192 @@
+"""Machine-readable executor benchmark: naive interpreter vs query planner.
+
+Times query execution on workloads shaped like the ones Stage 1 pays for on
+every explain request:
+
+* **synthetic_join** -- an equi-join written as a theta ``condition`` (the
+  shape JSON/API clients and hand-built ASTs produce) with a selective filter
+  above it.  The naive interpreter runs a nested loop over the cross product;
+  the planner extracts the equality into a hash-join key and pushes the
+  filter below the join.
+* **synthetic_multikey** -- a two-key equi-join whose first key is nearly
+  useless (4 distinct values).  The interpreter hashes on the first key only
+  and filters the rest pair by pair; the planner hashes the composite key.
+* **imdb_views** -- the IMDb view pairs of the paper's Section 5.1 templates,
+  executed end to end (provenance-shaped trees: joins over Movie/MovieInfo).
+
+Every timed pair of paths asserts **fingerprint equivalence** (schema, rows,
+order, per-row lineage) between the naive and the planned result -- the
+script fails loudly rather than report a speedup for a divergent answer.
+``MIN_JOIN_SPEEDUP`` enforces the planner's headline win on the synthetic
+join workload.  Results go to ``BENCH_executor.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.plan import plan_query
+from repro.relational.executor import Database, execute
+from repro.relational.expressions import AttributeComparison, col
+from repro.relational.query import Join, Query, Scan, Select, count_query, sum_query
+
+RESULT_PATH = ROOT / "BENCH_executor.json"
+REPEATS = 3
+MIN_JOIN_SPEEDUP = 2.0
+
+REGIONS = ["north", "south", "east", "west"]
+
+
+def _best_of(function, repeats=REPEATS):
+    """Best wall-clock time of ``repeats`` runs, plus the (deterministic) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _synthetic_db(num_orders: int = 1200, num_customers: int = 300) -> Database:
+    rng = random.Random(7)
+    db = Database("bench")
+    db.add_records(
+        "Customers",
+        [
+            {
+                "cust_id": index,
+                "region": rng.choice(REGIONS),
+                "segment": rng.choice(["retail", "b2b", "gov"]),
+            }
+            for index in range(num_customers)
+        ],
+    )
+    db.add_records(
+        "Orders",
+        [
+            {
+                "order_id": index,
+                "cust_id": rng.randrange(num_customers),
+                "region": rng.choice(REGIONS),
+                "amount": round(rng.uniform(5.0, 500.0), 2),
+            }
+            for index in range(num_orders)
+        ],
+    )
+    return db
+
+
+def _time_pair(name: str, query: Query, db: Database) -> dict:
+    """Time naive vs planned execution of one query, asserting equivalence."""
+    naive_seconds, naive_result = _best_of(lambda: execute(query, db, planner="naive"))
+    planned_seconds, planned_result = _best_of(
+        lambda: execute(query, db, planner="optimized")
+    )
+    if naive_result.fingerprint() != planned_result.fingerprint():
+        raise AssertionError(
+            f"{name}: planned execution diverges from the naive interpreter"
+        )
+    plan = plan_query(query, db)
+    return {
+        "workload": name,
+        "query": query.name,
+        "rows_out": len(planned_result),
+        "operators": len(plan.operators),
+        "rewrites": plan.rewrites.applied,
+        "naive_seconds": round(naive_seconds, 6),
+        "planned_seconds": round(planned_seconds, 6),
+        "speedup": round(naive_seconds / planned_seconds, 2) if planned_seconds else None,
+    }
+
+
+def bench_synthetic_join() -> dict:
+    """Theta-written equi-join + selective filter: nested loop vs hash join."""
+    db = _synthetic_db()
+    # The join key equality lives in the *condition* (as a declarative API
+    # client would write it) and the filter sits above the join -- the naive
+    # interpreter gets a filtered cross product, the planner a pushed-down
+    # hash join.
+    join = Join(
+        Scan("Orders"),
+        Scan("Customers"),
+        condition=AttributeComparison("cust_id", "=", "cust_id_r"),
+    )
+    query = sum_query(
+        "join_sum",
+        Select(join, col("region_r") == "west"),
+        "amount",
+        description="revenue from customers in the west region",
+    )
+    return _time_pair("synthetic_join", query, db)
+
+
+def bench_synthetic_multikey() -> dict:
+    """Two-key join with a low-selectivity first key: composite hashing."""
+    db = _synthetic_db()
+    join = Join(
+        Scan("Orders"),
+        Scan("Customers"),
+        on=(("region", "region"), ("cust_id", "cust_id")),
+    )
+    query = count_query("multikey_count", join, attribute="order_id")
+    return _time_pair("synthetic_multikey", query, db)
+
+
+def bench_imdb_views() -> list[dict]:
+    """The paper's IMDb view templates, both sides, end to end."""
+    from repro.datasets.imdb import generate_imdb_workload
+
+    workload = generate_imdb_workload()
+    year = workload.years_with_movies()[0]
+    entries = []
+    for template in ("Q3", "Q5"):
+        pair = workload.pair(template, year)
+        for query, db in (
+            (pair.query_left, pair.db_left),
+            (pair.query_right, pair.db_right),
+        ):
+            entries.append(_time_pair(f"imdb_{template}", query, db))
+    return entries
+
+
+def main() -> int:
+    entries = [bench_synthetic_join(), bench_synthetic_multikey()]
+    entries.extend(bench_imdb_views())
+    payload = {
+        "benchmark": "executor",
+        "repeats": REPEATS,
+        "min_join_speedup": MIN_JOIN_SPEEDUP,
+        "entries": entries,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for entry in entries:
+        print(
+            f"{entry['workload']:>20} ({entry['query']}): "
+            f"naive {entry['naive_seconds']:.4f}s -> planned "
+            f"{entry['planned_seconds']:.4f}s ({entry['speedup']}x)"
+        )
+    print(f"results written to {RESULT_PATH}")
+    join_entry = entries[0]
+    if join_entry["speedup"] is not None and join_entry["speedup"] < MIN_JOIN_SPEEDUP:
+        print(
+            f"FAIL: synthetic join speedup {join_entry['speedup']}x is below the "
+            f"required {MIN_JOIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

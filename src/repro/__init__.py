@@ -45,6 +45,7 @@ from repro.relational.query import (
     projection_query,
     sum_query,
 )
+from repro.plan import PhysicalPlan, PlanExplanation, plan_node, plan_query
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, DataType, Schema
 from repro.sql import parse_query
@@ -76,6 +77,10 @@ __all__ = [
     "scalar_result",
     "col",
     "parse_query",
+    "PhysicalPlan",
+    "PlanExplanation",
+    "plan_query",
+    "plan_node",
     "Query",
     "Scan",
     "Select",

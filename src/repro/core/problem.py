@@ -184,15 +184,20 @@ def build_problem(
     :class:`Stage1Artifacts`; the produced problem is identical with or
     without it.
     """
+    # Stage 1 provenance capture runs through the query planner (repro.plan):
+    # rewrites + hash joins replace the naive tree walk, with results (rows,
+    # order, lineage) fingerprint-identical to the reference interpreter.
     if artifacts is not None and artifacts.provenance_left is not None:
         provenance_left = artifacts.provenance_left
     else:
-        provenance_left = provenance_relation(query_left, db_left, label=f"P[{query_left.name}]")
+        provenance_left = provenance_relation(
+            query_left, db_left, label=f"P[{query_left.name}]", planner="optimized"
+        )
     if artifacts is not None and artifacts.provenance_right is not None:
         provenance_right = artifacts.provenance_right
     else:
         provenance_right = provenance_relation(
-            query_right, db_right, label=f"P[{query_right.name}]"
+            query_right, db_right, label=f"P[{query_right.name}]", planner="optimized"
         )
     if artifacts is not None:
         artifacts.provenance_left = provenance_left
@@ -237,8 +242,8 @@ def build_problem(
     result_left = result_right = None
     if compute_results:
         try:
-            result_left = scalar_result(query_left, db_left)
-            result_right = scalar_result(query_right, db_right)
+            result_left = scalar_result(query_left, db_left, planner="optimized")
+            result_right = scalar_result(query_right, db_right, planner="optimized")
         except Exception:
             # Non-aggregate queries have no scalar result; the disagreement is
             # then judged on provenance rather than a single number.

@@ -184,6 +184,50 @@ def imdb_sql(template: str, param) -> dict[str, str]:
 
 
 # ---------------------------------------------------------------------------
+# Enumeration: every catalog query with its database.
+# ---------------------------------------------------------------------------
+
+def catalog_queries():
+    """Yield ``(label, query, db)`` for every dataset catalog query.
+
+    One enumeration shared by every consumer that must cover "all catalog
+    queries" (the planner's plan smoke, equivalence suites, ...), so new
+    scenarios added here are picked up everywhere at once.  Mirrors the
+    pairs :func:`catalog_self_check` walks: Figure 1, academic (UMass),
+    synthetic, and all ten IMDb view templates (both sides).
+    """
+    from repro.datasets.academic import generate_academic_pair, umass_config
+    from repro.datasets.imdb import generate_imdb_workload
+    from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+    from repro.relational.expressions import col
+    from repro.relational.query import Scan, count_query
+
+    db1, db2, _ = figure1_databases()
+    yield "figure1/Q1", count_query("Q1", Scan("D1"), attribute="Program"), db1
+    yield (
+        "figure1/Q2",
+        count_query("Q2", Scan("D2"), predicate=(col("Univ") == "A"), attribute="Major"),
+        db2,
+    )
+
+    academic = generate_academic_pair(umass_config())
+    yield "academic/Q1", academic.query_left, academic.db_left
+    yield "academic/Q2", academic.query_right, academic.db_right
+
+    synthetic = generate_synthetic_pair(SyntheticConfig(num_tuples=30, seed=3))
+    yield "synthetic/Q1", synthetic.query_left, synthetic.db_left
+    yield "synthetic/Q2", synthetic.query_right, synthetic.db_right
+
+    workload = generate_imdb_workload()
+    year = workload.years_with_movies()[0]
+    for template in workload.TEMPLATES:
+        param = "Drama" if template == "Q10" else year
+        pair = workload.pair(template, param)
+        yield f"imdb/{template}/v1", pair.query_left, pair.db_left
+        yield f"imdb/{template}/v2", pair.query_right, pair.db_right
+
+
+# ---------------------------------------------------------------------------
 # Self check: every SQL form lowers to the hand-built AST.
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,71 @@
+"""Logical/physical query planning: optimizer, batch operators, EXPLAIN.
+
+The naive interpreter of :mod:`repro.relational.executor` walks the logical
+AST row by row.  This package splits that into the classic two layers:
+
+* :mod:`repro.plan.optimizer` -- exact, rule-based rewrites of the logical
+  tree (selection pushdown, equi-join key extraction, projection pruning);
+* :mod:`repro.plan.physical` -- batch physical operators (``ScanExec``,
+  ``FilterExec``, ``HashJoinExec``, ``AggregateExec``, ...) with per-operator
+  row counts and timings;
+* :mod:`repro.plan.planner` -- lowering, cardinality estimates, build-side
+  selection, common-subplan deduplication, and the :class:`PhysicalPlan` /
+  EXPLAIN surface.
+
+Planned execution is fingerprint-identical to the interpreter -- including
+per-row why-provenance lineage -- which the planner test suite and the CI
+fuzz-equivalence step assert continuously.  Entry points::
+
+    plan = plan_query(query, db)          # -> PhysicalPlan
+    relation = plan.execute()             # fingerprint-equal to execute(query, db)
+    print(plan.describe(run=True))        # EXPLAIN ANALYZE-style tree
+    execute(query, db, planner="optimized")   # one-shot planned execution
+"""
+
+from repro.plan.optimizer import RewriteLog, infer_schema, optimize
+from repro.plan.physical import (
+    AggregateExec,
+    AntiJoinExec,
+    DistinctExec,
+    ExecutionContext,
+    FilterExec,
+    HashJoinExec,
+    NestedLoopJoinExec,
+    PhysicalOperator,
+    ProjectExec,
+    ScanExec,
+    UnionExec,
+)
+from repro.plan.planner import (
+    PhysicalPlan,
+    PlanExplanation,
+    PlanRunStats,
+    estimate_rows,
+    logical_fingerprint,
+    plan_node,
+    plan_query,
+)
+
+__all__ = [
+    "optimize",
+    "infer_schema",
+    "RewriteLog",
+    "PhysicalOperator",
+    "ScanExec",
+    "FilterExec",
+    "ProjectExec",
+    "DistinctExec",
+    "HashJoinExec",
+    "NestedLoopJoinExec",
+    "UnionExec",
+    "AntiJoinExec",
+    "AggregateExec",
+    "ExecutionContext",
+    "PhysicalPlan",
+    "PlanExplanation",
+    "PlanRunStats",
+    "plan_node",
+    "plan_query",
+    "estimate_rows",
+    "logical_fingerprint",
+]

@@ -1,0 +1,497 @@
+"""Rule-based logical optimizer over the relational query AST.
+
+The optimizer rewrites a :class:`~repro.relational.query.QueryNode` tree into
+an equivalent tree that the physical planner can lower into faster operators.
+Every rewrite is **exact**: the optimized tree produces the same rows, in the
+same order, with the same per-row lineage sets as the input tree -- it remains
+executable by the naive interpreter, which is how the equivalence suite
+validates each rule in isolation.
+
+Rules (applied in order, each to fixpoint):
+
+* ``merge_selects`` -- ``Select(Select(x, p1), p2)`` becomes one conjunctive
+  selection so that pushdown sees every conjunct at once;
+* ``pushdown_select`` -- selection conjuncts sink through Project (when they
+  only reference projected attributes), Union (into every input) and Join
+  (side-local conjuncts move onto their side; cross-side equality conjuncts
+  become join keys);
+* ``extract_equi_keys`` -- equality conjuncts of a join's extra ``condition``
+  move into the ``on`` key list, turning nested-loop joins into hash joins;
+* ``prune_projections`` -- columns no operator above ever reads are dropped
+  with narrow ``Project`` nodes above join inputs and difference right sides.
+
+Predicates the optimizer cannot introspect (ad-hoc callables that are not
+:class:`~repro.relational.expressions.Predicate` trees) disable the rules that
+would need their attribute sets -- the plan still runs, just unoptimized at
+that spot.
+
+A subtlety worth documenting: the naive executor matches its *first* ``on``
+pair by dictionary equality, under which ``NULL = NULL`` holds, while every
+further pair and every ``condition`` conjunct is null-rejecting.  When a rule
+promotes a condition conjunct into the first key of a previously key-less
+join it therefore adds an ``IS NOT NULL`` guard on the left attribute, so the
+rewritten tree keeps the condition's null-rejecting semantics exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.errors import RelationalError
+from repro.relational.executor import Database
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.query import (
+    Aggregate,
+    Difference,
+    Join,
+    Project,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.schema import Attribute, DataType, Schema, concat_names
+
+
+# ---------------------------------------------------------------------------
+# Logical schema inference
+# ---------------------------------------------------------------------------
+
+def infer_schema(node: QueryNode, db: Database) -> Schema:
+    """The output schema a node produces when evaluated against ``db``.
+
+    Mirrors exactly what the executor builds: joins concatenate with ``_r``
+    disambiguation, unions take the first input's schema, aggregates append a
+    FLOAT column named after the alias.
+    """
+    if isinstance(node, Scan):
+        return db.relation(node.relation).schema
+    if isinstance(node, Select):
+        return infer_schema(node.child, db)
+    if isinstance(node, Project):
+        return infer_schema(node.child, db).project(list(node.attributes))
+    if isinstance(node, Join):
+        return infer_schema(node.left, db).concat(infer_schema(node.right, db))
+    if isinstance(node, Union):
+        return infer_schema(node.inputs[0], db)
+    if isinstance(node, Difference):
+        return infer_schema(node.left, db)
+    if isinstance(node, Aggregate):
+        out = Attribute(node.alias, DataType.FLOAT)
+        child = infer_schema(node.child, db)
+        if node.group_by:
+            return child.project(list(node.group_by)).extend([out])
+        return Schema([out])
+    raise RelationalError(f"cannot infer a schema for node type {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Predicate introspection helpers
+# ---------------------------------------------------------------------------
+
+_KNOWN_LEAVES = (Comparison, AttributeComparison, Membership, Contains, IsNull, TruePredicate)
+
+
+def is_known_predicate(predicate) -> bool:
+    """Whether every node of the predicate tree is an introspectable type.
+
+    Ad-hoc callables satisfy the executor's contract but expose no attribute
+    sets, so no rewrite involving them is provably exact.
+    """
+    if isinstance(predicate, _KNOWN_LEAVES):
+        return True
+    if isinstance(predicate, Not):
+        return is_known_predicate(predicate.child)
+    if isinstance(predicate, (And, Or)):
+        return all(is_known_predicate(child) for child in predicate.children)
+    return False
+
+
+def conjuncts_of(predicate: Predicate) -> list[Predicate]:
+    """Flatten nested conjunctions into a list of conjuncts."""
+    if isinstance(predicate, And):
+        parts: list[Predicate] = []
+        for child in predicate.children:
+            parts.extend(conjuncts_of(child))
+        return parts
+    return [predicate]
+
+
+def conjoin(parts: list[Predicate]) -> Predicate | None:
+    """Re-assemble conjuncts (None for an empty list, no 1-tuple And wrapper)."""
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def rename_predicate(predicate: Predicate, mapping: dict[str, str]) -> Predicate:
+    """The predicate with attribute names substituted via ``mapping``.
+
+    Only called on known predicate trees (see :func:`is_known_predicate`).
+    """
+    if isinstance(predicate, Comparison):
+        return Comparison(mapping.get(predicate.attribute, predicate.attribute),
+                          predicate.op, predicate.value)
+    if isinstance(predicate, AttributeComparison):
+        return AttributeComparison(mapping.get(predicate.left, predicate.left),
+                                   predicate.op,
+                                   mapping.get(predicate.right, predicate.right))
+    if isinstance(predicate, Membership):
+        return Membership(mapping.get(predicate.attribute, predicate.attribute),
+                          predicate.values)
+    if isinstance(predicate, Contains):
+        return Contains(mapping.get(predicate.attribute, predicate.attribute),
+                        predicate.needle, predicate.case_sensitive)
+    if isinstance(predicate, IsNull):
+        return IsNull(mapping.get(predicate.attribute, predicate.attribute),
+                      predicate.negate)
+    if isinstance(predicate, Not):
+        return Not(rename_predicate(predicate.child, mapping))
+    if isinstance(predicate, And):
+        return And(*(rename_predicate(child, mapping) for child in predicate.children))
+    if isinstance(predicate, Or):
+        return Or(*(rename_predicate(child, mapping) for child in predicate.children))
+    return predicate  # TruePredicate
+
+
+# ---------------------------------------------------------------------------
+# The rewrite pass
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RewriteLog:
+    """Which rules fired where, recorded for EXPLAIN output and golden tests."""
+
+    applied: list[str] = field(default_factory=list)
+
+    def note(self, rule: str, detail: str = "") -> None:
+        self.applied.append(f"{rule}({detail})" if detail else rule)
+
+
+def _join_rename_map(node: Join, db: Database) -> tuple[Schema, Schema, dict[str, str]]:
+    """(left schema, right schema, right-original -> combined-name map)."""
+    left_schema = infer_schema(node.left, db)
+    right_schema = infer_schema(node.right, db)
+    _, renamed = concat_names(left_schema.names, right_schema.names)
+    return left_schema, right_schema, renamed
+
+
+def _merge_selects(node: Select, log: RewriteLog) -> QueryNode:
+    child = node.child
+    if isinstance(child, Select):
+        log.note("merge_selects")
+        merged = conjoin(conjuncts_of(child.predicate) + conjuncts_of(node.predicate))
+        return _merge_selects(Select(child.child, merged), log)
+    return node
+
+
+def _push_into_join(
+    select: Select, join: Join, db: Database, log: RewriteLog
+) -> QueryNode | None:
+    """Sink a selection's conjuncts into a join; None when nothing moves."""
+    if not is_known_predicate(select.predicate):
+        return None
+    left_schema, right_schema, renamed = _join_rename_map(join, db)
+    left_names = set(left_schema.names)
+    combined_to_right = {combined: original for original, combined in renamed.items()}
+
+    to_left: list[Predicate] = []
+    to_right: list[Predicate] = []
+    new_keys: list[tuple[str, str]] = []
+    residual: list[Predicate] = []
+    for conjunct in conjuncts_of(select.predicate):
+        attrs = conjunct.attributes()
+        if attrs and attrs <= left_names:
+            to_left.append(conjunct)
+        elif attrs and all(name in combined_to_right for name in attrs):
+            to_right.append(rename_predicate(conjunct, combined_to_right))
+        elif (
+            isinstance(conjunct, AttributeComparison)
+            and conjunct.op in ("=", "==")
+            and conjunct.left in left_names
+            and conjunct.right in combined_to_right
+        ):
+            new_keys.append((conjunct.left, combined_to_right[conjunct.right]))
+        elif (
+            isinstance(conjunct, AttributeComparison)
+            and conjunct.op in ("=", "==")
+            and conjunct.right in left_names
+            and conjunct.left in combined_to_right
+        ):
+            new_keys.append((conjunct.right, combined_to_right[conjunct.left]))
+        else:
+            residual.append(conjunct)
+    if not to_left and not to_right and not new_keys:
+        return None
+
+    new_left = join.left
+    if to_left:
+        log.note("pushdown_select", "join-left")
+        new_left = Select(new_left, conjoin(to_left))
+    new_right = join.right
+    if to_right:
+        log.note("pushdown_select", "join-right")
+        new_right = Select(new_right, conjoin(to_right))
+    on = join.on
+    if new_keys:
+        log.note("extract_equi_keys", "from-where")
+        if not on:
+            # The first on-pair matches NULL = NULL (dict equality in the
+            # executor); the condition it replaces was null-rejecting, so
+            # guard the promoted pair explicitly.
+            residual.insert(0, IsNull(new_keys[0][0], negate=True))
+        on = on + tuple(new_keys)
+    rewritten: QueryNode = Join(new_left, new_right, on=on, condition=join.condition)
+    remaining = conjoin(residual)
+    if remaining is not None:
+        rewritten = Select(rewritten, remaining)
+    return rewritten
+
+
+def _pushdown_select(node: Select, db: Database, log: RewriteLog) -> QueryNode:
+    child = node.child
+    if isinstance(child, Project):
+        if (
+            is_known_predicate(node.predicate)
+            and node.predicate.attributes() <= set(child.attributes)
+        ):
+            # Exact for DISTINCT too: the predicate reads projected values
+            # only, so duplicate groups pass or fail as one -- the same rows
+            # survive and merge the same lineage either way.
+            log.note("pushdown_select", "through-project")
+            return Project(
+                _pushdown_select(Select(child.child, node.predicate), db, log),
+                child.attributes,
+                distinct=child.distinct,
+            )
+        return node
+    if isinstance(child, Union):
+        log.note("pushdown_select", "through-union")
+        return Union(
+            tuple(
+                _pushdown_select(Select(member, node.predicate), db, log)
+                for member in child.inputs
+            )
+        )
+    if isinstance(child, Join):
+        rewritten = _push_into_join(node, child, db, log)
+        if rewritten is not None:
+            return rewritten
+    return node
+
+
+def _extract_equi_keys(node: Join, db: Database, log: RewriteLog) -> Join:
+    """Move equality conjuncts of the extra condition into the key list."""
+    if node.condition is None or not is_known_predicate(node.condition):
+        return node
+    left_schema, right_schema, renamed = _join_rename_map(node, db)
+    left_names = set(left_schema.names)
+    combined_to_right = {combined: original for original, combined in renamed.items()}
+    keys: list[tuple[str, str]] = []
+    guards: list[Predicate] = []
+    residual: list[Predicate] = []
+    for conjunct in conjuncts_of(node.condition):
+        if isinstance(conjunct, AttributeComparison) and conjunct.op in ("=", "=="):
+            if conjunct.left in left_names and conjunct.right in combined_to_right:
+                keys.append((conjunct.left, combined_to_right[conjunct.right]))
+                continue
+            if conjunct.right in left_names and conjunct.left in combined_to_right:
+                keys.append((conjunct.right, combined_to_right[conjunct.left]))
+                continue
+        residual.append(conjunct)
+    if not keys:
+        return node
+    log.note("extract_equi_keys", "from-condition")
+    if not node.on:
+        guards.append(IsNull(keys[0][0], negate=True))  # see module docstring
+    return Join(
+        node.left,
+        node.right,
+        on=node.on + tuple(keys),
+        condition=conjoin(guards + residual),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Projection pruning
+# ---------------------------------------------------------------------------
+
+def _narrow(node: QueryNode, needed: set[str], db: Database, log: RewriteLog) -> QueryNode:
+    """Prune inside ``node``, then drop columns outside ``needed`` if any."""
+    pruned = _prune(node, set(needed), db, log)
+    names = infer_schema(pruned, db).names
+    kept = tuple(name for name in names if name in needed)
+    if kept == names:
+        return pruned
+    log.note("prune_projections", ",".join(sorted(set(names) - set(kept))))
+    return Project(pruned, kept, distinct=False)
+
+
+def _prune(
+    node: QueryNode, required: set[str] | None, db: Database, log: RewriteLog
+) -> QueryNode:
+    """Drop columns no operator above reads.
+
+    ``required`` is the set of output names the parent needs (``None`` = all;
+    the subtree's schema is then preserved exactly).  A pruned subtree may
+    keep a *superset* of ``required`` -- join keys stay, and a join whose
+    narrowing would change the ``_r`` rename scheme of any kept column is
+    left wide rather than risk renaming drift.
+    """
+    if isinstance(node, Select):
+        if required is not None and is_known_predicate(node.predicate):
+            child_required = required | node.predicate.attributes()
+        else:
+            child_required = None
+        return Select(_prune(node.child, child_required, db, log), node.predicate)
+    if isinstance(node, Project):
+        return Project(
+            _prune(node.child, set(node.attributes), db, log),
+            node.attributes,
+            distinct=node.distinct,
+        )
+    if isinstance(node, Aggregate):
+        child_required = set(node.group_by)
+        if node.attribute is not None:
+            child_required.add(node.attribute)
+        return Aggregate(
+            _prune(node.child, child_required, db, log),
+            node.function,
+            node.attribute,
+            group_by=node.group_by,
+            alias=node.alias,
+        )
+    if isinstance(node, Union):
+        # Members must keep identical schemas; prune inside, never narrow.
+        return Union(tuple(_prune(member, None, db, log) for member in node.inputs))
+    if isinstance(node, Difference):
+        left_required = None if required is None else required | set(node.on)
+        return Difference(
+            _prune(node.left, left_required, db, log),
+            _narrow(node.right, set(node.on), db, log),
+            on=node.on,
+        )
+    if isinstance(node, Join):
+        return _prune_join(node, required, db, log)
+    return node
+
+
+def _prune_join(
+    node: Join, required: set[str] | None, db: Database, log: RewriteLog
+) -> Join:
+    left_schema, right_schema, renamed = _join_rename_map(node, db)
+    condition_known = node.condition is None or is_known_predicate(node.condition)
+    if required is None or not condition_known:
+        # Parent (or an opaque condition) needs every column: recurse without
+        # narrowing so the output schema is untouched.
+        return Join(
+            _prune(node.left, None, db, log),
+            _prune(node.right, None, db, log),
+            on=node.on,
+            condition=node.condition,
+        )
+    needed_combined = set(required)
+    if node.condition is not None:
+        needed_combined |= node.condition.attributes()
+    needed_left = {n for n in left_schema.names if n in needed_combined}
+    needed_left |= {pair[0] for pair in node.on}
+    needed_right = {
+        original for original, combined in renamed.items() if combined in needed_combined
+    }
+    needed_right |= {pair[1] for pair in node.on}
+
+    new_left = _narrow(node.left, needed_left, db, log)
+    new_right = _narrow(node.right, needed_right, db, log)
+    candidate = Join(new_left, new_right, on=node.on, condition=node.condition)
+
+    # Narrowing a side can change the _r disambiguation of the concatenated
+    # schema; accept the pruned join only if every kept right column maps to
+    # the same combined name as before, so references above stay valid.
+    _, new_renamed = concat_names(
+        infer_schema(new_left, db).names, infer_schema(new_right, db).names
+    )
+    if all(new_renamed[name] == renamed[name] for name in new_renamed):
+        return candidate
+    return Join(
+        _prune(node.left, None, db, log),
+        _prune(node.right, None, db, log),
+        on=node.on,
+        condition=node.condition,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+_MAX_PASSES = 10
+
+
+def _rewrite_once(node: QueryNode, db: Database, log: RewriteLog) -> QueryNode:
+    """One bottom-up pass of the select/join rules."""
+    if isinstance(node, Select):
+        node = Select(_rewrite_once(node.child, db, log), node.predicate)
+        node = _merge_selects(node, log)
+        if isinstance(node, Select):
+            return _pushdown_select(node, db, log)
+        return node
+    if isinstance(node, Project):
+        return Project(
+            _rewrite_once(node.child, db, log), node.attributes, distinct=node.distinct
+        )
+    if isinstance(node, Aggregate):
+        return Aggregate(
+            _rewrite_once(node.child, db, log),
+            node.function,
+            node.attribute,
+            group_by=node.group_by,
+            alias=node.alias,
+        )
+    if isinstance(node, Join):
+        rebuilt = Join(
+            _rewrite_once(node.left, db, log),
+            _rewrite_once(node.right, db, log),
+            on=node.on,
+            condition=node.condition,
+        )
+        return _extract_equi_keys(rebuilt, db, log)
+    if isinstance(node, Union):
+        return Union(tuple(_rewrite_once(member, db, log) for member in node.inputs))
+    if isinstance(node, Difference):
+        return Difference(
+            _rewrite_once(node.left, db, log),
+            _rewrite_once(node.right, db, log),
+            on=node.on,
+        )
+    return node
+
+
+def optimize(node: QueryNode, db: Database) -> tuple[QueryNode, RewriteLog]:
+    """Optimize a logical tree; returns the rewritten tree and the rule log.
+
+    The result is always executable by the naive interpreter and produces a
+    fingerprint-identical relation (rows, order, lineage) -- asserted by the
+    planner test suite on every dataset catalog query and the SQL fuzzer.
+    """
+    log = RewriteLog()
+    current = node
+    for _ in range(_MAX_PASSES):
+        before = len(log.applied)
+        current = _rewrite_once(current, db, log)
+        if len(log.applied) == before:
+            break
+    current = _prune(current, None, db, log)
+    return current, log

@@ -1,0 +1,448 @@
+"""Physical operators: a batch iterator execution model with per-op stats.
+
+Each operator consumes batches (lists of :class:`~repro.relational.relation.Row`)
+from its children and yields batches of its own.  The contract mirrors the
+naive tree-walking interpreter exactly -- same rows, same order, same per-row
+lineage sets -- so planned execution is fingerprint-interchangeable with it.
+
+Operators are stateless across executions: all run state (per-operator row
+counts and timings, memoized results of shared subplans) lives in an
+:class:`ExecutionContext` created per :meth:`PhysicalPlan.execute` call, which
+keeps cached plans safely shareable between service threads.
+
+NULL semantics in :class:`HashJoinExec` deserve a note.  The naive executor
+matches its first ``on`` pair through dictionary lookups, under which
+``NULL = NULL`` *holds*, while every further pair is null-rejecting.  The
+hash join therefore hashes on a composite key whose leading component uses
+plain equality (``None`` participates) and whose strict components exclude
+``None`` rows from both sides -- dict equality over non-None values is then
+exactly the null-rejecting comparison the interpreter applies.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.relational.errors import ExecutionError, SchemaError
+from repro.relational.expressions import Predicate
+from repro.relational.query import Aggregate
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Schema
+
+BATCH_SIZE = 1024
+
+Batch = list[Row]
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator run counters (one set per execution context)."""
+
+    rows: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    reused: bool = False
+
+    def as_dict(self) -> dict:
+        payload = {
+            "rows": self.rows,
+            "batches": self.batches,
+            "seconds": round(self.seconds, 6),
+        }
+        if self.reused:
+            payload["reused"] = True
+        return payload
+
+
+class ExecutionContext:
+    """Run state of one plan execution: stats per operator, shared-result memo."""
+
+    def __init__(self):
+        self.stats: dict[int, OperatorStats] = {}
+        self.memo: dict[int, list[Row]] = {}
+
+    def stats_for(self, op: "PhysicalOperator") -> OperatorStats:
+        if op.op_id not in self.stats:
+            self.stats[op.op_id] = OperatorStats()
+        return self.stats[op.op_id]
+
+
+class PhysicalOperator:
+    """Base class of all physical operators.
+
+    Subclasses implement :meth:`batches`; callers use :meth:`run`, which adds
+    timing, row counting and -- for operators lowered from a deduplicated
+    common subplan (``shared=True``) -- result memoization, so a subtree that
+    appears twice in the logical plan executes once.
+    """
+
+    name = "Operator"
+
+    def __init__(self, schema: Schema, children: Sequence["PhysicalOperator"] = ()):
+        self.schema = schema
+        self.children = tuple(children)
+        self.op_id = -1  # assigned by the planner
+        self.shared = False
+        self.estimated_rows: int | None = None
+
+    def detail(self) -> str:
+        """A one-line operator description for EXPLAIN output."""
+        return ""
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def run(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        stats = ctx.stats_for(self)
+        if self.shared and self.op_id in ctx.memo:
+            stats.reused = True
+            yield ctx.memo[self.op_id]
+            return
+        collected: list[Row] | None = [] if self.shared else None
+        iterator = self.batches(ctx)
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                stats.seconds += time.perf_counter() - started
+                break
+            stats.seconds += time.perf_counter() - started
+            stats.rows += len(batch)
+            stats.batches += 1
+            if collected is not None:
+                collected.extend(batch)
+            yield batch
+        if collected is not None:
+            ctx.memo[self.op_id] = collected
+
+    def rows(self, ctx: ExecutionContext) -> list[Row]:
+        """Fully materialize this operator's output."""
+        out: list[Row] = []
+        for batch in self.run(ctx):
+            out.extend(batch)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extra = self.detail()
+        return f"{self.name}({extra})" if extra else self.name
+
+
+def _rebatch(rows: Sequence[Row]) -> Iterator[Batch]:
+    for start in range(0, len(rows), BATCH_SIZE):
+        yield list(rows[start : start + BATCH_SIZE])
+
+
+class ScanExec(PhysicalOperator):
+    """Emit a base relation's rows, assigning singleton lineage when missing."""
+
+    name = "ScanExec"
+
+    def __init__(self, relation_name: str, db, schema: Schema):
+        super().__init__(schema)
+        self.relation_name = relation_name
+        self.db = db
+
+    def detail(self) -> str:
+        return self.relation_name
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        base = self.db.relation(self.relation_name)
+        batch: Batch = []
+        for index, row in enumerate(base):
+            lineage = row.lineage or frozenset({f"{self.relation_name}:{index}"})
+            batch.append(Row(row.values, lineage))
+            if len(batch) >= BATCH_SIZE:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+
+class FilterExec(PhysicalOperator):
+    """Streaming selection: rows of the child satisfying the predicate."""
+
+    name = "FilterExec"
+
+    def __init__(self, child: PhysicalOperator, predicate: Predicate):
+        super().__init__(child.schema, (child,))
+        self.predicate = predicate
+
+    def detail(self) -> str:
+        return repr(self.predicate)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        names = self.schema.names
+        predicate = self.predicate
+        for batch in self.children[0].run(ctx):
+            kept = [row for row in batch if predicate(dict(zip(names, row.values)))]
+            if kept:
+                yield kept
+
+
+class ProjectExec(PhysicalOperator):
+    """Streaming projection (bag semantics; lineage preserved)."""
+
+    name = "ProjectExec"
+
+    def __init__(self, child: PhysicalOperator, attributes: Sequence[str]):
+        super().__init__(child.schema.project(list(attributes)), (child,))
+        self.attributes = tuple(attributes)
+        self._indices = [child.schema.index(name) for name in attributes]
+
+    def detail(self) -> str:
+        return ", ".join(self.attributes)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        indices = self._indices
+        for batch in self.children[0].run(ctx):
+            yield [
+                Row(tuple(row.values[i] for i in indices), row.lineage) for row in batch
+            ]
+
+
+class DistinctExec(PhysicalOperator):
+    """Duplicate elimination; lineages of duplicates are merged (blocking)."""
+
+    name = "DistinctExec"
+
+    def __init__(self, child: PhysicalOperator):
+        super().__init__(child.schema, (child,))
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        seen: dict[tuple, frozenset] = {}
+        order: list[tuple] = []
+        for batch in self.children[0].run(ctx):
+            for row in batch:
+                if row.values in seen:
+                    seen[row.values] = seen[row.values] | row.lineage
+                else:
+                    seen[row.values] = row.lineage
+                    order.append(row.values)
+        yield from _rebatch([Row(values, seen[values]) for values in order])
+
+
+class HashJoinExec(PhysicalOperator):
+    """Equi-join via a composite hash key, preserving the interpreter's order.
+
+    ``plain_pairs`` (at most one: the original first ``on`` pair) use plain
+    dictionary equality; ``strict_pairs`` are null-rejecting.  ``build_left``
+    picks the build side by estimated cardinality -- when the *left* side is
+    built, matches are collected as index pairs and sorted back into the
+    probe-from-left order the interpreter produces, so output order (and
+    hence the result fingerprint) never depends on the build-side choice.
+    """
+
+    name = "HashJoinExec"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        plain_pairs: Sequence[tuple[str, str]],
+        strict_pairs: Sequence[tuple[str, str]],
+        condition: Optional[Predicate] = None,
+        *,
+        build_left: bool = False,
+    ):
+        super().__init__(left.schema.concat(right.schema), (left, right))
+        self.plain_pairs = tuple(plain_pairs)
+        self.strict_pairs = tuple(strict_pairs)
+        self.condition = condition
+        self.build_left = build_left
+        self._left_plain = [left.schema.index(l) for l, _ in self.plain_pairs]
+        self._right_plain = [right.schema.index(r) for _, r in self.plain_pairs]
+        self._left_strict = [left.schema.index(l) for l, _ in self.strict_pairs]
+        self._right_strict = [right.schema.index(r) for _, r in self.strict_pairs]
+
+    def detail(self) -> str:
+        keys = ", ".join(
+            f"{l}={r}" for l, r in self.plain_pairs + self.strict_pairs
+        )
+        side = "left" if self.build_left else "right"
+        text = f"keys=[{keys}] build={side}"
+        if self.condition is not None:
+            text += f" condition={self.condition!r}"
+        return text
+
+    def _key(self, row: Row, plain: list[int], strict: list[int]):
+        """The composite key, or None when a strict component is NULL."""
+        strict_values = tuple(row.values[i] for i in strict)
+        if any(value is None for value in strict_values):
+            return None
+        return tuple(row.values[i] for i in plain) + strict_values
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        names = self.schema.names
+        condition = self.condition
+        left_rows = self.children[0].rows(ctx)
+        right_op = self.children[1]
+
+        def emit(pairs: Iterator[tuple[Row, Row]]) -> Iterator[Batch]:
+            batch: Batch = []
+            for lrow, rrow in pairs:
+                combined = lrow.values + rrow.values
+                if condition is not None and not condition(dict(zip(names, combined))):
+                    continue
+                batch.append(Row(combined, lrow.lineage | rrow.lineage))
+                if len(batch) >= BATCH_SIZE:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+
+        if not self.build_left:
+            buckets: dict[tuple, list[Row]] = defaultdict(list)
+            for rrow in right_op.rows(ctx):
+                key = self._key(rrow, self._right_plain, self._right_strict)
+                if key is not None:
+                    buckets[key].append(rrow)
+
+            def probe_left() -> Iterator[tuple[Row, Row]]:
+                for lrow in left_rows:
+                    key = self._key(lrow, self._left_plain, self._left_strict)
+                    if key is None:
+                        continue
+                    for rrow in buckets.get(key, ()):
+                        yield lrow, rrow
+
+            yield from emit(probe_left())
+            return
+
+        build: dict[tuple, list[tuple[int, Row]]] = defaultdict(list)
+        for index, lrow in enumerate(left_rows):
+            key = self._key(lrow, self._left_plain, self._left_strict)
+            if key is not None:
+                build[key].append((index, lrow))
+        matches: list[tuple[int, int, Row, Row]] = []
+        for right_index, rrow in enumerate(right_op.rows(ctx)):
+            key = self._key(rrow, self._right_plain, self._right_strict)
+            if key is None:
+                continue
+            for left_index, lrow in build.get(key, ()):
+                matches.append((left_index, right_index, lrow, rrow))
+        matches.sort(key=lambda item: (item[0], item[1]))
+        yield from emit((lrow, rrow) for _, _, lrow, rrow in matches)
+
+
+class NestedLoopJoinExec(PhysicalOperator):
+    """Cross product with an optional condition -- the key-less fallback."""
+
+    name = "NestedLoopJoinExec"
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        condition: Optional[Predicate] = None,
+    ):
+        super().__init__(left.schema.concat(right.schema), (left, right))
+        self.condition = condition
+
+    def detail(self) -> str:
+        return f"condition={self.condition!r}" if self.condition is not None else "cross"
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        names = self.schema.names
+        condition = self.condition
+        right_rows = self.children[1].rows(ctx)
+        batch: Batch = []
+        for lbatch in self.children[0].run(ctx):
+            for lrow in lbatch:
+                for rrow in right_rows:
+                    combined = lrow.values + rrow.values
+                    if condition is not None and not condition(
+                        dict(zip(names, combined))
+                    ):
+                        continue
+                    batch.append(Row(combined, lrow.lineage | rrow.lineage))
+                    if len(batch) >= BATCH_SIZE:
+                        yield batch
+                        batch = []
+        if batch:
+            yield batch
+
+
+class UnionExec(PhysicalOperator):
+    """Bag union: concatenate the inputs (schema names must agree)."""
+
+    name = "UnionExec"
+
+    def __init__(self, inputs: Sequence[PhysicalOperator]):
+        if not inputs:
+            raise ExecutionError("union requires at least one input")
+        first = inputs[0]
+        for other in inputs[1:]:
+            if other.schema.names != first.schema.names:
+                raise SchemaError(
+                    f"union requires identical schemas: {first.schema.names} "
+                    f"vs {other.schema.names}"
+                )
+        super().__init__(first.schema, inputs)
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        for child in self.children:
+            yield from child.run(ctx)
+
+
+class AntiJoinExec(PhysicalOperator):
+    """Difference: left rows whose key tuple does not appear on the right."""
+
+    name = "AntiJoinExec"
+
+    def __init__(
+        self, left: PhysicalOperator, right: PhysicalOperator, on: Sequence[str]
+    ):
+        super().__init__(left.schema, (left, right))
+        self.on = tuple(on)
+        self._left_indices = [left.schema.index(name) for name in self.on]
+        self._right_indices = [right.schema.index(name) for name in self.on]
+
+    def detail(self) -> str:
+        return f"on=[{', '.join(self.on)}]"
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        right_keys = {
+            tuple(row.values[i] for i in self._right_indices)
+            for row in self.children[1].rows(ctx)
+        }
+        left_indices = self._left_indices
+        for batch in self.children[0].run(ctx):
+            kept = [
+                row
+                for row in batch
+                if tuple(row.values[i] for i in left_indices) not in right_keys
+            ]
+            if kept:
+                yield kept
+
+
+class AggregateExec(PhysicalOperator):
+    """Grouped or scalar aggregation, mirroring the interpreter bit for bit.
+
+    Group order is first-seen; lineage is the union over the group; an empty
+    non-COUNT scalar aggregate yields the explicit NULL row.
+    """
+
+    name = "AggregateExec"
+
+    def __init__(self, child: PhysicalOperator, node: Aggregate, schema: Schema):
+        super().__init__(schema, (child,))
+        self.node = node
+
+    def detail(self) -> str:
+        target = self.node.attribute if self.node.attribute is not None else "*"
+        text = f"{self.node.function.value}({target})"
+        if self.node.group_by:
+            text += f" group by {', '.join(self.node.group_by)}"
+        return text
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        from repro.relational.executor import aggregate_rows
+
+        child = self.children[0]
+        result = aggregate_rows(self.node, child.schema, child.rows(ctx))
+        yield from _rebatch(result)

@@ -1,0 +1,389 @@
+"""Lowering logical trees into physical plans, with EXPLAIN support.
+
+:func:`plan_query` / :func:`plan_node` run the rule-based optimizer of
+:mod:`repro.plan.optimizer` and lower the result into the batch operators of
+:mod:`repro.plan.physical`:
+
+* ``Join`` nodes with equality keys become :class:`HashJoinExec` (composite
+  key over every pair, build side picked by estimated cardinality); key-less
+  joins fall back to :class:`NestedLoopJoinExec`;
+* common subplans -- logically identical subtrees, keyed by their content
+  fingerprint -- are lowered to one shared operator that executes once per
+  plan run;
+* every operator carries an estimated row count (from base-relation
+  cardinalities and simple selectivity heuristics) which, together with the
+  per-operator actual row counts and timings collected at run time, feeds the
+  printable/JSON EXPLAIN tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.relational.errors import ExecutionError
+from repro.relational.query import (
+    Aggregate,
+    Difference,
+    Join,
+    Project,
+    Query,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+    _canonical_description,
+)
+from repro.relational.relation import Relation
+from repro.plan.optimizer import RewriteLog, infer_schema, optimize
+from repro.plan.physical import (
+    AggregateExec,
+    AntiJoinExec,
+    DistinctExec,
+    ExecutionContext,
+    FilterExec,
+    HashJoinExec,
+    NestedLoopJoinExec,
+    PhysicalOperator,
+    ProjectExec,
+    ScanExec,
+    UnionExec,
+)
+
+
+def logical_fingerprint(node: QueryNode) -> str:
+    """A stable content hash of a logical subtree (name-independent).
+
+    Two structurally identical subtrees share a fingerprint, which is what
+    keys common-subplan deduplication and the service's plan cache.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(_canonical_description(node)).encode())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation
+# ---------------------------------------------------------------------------
+
+_SELECT_SELECTIVITY = 0.33
+_DEFAULT_BASE_ROWS = 1000
+
+
+def estimate_rows(node: QueryNode, db, _memo: dict | None = None) -> int:
+    """A coarse row-count estimate used to order join inputs (build side).
+
+    ``_memo`` (an ``id(node) -> estimate`` dict scoped to one lowering pass)
+    keeps repeated estimation over the same tree linear instead of quadratic;
+    the nodes must stay alive for the memo's lifetime, which the lowering
+    pass guarantees by holding the optimized tree.
+    """
+    if _memo is not None:
+        cached = _memo.get(id(node))
+        if cached is not None:
+            return cached
+    value = _estimate_rows(node, db, _memo)
+    if _memo is not None:
+        _memo[id(node)] = value
+    return value
+
+
+def _estimate_rows(node: QueryNode, db, memo: dict | None) -> int:
+    if isinstance(node, Scan):
+        try:
+            return len(db.relation(node.relation))
+        except Exception:
+            return _DEFAULT_BASE_ROWS
+    if isinstance(node, Select):
+        return max(1, int(estimate_rows(node.child, db, memo) * _SELECT_SELECTIVITY))
+    if isinstance(node, Project):
+        child = estimate_rows(node.child, db, memo)
+        return max(1, child // 2) if node.distinct else child
+    if isinstance(node, Join):
+        left = estimate_rows(node.left, db, memo)
+        right = estimate_rows(node.right, db, memo)
+        if node.on:
+            return max(left, right)
+        if node.condition is not None:
+            return max(1, int(left * right * _SELECT_SELECTIVITY))
+        return left * right
+    if isinstance(node, Union):
+        return sum(estimate_rows(member, db, memo) for member in node.inputs)
+    if isinstance(node, Difference):
+        return estimate_rows(node.left, db, memo)
+    if isinstance(node, Aggregate):
+        if node.group_by:
+            return max(1, estimate_rows(node.child, db, memo) // 3)
+        return 1
+    return _DEFAULT_BASE_ROWS
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+class _Lowering:
+    """One lowering pass: logical fingerprints -> shared physical operators."""
+
+    def __init__(self, db):
+        self.db = db
+        self.operators: list[PhysicalOperator] = []
+        self.by_fingerprint: dict[str, PhysicalOperator] = {}
+        self.shared_subplans = 0
+        self._estimates: dict[int, int] = {}  # id(node) memo for this pass
+
+    def lower(self, node: QueryNode) -> PhysicalOperator:
+        fingerprint = logical_fingerprint(node)
+        existing = self.by_fingerprint.get(fingerprint)
+        if existing is not None:
+            existing.shared = True
+            self.shared_subplans += 1
+            return existing
+        op = self._build(node)
+        if op.op_id < 0:  # helper operators register themselves in _build
+            self._register(op, node)
+        self.by_fingerprint[fingerprint] = op
+        return op
+
+    def _register(self, op: PhysicalOperator, node: QueryNode) -> PhysicalOperator:
+        """Assign the operator its id, row estimate and stats slot."""
+        op.op_id = len(self.operators)
+        op.estimated_rows = estimate_rows(node, self.db, self._estimates)
+        self.operators.append(op)
+        return op
+
+    def _build(self, node: QueryNode) -> PhysicalOperator:
+        if isinstance(node, Scan):
+            return ScanExec(node.relation, self.db, infer_schema(node, self.db))
+        if isinstance(node, Select):
+            return FilterExec(self.lower(node.child), node.predicate)
+        if isinstance(node, Project):
+            projected = ProjectExec(self.lower(node.child), node.attributes)
+            if not node.distinct:
+                return projected
+            # The inner projection is an operator of its own: register it so
+            # it gets a distinct op_id (stats slot) and a row estimate (equal
+            # to its child's -- a bag projection passes every row through).
+            self._register(projected, node.child)
+            return DistinctExec(projected)
+        if isinstance(node, Join):
+            return self._build_join(node)
+        if isinstance(node, Union):
+            if not node.inputs:
+                raise ExecutionError("union requires at least one input")
+            return UnionExec([self.lower(member) for member in node.inputs])
+        if isinstance(node, Difference):
+            return AntiJoinExec(self.lower(node.left), self.lower(node.right), node.on)
+        if isinstance(node, Aggregate):
+            child = self.lower(node.child)
+            return AggregateExec(child, node, infer_schema(node, self.db))
+        raise ExecutionError(f"no physical operator for node type {type(node).__name__}")
+
+    def _build_join(self, node: Join) -> PhysicalOperator:
+        left = self.lower(node.left)
+        right = self.lower(node.right)
+        if not node.on:
+            return NestedLoopJoinExec(left, right, node.condition)
+        # The interpreter's first on-pair matches via dict equality (NULL =
+        # NULL holds); every further pair is null-rejecting.  The composite
+        # hash key reproduces exactly that split.
+        plain_pairs = node.on[:1]
+        strict_pairs = node.on[1:]
+        build_left = estimate_rows(node.left, self.db, self._estimates) < estimate_rows(
+            node.right, self.db, self._estimates
+        )
+        return HashJoinExec(
+            left,
+            right,
+            plain_pairs,
+            strict_pairs,
+            node.condition,
+            build_left=build_left,
+        )
+
+
+# ---------------------------------------------------------------------------
+# The plan object
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanRunStats:
+    """Aggregate counters of one plan execution."""
+
+    rows_out: int = 0
+    seconds: float = 0.0
+    operators: dict[int, dict] = field(default_factory=dict)
+
+
+class PhysicalPlan:
+    """An executable physical plan for one logical tree over one database.
+
+    Plans are immutable once built and hold no per-run state, so one plan can
+    be cached and executed concurrently from many service threads.  Each
+    :meth:`execute` returns a fresh :class:`~repro.relational.relation.Relation`
+    that is fingerprint-identical (rows, order, lineage) to evaluating the
+    original logical tree with the naive interpreter.
+    """
+
+    def __init__(
+        self,
+        node: QueryNode,
+        optimized: QueryNode,
+        root: PhysicalOperator,
+        db,
+        *,
+        rewrites: RewriteLog,
+        operators: list[PhysicalOperator],
+        shared_subplans: int = 0,
+        query: Optional[Query] = None,
+    ):
+        self.node = node
+        self.optimized = optimized
+        self.root = root
+        self.db = db
+        self.rewrites = rewrites
+        self.operators = operators
+        self.shared_subplans = shared_subplans
+        self.query = query
+        self.fingerprint = logical_fingerprint(node)
+
+    # -- execution ----------------------------------------------------------------
+    def execute(self) -> Relation:
+        relation, _ = self.execute_with_stats()
+        return relation
+
+    def execute_with_stats(self) -> tuple[Relation, "PlanRunStats"]:
+        import time
+
+        ctx = ExecutionContext()
+        started = time.perf_counter()
+        rows = self.root.rows(ctx)
+        elapsed = time.perf_counter() - started
+        stats = PlanRunStats(
+            rows_out=len(rows),
+            seconds=elapsed,
+            operators={
+                op_id: op_stats.as_dict() for op_id, op_stats in ctx.stats.items()
+            },
+        )
+        return Relation(self.root.schema, rows), stats
+
+    # -- EXPLAIN ------------------------------------------------------------------
+    def explain(self, *, run: bool = False) -> "PlanExplanation":
+        """The plan tree, optionally annotated with actual rows and timings."""
+        stats = None
+        if run:
+            _, stats = self.execute_with_stats()
+        return PlanExplanation(self, stats)
+
+    def describe(self, *, run: bool = False) -> str:
+        return self.explain(run=run).describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhysicalPlan({self.root!r}, {len(self.operators)} operators)"
+
+
+class PlanExplanation:
+    """Printable / JSON-serializable EXPLAIN output of a physical plan."""
+
+    def __init__(self, plan: PhysicalPlan, run_stats: PlanRunStats | None = None):
+        self.plan = plan
+        self.run_stats = run_stats
+
+    def _node_dict(self, op: PhysicalOperator) -> dict:
+        payload: dict = {
+            "operator": op.name,
+            "detail": op.detail(),
+            "estimated_rows": op.estimated_rows,
+        }
+        if op.shared:
+            payload["shared"] = True
+        if self.run_stats is not None:
+            payload.update(self.run_stats.operators.get(op.op_id, {}))
+        children = [self._node_dict(child) for child in op.children]
+        if children:
+            payload["children"] = children
+        return payload
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "planner": "optimized",
+            "fingerprint": self.plan.fingerprint,
+            "rewrites": list(self.plan.rewrites.applied),
+            "shared_subplans": self.plan.shared_subplans,
+            "plan": self._node_dict(self.plan.root),
+        }
+        if self.plan.query is not None:
+            payload["query"] = self.plan.query.name
+        if self.run_stats is not None:
+            payload["rows_out"] = self.run_stats.rows_out
+            payload["seconds"] = round(self.run_stats.seconds, 6)
+        return payload
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def describe(self) -> str:
+        """A pg-style indented plan tree with per-operator annotations."""
+        lines: list[str] = []
+        if self.plan.query is not None:
+            lines.append(f"Plan for {self.plan.query.name}")
+        if self.plan.rewrites.applied:
+            lines.append(f"rewrites: {', '.join(self.plan.rewrites.applied)}")
+
+        def walk(op: PhysicalOperator, prefix: str, is_last: bool, is_root: bool):
+            parts = [op.name]
+            detail = op.detail()
+            if detail:
+                parts.append(f"[{detail}]")
+            parts.append(f"est={op.estimated_rows}")
+            if op.shared:
+                parts.append("shared")
+            if self.run_stats is not None:
+                op_stats = self.run_stats.operators.get(op.op_id)
+                if op_stats:
+                    parts.append(f"rows={op_stats['rows']}")
+                    parts.append(f"time={op_stats['seconds'] * 1000:.2f}ms")
+            connector = "" if is_root else ("└─ " if is_last else "├─ ")
+            lines.append(prefix + connector + " ".join(parts))
+            child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+            for index, child in enumerate(op.children):
+                walk(child, child_prefix, index == len(op.children) - 1, False)
+
+        walk(self.plan.root, "", True, True)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def plan_node(node: QueryNode, db, *, optimize_tree: bool = True) -> PhysicalPlan:
+    """Plan a logical tree: optimize (unless disabled) and lower to operators."""
+    if optimize_tree:
+        optimized, log = optimize(node, db)
+    else:
+        optimized, log = node, RewriteLog()
+    lowering = _Lowering(db)
+    root = lowering.lower(optimized)
+    return PhysicalPlan(
+        node,
+        optimized,
+        root,
+        db,
+        rewrites=log,
+        operators=lowering.operators,
+        shared_subplans=lowering.shared_subplans,
+    )
+
+
+def plan_query(query: Query, db, *, optimize_tree: bool = True) -> PhysicalPlan:
+    """Plan a named query's full tree (projection/aggregate root included)."""
+    plan = plan_node(query.root, db, optimize_tree=optimize_tree)
+    plan.query = query
+    return plan

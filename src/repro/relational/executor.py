@@ -37,11 +37,19 @@ class Database:
         self._relations: dict[str, Relation] = {}
 
     def add(self, relation: Relation, name: str | None = None) -> None:
-        """Register a base relation (its rows get lineage ids if missing)."""
+        """Register a base relation (its rows get lineage ids if missing).
+
+        Registering under a name that differs from ``relation.name`` stores a
+        shallow copy under the new name instead of renaming the caller's
+        object in place -- mutating it would silently change the fingerprint
+        (and future lineage ids) of a relation the caller may still be using,
+        possibly registered elsewhere.
+        """
         label = name or relation.name
         if not label:
             raise SchemaError("base relations must have a name")
-        relation.name = label
+        if relation.name != label:
+            relation = Relation(relation.schema, relation.rows, name=label)
         self._relations[label] = relation
 
     def add_records(self, name: str, records, schema: Schema | None = None) -> Relation:
@@ -177,48 +185,60 @@ def _eval_difference(node: Difference, db: Database) -> Relation:
     return result
 
 
-def _eval_aggregate(node: Aggregate, db: Database) -> Relation:
-    child = evaluate(node.child, db)
+def aggregate_rows(node: Aggregate, schema: Schema, rows: list[Row]) -> list[Row]:
+    """Aggregate ``rows`` (conforming to ``schema``) per the node's spec.
+
+    The single source of truth for aggregation semantics -- group order is
+    first-seen, lineage is unioned per group, an empty non-COUNT scalar
+    aggregate yields an explicit NULL row.  Shared by the naive interpreter
+    and the planner's ``AggregateExec`` so the two paths cannot drift.
+    """
     function = node.function
 
-    def compute(rows: Iterable[Row]) -> tuple[float, frozenset]:
-        rows = list(rows)
-        lineage = frozenset().union(*(row.lineage for row in rows)) if rows else frozenset()
+    def compute(group: Iterable[Row]) -> tuple[float, frozenset]:
+        group = list(group)
+        lineage = frozenset().union(*(row.lineage for row in group)) if group else frozenset()
         if function is AggregateFunction.COUNT:
             if node.attribute is None:
-                return float(len(rows)), lineage
-            index = child.schema.index(node.attribute)
-            return float(sum(1 for row in rows if row.values[index] is not None)), lineage
-        index = child.schema.index(node.attribute)
-        values = [row.values[index] for row in rows]
+                return float(len(group)), lineage
+            index = schema.index(node.attribute)
+            return float(sum(1 for row in group if row.values[index] is not None)), lineage
+        index = schema.index(node.attribute)
+        values = [row.values[index] for row in group]
         return function.combine(values), lineage
 
-    out_attr = Attribute(node.alias, DataType.FLOAT)
     if node.group_by:
-        group_indices = [child.schema.index(name) for name in node.group_by]
+        group_indices = [schema.index(name) for name in node.group_by]
         groups: dict[tuple, list[Row]] = defaultdict(list)
         order: list[tuple] = []
-        for row in child:
+        for row in rows:
             key = tuple(row.values[i] for i in group_indices)
             if key not in groups:
                 order.append(key)
             groups[key].append(row)
-        schema = child.schema.project(list(node.group_by)).extend([out_attr])
-        result = Relation(schema)
+        out: list[Row] = []
         for key in order:
             value, lineage = compute(groups[key])
-            result.append_row(Row(key + (value,), lineage))
-        return result
+            out.append(Row(key + (value,), lineage))
+        return out
 
-    schema = Schema([out_attr])
-    result = Relation(schema)
-    rows = list(child)
     if not rows and function is not AggregateFunction.COUNT:
         # SQL would return NULL; we surface it as an explicit empty aggregate.
-        result.append_row(Row((None,), frozenset()))
-        return result
+        return [Row((None,), frozenset())]
     value, lineage = compute(rows)
-    result.append_row(Row((value,), lineage))
+    return [Row((value,), lineage)]
+
+
+def _eval_aggregate(node: Aggregate, db: Database) -> Relation:
+    child = evaluate(node.child, db)
+    out_attr = Attribute(node.alias, DataType.FLOAT)
+    if node.group_by:
+        schema = child.schema.project(list(node.group_by)).extend([out_attr])
+    else:
+        schema = Schema([out_attr])
+    result = Relation(schema)
+    for row in aggregate_rows(node, child.schema, list(child)):
+        result.append_row(row)
     return result
 
 
@@ -241,14 +261,27 @@ def evaluate(node: QueryNode, db: Database) -> Relation:
     return handler(node, db)
 
 
-def execute(query: Query, db: Database) -> Relation:
-    """Execute a named query and return its result relation."""
+def execute(query: Query, db: Database, *, planner: str = "naive") -> Relation:
+    """Execute a named query and return its result relation.
+
+    ``planner="naive"`` walks the AST with this module's reference
+    interpreter; ``planner="optimized"`` plans the query through
+    :mod:`repro.plan` (rule-based rewrites, hash joins, batch operators) and
+    executes the physical plan.  Both paths are fingerprint-identical
+    (rows, order, lineage) -- the planner test suite asserts it continuously.
+    """
+    if planner == "optimized":
+        from repro.plan import plan_query
+
+        return plan_query(query, db).execute()
+    if planner != "naive":
+        raise ExecutionError(f"unknown planner {planner!r}; use 'naive' or 'optimized'")
     return evaluate(query.root, db)
 
 
-def scalar_result(query: Query, db: Database) -> float | None:
+def scalar_result(query: Query, db: Database, *, planner: str = "naive") -> float | None:
     """Execute an aggregate query and return its single scalar value."""
-    result = execute(query, db)
+    result = execute(query, db, planner=planner)
     if len(result) != 1 or len(result.schema) != 1:
         raise ExecutionError(
             f"query {query.name} is not a scalar aggregate (got {len(result)} rows)"

@@ -17,7 +17,7 @@ from typing import Iterator, Sequence
 
 from repro.relational.errors import ExecutionError
 from repro.relational.executor import Database, evaluate
-from repro.relational.query import Aggregate, AggregateFunction, Project, Query
+from repro.relational.query import AggregateFunction, Query
 
 
 @dataclass(frozen=True)
@@ -106,20 +106,41 @@ def _impact_for(query: Query, record: dict) -> float:
         ) from exc
 
 
-def provenance_relation(query: Query, db: Database, *, label: str | None = None) -> ProvenanceRelation:
+def provenance_relation(
+    query: Query,
+    db: Database,
+    *,
+    label: str | None = None,
+    planner: str = "optimized",
+    plan=None,
+) -> ProvenanceRelation:
     """Derive the provenance relation of ``query`` over ``db``.
 
     The inner expression ``sigma_C(X)`` is the query with its outermost
     projection/aggregation stripped; every surviving row becomes a provenance
     tuple with the appropriate impact.
+
+    Stage 1 executes this for every request, so by default the inner
+    expression runs through the query planner (:mod:`repro.plan`); pass
+    ``planner="naive"`` for the reference interpreter (both are
+    fingerprint-identical, lineage included).  A prebuilt ``plan`` (e.g. the
+    service layer's cached :class:`~repro.plan.PhysicalPlan` for this inner
+    expression) skips planning entirely.
     """
     label = label or f"P[{query.name}]"
-    root = query.root
-    if isinstance(root, (Aggregate, Project)):
-        inner = root.child
+    inner = query.inner
+    if plan is not None:
+        relation = plan.execute()
+    elif planner == "optimized":
+        from repro.plan import plan_node
+
+        relation = plan_node(inner, db).execute()
+    elif planner == "naive":
+        relation = evaluate(inner, db)
     else:
-        inner = root
-    relation = evaluate(inner, db)
+        raise ExecutionError(
+            f"unknown planner {planner!r}; use 'naive' or 'optimized'"
+        )
 
     tuples = []
     names = relation.schema.names

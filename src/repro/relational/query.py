@@ -247,6 +247,18 @@ class Query:
         """SQL text of the query body (the name lives outside the SQL)."""
         return self.root.to_sql()
 
+    def explain_plan(self, db, *, run: bool = True, optimize: bool = True):
+        """The optimized physical plan of this query over ``db`` (EXPLAIN).
+
+        Returns a :class:`repro.plan.PlanExplanation`: ``describe()`` prints
+        the operator tree, ``to_dict()``/``to_json()`` serialize it.  With
+        ``run=True`` (the default) the plan is executed once and every
+        operator is annotated with its actual row count and timing.
+        """
+        from repro.plan import plan_query
+
+        return plan_query(self, db, optimize_tree=optimize).explain(run=run)
+
     @property
     def is_aggregate(self) -> bool:
         return isinstance(self.root, Aggregate)

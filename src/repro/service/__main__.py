@@ -79,9 +79,19 @@ def self_test() -> int:
         job = client.submit_job(payload)
         final = client.wait_for_job(job["id"])
         assert final["state"] == "done", f"job failed: {final}"
+        plan = client.plan(
+            {"database": "D2", "query": payload["query_right"], "run": True}
+        )
+        assert plan["plan"]["operator"] == "AggregateExec", f"unexpected plan: {plan}"
+        assert plan["rows_out"] == 1
         stats = client.stats()
         assert stats["service"]["requests_served"] >= 3
-        print("service self-test ok: cold + warm + async explain round trips passed")
+        plans = stats["service"]["caches"]["plans"]
+        assert plans["misses"] >= 1, f"plans cache never exercised: {plans}"
+        print(
+            "service self-test ok: cold + warm + async explain + plan round trips "
+            f"passed (plans cache: {plans['hits']} hits / {plans['misses']} misses)"
+        )
         return 0
     finally:
         server.shutdown()

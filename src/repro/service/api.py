@@ -41,6 +41,9 @@ Endpoints of the daemon (``python -m repro.service``):
 * ``GET  /stats``         -- cache + job-queue counters;
 * ``POST /databases``     -- register a database from records;
 * ``POST /explain``       -- synchronous explain, returns the full report;
+* ``POST /plan``          -- EXPLAIN one query: the optimized physical plan
+  tree with per-operator estimated/actual row counts and timings
+  (``{"database": ..., "query": <spec>, "run": true}``);
 * ``POST /jobs``          -- asynchronous explain, returns a job id;
 * ``GET  /jobs/<id>``     -- job status (plus the report once done);
 * ``DELETE /jobs/<id>``   -- cancel a still-queued job.
@@ -393,6 +396,24 @@ def config_from_spec(spec: dict, path: str = "") -> Explain3DConfig:
         raise SpecError(f"bad config spec: {exc}", path) from exc
 
 
+def plan_request_from_payload(payload: dict, *, database_resolver=None):
+    """Compile a ``POST /plan`` payload into ``(database_name, query, run)``."""
+    if not isinstance(payload, dict):
+        raise SpecError("plan payload must be a JSON object")
+    for key in ("database", "query"):
+        if key not in payload:
+            raise SpecError(f"plan payload needs {key!r}", f"/{key}")
+    name = str(payload["database"])
+    database = None
+    if database_resolver is not None:
+        try:
+            database = database_resolver(name)
+        except KeyError:
+            database = None
+    query = query_from_spec(payload["query"], database, "/query")
+    return name, query, bool(payload.get("run", True))
+
+
 def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainRequest:
     """Compile a full JSON request payload into an :class:`ExplainRequest`.
 
@@ -522,6 +543,11 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
                 result = self.server.service.explain(request)
                 self._send_json(result.to_dict())
+            elif self.path == "/plan":
+                name, query, run = plan_request_from_payload(
+                    self._read_json(), database_resolver=self.server.service.database
+                )
+                self._send_json(self.server.service.explain_plan(name, query, run=run))
             elif self.path == "/jobs":
                 request = request_from_payload(
                     self._read_json(), database_resolver=self.server.service.database
@@ -626,6 +652,9 @@ class ServiceClient:
 
     def explain(self, payload: dict) -> dict:
         return self._call("POST", "/explain", payload)
+
+    def plan(self, payload: dict) -> dict:
+        return self._call("POST", "/plan", payload)
 
     def submit_job(self, payload: dict) -> dict:
         return self._call("POST", "/jobs", payload)

@@ -232,13 +232,21 @@ class CacheRegistry:
         self._caches: dict[str, ArtifactCache] = {}
         self._lock = threading.Lock()
 
-    def cache(self, name: str, *, max_entries: int | None = None) -> ArtifactCache:
+    def cache(
+        self, name: str, *, max_entries: int | None = None, spill: bool = True
+    ) -> ArtifactCache:
+        """Get or create a named cache.
+
+        ``spill=False`` opts the cache out of the registry's disk spill --
+        for artifacts that are cheap to recompute but expensive to pickle
+        (e.g. compiled plans, which hold a reference to their database).
+        """
         with self._lock:
             if name not in self._caches:
                 self._caches[name] = ArtifactCache(
                     name,
                     max_entries=max_entries or self.max_entries,
-                    spill_dir=self.spill_dir,
+                    spill_dir=self.spill_dir if spill else None,
                 )
             return self._caches[name]
 

@@ -5,6 +5,10 @@ pipeline in a service that keeps content-addressed Stage-1 artifacts alive
 across requests:
 
 * **provenance** per (database, query) -- skips query re-execution;
+* **plans** per (database, query body) -- compiled
+  :class:`~repro.plan.PhysicalPlan` objects; provenance misses execute the
+  cached plan instead of re-planning, and renamed queries with the same body
+  share one plan (the key ignores the query name);
 * **features** per (provenance pair, attribute matches) -- the tokenized
   :class:`~repro.matching.features.TupleFeatureCache` of each side;
 * **candidates** per (provenance pair, attribute matches) -- the unfiltered
@@ -33,7 +37,9 @@ from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport
 from repro.core.problem import Stage1Artifacts, build_problem
 from repro.matching.attribute_match import AttributeMatching
 from repro.matching.tuple_matching import TupleMapping
+from repro.plan import PhysicalPlan, logical_fingerprint, plan_node, plan_query
 from repro.relational.executor import Database
+from repro.relational.provenance import provenance_relation
 from repro.relational.query import Query
 from repro.service.cache import CacheRegistry, fingerprint_of
 
@@ -111,6 +117,10 @@ class ExplainService:
             max_entries=self.config.cache_entries, spill_dir=self.config.spill_dir
         )
         self._provenance = self.caches.cache("provenance")
+        # Plans hold a reference to their whole database: spilling one would
+        # pickle every base relation to disk.  Replanning is milliseconds, so
+        # evicted plans are simply dropped.
+        self._plans = self.caches.cache("plans", spill=False)
         self._features = self.caches.cache("features")
         self._candidates = self.caches.cache("candidates")
         self._problems = self.caches.cache("problem")
@@ -314,6 +324,18 @@ class ExplainService:
             provenance_left=self._provenance.get(provenance_key_left),
             provenance_right=self._provenance.get(provenance_key_right),
         )
+        # Provenance misses run through the plan cache: the physical plan is
+        # keyed by (database, inner expression) only -- not the query *name*
+        # -- so renamed or re-labelled queries with the same body reuse the
+        # compiled plan even though their provenance artifacts differ.
+        if artifacts.provenance_left is None:
+            artifacts.provenance_left = self._planned_provenance(
+                request.query_left, db_left, left_fp
+            )
+        if artifacts.provenance_right is None:
+            artifacts.provenance_right = self._planned_provenance(
+                request.query_right, db_right, right_fp
+            )
         features = self._features.get(linkage_key)
         if features is not None:
             artifacts.left_features, artifacts.right_features = features
@@ -344,6 +366,37 @@ class ExplainService:
         if artifacts.candidates is not None:
             self._candidates.put(linkage_key, artifacts.candidates)
         return problem
+
+    # -- query planning --------------------------------------------------------------
+    def _planned_provenance(self, query: Query, db: Database, db_fp: str):
+        """Provenance via the plan cache (compile once per database + body)."""
+        inner = query.inner
+        plan = self._cached_plan(db_fp, inner, lambda: plan_node(inner, db))
+        return provenance_relation(query, db, label=f"P[{query.name}]", plan=plan)
+
+    def _cached_plan(self, db_fp: str, node, factory) -> PhysicalPlan:
+        key = fingerprint_of(db_fp, logical_fingerprint(node))
+        return self._plans.get_or_compute(key, factory)
+
+    def explain_plan(self, database: str, query: Query, *, run: bool = True) -> dict:
+        """EXPLAIN a query against a registered database (JSON plan tree).
+
+        The compiled plan lands in (and is served from) the ``plans`` cache.
+        The explain path plans the query's *inner* (provenance) expression
+        rather than its root, so that plan is compiled and cached here too --
+        an EXPLAIN genuinely warms the cache for the explain requests that
+        follow.  ``run=True`` executes the root plan once and annotates each
+        operator with actual row counts and timings.
+        """
+        db, db_fp = self._snapshot(database)
+        plan = self._cached_plan(db_fp, query.root, lambda: plan_query(query, db))
+        inner = query.inner
+        if logical_fingerprint(inner) != plan.fingerprint:
+            self._cached_plan(db_fp, inner, lambda: plan_node(inner, db))
+        explanation = plan.explain(run=run).to_dict()
+        explanation["database"] = database
+        explanation["query"] = query.name
+        return explanation
 
     # -- introspection ---------------------------------------------------------------
     def stats(self) -> dict:

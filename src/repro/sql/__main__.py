@@ -4,12 +4,21 @@ Modes:
 
 * ``python -m repro.sql "SELECT COUNT(Major) FROM Major"`` -- parse, lower
   and pretty-print one query (bind against a dataset with ``--dataset``);
+* ``--plan`` -- EXPLAIN: print the optimized physical plan with per-operator
+  row counts and timings (with a SQL string + ``--dataset``), or -- given no
+  SQL -- run the plan smoke: plan every catalog query of the bundled
+  datasets, execute it, and assert fingerprint equivalence (rows + lineage)
+  against the naive interpreter;
+* ``--plan-fuzz N [--seed S]`` -- planner fuzz equivalence: N random
+  well-formed queries must produce fingerprint-identical results under the
+  naive interpreter and the optimizing planner;
 * ``--explain --left SQL --right SQL --dataset academic`` -- run the full
   Explain3D pipeline from two SQL strings over a generated dataset pair;
 * ``--fuzz N [--seed S]`` -- the CI smoke: N random well-formed queries must
   parse, bind, lower, execute and survive a ``to_sql`` round trip;
-* ``--self-test`` -- golden-catalog round trips + a fuzz batch + one full
-  SQL-driven explain; exits non-zero on any failure.
+* ``--self-test`` -- golden-catalog round trips + fuzz batches (parser and
+  planner) + the plan smoke + one full SQL-driven explain; exits non-zero on
+  any failure.
 """
 
 from __future__ import annotations
@@ -48,7 +57,7 @@ def _load_dataset(name: str):
     return pair.db_left, pair.db_right, pair.attribute_matches
 
 
-def _print_query(sql: str, db: Database | None, name: str) -> int:
+def _print_query(sql: str, db: Database | None, name: str, *, show_plan: bool = False) -> int:
     try:
         query = parse_query(sql, db, name=name)
     except SqlError as exc:
@@ -57,10 +66,82 @@ def _print_query(sql: str, db: Database | None, name: str) -> int:
     print(f"-- {query.name} (fingerprint {query.fingerprint()[:16]})")
     print(f"ast: {query.root!r}")
     print(f"sql: {node_to_sql(query.root)}")
+    if show_plan and db is None:
+        print("--plan needs --dataset to bind and execute against", file=sys.stderr)
+        return 1
     if db is not None:
         result = execute(query, db)
         print(f"result: {len(result)} row(s) over {list(result.schema.names)}")
+        if show_plan:
+            from repro.plan import plan_query
+            from repro.plan.planner import PlanExplanation
+
+            plan = plan_query(query, db)
+            planned, stats = plan.execute_with_stats()
+            print(PlanExplanation(plan, stats).describe())
+            if planned.fingerprint() != result.fingerprint():
+                print("PLAN MISMATCH: planned result diverges from the naive "
+                      "interpreter", file=sys.stderr)
+                return 1
     return 0
+
+
+def _run_plan_smoke(verbose: bool = False) -> int:
+    """Plan + execute *every* catalog query; 0 = all fingerprint-identical.
+
+    The enumeration comes from :func:`repro.datasets.sql_catalog.catalog_queries`
+    (Figure 1, academic, synthetic and all ten IMDb templates), so datasets
+    added to the catalog are covered here automatically.
+    """
+    from repro.datasets.sql_catalog import catalog_queries
+    from repro.plan import plan_query
+    from repro.relational.provenance import provenance_relation
+
+    failures = 0
+    for label, query, db in catalog_queries():
+        naive = execute(query, db)
+        plan = plan_query(query, db)
+        planned, stats = plan.execute_with_stats()
+        provenance_ok = (
+            provenance_relation(query, db, planner="naive").tuples
+            == provenance_relation(query, db, planner="optimized").tuples
+        )
+        if planned.fingerprint() != naive.fingerprint() or not provenance_ok:
+            failures += 1
+            print(f"PLAN MISMATCH on {label}", file=sys.stderr)
+            print(plan.describe(), file=sys.stderr)
+            continue
+        rewrites = len(plan.rewrites.applied)
+        print(f"plan ok: {label} ({len(plan.operators)} operators, "
+              f"{rewrites} rewrites, {stats.rows_out} rows)")
+        if verbose:
+            print(plan.describe())
+    print(f"plan smoke: {'FAILED' if failures else 'ok'}")
+    return 1 if failures else 0
+
+
+def _run_plan_fuzz(count: int, seed: int, verbose: bool = False) -> int:
+    """Planned vs naive execution of ``count`` random queries; 0 = identical."""
+    db = toy_database()
+    failures = 0
+    for round_index in range(count):
+        rng = random.Random(seed + round_index)
+        sql = random_query_sql(rng, db)
+        try:
+            query = parse_query(sql, db, name=f"PF{round_index}")
+            naive = execute(query, db)
+            planned = execute(query, db, planner="optimized")
+            if naive.fingerprint() != planned.fingerprint():
+                raise AssertionError("planned result diverges from naive execution")
+        except Exception as exc:  # noqa: BLE001 - report and count every failure
+            failures += 1
+            print(f"PLAN FUZZ FAILURE (seed {seed + round_index}): {sql}", file=sys.stderr)
+            print(f"  {type(exc).__name__}: {exc}", file=sys.stderr)
+        else:
+            if verbose:
+                print(f"ok (seed {seed + round_index}): {sql}")
+    print(f"plan fuzz: {count - failures}/{count} queries fingerprint-identical")
+    return 1 if failures else 0
 
 
 def _run_fuzz(count: int, seed: int, verbose: bool = False) -> int:
@@ -115,6 +196,12 @@ def _self_test() -> int:
     status = _run_fuzz(60, seed=1000)
     if status:
         return status
+    status = _run_plan_smoke()
+    if status:
+        return status
+    status = _run_plan_fuzz(60, seed=2000)
+    if status:
+        return status
     print("explain: figure1 from two SQL strings ...")
     status = _run_explain(
         "SELECT COUNT(Program) FROM D1",
@@ -123,7 +210,8 @@ def _self_test() -> int:
     )
     if status:
         return status
-    print("sql self-test ok: catalog + fuzz + SQL-driven explain passed")
+    print("sql self-test ok: catalog + fuzz + plan equivalence + SQL-driven "
+          "explain passed")
     return 0
 
 
@@ -145,6 +233,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--right", default=None, help="right query SQL for --explain")
     parser.add_argument("--fuzz", type=int, default=0, metavar="N",
                         help="generate and check N random well-formed queries")
+    parser.add_argument("--plan", action="store_true",
+                        help="print the optimized physical plan (EXPLAIN); "
+                             "without a SQL string, run the catalog plan smoke")
+    parser.add_argument("--plan-fuzz", type=int, default=0, metavar="N",
+                        help="check N random queries for planned-vs-naive "
+                             "fingerprint equivalence")
     parser.add_argument("--seed", type=int, default=0, help="fuzz base seed")
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--self-test", action="store_true",
@@ -155,17 +249,22 @@ def main(argv: list[str] | None = None) -> int:
         return _self_test()
     if args.fuzz:
         return _run_fuzz(args.fuzz, args.seed, verbose=args.verbose)
+    if args.plan_fuzz:
+        return _run_plan_fuzz(args.plan_fuzz, args.seed, verbose=args.verbose)
+    if args.plan and not args.sql:
+        return _run_plan_smoke(verbose=args.verbose)
     if args.explain:
         if not args.left or not args.right:
             parser.error("--explain needs --left and --right SQL strings")
         return _run_explain(args.left, args.right, args.dataset or "figure1")
     if not args.sql:
-        parser.error("give a SQL string, --fuzz N, --explain or --self-test")
+        parser.error("give a SQL string, --plan, --fuzz N, --plan-fuzz N, "
+                     "--explain or --self-test")
     db = None
     if args.dataset:
         db_left, db_right, _ = _load_dataset(args.dataset)
         db = db_left if args.side == "left" else db_right
-    return _print_query(args.sql, db, args.name)
+    return _print_query(args.sql, db, args.name, show_plan=args.plan)
 
 
 if __name__ == "__main__":

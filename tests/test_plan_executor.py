@@ -1,0 +1,231 @@
+"""Planned execution must be fingerprint-identical to the naive interpreter.
+
+Fingerprints (:meth:`Relation.fingerprint`) cover schema, row values, row
+*order* and per-row lineage sets, so every assertion here checks the full
+contract Stage 1 depends on -- including why-provenance.  Coverage spans the
+dataset catalog queries (Figure 1, academic, synthetic, IMDb view templates)
+and a property-test sweep over the SQL fuzzer's random queries.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.plan import plan_node, plan_query
+from repro.relational.executor import Database, ExecutionError, execute
+from repro.relational.expressions import col
+from repro.relational.provenance import provenance_relation
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Scan,
+    Select,
+    Union,
+    count_query,
+    sum_query,
+)
+from repro.sql import parse_query
+from repro.sql.fuzz import random_query_sql, toy_database
+
+
+def _assert_planned_equivalent(query, db):
+    naive = execute(query, db, planner="naive")
+    planned = execute(query, db, planner="optimized")
+    assert naive.fingerprint() == planned.fingerprint(), query.name
+
+
+def _assert_provenance_equivalent(query, db):
+    naive = provenance_relation(query, db, planner="naive")
+    planned = provenance_relation(query, db, planner="optimized")
+    assert [(t.key, t.values, t.impact, t.lineage) for t in naive] == [
+        (t.key, t.values, t.impact, t.lineage) for t in planned
+    ], query.name
+
+
+class TestCatalogEquivalence:
+    def test_figure1(self, figure1_db1, figure1_db2, figure1_queries):
+        q1, q2 = figure1_queries
+        for query, db in ((q1, figure1_db1), (q2, figure1_db2)):
+            _assert_planned_equivalent(query, db)
+            _assert_provenance_equivalent(query, db)
+
+    def test_academic(self):
+        from repro.datasets.academic import generate_academic_pair
+
+        pair = generate_academic_pair()
+        for query, db in (
+            (pair.query_left, pair.db_left),
+            (pair.query_right, pair.db_right),
+        ):
+            _assert_planned_equivalent(query, db)
+            _assert_provenance_equivalent(query, db)
+
+    def test_synthetic(self):
+        from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
+
+        pair = generate_synthetic_pair(SyntheticConfig(num_tuples=80, seed=3))
+        for query, db in (
+            (pair.query_left, pair.db_left),
+            (pair.query_right, pair.db_right),
+        ):
+            _assert_planned_equivalent(query, db)
+            _assert_provenance_equivalent(query, db)
+
+    @pytest.mark.parametrize("template", ["Q1", "Q3", "Q5", "Q9", "Q10"])
+    def test_imdb_templates(self, template):
+        from repro.datasets.imdb import generate_imdb_workload
+
+        workload = generate_imdb_workload()
+        param = "Drama" if template == "Q10" else workload.years_with_movies()[0]
+        pair = workload.pair(template, param)
+        for query, db in (
+            (pair.query_left, pair.db_left),
+            (pair.query_right, pair.db_right),
+        ):
+            _assert_planned_equivalent(query, db)
+            _assert_provenance_equivalent(query, db)
+
+
+class TestFuzzEquivalence:
+    """Satellite: property-test the planner with the SQL fuzzer's queries."""
+
+    ROUNDS = 80
+
+    def test_random_queries_are_fingerprint_identical(self):
+        db = toy_database()
+        for round_index in range(self.ROUNDS):
+            rng = random.Random(4000 + round_index)
+            sql = random_query_sql(rng, db)
+            query = parse_query(sql, db, name=f"F{round_index}")
+            naive = execute(query, db, planner="naive")
+            planned = execute(query, db, planner="optimized")
+            assert naive.fingerprint() == planned.fingerprint(), sql
+
+    def test_fuzz_provenance_lineage_identical(self):
+        db = toy_database()
+        for round_index in range(20):
+            rng = random.Random(6000 + round_index)
+            sql = random_query_sql(rng, db)
+            query = parse_query(sql, db, name=f"P{round_index}")
+            _assert_provenance_equivalent(query, db)
+
+
+class TestPlanSurface:
+    @pytest.fixture()
+    def db(self) -> Database:
+        database = Database("plan")
+        database.add_records(
+            "T",
+            [
+                {"k": 1, "v": 10.0, "tag": "a"},
+                {"k": 2, "v": 20.0, "tag": "b"},
+                {"k": 2, "v": 5.0, "tag": None},
+            ],
+        )
+        return database
+
+    def test_execute_with_stats_counts_rows(self, db):
+        plan = plan_node(Select(Scan("T"), col("k") == 2), db)
+        relation, stats = plan.execute_with_stats()
+        assert stats.rows_out == len(relation) == 2
+        assert set(stats.operators) == {op.op_id for op in plan.operators}
+
+    def test_explain_run_annotates_rows_and_timings(self, db):
+        query = sum_query("s", Scan("T"), "v", predicate=(col("k") == 2))
+        explanation = query.explain_plan(db, run=True)
+        payload = explanation.to_dict()
+        json.dumps(payload)  # JSON-safe end to end
+        assert payload["planner"] == "optimized"
+        assert payload["rows_out"] == 1
+        assert payload["plan"]["operator"] == "AggregateExec"
+        assert payload["plan"]["rows"] == 1
+        assert "seconds" in payload["plan"]
+        text = explanation.describe()
+        assert "AggregateExec" in text and "rows=1" in text
+
+    def test_explain_without_run_has_estimates_only(self, db):
+        query = count_query("c", Scan("T"), attribute="k")
+        payload = query.explain_plan(db, run=False).to_dict()
+        assert "rows_out" not in payload
+        assert payload["plan"]["estimated_rows"] == 1
+
+    def test_shared_subplan_executes_once(self, db):
+        branch = Select(Scan("T"), col("k") == 2)
+        plan = plan_node(Union((branch, branch)), db)
+        assert plan.shared_subplans == 1
+        relation, stats = plan.execute_with_stats()
+        assert len(relation) == 4
+        shared = [op for op in plan.operators if op.shared]
+        assert shared
+        assert any(
+            stats.operators[op.op_id].get("reused") for op in shared
+        ), "the second consumer must reuse the memoized result"
+
+    def test_distinct_projections_get_their_own_stats_slots(self, db):
+        # Regression: the ProjectExec under a DistinctExec must be registered
+        # like any other operator -- each one gets a distinct op_id, its own
+        # row counter and an estimate (not a shared op_id=-1 slot).
+        from repro.relational.query import Join, Project
+
+        tree = Join(
+            Project(Scan("T"), ("k",), distinct=True),
+            Project(Scan("T"), ("k", "tag"), distinct=True),
+            on=(("k", "k"),),
+        )
+        plan = plan_node(tree, db)
+        ids = [op.op_id for op in plan.operators]
+        assert ids == sorted(set(ids)) and -1 not in ids
+        projections = [op for op in plan.operators if op.name == "ProjectExec"]
+        assert len(projections) == 2
+        assert all(op.estimated_rows is not None for op in projections)
+        relation, stats = plan.execute_with_stats()
+        by_id = {op.op_id: op for op in plan.operators}
+        for op_id, op_stats in stats.operators.items():
+            if by_id[op_id].name == "ProjectExec":
+                assert op_stats["rows"] == 3  # each projection emits its own 3 rows
+
+    def test_plan_is_reusable_across_executions(self, db):
+        plan = plan_node(Aggregate(Scan("T"), AggregateFunction.COUNT, "k"), db)
+        assert plan.execute().fingerprint() == plan.execute().fingerprint()
+
+    def test_unknown_planner_rejected(self, db):
+        query = count_query("c", Scan("T"), attribute="k")
+        with pytest.raises(ExecutionError):
+            execute(query, db, planner="turbo")
+
+    def test_empty_aggregate_null_row_matches_interpreter(self, db):
+        query = sum_query("s", Scan("T"), "v", predicate=(col("k") == 99))
+        _assert_planned_equivalent(query, db)
+        assert execute(query, db, planner="optimized")[0].values == (None,)
+
+
+class TestDatabaseAddRegression:
+    """Satellite: Database.add must not rename the caller's relation."""
+
+    def test_add_under_second_name_does_not_mutate(self):
+        from repro.relational.relation import Relation
+
+        db = Database("reg")
+        relation = Relation.from_records([{"a": 1}, {"a": 2}], name="orig")
+        before = relation.fingerprint()
+        db.add(relation, "alias")
+        assert relation.name == "orig"
+        assert relation.fingerprint() == before
+        assert db.relation("alias").name == "alias"
+        # Rows (and their lineage) are shared, not copied.
+        assert db.relation("alias").rows == relation.rows
+
+    def test_registering_same_relation_under_two_names(self):
+        from repro.relational.relation import Relation
+
+        db = Database("reg")
+        relation = Relation.from_records([{"a": 1}], name="first")
+        db.add(relation)
+        db.add(relation, "second")
+        assert db.relation("first").name == "first"
+        assert db.relation("first") is relation
+        assert db.relation("second").name == "second"
+        assert relation.name == "first"

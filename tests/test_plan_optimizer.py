@@ -1,0 +1,246 @@
+"""Golden before/after tests for each logical optimizer rewrite in isolation.
+
+Every rule's output tree is also executed with the *naive* interpreter and
+compared against the input tree's result -- the optimizer's contract is that
+rewrites stay inside the interpreter's semantics (rows, order, lineage).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plan import infer_schema, optimize, plan_node
+from repro.plan.physical import HashJoinExec, NestedLoopJoinExec, ProjectExec
+from repro.relational.executor import Database, evaluate
+from repro.relational.expressions import And, AttributeComparison, Comparison, IsNull, col
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Difference,
+    Join,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("opt")
+    database.add_records(
+        "Movie",
+        [
+            {"m_id": 1, "title": "Alpha", "year": 1999, "gross": 10.0, "city": "Boston"},
+            {"m_id": 2, "title": "Beta", "year": 1999, "gross": 5.0, "city": "Austin"},
+            {"m_id": 3, "title": "Gamma", "year": 2001, "gross": 8.0, "city": None},
+        ],
+    )
+    database.add_records(
+        "Info",
+        [
+            {"m_id": 1, "kind": "genre", "city": "Boston"},
+            {"m_id": 2, "kind": "genre", "city": "Austin"},
+            {"m_id": None, "kind": "budget", "city": "Austin"},
+        ],
+    )
+    return database
+
+
+def _assert_exact(original, optimized, db):
+    """The rewritten tree is naive-executable and fingerprint-identical."""
+    assert evaluate(original, db).fingerprint() == evaluate(optimized, db).fingerprint()
+
+
+class TestSelectRules:
+    def test_merge_selects(self, db):
+        tree = Select(Select(Scan("Movie"), col("year") == 1999), col("gross") > 6)
+        optimized, log = optimize(tree, db)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+        assert isinstance(optimized.predicate, And)
+        assert "merge_selects" in log.applied
+        _assert_exact(tree, optimized, db)
+
+    def test_pushdown_through_project(self, db):
+        tree = Select(
+            Project(Scan("Movie"), ("title", "year")), col("year") == 1999
+        )
+        optimized, log = optimize(tree, db)
+        assert optimized == Project(
+            Select(Scan("Movie"), Comparison("year", "=", 1999)),
+            ("title", "year"),
+        )
+        assert any(entry.startswith("pushdown_select") for entry in log.applied)
+        _assert_exact(tree, optimized, db)
+
+    def test_no_pushdown_below_projection_missing_attribute(self, db):
+        # ``gross`` is projected away: above the projection the comparison
+        # sees NULL (false), below it would see real values -- not exact.
+        tree = Select(Project(Scan("Movie"), ("title",)), col("gross") > 6)
+        optimized, log = optimize(tree, db)
+        assert optimized == tree
+        assert log.applied == []
+        _assert_exact(tree, optimized, db)
+
+    def test_pushdown_through_union(self, db):
+        member = Project(Scan("Movie"), ("title", "year"))
+        tree = Select(Union((member, member)), col("year") == 1999)
+        optimized, _ = optimize(tree, db)
+        assert isinstance(optimized, Union)
+        for pushed in optimized.inputs:
+            assert isinstance(pushed, Project)  # and pushed further down
+        _assert_exact(tree, optimized, db)
+
+    def test_no_pushdown_for_opaque_callable_predicate(self, db):
+        opaque = lambda record: record["year"] == 1999  # noqa: E731
+        tree = Select(Project(Scan("Movie"), ("title", "year")), opaque)
+        optimized, log = optimize(tree, db)
+        assert optimized == tree
+        assert log.applied == []
+
+
+class TestJoinRules:
+    def test_pushdown_into_join_sides(self, db):
+        join = Join(Scan("Movie"), Scan("Info"), on=(("m_id", "m_id"),))
+        # `city_r` is Info's renamed column; the conjunct must be pushed to
+        # the right child under its original name `city`.
+        tree = Select(join, (col("year") == 1999) & (col("city_r") == "Austin"))
+        optimized, log = optimize(tree, db)
+        assert isinstance(optimized, Join)
+        assert optimized.left == Select(Scan("Movie"), Comparison("year", "=", 1999))
+        assert optimized.right == Select(Scan("Info"), Comparison("city", "=", "Austin"))
+        assert log.applied.count("pushdown_select(join-left)") == 1
+        assert log.applied.count("pushdown_select(join-right)") == 1
+        _assert_exact(tree, optimized, db)
+
+    def test_equi_key_extraction_from_where(self, db):
+        tree = Select(
+            Join(Scan("Movie"), Scan("Info")),
+            AttributeComparison("m_id", "=", "m_id_r"),
+        )
+        optimized, log = optimize(tree, db)
+        # The promoted first key gets an IS NOT NULL guard (the interpreter's
+        # first on-pair matches NULL = NULL, the original condition did not),
+        # which the next pushdown pass then sinks onto the left input.
+        assert optimized == Join(
+            Select(Scan("Movie"), IsNull("m_id", negate=True)),
+            Scan("Info"),
+            on=(("m_id", "m_id"),),
+        )
+        assert "extract_equi_keys(from-where)" in log.applied
+        _assert_exact(tree, optimized, db)
+
+    def test_equi_key_extraction_from_condition(self, db):
+        tree = Join(
+            Scan("Movie"),
+            Scan("Info"),
+            on=(("m_id", "m_id"),),
+            condition=AttributeComparison("city", "=", "city_r"),
+        )
+        optimized, _ = optimize(tree, db)
+        # Appending to a non-empty key list needs no guard: non-first pairs
+        # are null-rejecting in the interpreter, matching the condition.
+        assert isinstance(optimized, Join)
+        assert optimized.on == (("m_id", "m_id"), ("city", "city"))
+        assert optimized.condition is None
+        _assert_exact(tree, optimized, db)
+
+    def test_non_equi_condition_is_left_alone(self, db):
+        tree = Join(
+            Scan("Movie"),
+            Scan("Info"),
+            condition=AttributeComparison("m_id", "<", "m_id_r"),
+        )
+        optimized, log = optimize(tree, db)
+        assert optimized == tree
+        assert log.applied == []
+        # ... and the physical plan falls back to a nested loop.
+        plan = plan_node(tree, db)
+        assert isinstance(plan.root, NestedLoopJoinExec)
+        _assert_exact(tree, optimized, db)
+
+    def test_extracted_keys_lower_to_hash_join(self, db):
+        tree = Select(
+            Join(Scan("Movie"), Scan("Info")),
+            AttributeComparison("m_id", "=", "m_id_r"),
+        )
+        plan = plan_node(tree, db)
+        joins = [op for op in plan.operators if isinstance(op, HashJoinExec)]
+        assert len(joins) == 1
+        assert plan.execute().fingerprint() == evaluate(tree, db).fingerprint()
+
+
+class TestProjectionPruning:
+    def test_aggregate_over_join_prunes_scans(self, db):
+        tree = Aggregate(
+            Join(Scan("Movie"), Scan("Info"), on=(("m_id", "m_id"),)),
+            AggregateFunction.SUM,
+            "gross",
+        )
+        optimized, log = optimize(tree, db)
+        join = optimized.child
+        assert isinstance(join.left, Project)
+        assert join.left.attributes == ("m_id", "gross")
+        assert not join.left.distinct
+        assert isinstance(join.right, Project)
+        assert join.right.attributes == ("m_id",)
+        assert any(entry.startswith("prune_projections") for entry in log.applied)
+        _assert_exact(tree, optimized, db)
+
+    def test_difference_right_side_prunes_to_keys(self, db):
+        tree = Difference(Scan("Movie"), Select(Scan("Movie"), col("year") == 1999), on=("m_id",))
+        optimized, _ = optimize(tree, db)
+        assert isinstance(optimized.right, Project)
+        assert optimized.right.attributes == ("m_id",)
+        # The left side keeps the full schema: it *is* the output.
+        assert infer_schema(optimized, db).names == infer_schema(tree, db).names
+        _assert_exact(tree, optimized, db)
+
+    def test_no_pruning_when_every_column_is_needed(self, db):
+        # A bare join at the root: the full concatenated row is the output,
+        # so pruning has nothing to drop.
+        tree = Join(Scan("Movie"), Scan("Info"), on=(("m_id", "m_id"),))
+        optimized, log = optimize(tree, db)
+        assert optimized == tree
+        assert log.applied == []
+
+    def test_pruning_never_changes_rename_disambiguation(self, db):
+        # `city` exists on both sides and the aggregate reads the *renamed*
+        # right copy; dropping the left `city` would rename `city_r` back to
+        # `city` -- the optimizer must keep the tree rename-stable.
+        tree = Aggregate(
+            Join(Scan("Movie"), Scan("Info"), on=(("m_id", "m_id"),)),
+            AggregateFunction.COUNT,
+            "city_r",
+        )
+        optimized, _ = optimize(tree, db)
+        assert "city_r" in infer_schema(optimized.child, db)
+        _assert_exact(tree, optimized, db)
+
+
+class TestPhysicalGoldens:
+    def test_build_side_follows_estimates(self, db):
+        big = Database("big")
+        big.add_records("L", [{"k": i, "pad": i} for i in range(50)])
+        big.add_records("R", [{"k": i % 5} for i in range(5)])
+        plan = plan_node(Join(Scan("L"), Scan("R"), on=(("k", "k"),)), big)
+        assert isinstance(plan.root, HashJoinExec)
+        assert not plan.root.build_left  # right side is smaller: build right
+        swapped = plan_node(Join(Scan("R"), Scan("L"), on=(("k", "k"),)), big)
+        assert swapped.root.build_left  # now the left side is smaller
+
+    def test_common_subplan_is_shared(self, db):
+        branch = Select(Scan("Movie"), col("year") == 1999)
+        tree = Union((branch, branch))
+        plan = plan_node(tree, db)
+        assert plan.shared_subplans >= 1
+        assert any(op.shared for op in plan.operators)
+        assert plan.execute().fingerprint() == evaluate(tree, db).fingerprint()
+
+    def test_distinct_projection_lowered_with_distinct_exec(self, db):
+        tree = Project(Scan("Movie"), ("year",), distinct=True)
+        plan = plan_node(tree, db)
+        assert plan.root.name == "DistinctExec"
+        assert isinstance(plan.root.children[0], ProjectExec)
+        assert plan.execute().fingerprint() == evaluate(tree, db).fingerprint()

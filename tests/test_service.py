@@ -468,3 +468,120 @@ class TestStage1ArtifactsHook:
         plain = build_problem(q1, figure1_db1, q2, figure1_db2, attribute_matches=matches)
         assert artifacts.left_features is not stale  # rebuilt, not trusted
         assert problem.mapping.pairs() == plain.mapping.pairs()
+
+
+class TestPlanCache:
+    """The `plans` artifact cache: compiled physical plans across requests."""
+
+    def test_plans_cache_appears_in_stats(self, figure1_service, figure1_request):
+        figure1_service.explain(figure1_request)
+        stats = figure1_service.stats()
+        assert "plans" in stats["caches"]
+        # A cold request plans both inner expressions.
+        assert stats["caches"]["plans"]["misses"] >= 2
+
+    def test_renamed_queries_reuse_compiled_plans(
+        self, figure1_service, figure1_request, figure1_queries, figure1_mapping
+    ):
+        from dataclasses import replace
+
+        from repro.relational.query import Query
+
+        figure1_service.explain(figure1_request)
+        before = figure1_service.stats()["caches"]["plans"]
+        q1, q2 = figure1_queries
+        renamed = replace(
+            figure1_request,
+            query_left=Query("Q1-renamed", q1.root),
+            query_right=Query("Q2-renamed", q2.root),
+        )
+        result = figure1_service.explain(renamed)
+        after = figure1_service.stats()["caches"]["plans"]
+        # New names -> provenance cache misses, but the plan key ignores the
+        # query name, so both sides hit the compiled plans.
+        assert not result.cached_problem
+        assert after["hits"] >= before["hits"] + 2
+        assert after["misses"] == before["misses"]
+
+    def test_plan_cache_eviction_is_bounded_and_counted(
+        self, figure1_db1, figure1_db2, figure1_queries, figure1_mapping
+    ):
+        service = ExplainService(ServiceConfig(cache_entries=1))
+        service.register_database(figure1_db1, "D1")
+        service.register_database(figure1_db2, "D2")
+        q1, q2 = figure1_queries
+        request = ExplainRequest(
+            query_left=q1,
+            database_left="D1",
+            query_right=q2,
+            database_right="D2",
+            attribute_matches=matching(("Program", "Major")),
+            tuple_mapping=figure1_mapping,
+            config=Explain3DConfig(partitioning="none"),
+        )
+        service.explain(request)
+        plans = service.caches.cache("plans")
+        assert len(plans) == 1  # two compiled plans, one-entry cache
+        assert plans.stats.evictions >= 1
+
+    def test_explain_plan_serves_and_warms_the_cache(
+        self, figure1_service, figure1_queries, figure1_request
+    ):
+        _, q2 = figure1_queries
+        payload = figure1_service.explain_plan("D2", q2, run=True)
+        assert payload["database"] == "D2"
+        assert payload["query"] == "Q2"
+        assert payload["plan"]["operator"] == "AggregateExec"
+        assert payload["rows_out"] == 1
+        json.dumps(payload)
+        before = figure1_service.stats()["caches"]["plans"]
+        figure1_service.explain_plan("D2", q2, run=False)
+        after = figure1_service.stats()["caches"]["plans"]
+        assert after["hits"] == before["hits"] + 2  # root plan + inner plan
+        # EXPLAIN also compiled the *inner* (provenance) expression's plan,
+        # so a subsequent explain request for the same query hits it.
+        before = after
+        figure1_service.explain(figure1_request)
+        after = figure1_service.stats()["caches"]["plans"]
+        assert after["hits"] >= before["hits"] + 1
+
+    def test_evicted_plans_are_never_spilled_to_disk(
+        self, figure1_db1, figure1_db2, figure1_queries, figure1_mapping, tmp_path
+    ):
+        # A spilled plan would pickle its whole database; plans must opt out.
+        service = ExplainService(ServiceConfig(cache_entries=1, spill_dir=tmp_path))
+        service.register_database(figure1_db1, "D1")
+        service.register_database(figure1_db2, "D2")
+        q1, q2 = figure1_queries
+        service.explain(
+            ExplainRequest(
+                query_left=q1,
+                database_left="D1",
+                query_right=q2,
+                database_right="D2",
+                attribute_matches=matching(("Program", "Major")),
+                tuple_mapping=figure1_mapping,
+                config=Explain3DConfig(partitioning="none"),
+            )
+        )
+        plans = service.caches.cache("plans")
+        assert plans.stats.evictions >= 1
+        assert plans.stats.spill_writes == 0
+        assert not list(tmp_path.glob("plans-*.pkl"))
+
+    def test_explain_plan_unknown_database(self, figure1_service, figure1_queries):
+        with pytest.raises(UnknownDatabaseError):
+            figure1_service.explain_plan("nope", figure1_queries[0])
+
+    def test_planned_provenance_equals_direct(self, figure1_service, figure1_request):
+        """The plan cache is an accelerator: served reports stay identical."""
+        served = figure1_service.explain(figure1_request)
+        direct = Explain3D(figure1_request.config).explain(
+            figure1_request.query_left,
+            figure1_service.database("D1"),
+            figure1_request.query_right,
+            figure1_service.database("D2"),
+            attribute_matches=figure1_request.attribute_matches,
+            tuple_mapping=figure1_request.tuple_mapping,
+        )
+        assert _reports_equal(served.report, direct)

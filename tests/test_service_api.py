@@ -415,3 +415,46 @@ class TestHTTPSqlRequests:
             )
         assert "both 'relation' and 'source'" in str(excinfo.value)
         assert excinfo.value.path == "/query_left"
+
+
+class TestPlanEndpoint:
+    def test_plan_round_trip(self, running_server):
+        payload = running_server.plan(
+            {
+                "database": "D2",
+                "query": {"name": "Q2", "sql": "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'"},
+            }
+        )
+        assert payload["database"] == "D2"
+        assert payload["plan"]["operator"] == "AggregateExec"
+        assert payload["rows_out"] == 1
+        operators = [payload["plan"]]
+        while "children" in operators[-1]:
+            operators.append(operators[-1]["children"][0])
+        assert operators[-1]["operator"] == "ScanExec"
+        assert all("rows" in op and "seconds" in op for op in operators)
+
+    def test_plan_without_run_skips_execution(self, running_server):
+        payload = running_server.plan(
+            {
+                "database": "D1",
+                "query": {"name": "Q1", "kind": "count", "relation": "D1",
+                          "attribute": "Program"},
+                "run": False,
+            }
+        )
+        assert "rows_out" not in payload
+        assert payload["plan"]["estimated_rows"] == 1
+
+    def test_plan_missing_fields_is_spec_error(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.plan({"database": "D1"})
+        assert excinfo.value.status == 400
+
+    def test_plan_unknown_database_is_404(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.plan(
+                {"database": "missing",
+                 "query": {"name": "Q", "kind": "count", "relation": "X"}}
+            )
+        assert excinfo.value.status == 404
