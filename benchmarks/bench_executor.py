@@ -13,6 +13,13 @@ every explain request:
   and filters the rest pair by pair; the planner hashes the composite key.
 * **imdb_views** -- the IMDb view pairs of the paper's Section 5.1 templates,
   executed end to end (provenance-shaped trees: joins over Movie/MovieInfo).
+* **stats_multijoin** -- a three-relation join chain written in a
+  pessimal order (the many-to-many join first, the selective tiny dimension
+  last).  The PR 4 planner executes the written order; after ``ANALYZE`` the
+  cost-based planner reorders the chain (``MultiJoinExec``), joining the tiny
+  dimension early.  ``MIN_STATS_NAIVE_SPEEDUP`` / ``MIN_STATS_REORDER_SPEEDUP``
+  enforce that statistics never regress below the naive interpreter and beat
+  the statistics-less planner by >= 1.5x on this workload.
 
 Every timed pair of paths asserts **fingerprint equivalence** (schema, rows,
 order, per-row lineage) between the naive and the planned result -- the
@@ -43,6 +50,8 @@ from repro.relational.query import Join, Query, Scan, Select, count_query, sum_q
 RESULT_PATH = ROOT / "BENCH_executor.json"
 REPEATS = 3
 MIN_JOIN_SPEEDUP = 2.0
+MIN_STATS_NAIVE_SPEEDUP = 1.0
+MIN_STATS_REORDER_SPEEDUP = 1.5
 
 REGIONS = ["north", "south", "east", "west"]
 
@@ -143,6 +152,68 @@ def bench_synthetic_multikey() -> dict:
     return _time_pair("synthetic_multikey", query, db)
 
 
+def bench_stats_multijoin() -> dict:
+    """Stats-off vs stats-on planning of a pessimally written join chain."""
+    rng = random.Random(11)
+    db = Database("bench_stats")
+    db.add_records(
+        "Orders", [{"order_id": i, "cust_id": i % 30} for i in range(1500)]
+    )
+    db.add_records(
+        "Payments",
+        [{"cust_id": i % 30, "batch_id": i % 500} for i in range(1500)],
+    )
+    db.add_records(
+        "Batches",
+        [{"batch_id": rng.randrange(500), "carrier": f"c{i}"} for i in range(40)],
+    )
+    # Written order: the many-to-many Orders x Payments join first (~75k
+    # intermediate rows), the 40-row Batches dimension last.  The cost-based
+    # planner flips it.
+    chain = Join(
+        Join(Scan("Orders"), Scan("Payments"), on=(("cust_id", "cust_id"),)),
+        Scan("Batches"),
+        on=(("batch_id", "batch_id"),),
+    )
+    query = count_query(
+        "stats_multijoin", chain, attribute="order_id",
+        description="orders whose payment batch has a carrier",
+    )
+    naive_seconds, naive_result = _best_of(lambda: execute(query, db, planner="naive"))
+    planned_seconds, planned_result = _best_of(
+        lambda: execute(query, db, planner="optimized")
+    )
+    analyze_start = time.perf_counter()
+    db.analyze()
+    analyze_seconds = time.perf_counter() - analyze_start
+    stats_seconds, stats_result = _best_of(
+        lambda: execute(query, db, planner="optimized")
+    )
+    if (
+        naive_result.fingerprint() != planned_result.fingerprint()
+        or naive_result.fingerprint() != stats_result.fingerprint()
+    ):
+        raise AssertionError(
+            "stats_multijoin: planned execution diverges from the naive interpreter"
+        )
+    plan = plan_query(query, db)
+    multi = next(op for op in plan.operators if op.name == "MultiJoinExec")
+    return {
+        "workload": "stats_multijoin",
+        "query": query.name,
+        "rows_out": len(stats_result),
+        "join_order": [multi.labels[index] for index in multi.order],
+        "analyze_seconds": round(analyze_seconds, 6),
+        "naive_seconds": round(naive_seconds, 6),
+        "planned_seconds": round(planned_seconds, 6),
+        "stats_seconds": round(stats_seconds, 6),
+        "speedup_vs_naive": round(naive_seconds / stats_seconds, 2)
+        if stats_seconds else None,
+        "speedup_vs_planned": round(planned_seconds / stats_seconds, 2)
+        if stats_seconds else None,
+    }
+
+
 def bench_imdb_views() -> list[dict]:
     """The paper's IMDb view templates, both sides, end to end."""
     from repro.datasets.imdb import generate_imdb_workload
@@ -163,20 +234,35 @@ def bench_imdb_views() -> list[dict]:
 def main() -> int:
     entries = [bench_synthetic_join(), bench_synthetic_multikey()]
     entries.extend(bench_imdb_views())
+    stats_entry = bench_stats_multijoin()
+    entries.append(stats_entry)
     payload = {
         "benchmark": "executor",
         "repeats": REPEATS,
         "min_join_speedup": MIN_JOIN_SPEEDUP,
+        "min_stats_naive_speedup": MIN_STATS_NAIVE_SPEEDUP,
+        "min_stats_reorder_speedup": MIN_STATS_REORDER_SPEEDUP,
         "entries": entries,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     for entry in entries:
+        if entry["workload"] == "stats_multijoin":
+            print(
+                f"{entry['workload']:>20} ({entry['query']}): "
+                f"naive {entry['naive_seconds']:.4f}s -> planned "
+                f"{entry['planned_seconds']:.4f}s -> stats "
+                f"{entry['stats_seconds']:.4f}s "
+                f"({entry['speedup_vs_planned']}x vs planner, order "
+                f"{entry['join_order']})"
+            )
+            continue
         print(
             f"{entry['workload']:>20} ({entry['query']}): "
             f"naive {entry['naive_seconds']:.4f}s -> planned "
             f"{entry['planned_seconds']:.4f}s ({entry['speedup']}x)"
         )
     print(f"results written to {RESULT_PATH}")
+    failed = False
     join_entry = entries[0]
     if join_entry["speedup"] is not None and join_entry["speedup"] < MIN_JOIN_SPEEDUP:
         print(
@@ -184,8 +270,29 @@ def main() -> int:
             f"required {MIN_JOIN_SPEEDUP}x",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if (
+        stats_entry["speedup_vs_naive"] is not None
+        and stats_entry["speedup_vs_naive"] < MIN_STATS_NAIVE_SPEEDUP
+    ):
+        print(
+            f"FAIL: stats multi-join is {stats_entry['speedup_vs_naive']}x vs the "
+            f"naive interpreter, below the required {MIN_STATS_NAIVE_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if (
+        stats_entry["speedup_vs_planned"] is not None
+        and stats_entry["speedup_vs_planned"] < MIN_STATS_REORDER_SPEEDUP
+    ):
+        print(
+            f"FAIL: stats multi-join is {stats_entry['speedup_vs_planned']}x vs the "
+            f"statistics-less planner, below the required "
+            f"{MIN_STATS_REORDER_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ from repro.plan import PhysicalPlan, PlanExplanation, plan_node, plan_query
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, DataType, Schema
 from repro.sql import parse_query
+from repro.stats import DatabaseStats, RelationStats, StatsCatalog, analyze_database
 
 __version__ = "1.0.0"
 
@@ -81,6 +82,10 @@ __all__ = [
     "PlanExplanation",
     "plan_query",
     "plan_node",
+    "DatabaseStats",
+    "RelationStats",
+    "StatsCatalog",
+    "analyze_database",
     "Query",
     "Scan",
     "Select",

@@ -30,6 +30,7 @@ from repro.plan.physical import (
     ExecutionContext,
     FilterExec,
     HashJoinExec,
+    MultiJoinExec,
     NestedLoopJoinExec,
     PhysicalOperator,
     ProjectExec,
@@ -56,6 +57,7 @@ __all__ = [
     "ProjectExec",
     "DistinctExec",
     "HashJoinExec",
+    "MultiJoinExec",
     "NestedLoopJoinExec",
     "UnionExec",
     "AntiJoinExec",

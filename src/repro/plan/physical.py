@@ -329,7 +329,15 @@ class HashJoinExec(PhysicalOperator):
 
 
 class NestedLoopJoinExec(PhysicalOperator):
-    """Cross product with an optional condition -- the key-less fallback."""
+    """Nested-loop join: the key-less fallback, and -- with key pairs -- the
+    cost model's choice for tiny keyed inputs where a hash table is pure
+    overhead.
+
+    ``plain_pairs`` match with the interpreter's dictionary semantics
+    (identity-or-equality, so ``NULL = NULL`` holds); ``strict_pairs`` are
+    null-rejecting.  Probe order is left-outer / right-inner, which is
+    exactly the interpreter's hash-probe output order.
+    """
 
     name = "NestedLoopJoinExec"
 
@@ -338,21 +346,56 @@ class NestedLoopJoinExec(PhysicalOperator):
         left: PhysicalOperator,
         right: PhysicalOperator,
         condition: Optional[Predicate] = None,
+        *,
+        plain_pairs: Sequence[tuple[str, str]] = (),
+        strict_pairs: Sequence[tuple[str, str]] = (),
     ):
         super().__init__(left.schema.concat(right.schema), (left, right))
         self.condition = condition
+        self.plain_pairs = tuple(plain_pairs)
+        self.strict_pairs = tuple(strict_pairs)
+        self._plain = [
+            (left.schema.index(l), right.schema.index(r)) for l, r in self.plain_pairs
+        ]
+        self._strict = [
+            (left.schema.index(l), right.schema.index(r)) for l, r in self.strict_pairs
+        ]
 
     def detail(self) -> str:
+        if self.plain_pairs or self.strict_pairs:
+            keys = ", ".join(
+                f"{l}={r}" for l, r in self.plain_pairs + self.strict_pairs
+            )
+            text = f"keys=[{keys}]"
+            if self.condition is not None:
+                text += f" condition={self.condition!r}"
+            return text
         return f"condition={self.condition!r}" if self.condition is not None else "cross"
+
+    def _matches(self, lrow: Row, rrow: Row) -> bool:
+        for li, ri in self._plain:
+            lval, rval = lrow.values[li], rrow.values[ri]
+            # Identity-or-equality is exactly how the interpreter's dict
+            # lookup compares bucket keys.
+            if lval is not rval and lval != rval:
+                return False
+        for li, ri in self._strict:
+            lval, rval = lrow.values[li], rrow.values[ri]
+            if lval is None or rval is None or lval != rval:
+                return False
+        return True
 
     def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
         names = self.schema.names
         condition = self.condition
+        keyed = bool(self._plain or self._strict)
         right_rows = self.children[1].rows(ctx)
         batch: Batch = []
         for lbatch in self.children[0].run(ctx):
             for lrow in lbatch:
                 for rrow in right_rows:
+                    if keyed and not self._matches(lrow, rrow):
+                        continue
                     combined = lrow.values + rrow.values
                     if condition is not None and not condition(
                         dict(zip(names, combined))
@@ -364,6 +407,196 @@ class NestedLoopJoinExec(PhysicalOperator):
                         batch = []
         if batch:
             yield batch
+
+
+class MultiJoinExec(PhysicalOperator):
+    """An n-ary equi-join executed in a cost-chosen order, output restored.
+
+    The planner flattens a tree of condition-free equi-joins into one
+    operator whose ``children`` are the join inputs in their *original*
+    left-to-right order and whose ``constraints`` address key pairs by
+    (input ordinal, column position).  ``order`` is the execution order the
+    cost model picked; intermediate "partial tuples" are just per-input row
+    positions, hash-joined step by step (building on whichever side is
+    smaller at run time).
+
+    Because the interpreter's output of any tree of keyed joins is ordered
+    lexicographically by the leaf row positions (probe-from-left, bucket
+    lists in build order), sorting the final position tuples in original
+    input order and concatenating values input by input reproduces the naive
+    result exactly -- rows, order and lineage -- no matter which execution
+    order ran.  ``plain`` constraints match via dictionary semantics
+    (``NULL = NULL`` holds, as for the interpreter's first ``on`` pair);
+    strict constraints drop NULL rows on both sides.
+
+    ``output_layout`` maps every output column to its (input ordinal, column
+    position) source, which lets the planner flatten *through* bag
+    projections sitting between the joins -- projected-away columns simply
+    never appear in the layout.
+    """
+
+    name = "MultiJoinExec"
+
+    def __init__(
+        self,
+        inputs: Sequence[PhysicalOperator],
+        schema: Schema,
+        constraints: Sequence,
+        order: Sequence[int],
+        output_layout: Sequence[tuple[int, int]],
+        *,
+        labels: Sequence[str] = (),
+        key_labels: Sequence[str] = (),
+    ):
+        super().__init__(schema, inputs)
+        if len(output_layout) != len(schema):
+            raise ExecutionError(
+                "multi-join output layout does not match its schema arity"
+            )
+        for ordinal, column in output_layout:
+            if not (0 <= ordinal < len(inputs)) or not (
+                0 <= column < len(inputs[ordinal].schema)
+            ):
+                raise ExecutionError(
+                    f"multi-join layout entry ({ordinal}, {column}) out of range"
+                )
+        if sorted(order) != list(range(len(inputs))):
+            raise ExecutionError(f"invalid multi-join order {order!r}")
+        self.output_layout = tuple(output_layout)
+        self.constraints = tuple(constraints)
+        self.order = tuple(order)
+        self.labels = tuple(labels) if labels else tuple(
+            f"#{index}" for index in range(len(inputs))
+        )
+        self.key_labels = tuple(key_labels)
+
+    def detail(self) -> str:
+        ordered = ", ".join(self.labels[index] for index in self.order)
+        text = f"order=[{ordered}]"
+        if self.key_labels:
+            text += f" keys=[{', '.join(self.key_labels)}]"
+        return text
+
+    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        rows_per_input = [child.rows(ctx) for child in self.children]
+        order = self.order
+        # Partial tuples hold one row position per joined input, aligned with
+        # the order in which inputs were joined; ``slot_of`` maps an input
+        # ordinal to its slot in the partial tuples.
+        slot_of: dict[int, int] = {order[0]: 0}
+        partials: list[tuple[int, ...]] = [
+            (pos,) for pos in range(len(rows_per_input[order[0]]))
+        ]
+        for next_input in order[1:]:
+            if partials:
+                partials = self._join_step(
+                    partials, slot_of, next_input, rows_per_input
+                )
+            slot_of[next_input] = len(slot_of)
+
+        count = len(self.children)
+        slots = [slot_of[index] for index in range(count)]
+        positions = sorted(
+            tuple(partial[slots[index]] for index in range(count))
+            for partial in partials
+        )
+        layout = self.output_layout
+        batch: Batch = []
+        for position_tuple in positions:
+            values = tuple(
+                rows_per_input[ordinal][position_tuple[ordinal]].values[column]
+                for ordinal, column in layout
+            )
+            lineage: frozenset = frozenset()
+            for index, pos in enumerate(position_tuple):
+                lineage |= rows_per_input[index][pos].lineage
+            batch.append(Row(values, lineage))
+            if len(batch) >= BATCH_SIZE:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def _join_step(
+        self,
+        partials: list[tuple[int, ...]],
+        slot_of: dict[int, int],
+        next_input: int,
+        rows_per_input: list[list[Row]],
+    ) -> list[tuple[int, ...]]:
+        """Join the accumulated partials with one more input."""
+        next_rows = rows_per_input[next_input]
+        partial_components: list[tuple[int, int, bool]] = []  # (slot, col, strict)
+        next_components: list[tuple[int, bool]] = []  # (col, strict)
+        for constraint in self.constraints:
+            if constraint.a_input == next_input and constraint.b_input in slot_of:
+                near_col, far_input, far_col = (
+                    constraint.a_col, constraint.b_input, constraint.b_col,
+                )
+            elif constraint.b_input == next_input and constraint.a_input in slot_of:
+                near_col, far_input, far_col = (
+                    constraint.b_col, constraint.a_input, constraint.a_col,
+                )
+            else:
+                continue
+            partial_components.append(
+                (slot_of[far_input], far_col, not constraint.plain)
+            )
+            next_components.append((near_col, not constraint.plain))
+        # Which input each partial slot points at, for key extraction.
+        input_of_slot = {slot: index for index, slot in slot_of.items()}
+
+        def partial_key(partial: tuple[int, ...]):
+            key = []
+            for slot, col, strict in partial_components:
+                value = rows_per_input[input_of_slot[slot]][partial[slot]].values[col]
+                if strict and value is None:
+                    return None
+                key.append(value)
+            return tuple(key)
+
+        def next_key(row: Row):
+            key = []
+            for col, strict in next_components:
+                value = row.values[col]
+                if strict and value is None:
+                    return None
+                key.append(value)
+            return tuple(key)
+
+        if not next_components:
+            # Disconnected step (no key reaches the joined set): cross product.
+            return [
+                partial + (pos,)
+                for partial in partials
+                for pos in range(len(next_rows))
+            ]
+        out: list[tuple[int, ...]] = []
+        if len(partials) <= len(next_rows):
+            buckets: dict[tuple, list[tuple[int, ...]]] = defaultdict(list)
+            for partial in partials:
+                key = partial_key(partial)
+                if key is not None:
+                    buckets[key].append(partial)
+            for pos, row in enumerate(next_rows):
+                key = next_key(row)
+                if key is None:
+                    continue
+                for partial in buckets.get(key, ()):
+                    out.append(partial + (pos,))
+        else:
+            positions: dict[tuple, list[int]] = defaultdict(list)
+            for pos, row in enumerate(next_rows):
+                key = next_key(row)
+                if key is not None:
+                    positions[key].append(pos)
+            for partial in partials:
+                key = partial_key(partial)
+                if key is None:
+                    continue
+                for pos in positions.get(key, ()):
+                    out.append(partial + (pos,))
+        return out
 
 
 class UnionExec(PhysicalOperator):

@@ -45,12 +45,14 @@ from repro.plan.physical import (
     ExecutionContext,
     FilterExec,
     HashJoinExec,
+    MultiJoinExec,
     NestedLoopJoinExec,
     PhysicalOperator,
     ProjectExec,
     ScanExec,
     UnionExec,
 )
+from repro.stats.cost import CostModel, JoinInput, JoinKeyConstraint, choose_join_order
 
 
 def logical_fingerprint(node: QueryNode) -> str:
@@ -68,56 +70,23 @@ def logical_fingerprint(node: QueryNode) -> str:
 # Cardinality estimation
 # ---------------------------------------------------------------------------
 
-_SELECT_SELECTIVITY = 0.33
-_DEFAULT_BASE_ROWS = 1000
+# Hash-table setup cost (in row units) of the nested-loop-vs-hash decision:
+# a keyed join whose estimated nested-loop work is below build + probe + this
+# constant lowers to a nested loop instead of a hash join.
+_HASH_SETUP_COST = 16
 
 
 def estimate_rows(node: QueryNode, db, _memo: dict | None = None) -> int:
-    """A coarse row-count estimate used to order join inputs (build side).
+    """Estimated output row count of a logical node over ``db``.
 
-    ``_memo`` (an ``id(node) -> estimate`` dict scoped to one lowering pass)
-    keeps repeated estimation over the same tree linear instead of quadratic;
-    the nodes must stay alive for the memo's lifetime, which the lowering
-    pass guarantees by holding the optimized tree.
+    Uses ANALYZE statistics when the database has been analyzed
+    (``db.analyze()``) and the original coarse heuristics otherwise; the
+    heavy lifting lives in :class:`repro.stats.cost.CostModel`.  ``_memo`` is
+    accepted for backward compatibility but unused -- the cost model
+    memoizes internally.
     """
-    if _memo is not None:
-        cached = _memo.get(id(node))
-        if cached is not None:
-            return cached
-    value = _estimate_rows(node, db, _memo)
-    if _memo is not None:
-        _memo[id(node)] = value
-    return value
-
-
-def _estimate_rows(node: QueryNode, db, memo: dict | None) -> int:
-    if isinstance(node, Scan):
-        try:
-            return len(db.relation(node.relation))
-        except Exception:
-            return _DEFAULT_BASE_ROWS
-    if isinstance(node, Select):
-        return max(1, int(estimate_rows(node.child, db, memo) * _SELECT_SELECTIVITY))
-    if isinstance(node, Project):
-        child = estimate_rows(node.child, db, memo)
-        return max(1, child // 2) if node.distinct else child
-    if isinstance(node, Join):
-        left = estimate_rows(node.left, db, memo)
-        right = estimate_rows(node.right, db, memo)
-        if node.on:
-            return max(left, right)
-        if node.condition is not None:
-            return max(1, int(left * right * _SELECT_SELECTIVITY))
-        return left * right
-    if isinstance(node, Union):
-        return sum(estimate_rows(member, db, memo) for member in node.inputs)
-    if isinstance(node, Difference):
-        return estimate_rows(node.left, db, memo)
-    if isinstance(node, Aggregate):
-        if node.group_by:
-            return max(1, estimate_rows(node.child, db, memo) // 3)
-        return 1
-    return _DEFAULT_BASE_ROWS
+    del _memo
+    return CostModel(db).estimated_rows(node)
 
 
 # ---------------------------------------------------------------------------
@@ -129,10 +98,10 @@ class _Lowering:
 
     def __init__(self, db):
         self.db = db
+        self.cost = CostModel(db)  # statistics-aware when db.analyze() ran
         self.operators: list[PhysicalOperator] = []
         self.by_fingerprint: dict[str, PhysicalOperator] = {}
         self.shared_subplans = 0
-        self._estimates: dict[int, int] = {}  # id(node) memo for this pass
 
     def lower(self, node: QueryNode) -> PhysicalOperator:
         fingerprint = logical_fingerprint(node)
@@ -150,7 +119,7 @@ class _Lowering:
     def _register(self, op: PhysicalOperator, node: QueryNode) -> PhysicalOperator:
         """Assign the operator its id, row estimate and stats slot."""
         op.op_id = len(self.operators)
-        op.estimated_rows = estimate_rows(node, self.db, self._estimates)
+        op.estimated_rows = self.cost.estimated_rows(node)
         self.operators.append(op)
         return op
 
@@ -182,6 +151,10 @@ class _Lowering:
         raise ExecutionError(f"no physical operator for node type {type(node).__name__}")
 
     def _build_join(self, node: Join) -> PhysicalOperator:
+        if self.cost.has_statistics:
+            multi = self._try_multi_join(node)
+            if multi is not None:
+                return multi
         left = self.lower(node.left)
         right = self.lower(node.right)
         if not node.on:
@@ -191,17 +164,139 @@ class _Lowering:
         # hash key reproduces exactly that split.
         plain_pairs = node.on[:1]
         strict_pairs = node.on[1:]
-        build_left = estimate_rows(node.left, self.db, self._estimates) < estimate_rows(
-            node.right, self.db, self._estimates
-        )
+        left_rows = self.cost.estimated_rows(node.left)
+        right_rows = self.cost.estimated_rows(node.right)
+        if (
+            self.cost.has_statistics
+            and left_rows * right_rows <= left_rows + right_rows + _HASH_SETUP_COST
+        ):
+            # Tiny inputs: scanning beats building a hash table.  The keyed
+            # nested loop replicates the plain/strict pair semantics exactly.
+            return NestedLoopJoinExec(
+                left,
+                right,
+                node.condition,
+                plain_pairs=plain_pairs,
+                strict_pairs=strict_pairs,
+            )
         return HashJoinExec(
             left,
             right,
             plain_pairs,
             strict_pairs,
             node.condition,
-            build_left=build_left,
+            build_left=left_rows < right_rows,
         )
+
+    # -- statistics-driven join reordering -----------------------------------------
+    @staticmethod
+    def _flattenable(node: QueryNode) -> bool:
+        """Whether a join can melt into a multi-join: keyed, no residual
+        condition (conditions are evaluated over *partial* rows by the
+        interpreter, so joins carrying one stay at their original spot)."""
+        return isinstance(node, Join) and bool(node.on) and node.condition is None
+
+    def _try_multi_join(self, node: Join) -> PhysicalOperator | None:
+        """Flatten a tree of condition-free equi-joins and reorder it by cost.
+
+        Returns ``None`` (fall back to binary lowering) when fewer than three
+        inputs emerge or anything about the shape resists flattening.
+        """
+        if not self._flattenable(node):
+            return None
+        inputs: list[QueryNode] = []
+        constraints: list[JoinKeyConstraint] = []
+
+        def flatten(current: QueryNode) -> list[tuple[int, int]]:
+            """Input-ordinal/column layout of a subtree's output schema.
+
+            Joins melt into constraints; bag projections (which preserve row
+            order, count and lineage) are transparent -- their layout simply
+            drops the pruned columns, so the projection-pruning rewrite never
+            hides a reorderable join chain.
+            """
+            if self._flattenable(current):
+                left_layout = flatten(current.left)
+                right_layout = flatten(current.right)
+                left_schema = infer_schema(current.left, self.db)
+                right_schema = infer_schema(current.right, self.db)
+                for position, (left_name, right_name) in enumerate(current.on):
+                    a_input, a_col = left_layout[left_schema.index(left_name)]
+                    b_input, b_col = right_layout[right_schema.index(right_name)]
+                    constraints.append(
+                        JoinKeyConstraint(
+                            a_input, a_col, b_input, b_col, plain=position == 0
+                        )
+                    )
+                return left_layout + right_layout
+            if isinstance(current, Project) and not current.distinct:
+                child_layout = flatten(current.child)
+                child_schema = infer_schema(current.child, self.db)
+                return [
+                    child_layout[child_schema.index(name)]
+                    for name in current.attributes
+                ]
+            ordinal = len(inputs)
+            inputs.append(current)
+            width = len(infer_schema(current, self.db))
+            return [(ordinal, column) for column in range(width)]
+
+        try:
+            output_layout = flatten(node)
+        except Exception:
+            return None
+        if len(inputs) < 3:
+            return None
+
+        labels: list[str] = []
+        join_inputs: list[JoinInput] = []
+        input_names: list[tuple[str, ...]] = []
+        for ordinal, member in enumerate(inputs):
+            names = infer_schema(member, self.db).names
+            input_names.append(names)
+            profiles = self.cost.profiles(member)
+            rows = float(self.cost.estimated_rows(member))
+            join_inputs.append(
+                JoinInput(
+                    rows=rows,
+                    column_distinct=tuple(
+                        profiles[name].distinct if name in profiles else max(1.0, rows)
+                        for name in names
+                    ),
+                    column_null_fraction=tuple(
+                        profiles[name].null_fraction if name in profiles else 0.0
+                        for name in names
+                    ),
+                )
+            )
+            if isinstance(member, Scan):
+                labels.append(member.relation)
+            else:
+                labels.append(f"{type(member).__name__}#{ordinal}")
+        order = choose_join_order(join_inputs, constraints)
+        key_labels = tuple(
+            f"{labels[c.a_input]}.{input_names[c.a_input][c.a_col]}"
+            f"={labels[c.b_input]}.{input_names[c.b_input][c.b_col]}"
+            for c in constraints
+        )
+        children = [self.lower(member) for member in inputs]
+        return MultiJoinExec(
+            children,
+            infer_schema(node, self.db),
+            constraints,
+            order,
+            output_layout,
+            labels=labels,
+            key_labels=key_labels,
+        )
+
+
+def _q_error(estimated: int, actual: int) -> float:
+    """The q-error of one operator: ``max(est/actual, actual/est)``, both
+    clamped to >= 1 so empty results stay finite.  1.0 is a perfect estimate;
+    the EXPLAIN surface reports it per operator after a run."""
+    over = max(estimated, 1) / max(actual, 1)
+    return round(max(over, 1.0 / over), 2)
 
 
 # ---------------------------------------------------------------------------
@@ -238,6 +333,7 @@ class PhysicalPlan:
         operators: list[PhysicalOperator],
         shared_subplans: int = 0,
         query: Optional[Query] = None,
+        used_statistics: bool = False,
     ):
         self.node = node
         self.optimized = optimized
@@ -247,6 +343,7 @@ class PhysicalPlan:
         self.operators = operators
         self.shared_subplans = shared_subplans
         self.query = query
+        self.used_statistics = used_statistics
         self.fingerprint = logical_fingerprint(node)
 
     # -- execution ----------------------------------------------------------------
@@ -292,7 +389,7 @@ class PlanExplanation:
         self.plan = plan
         self.run_stats = run_stats
 
-    def _node_dict(self, op: PhysicalOperator) -> dict:
+    def _node_dict(self, op: PhysicalOperator, seen: set[int]) -> dict:
         payload: dict = {
             "operator": op.name,
             "detail": op.detail(),
@@ -300,9 +397,20 @@ class PlanExplanation:
         }
         if op.shared:
             payload["shared"] = True
+        if op.op_id in seen:
+            # A deduplicated common subplan: the tree references it from more
+            # than one parent, but its actual row counts (and children) are
+            # reported once, at the first occurrence -- summing the JSON tree
+            # must never double-count the work it did.
+            payload["reference"] = True
+            return payload
+        seen.add(op.op_id)
         if self.run_stats is not None:
-            payload.update(self.run_stats.operators.get(op.op_id, {}))
-        children = [self._node_dict(child) for child in op.children]
+            op_stats = self.run_stats.operators.get(op.op_id, {})
+            payload.update(op_stats)
+            if op_stats and op.estimated_rows is not None:
+                payload["q_error"] = _q_error(op.estimated_rows, op_stats["rows"])
+        children = [self._node_dict(child, seen) for child in op.children]
         if children:
             payload["children"] = children
         return payload
@@ -310,10 +418,11 @@ class PlanExplanation:
     def to_dict(self) -> dict:
         payload: dict = {
             "planner": "optimized",
+            "cost_model": "statistics" if self.plan.used_statistics else "heuristic",
             "fingerprint": self.plan.fingerprint,
             "rewrites": list(self.plan.rewrites.applied),
             "shared_subplans": self.plan.shared_subplans,
-            "plan": self._node_dict(self.plan.root),
+            "plan": self._node_dict(self.plan.root, set()),
         }
         if self.plan.query is not None:
             payload["query"] = self.plan.query.name
@@ -330,8 +439,11 @@ class PlanExplanation:
         lines: list[str] = []
         if self.plan.query is not None:
             lines.append(f"Plan for {self.plan.query.name}")
+        if self.plan.used_statistics:
+            lines.append("cost model: statistics (ANALYZE)")
         if self.plan.rewrites.applied:
             lines.append(f"rewrites: {', '.join(self.plan.rewrites.applied)}")
+        seen: set[int] = set()
 
         def walk(op: PhysicalOperator, prefix: str, is_last: bool, is_root: bool):
             parts = [op.name]
@@ -341,13 +453,24 @@ class PlanExplanation:
             parts.append(f"est={op.estimated_rows}")
             if op.shared:
                 parts.append("shared")
-            if self.run_stats is not None:
-                op_stats = self.run_stats.operators.get(op.op_id)
-                if op_stats:
-                    parts.append(f"rows={op_stats['rows']}")
-                    parts.append(f"time={op_stats['seconds'] * 1000:.2f}ms")
+            reference = op.op_id in seen
+            if reference:
+                parts.append("(ref)")
+            else:
+                seen.add(op.op_id)
+                if self.run_stats is not None:
+                    op_stats = self.run_stats.operators.get(op.op_id)
+                    if op_stats:
+                        parts.append(f"rows={op_stats['rows']}")
+                        if op.estimated_rows is not None:
+                            parts.append(
+                                f"q={_q_error(op.estimated_rows, op_stats['rows'])}"
+                            )
+                        parts.append(f"time={op_stats['seconds'] * 1000:.2f}ms")
             connector = "" if is_root else ("└─ " if is_last else "├─ ")
             lines.append(prefix + connector + " ".join(parts))
+            if reference:
+                return
             child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
             for index, child in enumerate(op.children):
                 walk(child, child_prefix, index == len(op.children) - 1, False)
@@ -379,6 +502,7 @@ def plan_node(node: QueryNode, db, *, optimize_tree: bool = True) -> PhysicalPla
         rewrites=log,
         operators=lowering.operators,
         shared_subplans=lowering.shared_subplans,
+        used_statistics=lowering.cost.has_statistics,
     )
 
 

@@ -35,6 +35,7 @@ class Database:
     def __init__(self, name: str = "db"):
         self.name = name
         self._relations: dict[str, Relation] = {}
+        self.statistics = None  # DatabaseStats, set by analyze()
 
     def add(self, relation: Relation, name: str | None = None) -> None:
         """Register a base relation (its rows get lineage ids if missing).
@@ -43,7 +44,9 @@ class Database:
         shallow copy under the new name instead of renaming the caller's
         object in place -- mutating it would silently change the fingerprint
         (and future lineage ids) of a relation the caller may still be using,
-        possibly registered elsewhere.
+        possibly registered elsewhere.  Any ANALYZE statistics previously
+        collected for this name are invalidated (the content may differ); the
+        planner falls back to heuristics for it until the next ``analyze()``.
         """
         label = name or relation.name
         if not label:
@@ -51,6 +54,27 @@ class Database:
         if relation.name != label:
             relation = Relation(relation.schema, relation.rows, name=label)
         self._relations[label] = relation
+        if self.statistics is not None:
+            self.statistics.invalidate(label)
+
+    def analyze(self, *, buckets: int | None = None, catalog=None):
+        """ANALYZE: collect per-relation/per-column statistics for planning.
+
+        Attaches (and returns) a :class:`~repro.stats.statistics.DatabaseStats`
+        as ``self.statistics``; the query planner consumes it automatically
+        for cost-based join reordering, build-side and join-algorithm
+        decisions.  Statistics are advisory -- planned results stay
+        fingerprint-identical to the naive interpreter either way.  Pass a
+        :class:`~repro.stats.statistics.StatsCatalog` to reuse stats computed
+        for identical relation content elsewhere.
+        """
+        from repro.stats import DEFAULT_BUCKETS, analyze_database
+
+        self.statistics = analyze_database(
+            self, buckets=buckets if buckets is not None else DEFAULT_BUCKETS,
+            catalog=catalog,
+        )
+        return self.statistics
 
     def add_records(self, name: str, records, schema: Schema | None = None) -> Relation:
         relation = Relation.from_records(records, schema, name=name)

@@ -84,13 +84,26 @@ def self_test() -> int:
         )
         assert plan["plan"]["operator"] == "AggregateExec", f"unexpected plan: {plan}"
         assert plan["rows_out"] == 1
+        assert plan["cost_model"] == "heuristic", f"unexpected cost model: {plan}"
+        analysis = client.analyze("D2")
+        assert analysis["relations"]["D2"]["row_count"] == 4, f"bad ANALYZE: {analysis}"
+        stats_plan = client.plan(
+            {"database": "D2", "query": payload["query_right"], "run": True}
+        )
+        assert stats_plan["cost_model"] == "statistics", (
+            f"ANALYZE did not switch the planner to statistics: {stats_plan}"
+        )
+        assert stats_plan["rows_out"] == 1
         stats = client.stats()
         assert stats["service"]["requests_served"] >= 3
         plans = stats["service"]["caches"]["plans"]
         assert plans["misses"] >= 1, f"plans cache never exercised: {plans}"
+        stats_cache = stats["service"]["caches"]["stats"]
+        assert stats_cache["misses"] >= 1, f"stats cache never exercised: {stats_cache}"
         print(
-            "service self-test ok: cold + warm + async explain + plan round trips "
-            f"passed (plans cache: {plans['hits']} hits / {plans['misses']} misses)"
+            "service self-test ok: cold + warm + async explain + plan + analyze "
+            f"round trips passed (plans cache: {plans['hits']} hits / "
+            f"{plans['misses']} misses)"
         )
         return 0
     finally:

@@ -42,8 +42,12 @@ Endpoints of the daemon (``python -m repro.service``):
 * ``POST /databases``     -- register a database from records;
 * ``POST /explain``       -- synchronous explain, returns the full report;
 * ``POST /plan``          -- EXPLAIN one query: the optimized physical plan
-  tree with per-operator estimated/actual row counts and timings
+  tree with per-operator estimated/actual row counts, q-errors and timings
   (``{"database": ..., "query": <spec>, "run": true}``);
+* ``POST /analyze``       -- ANALYZE a registered database
+  (``{"database": ..., "buckets": 8}``): collects per-relation/per-column
+  statistics (cached by relation content in the ``stats`` artifact cache)
+  and switches its plans to the cost-based planner;
 * ``POST /jobs``          -- asynchronous explain, returns a job id;
 * ``GET  /jobs/<id>``     -- job status (plus the report once done);
 * ``DELETE /jobs/<id>``   -- cancel a still-queued job.
@@ -414,6 +418,23 @@ def plan_request_from_payload(payload: dict, *, database_resolver=None):
     return name, query, bool(payload.get("run", True))
 
 
+def analyze_request_from_payload(payload: dict) -> tuple[str, int | None]:
+    """Compile a ``POST /analyze`` payload into ``(database_name, buckets)``."""
+    if not isinstance(payload, dict):
+        raise SpecError("analyze payload must be a JSON object")
+    if "database" not in payload:
+        raise SpecError("analyze payload needs 'database'", "/database")
+    buckets = payload.get("buckets")
+    if buckets is not None:
+        try:
+            buckets = int(buckets)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"bad bucket count: {exc}", "/buckets") from exc
+        if buckets < 1:
+            raise SpecError("bucket count must be positive", "/buckets")
+    return str(payload["database"]), buckets
+
+
 def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainRequest:
     """Compile a full JSON request payload into an :class:`ExplainRequest`.
 
@@ -548,6 +569,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                     self._read_json(), database_resolver=self.server.service.database
                 )
                 self._send_json(self.server.service.explain_plan(name, query, run=run))
+            elif self.path == "/analyze":
+                name, buckets = analyze_request_from_payload(self._read_json())
+                self._send_json(self.server.service.analyze(name, buckets=buckets))
             elif self.path == "/jobs":
                 request = request_from_payload(
                     self._read_json(), database_resolver=self.server.service.database
@@ -655,6 +679,12 @@ class ServiceClient:
 
     def plan(self, payload: dict) -> dict:
         return self._call("POST", "/plan", payload)
+
+    def analyze(self, database: str, *, buckets: int | None = None) -> dict:
+        payload: dict = {"database": database}
+        if buckets is not None:
+            payload["buckets"] = buckets
+        return self._call("POST", "/analyze", payload)
 
     def submit_job(self, payload: dict) -> dict:
         return self._call("POST", "/jobs", payload)

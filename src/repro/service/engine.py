@@ -5,10 +5,13 @@ pipeline in a service that keeps content-addressed Stage-1 artifacts alive
 across requests:
 
 * **provenance** per (database, query) -- skips query re-execution;
-* **plans** per (database, query body) -- compiled
+* **plans** per (database, ANALYZE statistics, query body) -- compiled
   :class:`~repro.plan.PhysicalPlan` objects; provenance misses execute the
   cached plan instead of re-planning, and renamed queries with the same body
   share one plan (the key ignores the query name);
+* **stats** per (relation content, bucket count) -- ANALYZE statistics
+  (:meth:`ExplainService.analyze`); identical relation content is analyzed
+  once no matter which database or name it is registered under;
 * **features** per (provenance pair, attribute matches) -- the tokenized
   :class:`~repro.matching.features.TupleFeatureCache` of each side;
 * **candidates** per (provenance pair, attribute matches) -- the unfiltered
@@ -121,6 +124,10 @@ class ExplainService:
         # pickle every base relation to disk.  Replanning is milliseconds, so
         # evicted plans are simply dropped.
         self._plans = self.caches.cache("plans", spill=False)
+        # ANALYZE statistics, keyed by *relation* content fingerprint: the
+        # same relation content registered under any database (or re-analyzed
+        # after an unrelated relation changed) reuses one entry.
+        self._stats = self.caches.cache("stats")
         self._features = self.caches.cache("features")
         self._candidates = self.caches.cache("candidates")
         self._problems = self.caches.cache("problem")
@@ -367,15 +374,57 @@ class ExplainService:
             self._candidates.put(linkage_key, artifacts.candidates)
         return problem
 
+    # -- ANALYZE statistics ----------------------------------------------------------
+    def analyze(self, database: str, *, buckets: int | None = None) -> dict:
+        """ANALYZE a registered database; returns the statistics as JSON.
+
+        Per-relation statistics are served from (and stored in) the ``stats``
+        artifact cache keyed by relation *content* fingerprint, so identical
+        relation content -- under any name, in any registered database -- is
+        analyzed exactly once.  The resulting
+        :class:`~repro.stats.statistics.DatabaseStats` is attached to the
+        database, which flips the planner to cost-based mode (join
+        reordering, statistics-backed build sides) for every plan compiled
+        afterwards; the plan cache re-keys automatically.
+        """
+        from repro.stats import DEFAULT_BUCKETS, DatabaseStats, analyze_relation
+
+        buckets = buckets if buckets is not None else DEFAULT_BUCKETS
+        db, _ = self._snapshot(database)
+        relations = {}
+        for name, relation in db.relations().items():
+            fingerprint = relation.fingerprint()
+            key = fingerprint_of(fingerprint, buckets)
+            stats = self._stats.get_or_compute(
+                key,
+                lambda relation=relation, fingerprint=fingerprint: analyze_relation(
+                    relation, buckets=buckets, fingerprint=fingerprint
+                ),
+            )
+            # A content-cache hit may carry the name the identical content
+            # was first analyzed under; report it under this database's name.
+            relations[name] = stats.with_name(name)
+        statistics = DatabaseStats(relations, buckets=buckets)
+        db.statistics = statistics
+        payload = statistics.to_dict()
+        payload["database"] = database
+        payload["fingerprint"] = statistics.fingerprint()
+        return payload
+
     # -- query planning --------------------------------------------------------------
     def _planned_provenance(self, query: Query, db: Database, db_fp: str):
         """Provenance via the plan cache (compile once per database + body)."""
         inner = query.inner
-        plan = self._cached_plan(db_fp, inner, lambda: plan_node(inner, db))
+        plan = self._cached_plan(db, db_fp, inner, lambda: plan_node(inner, db))
         return provenance_relation(query, db, label=f"P[{query.name}]", plan=plan)
 
-    def _cached_plan(self, db_fp: str, node, factory) -> PhysicalPlan:
-        key = fingerprint_of(db_fp, logical_fingerprint(node))
+    def _cached_plan(self, db: Database, db_fp: str, node, factory) -> PhysicalPlan:
+        # ANALYZE statistics participate in the key: analyzing a database
+        # changes the plans it should get (never their results), so cached
+        # heuristic plans must not shadow the cost-based ones and vice versa.
+        statistics = getattr(db, "statistics", None)
+        stats_part = statistics.fingerprint() if statistics is not None else "none"
+        key = fingerprint_of(db_fp, stats_part, logical_fingerprint(node))
         return self._plans.get_or_compute(key, factory)
 
     def explain_plan(self, database: str, query: Query, *, run: bool = True) -> dict:
@@ -389,10 +438,10 @@ class ExplainService:
         operator with actual row counts and timings.
         """
         db, db_fp = self._snapshot(database)
-        plan = self._cached_plan(db_fp, query.root, lambda: plan_query(query, db))
+        plan = self._cached_plan(db, db_fp, query.root, lambda: plan_query(query, db))
         inner = query.inner
         if logical_fingerprint(inner) != plan.fingerprint:
-            self._cached_plan(db_fp, inner, lambda: plan_node(inner, db))
+            self._cached_plan(db, db_fp, inner, lambda: plan_node(inner, db))
         explanation = plan.explain(run=run).to_dict()
         explanation["database"] = database
         explanation["query"] = query.name

@@ -12,6 +12,11 @@ Modes:
 * ``--plan-fuzz N [--seed S]`` -- planner fuzz equivalence: N random
   well-formed queries must produce fingerprint-identical results under the
   naive interpreter and the optimizing planner;
+* ``--stats-fuzz N [--seed S]`` -- statistics fuzz equivalence: N random
+  multi-join queries over a skewed star database, planned with ANALYZE
+  statistics (cost-based join reordering included), must stay
+  fingerprint-identical to the naive interpreter; every failure prints the
+  offending seed and SQL for exact reproduction;
 * ``--explain --left SQL --right SQL --dataset academic`` -- run the full
   Explain3D pipeline from two SQL strings over a generated dataset pair;
 * ``--fuzz N [--seed S]`` -- the CI smoke: N random well-formed queries must
@@ -29,7 +34,12 @@ import sys
 
 from repro.relational.executor import Database, execute
 from repro.sql import SqlError, node_to_sql, parse_query
-from repro.sql.fuzz import random_query_sql, toy_database
+from repro.sql.fuzz import (
+    random_query_sql,
+    random_stats_query_sql,
+    stats_database,
+    toy_database,
+)
 
 
 def _load_dataset(name: str):
@@ -76,6 +86,10 @@ def _print_query(sql: str, db: Database | None, name: str, *, show_plan: bool = 
             from repro.plan import plan_query
             from repro.plan.planner import PlanExplanation
 
+            # ANALYZE first so EXPLAIN shows the cost-based join order and
+            # per-operator q-errors of the statistics-backed plan.
+            stats = db.analyze()
+            print(f"analyze: collected statistics for {len(stats)} relation(s)")
             plan = plan_query(query, db)
             planned, stats = plan.execute_with_stats()
             print(PlanExplanation(plan, stats).describe())
@@ -98,6 +112,7 @@ def _run_plan_smoke(verbose: bool = False) -> int:
     from repro.relational.provenance import provenance_relation
 
     failures = 0
+    analyzed: set[int] = set()
     for label, query, db in catalog_queries():
         naive = execute(query, db)
         plan = plan_query(query, db)
@@ -111,11 +126,22 @@ def _run_plan_smoke(verbose: bool = False) -> int:
             print(f"PLAN MISMATCH on {label}", file=sys.stderr)
             print(plan.describe(), file=sys.stderr)
             continue
+        # Second pass with ANALYZE statistics: the cost-based plan (join
+        # reordering included) must stay fingerprint-identical too.
+        if id(db) not in analyzed:
+            db.analyze()
+            analyzed.add(id(db))
+        stats_plan = plan_query(query, db)
+        if stats_plan.execute().fingerprint() != naive.fingerprint():
+            failures += 1
+            print(f"STATS PLAN MISMATCH on {label}", file=sys.stderr)
+            print(stats_plan.describe(), file=sys.stderr)
+            continue
         rewrites = len(plan.rewrites.applied)
         print(f"plan ok: {label} ({len(plan.operators)} operators, "
-              f"{rewrites} rewrites, {stats.rows_out} rows)")
+              f"{rewrites} rewrites, {stats.rows_out} rows, stats ok)")
         if verbose:
-            print(plan.describe())
+            print(stats_plan.describe())
     print(f"plan smoke: {'FAILED' if failures else 'ok'}")
     return 1 if failures else 0
 
@@ -141,6 +167,39 @@ def _run_plan_fuzz(count: int, seed: int, verbose: bool = False) -> int:
             if verbose:
                 print(f"ok (seed {seed + round_index}): {sql}")
     print(f"plan fuzz: {count - failures}/{count} queries fingerprint-identical")
+    return 1 if failures else 0
+
+
+def _run_stats_fuzz(count: int, seed: int, verbose: bool = False) -> int:
+    """Statistics-backed planning vs naive execution of ``count`` random
+    queries over the skewed star database; 0 = all fingerprint-identical.
+
+    Every failure prints the seed that produced it plus the query SQL, so
+    ``--stats-fuzz 1 --seed <failing seed>`` reproduces it exactly.
+    """
+    db = stats_database()
+    db.analyze()
+    failures = 0
+    for round_index in range(count):
+        rng = random.Random(seed + round_index)
+        sql = random_stats_query_sql(rng, db)
+        try:
+            query = parse_query(sql, db, name=f"SF{round_index}")
+            naive = execute(query, db, planner="naive")
+            planned = execute(query, db, planner="optimized")
+            if naive.fingerprint() != planned.fingerprint():
+                raise AssertionError(
+                    "statistics-backed plan diverges from naive execution"
+                )
+        except Exception as exc:  # noqa: BLE001 - report and count every failure
+            failures += 1
+            print(f"STATS FUZZ FAILURE (seed {seed + round_index}): {sql}",
+                  file=sys.stderr)
+            print(f"  {type(exc).__name__}: {exc}", file=sys.stderr)
+        else:
+            if verbose:
+                print(f"ok (seed {seed + round_index}): {sql}")
+    print(f"stats fuzz: {count - failures}/{count} queries fingerprint-identical")
     return 1 if failures else 0
 
 
@@ -202,6 +261,9 @@ def _self_test() -> int:
     status = _run_plan_fuzz(60, seed=2000)
     if status:
         return status
+    status = _run_stats_fuzz(60, seed=3000)
+    if status:
+        return status
     print("explain: figure1 from two SQL strings ...")
     status = _run_explain(
         "SELECT COUNT(Program) FROM D1",
@@ -239,6 +301,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--plan-fuzz", type=int, default=0, metavar="N",
                         help="check N random queries for planned-vs-naive "
                              "fingerprint equivalence")
+    parser.add_argument("--stats-fuzz", type=int, default=0, metavar="N",
+                        help="check N random multi-join queries for "
+                             "statistics-backed-plan-vs-naive equivalence")
     parser.add_argument("--seed", type=int, default=0, help="fuzz base seed")
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--self-test", action="store_true",
@@ -251,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_fuzz(args.fuzz, args.seed, verbose=args.verbose)
     if args.plan_fuzz:
         return _run_plan_fuzz(args.plan_fuzz, args.seed, verbose=args.verbose)
+    if args.stats_fuzz:
+        return _run_stats_fuzz(args.stats_fuzz, args.seed, verbose=args.verbose)
     if args.plan and not args.sql:
         return _run_plan_smoke(verbose=args.verbose)
     if args.explain:
@@ -259,7 +326,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_explain(args.left, args.right, args.dataset or "figure1")
     if not args.sql:
         parser.error("give a SQL string, --plan, --fuzz N, --plan-fuzz N, "
-                     "--explain or --self-test")
+                     "--stats-fuzz N, --explain or --self-test")
     db = None
     if args.dataset:
         db_left, db_right, _ = _load_dataset(args.dataset)

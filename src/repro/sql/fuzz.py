@@ -49,6 +49,74 @@ def toy_database(seed: int = 0, rows: int = 30) -> Database:
     return db
 
 
+def stats_database(seed: int = 0, rows: int = 80) -> Database:
+    """A star-shaped four-relation database for the stats (planner) fuzzer.
+
+    One skewed fact table with NULL-bearing foreign keys plus three small
+    dimensions -- the regime where cost-based join reordering matters.  All
+    column names are unique across relations, so chained joins never rename
+    and WHERE clauses can reference any table's columns unqualified.
+    """
+    rng = random.Random(seed)
+    db = Database("statsfuzz")
+    tags = ["alpha", "beta", "gamma", "delta", None]
+    cities = ["Amherst", "Columbus", "Seattle", None]
+    db.add_records(
+        "F",
+        [
+            {
+                "fid": index,
+                "d1": min(9, int(rng.expovariate(0.5))),  # heavily skewed key
+                "d2": rng.randrange(15) if rng.random() > 0.1 else None,
+                "d3": rng.randrange(4),
+                "amount": round(rng.uniform(1.0, 100.0), 2),
+                "tag": rng.choice(tags),
+            }
+            for index in range(rows)
+        ],
+    )
+    db.add_records(
+        "D1",
+        [{"k1": index, "grp": rng.choice(["g1", "g2", "g3"])} for index in range(10)],
+    )
+    db.add_records(
+        "D2",
+        [
+            {"k2": index, "city": rng.choice(cities), "pop": rng.randrange(1000)}
+            for index in range(15)
+        ],
+    )
+    db.add_records(
+        "D3",
+        [{"k3": index, "label": f"L{index}"} for index in range(4)],
+    )
+    return db
+
+
+def random_stats_query_sql(rng: random.Random, db: Database) -> str:
+    """One random query over the stats database, biased towards join chains."""
+    roll = rng.random()
+    if roll < 0.55:
+        return _chain_join_query(rng, db)
+    if roll < 0.75:
+        return _join_query(rng, db)
+    return _single_table_query(rng, db, rng.choice(sorted(db.relations())))
+
+
+def _chain_join_query(rng: random.Random, db: Database) -> str:
+    """A 3-4 relation fact/dimension join chain (the reordering workload)."""
+    dims = [("D1", "d1", "k1"), ("D2", "d2", "k2"), ("D3", "d3", "k3")]
+    rng.shuffle(dims)
+    chosen = dims[: rng.randint(2, 3)]
+    joins = " ".join(
+        f"JOIN {dim} ON F.{fact_key} = {dim}.{dim_key}"
+        for dim, fact_key, dim_key in chosen
+    )
+    select = rng.choice(["COUNT(*)", "SUM(amount)", "COUNT(fid)", "*", "AVG(amount)"])
+    where = _where(rng, db, "F") if rng.random() < 0.6 else ""
+    return f"SELECT {select} FROM F {joins}{where}"
+
+
 def random_query_sql(rng: random.Random, db: Database) -> str:
     """One random well-formed SQL query over ``db``."""
     shape = rng.random()
@@ -221,3 +289,9 @@ def fuzz_round(seed: int, db: Database | None = None) -> str:
     """The deterministic query for one fuzz round (used by tests and CI)."""
     rng = random.Random(seed)
     return random_query_sql(rng, db or toy_database())
+
+
+def stats_fuzz_round(seed: int, db: Database | None = None) -> str:
+    """The deterministic query for one stats-fuzz round."""
+    rng = random.Random(seed)
+    return random_stats_query_sql(rng, db or stats_database())

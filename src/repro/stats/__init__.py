@@ -1,0 +1,52 @@
+"""Statistics-driven cost-based planning: ANALYZE, cost model, join ordering.
+
+* :mod:`repro.stats.statistics` -- ANALYZE: per-relation/per-column row
+  counts, distinct counts, null fractions, min/max and equi-depth histograms,
+  cached by relation content fingerprint (:class:`StatsCatalog`);
+* :mod:`repro.stats.cost` -- the :class:`CostModel` consumed by the planner
+  (selectivity estimation, equi-join factors) and :func:`choose_join_order`
+  (Selinger-style DP / greedy join-order search).
+
+``db.analyze()`` attaches a :class:`DatabaseStats` to a database; the planner
+picks it up automatically and starts reordering multi-joins and making
+statistics-backed build-side / nested-loop-vs-hash decisions.  Statistics
+never change results -- only plans.
+"""
+
+from repro.stats.cost import (
+    ColumnProfile,
+    CostModel,
+    JoinInput,
+    JoinKeyConstraint,
+    choose_join_order,
+    equi_join_factor,
+)
+from repro.stats.statistics import (
+    DEFAULT_BUCKETS,
+    ColumnStats,
+    DatabaseStats,
+    Histogram,
+    RelationStats,
+    StatsCatalog,
+    analyze_database,
+    analyze_relation,
+    equi_depth_histogram,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "ColumnStats",
+    "RelationStats",
+    "DatabaseStats",
+    "Histogram",
+    "StatsCatalog",
+    "analyze_relation",
+    "analyze_database",
+    "equi_depth_histogram",
+    "ColumnProfile",
+    "CostModel",
+    "JoinInput",
+    "JoinKeyConstraint",
+    "choose_join_order",
+    "equi_join_factor",
+]

@@ -1,0 +1,563 @@
+"""Cost model: selectivity estimation and join-order search over ANALYZE stats.
+
+:class:`CostModel` estimates output row counts for logical
+:class:`~repro.relational.query.QueryNode` trees.  Without statistics it
+reproduces the planner's original coarse heuristics *exactly* (so stats-off
+plans are byte-identical to the PR 4 planner); with a
+:class:`~repro.stats.statistics.DatabaseStats` attached to the database it
+uses per-column distinct counts, null fractions and equi-depth histograms:
+
+* equality predicates cost ``(1 - null_fraction) / distinct``;
+* range predicates interpolate the column histogram;
+* equi-join pairs cost ``1 / max(ndv_left, ndv_right)`` (null-rejecting pairs
+  additionally discount NULL rows on both sides);
+* column profiles propagate through Select/Project/Join/Union/Aggregate so
+  join inputs that are themselves subtrees still estimate sensibly.
+
+:func:`choose_join_order` is the planner's join-order search: exhaustive
+left-deep dynamic programming (Selinger-style, ``C_out`` cost = the sum of
+intermediate result sizes) up to :data:`DP_INPUT_LIMIT` inputs, greedy
+smallest-intermediate-first beyond.  Orders only ever *reorder* execution --
+the :class:`~repro.plan.physical.MultiJoinExec` operator restores the naive
+interpreter's output order afterwards, so estimation errors can never change
+results, only runtimes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.relational.query import (
+    Aggregate,
+    Difference,
+    Join,
+    Project,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.schema import concat_names
+from repro.stats.statistics import ColumnStats, DatabaseStats
+
+# The stats-less fallbacks -- shared with (and identical to) the PR 4 planner
+# heuristics, so un-analyzed databases plan exactly as before.
+DEFAULT_SELECT_SELECTIVITY = 0.33
+DEFAULT_BASE_ROWS = 1000
+
+# Default selectivities when a predicate cannot be introspected against stats.
+_DEFAULT_EQUALITY = 0.1
+_DEFAULT_RANGE = 0.33
+_DEFAULT_CONTAINS = 0.25
+
+DP_INPUT_LIMIT = 7
+
+_EQ_OPS = ("=", "==")
+_NE_OPS = ("!=", "<>")
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Estimated distinct count / null fraction of one output column.
+
+    ``stats`` carries the originating base column's full ANALYZE output
+    (histogram included) when the column is traceable to a base relation.
+    """
+
+    distinct: float
+    null_fraction: float
+    stats: Optional[ColumnStats] = None
+
+    def capped(self, rows: float) -> "ColumnProfile":
+        if self.distinct <= rows:
+            return self
+        return ColumnProfile(max(1.0, rows), self.null_fraction, self.stats)
+
+
+class CostModel:
+    """Row-count and selectivity estimation for one database.
+
+    One instance serves one lowering pass; estimates and column profiles are
+    memoized by node identity (the pass holds the tree alive).
+    """
+
+    def __init__(self, db, statistics: DatabaseStats | None = None):
+        self.db = db
+        self.statistics = (
+            statistics if statistics is not None else getattr(db, "statistics", None)
+        )
+        self._rows: dict[int, float] = {}
+        self._profiles: dict[int, dict[str, ColumnProfile]] = {}
+        # Memo keys are node identities; keep every memoized node alive so a
+        # garbage-collected tree can never hand its addresses (and hence its
+        # stale estimates) to a newly built one.
+        self._memoized_nodes: list[QueryNode] = []
+
+    @property
+    def has_statistics(self) -> bool:
+        return self.statistics is not None and len(self.statistics) > 0
+
+    # -- row estimates --------------------------------------------------------------
+    def estimated_rows(self, node: QueryNode) -> int:
+        return max(0, int(round(self._estimate(node))))
+
+    def _estimate(self, node: QueryNode) -> float:
+        cached = self._rows.get(id(node))
+        if cached is not None:
+            return cached
+        if self.has_statistics:
+            try:
+                value = self._estimate_with_stats(node)
+            except Exception:
+                value = self._estimate_heuristic(node)
+        else:
+            value = self._estimate_heuristic(node)
+        self._rows[id(node)] = value
+        self._memoized_nodes.append(node)
+        return value
+
+    def _estimate_heuristic(self, node: QueryNode) -> float:
+        """The PR 4 planner heuristics, reproduced exactly for stats-off plans."""
+        if isinstance(node, Scan):
+            try:
+                return float(len(self.db.relation(node.relation)))
+            except Exception:
+                return float(DEFAULT_BASE_ROWS)
+        if isinstance(node, Select):
+            return float(
+                max(1, int(self._estimate(node.child) * DEFAULT_SELECT_SELECTIVITY))
+            )
+        if isinstance(node, Project):
+            child = self._estimate(node.child)
+            return float(max(1, int(child) // 2)) if node.distinct else child
+        if isinstance(node, Join):
+            left = self._estimate(node.left)
+            right = self._estimate(node.right)
+            if node.on:
+                return max(left, right)
+            if node.condition is not None:
+                return float(max(1, int(left * right * DEFAULT_SELECT_SELECTIVITY)))
+            return left * right
+        if isinstance(node, Union):
+            return float(sum(self._estimate(member) for member in node.inputs))
+        if isinstance(node, Difference):
+            return self._estimate(node.left)
+        if isinstance(node, Aggregate):
+            if node.group_by:
+                return float(max(1, int(self._estimate(node.child)) // 3))
+            return 1.0
+        return float(DEFAULT_BASE_ROWS)
+
+    def _estimate_with_stats(self, node: QueryNode) -> float:
+        if isinstance(node, Scan):
+            stats = self.statistics.relation(node.relation)
+            if stats is not None:
+                return float(stats.row_count)
+            return self._estimate_heuristic(node)
+        if isinstance(node, Select):
+            child = self._estimate(node.child)
+            selectivity = self.predicate_selectivity(
+                node.predicate, self.profiles(node.child)
+            )
+            return child * selectivity
+        if isinstance(node, Project):
+            child = self._estimate(node.child)
+            if not node.distinct:
+                return child
+            profiles = self.profiles(node.child)
+            distinct = 1.0
+            for name in node.attributes:
+                profile = profiles.get(name)
+                distinct *= max(1.0, profile.distinct) if profile else max(1.0, child)
+                if distinct >= child:
+                    return child
+            return max(1.0, min(child, distinct))
+        if isinstance(node, Join):
+            left = self._estimate(node.left)
+            right = self._estimate(node.right)
+            result = left * right
+            left_profiles = self.profiles(node.left)
+            right_profiles = self.profiles(node.right)
+            for position, (left_name, right_name) in enumerate(node.on):
+                result *= equi_join_factor(
+                    left_profiles.get(left_name),
+                    right_profiles.get(right_name),
+                    plain=position == 0,
+                )
+            if node.condition is not None:
+                result *= self.predicate_selectivity(
+                    node.condition, self.profiles(node)
+                )
+            return result
+        if isinstance(node, Union):
+            return float(sum(self._estimate(member) for member in node.inputs))
+        if isinstance(node, Difference):
+            return self._estimate(node.left)
+        if isinstance(node, Aggregate):
+            if not node.group_by:
+                return 1.0
+            child = self._estimate(node.child)
+            profiles = self.profiles(node.child)
+            groups = 1.0
+            for name in node.group_by:
+                profile = profiles.get(name)
+                groups *= max(1.0, profile.distinct) if profile else max(1.0, child)
+                if groups >= child:
+                    return max(1.0, child)
+            return max(1.0, min(child, groups))
+        return self._estimate_heuristic(node)
+
+    # -- column profiles ------------------------------------------------------------
+    def profiles(self, node: QueryNode) -> dict[str, ColumnProfile]:
+        """Per-output-column (distinct, null fraction) estimates for a node."""
+        cached = self._profiles.get(id(node))
+        if cached is not None:
+            return cached
+        try:
+            value = self._profiles_of(node)
+        except Exception:
+            value = {}
+        self._profiles[id(node)] = value
+        self._memoized_nodes.append(node)
+        return value
+
+    def _profiles_of(self, node: QueryNode) -> dict[str, ColumnProfile]:
+        if isinstance(node, Scan):
+            rows = self._estimate(node)
+            stats = (
+                self.statistics.relation(node.relation) if self.has_statistics else None
+            )
+            if stats is None:
+                schema = self.db.relation(node.relation).schema
+                return {
+                    name: ColumnProfile(max(1.0, rows), 0.0) for name in schema.names
+                }
+            return {
+                column.name: ColumnProfile(
+                    float(column.distinct), column.null_fraction, column
+                )
+                for column in stats.columns
+            }
+        if isinstance(node, Select):
+            rows = self._estimate(node)
+            return {
+                name: profile.capped(rows)
+                for name, profile in self.profiles(node.child).items()
+            }
+        if isinstance(node, Project):
+            child = self.profiles(node.child)
+            rows = self._estimate(node)
+            return {
+                name: child[name].capped(rows) for name in node.attributes if name in child
+            }
+        if isinstance(node, Join):
+            left = self.profiles(node.left)
+            right = self.profiles(node.right)
+            left_names = tuple(left.keys())
+            _, renamed = concat_names(left_names, tuple(right.keys()))
+            combined = dict(left)
+            for name, profile in right.items():
+                combined[renamed[name]] = profile
+            return combined
+        if isinstance(node, Union):
+            merged: dict[str, ColumnProfile] = {}
+            rows = self._estimate(node)
+            for member in node.inputs:
+                for name, profile in self.profiles(member).items():
+                    existing = merged.get(name)
+                    if existing is None:
+                        merged[name] = profile
+                    else:
+                        merged[name] = ColumnProfile(
+                            min(rows, existing.distinct + profile.distinct),
+                            (existing.null_fraction + profile.null_fraction) / 2,
+                            existing.stats,
+                        )
+            return merged
+        if isinstance(node, Difference):
+            return self.profiles(node.left)
+        if isinstance(node, Aggregate):
+            rows = self._estimate(node)
+            child = self.profiles(node.child)
+            out = {
+                name: child[name].capped(rows)
+                for name in node.group_by
+                if name in child
+            }
+            out[node.alias] = ColumnProfile(max(1.0, rows), 0.0)
+            return out
+        return {}
+
+    # -- predicate selectivity --------------------------------------------------------
+    def predicate_selectivity(
+        self, predicate, profiles: dict[str, ColumnProfile]
+    ) -> float:
+        """Estimated fraction of rows satisfying ``predicate`` (clamped to [0, 1])."""
+        return _clamp(self._selectivity(predicate, profiles))
+
+    def _selectivity(self, predicate, profiles: dict[str, ColumnProfile]) -> float:
+        if isinstance(predicate, TruePredicate):
+            return 1.0
+        if isinstance(predicate, And):
+            result = 1.0
+            for child in predicate.children:
+                result *= _clamp(self._selectivity(child, profiles))
+            return result
+        if isinstance(predicate, Or):
+            miss = 1.0
+            for child in predicate.children:
+                miss *= 1.0 - _clamp(self._selectivity(child, profiles))
+            return 1.0 - miss
+        if isinstance(predicate, Not):
+            return 1.0 - _clamp(self._selectivity(predicate.child, profiles))
+        if isinstance(predicate, IsNull):
+            profile = profiles.get(predicate.attribute)
+            null_fraction = profile.null_fraction if profile else 0.1
+            return (1.0 - null_fraction) if predicate.negate else null_fraction
+        if isinstance(predicate, Membership):
+            profile = profiles.get(predicate.attribute)
+            if profile is None or profile.distinct <= 0:
+                return _DEFAULT_EQUALITY
+            hit = min(1.0, len(set(predicate.values)) / max(1.0, profile.distinct))
+            return (1.0 - profile.null_fraction) * hit
+        if isinstance(predicate, Contains):
+            return _DEFAULT_CONTAINS
+        if isinstance(predicate, AttributeComparison):
+            if predicate.op in _EQ_OPS:
+                left = profiles.get(predicate.left)
+                right = profiles.get(predicate.right)
+                return equi_join_factor(left, right, plain=False)
+            return _DEFAULT_RANGE
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate, profiles)
+        return DEFAULT_SELECT_SELECTIVITY
+
+    def _comparison_selectivity(
+        self, predicate: Comparison, profiles: dict[str, ColumnProfile]
+    ) -> float:
+        profile = profiles.get(predicate.attribute)
+        if profile is None:
+            return _DEFAULT_EQUALITY if predicate.op in _EQ_OPS else _DEFAULT_RANGE
+        non_null = 1.0 - profile.null_fraction
+        if predicate.op in _EQ_OPS:
+            return non_null / max(1.0, profile.distinct)
+        if predicate.op in _NE_OPS:
+            return non_null * (1.0 - 1.0 / max(1.0, profile.distinct))
+        histogram = profile.stats.histogram if profile.stats is not None else None
+        if histogram is None:
+            return _DEFAULT_RANGE
+        if predicate.op == "<":
+            fraction = histogram.fraction_below(predicate.value, inclusive=False)
+        elif predicate.op == "<=":
+            fraction = histogram.fraction_below(predicate.value, inclusive=True)
+        elif predicate.op == ">":
+            below = histogram.fraction_below(predicate.value, inclusive=True)
+            fraction = None if below is None else 1.0 - below
+        elif predicate.op == ">=":
+            below = histogram.fraction_below(predicate.value, inclusive=False)
+            fraction = None if below is None else 1.0 - below
+        else:
+            return _DEFAULT_RANGE
+        if fraction is None:
+            return _DEFAULT_RANGE
+        return non_null * fraction
+
+
+def equi_join_factor(
+    left: ColumnProfile | None, right: ColumnProfile | None, *, plain: bool
+) -> float:
+    """Selectivity of one equi-join key pair.
+
+    ``plain`` marks the interpreter's first ``on`` pair, whose dictionary
+    matching lets ``NULL = NULL`` hold; every further pair rejects NULLs on
+    both sides, which the strict branch discounts.
+    """
+    if left is None or right is None:
+        return _DEFAULT_EQUALITY
+    factor = 1.0 / max(left.distinct, right.distinct, 1.0)
+    if not plain:
+        factor *= (1.0 - left.null_fraction) * (1.0 - right.null_fraction)
+    return factor
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+# ---------------------------------------------------------------------------
+# Join-order search
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JoinKeyConstraint:
+    """One equi-key pair of the flattened join, endpoint-addressed.
+
+    ``a``/``b`` address (input ordinal, column position) in the *original*
+    left-to-right input order; ``plain`` records first-pair NULL-equality
+    semantics (it also softens the estimated selectivity discount).
+    """
+
+    a_input: int
+    a_col: int
+    b_input: int
+    b_col: int
+    plain: bool = False
+
+    def touches(self, index: int) -> bool:
+        return self.a_input == index or self.b_input == index
+
+    def endpoints(self) -> tuple[int, int]:
+        return self.a_input, self.b_input
+
+
+@dataclass(frozen=True)
+class JoinInput:
+    """Estimated shape of one flattened join input for the order search."""
+
+    rows: float
+    column_distinct: tuple[float, ...]
+    column_null_fraction: tuple[float, ...] = ()
+    label: str = ""
+
+    def distinct(self, col: int) -> float:
+        if 0 <= col < len(self.column_distinct):
+            return max(1.0, self.column_distinct[col])
+        return max(1.0, self.rows)
+
+    def null_fraction(self, col: int) -> float:
+        if 0 <= col < len(self.column_null_fraction):
+            return self.column_null_fraction[col]
+        return 0.0
+
+
+def _constraint_factor(inputs: Sequence[JoinInput], constraint: JoinKeyConstraint) -> float:
+    a = inputs[constraint.a_input]
+    b = inputs[constraint.b_input]
+    factor = 1.0 / max(
+        a.distinct(constraint.a_col), b.distinct(constraint.b_col), 1.0
+    )
+    if not constraint.plain:
+        factor *= (1.0 - a.null_fraction(constraint.a_col)) * (
+            1.0 - b.null_fraction(constraint.b_col)
+        )
+    return factor
+
+
+def _subset_size(
+    subset: frozenset[int],
+    inputs: Sequence[JoinInput],
+    constraints: Sequence[JoinKeyConstraint],
+) -> float:
+    """Estimated result size of joining a subset (order-independent)."""
+    size = 1.0
+    for index in subset:
+        size *= max(1.0, inputs[index].rows)
+    for constraint in constraints:
+        a, b = constraint.endpoints()
+        if a in subset and b in subset:
+            size *= _constraint_factor(inputs, constraint)
+    return size
+
+
+def _connected(
+    index: int, subset: frozenset[int], constraints: Sequence[JoinKeyConstraint]
+) -> bool:
+    for constraint in constraints:
+        a, b = constraint.endpoints()
+        if (a == index and b in subset) or (b == index and a in subset):
+            return True
+    return False
+
+
+def choose_join_order(
+    inputs: Sequence[JoinInput],
+    constraints: Sequence[JoinKeyConstraint],
+    *,
+    dp_limit: int = DP_INPUT_LIMIT,
+) -> tuple[int, ...]:
+    """The cheapest left-deep join order (``C_out``: sum of intermediate sizes).
+
+    Exhaustive dynamic programming up to ``dp_limit`` inputs, greedy
+    smallest-next-intermediate beyond.  Orders with fewer cross-product steps
+    always win (classic Selinger pruning for connected graphs); among those,
+    ``C_out`` decides -- so a disconnected constraint graph places its
+    unavoidable cross products where they are cheapest.  Deterministic: ties
+    break towards the original input order.
+    """
+    count = len(inputs)
+    if count <= 1:
+        return tuple(range(count))
+    if count <= dp_limit:
+        return _dp_order(inputs, constraints)
+    return _greedy_order(inputs, constraints)
+
+
+def _dp_order(
+    inputs: Sequence[JoinInput], constraints: Sequence[JoinKeyConstraint]
+) -> tuple[int, ...]:
+    # Entries are (cross_steps, cost, order): orders with fewer cross-product
+    # steps always win, cost breaks ties among them -- so a disconnected
+    # constraint graph picks the *cheapest* placement for its unavoidable
+    # cross products instead of merely a connected-last one.
+    count = len(inputs)
+    indices = range(count)
+    best: dict[frozenset[int], tuple[int, float, tuple[int, ...]]] = {
+        frozenset({i}): (0, 0.0, (i,)) for i in indices
+    }
+    for width in range(2, count + 1):
+        for combo in itertools.combinations(indices, width):
+            subset = frozenset(combo)
+            size = _subset_size(subset, inputs, constraints)
+            entries: list[tuple[int, float, tuple[int, ...]]] = []
+            for last in sorted(subset):
+                rest = subset - {last}
+                crosses, cost, order = best[rest]
+                if not _connected(last, rest, constraints):
+                    crosses += 1
+                entries.append((crosses, cost + size, order + (last,)))
+            best[subset] = min(entries)
+    return best[frozenset(indices)][2]
+
+
+def _greedy_order(
+    inputs: Sequence[JoinInput], constraints: Sequence[JoinKeyConstraint]
+) -> tuple[int, ...]:
+    count = len(inputs)
+    pairs = []
+    for a in range(count):
+        for b in range(a + 1, count):
+            subset = frozenset({a, b})
+            connected = _connected(a, frozenset({b}), constraints)
+            pairs.append(
+                (not connected, _subset_size(subset, inputs, constraints), (a, b))
+            )
+    _, _, (first, second) = min(pairs)
+    order = [first, second]
+    joined = frozenset(order)
+    while len(order) < count:
+        candidates = []
+        for index in range(count):
+            if index in joined:
+                continue
+            extended = joined | {index}
+            connected = _connected(index, joined, constraints)
+            candidates.append(
+                (not connected, _subset_size(extended, inputs, constraints), index)
+            )
+        _, _, chosen = min(candidates)
+        order.append(chosen)
+        joined = joined | {chosen}
+    return tuple(order)

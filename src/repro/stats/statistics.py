@@ -1,0 +1,336 @@
+"""ANALYZE: per-relation / per-column statistics for cost-based planning.
+
+:func:`analyze_relation` scans a relation once and produces a
+:class:`RelationStats`: the row count plus, per column, the non-null count,
+distinct-value count, null fraction, min/max and a small equi-depth
+:class:`Histogram`.  :func:`analyze_database` collects them into a
+:class:`DatabaseStats`, which :meth:`Database.analyze` attaches to the
+database so the planner's cost model (:mod:`repro.stats.cost`) can consume it.
+
+Statistics are *advisory*: they steer join ordering, build-side and
+nested-loop-vs-hash decisions, never results.  Planned execution stays
+fingerprint-identical (rows, order, lineage) to the naive interpreter whether
+or not a database has been analyzed -- the planner suite asserts it on every
+catalog query and the stats fuzzer.
+
+:class:`StatsCatalog` caches computed :class:`RelationStats` by relation
+*content fingerprint*, so re-analyzing an unchanged relation (or the same
+relation registered in many databases) is a dictionary hit; the service layer
+wraps the same keying in its ``stats`` artifact cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.relational.relation import Relation
+
+DEFAULT_BUCKETS = 8
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Histogram:
+    """A small equi-depth histogram over a column's non-null values.
+
+    ``bounds`` holds ``buckets + 1`` sorted boundary values (quantiles of the
+    observed data); each adjacent pair delimits an equal share of the rows.
+    Columns with zero non-null values carry no histogram at all.
+    """
+
+    bounds: tuple
+
+    @property
+    def buckets(self) -> int:
+        return max(1, len(self.bounds) - 1)
+
+    def fraction_below(self, value, *, inclusive: bool) -> Optional[float]:
+        """Estimated fraction of non-null values ``< value`` (``<=`` when
+        ``inclusive``); ``None`` when the value is not comparable to the
+        column's domain (the caller falls back to a default selectivity)."""
+        if len(self.bounds) < 2:
+            return None
+        try:
+            if inclusive:
+                index = bisect.bisect_right(self.bounds, value)
+            else:
+                index = bisect.bisect_left(self.bounds, value)
+        except TypeError:
+            return None
+        if index <= 0:
+            return 0.0
+        if index > self.buckets:
+            return 1.0
+        # ``index`` boundaries lie at or below the value; each boundary past
+        # the first accounts for one bucket of mass (half a bucket for the
+        # boundary the value falls on).
+        return (index - 0.5) / self.buckets
+
+    def to_dict(self) -> dict:
+        return {"buckets": self.buckets, "bounds": list(self.bounds)}
+
+
+def equi_depth_histogram(values: Sequence, buckets: int = DEFAULT_BUCKETS) -> Optional[Histogram]:
+    """Build an equi-depth histogram from non-null values (None when empty).
+
+    Mixed-orderability domains (which a typed schema should never produce)
+    fail the sort and also yield ``None`` -- estimation then falls back to
+    type-agnostic defaults instead of crashing ANALYZE.
+    """
+    cleaned = [value for value in values if value is not None]
+    if not cleaned:
+        return None
+    try:
+        cleaned.sort()
+    except TypeError:
+        return None
+    count = len(cleaned)
+    bounds = tuple(
+        cleaned[min(count - 1, (index * (count - 1)) // buckets)]
+        for index in range(buckets + 1)
+    )
+    return Histogram(bounds)
+
+
+# ---------------------------------------------------------------------------
+# Column / relation statistics
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """ANALYZE output for one column."""
+
+    name: str
+    dtype: str
+    row_count: int
+    null_count: int
+    distinct: int
+    min_value: object = None
+    max_value: object = None
+    histogram: Optional[Histogram] = None
+
+    @property
+    def non_null_count(self) -> int:
+        return self.row_count - self.null_count
+
+    @property
+    def null_fraction(self) -> float:
+        return self.null_count / self.row_count if self.row_count else 0.0
+
+    def to_dict(self) -> dict:
+        payload = {
+            "dtype": self.dtype,
+            "row_count": self.row_count,
+            "null_count": self.null_count,
+            "null_fraction": round(self.null_fraction, 4),
+            "distinct": self.distinct,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+        if self.histogram is not None:
+            payload["histogram"] = self.histogram.to_dict()
+        return payload
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """ANALYZE output for one relation, addressed by content fingerprint."""
+
+    relation: str
+    fingerprint: str
+    row_count: int
+    columns: tuple[ColumnStats, ...] = ()
+    _by_name: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self):
+        self._by_name.update({column.name: column for column in self.columns})
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self._by_name.get(name)
+
+    def with_name(self, relation: str) -> "RelationStats":
+        """The same statistics reported under another relation name.
+
+        Content-addressed caches key by fingerprint only, so a hit may carry
+        the name the content was *first* analyzed under; this restores the
+        requested one without re-analyzing.
+        """
+        if relation == self.relation:
+            return self
+        return RelationStats(
+            relation=relation,
+            fingerprint=self.fingerprint,
+            row_count=self.row_count,
+            columns=self.columns,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "relation": self.relation,
+            "fingerprint": self.fingerprint,
+            "row_count": self.row_count,
+            "columns": {column.name: column.to_dict() for column in self.columns},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RelationStats({self.relation}, {self.row_count} rows, "
+            f"{len(self.columns)} columns)"
+        )
+
+
+def analyze_relation(
+    relation: Relation,
+    *,
+    buckets: int = DEFAULT_BUCKETS,
+    fingerprint: str | None = None,
+) -> RelationStats:
+    """One-pass ANALYZE of a relation: per-column counts, bounds, histograms."""
+    row_count = len(relation)
+    columns = []
+    for position, attribute in enumerate(relation.schema):
+        values = [row.values[position] for row in relation]
+        non_null = [value for value in values if value is not None]
+        try:
+            distinct = len(set(non_null))
+        except TypeError:  # unhashable values cannot be counted distinctly
+            distinct = len(non_null)
+        histogram = equi_depth_histogram(non_null, buckets) if non_null else None
+        try:
+            min_value = min(non_null) if non_null else None
+            max_value = max(non_null) if non_null else None
+        except TypeError:
+            min_value = max_value = None
+        columns.append(
+            ColumnStats(
+                name=attribute.name,
+                dtype=attribute.dtype.value,
+                row_count=row_count,
+                null_count=row_count - len(non_null),
+                distinct=distinct,
+                min_value=min_value,
+                max_value=max_value,
+                histogram=histogram,
+            )
+        )
+    return RelationStats(
+        relation=relation.name,
+        fingerprint=fingerprint if fingerprint is not None else relation.fingerprint(),
+        row_count=row_count,
+        columns=tuple(columns),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Database-level statistics
+# ---------------------------------------------------------------------------
+
+class DatabaseStats:
+    """Per-relation ANALYZE results of one database.
+
+    Attached to :class:`~repro.relational.executor.Database` by
+    :meth:`Database.analyze`; :meth:`invalidate` drops the entry of a
+    re-registered (hence possibly changed) relation so the cost model falls
+    back to heuristics for it instead of using stale numbers.
+    """
+
+    def __init__(self, relations: dict[str, RelationStats], *, buckets: int = DEFAULT_BUCKETS):
+        self._relations = dict(relations)
+        self.buckets = buckets
+
+    def relation(self, name: str) -> Optional[RelationStats]:
+        return self._relations.get(name)
+
+    def relations(self) -> dict[str, RelationStats]:
+        return dict(self._relations)
+
+    def invalidate(self, name: str) -> None:
+        self._relations.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def fingerprint(self) -> str:
+        """A stable content hash (participates in the service plan-cache key:
+        analyzing a database must re-key its cached plans)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for name in sorted(self._relations):
+            digest.update(name.encode())
+            digest.update(self._relations[name].fingerprint.encode())
+            digest.update(str(self.buckets).encode())
+        return digest.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": self.buckets,
+            "relations": {
+                name: stats.to_dict() for name, stats in sorted(self._relations.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {name: stats.row_count for name, stats in self._relations.items()}
+        return f"DatabaseStats({sizes})"
+
+
+class StatsCatalog:
+    """A thread-safe cache of :class:`RelationStats` keyed by content fingerprint.
+
+    Identical relation content (no matter which database or name it lives
+    under) is analyzed once per (fingerprint, buckets) pair.
+    """
+
+    def __init__(self, *, buckets: int = DEFAULT_BUCKETS):
+        self.buckets = buckets
+        self._entries: dict[str, RelationStats] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def relation_stats(self, relation: Relation) -> RelationStats:
+        fingerprint = relation.fingerprint()
+        with self._lock:
+            cached = self._entries.get(fingerprint)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        stats = analyze_relation(
+            relation, buckets=self.buckets, fingerprint=fingerprint
+        )
+        with self._lock:
+            self._entries[fingerprint] = stats
+        return stats
+
+
+def analyze_database(
+    db,
+    *,
+    buckets: int = DEFAULT_BUCKETS,
+    catalog: StatsCatalog | None = None,
+) -> DatabaseStats:
+    """ANALYZE every base relation of a database (optionally via a catalog)."""
+    if catalog is not None:
+        buckets = catalog.buckets
+    relations = {}
+    for name, relation in db.relations().items():
+        if catalog is not None:
+            relations[name] = catalog.relation_stats(relation)
+        else:
+            relations[name] = analyze_relation(relation, buckets=buckets)
+    return DatabaseStats(relations, buckets=buckets)

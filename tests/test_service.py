@@ -585,3 +585,53 @@ class TestPlanCache:
             tuple_mapping=figure1_request.tuple_mapping,
         )
         assert _reports_equal(served.report, direct)
+
+
+class TestStatsArtifactCache:
+    """ANALYZE through the service: the `stats` artifact cache + plan re-keying."""
+
+    def test_analyze_round_trip_and_caching(self, figure1_service):
+        payload = figure1_service.analyze("D1")
+        assert payload["database"] == "D1"
+        assert payload["relations"]["D1"]["row_count"] == 7
+        assert figure1_service.database("D1").statistics is not None
+        stats = figure1_service.stats()["caches"]["stats"]
+        assert stats["misses"] >= 1
+        figure1_service.analyze("D1")  # identical content: pure cache hits
+        after = figure1_service.stats()["caches"]["stats"]
+        assert after["hits"] >= stats["hits"] + 1
+        assert after["misses"] == stats["misses"]
+
+    def test_analyze_rekeys_the_plan_cache(self, figure1_service, figure1_queries):
+        _, q2 = figure1_queries
+        first = figure1_service.explain_plan("D2", q2)
+        assert first["cost_model"] == "heuristic"
+        misses_before = figure1_service.stats()["caches"]["plans"]["misses"]
+        figure1_service.analyze("D2")
+        second = figure1_service.explain_plan("D2", q2)
+        assert second["cost_model"] == "statistics"
+        # The analyzed database must not be served the cached heuristic plan.
+        assert figure1_service.stats()["caches"]["plans"]["misses"] > misses_before
+        assert first["rows_out"] == second["rows_out"]
+
+    def test_reports_identical_with_and_without_analyze(self, figure1_request):
+        # Each service gets its own database objects: analyze() attaches
+        # statistics to the Database instance, and sharing one instance
+        # across both services would silently make the "plain" service plan
+        # cost-based too.
+        from repro.datasets.sql_catalog import figure1_databases
+
+        plain = ExplainService()
+        for db in figure1_databases()[:2]:
+            plain.register_database(db)
+        analyzed = ExplainService()
+        for db in figure1_databases()[:2]:
+            analyzed.register_database(db)
+        analyzed.analyze("D1")
+        analyzed.analyze("D2")
+        assert plain.database("D1").statistics is None  # genuinely stats-off
+        assert analyzed.database("D1").statistics is not None
+        assert _reports_equal(
+            plain.explain(figure1_request).report,
+            analyzed.explain(figure1_request).report,
+        )

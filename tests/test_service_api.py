@@ -458,3 +458,36 @@ class TestPlanEndpoint:
                  "query": {"name": "Q", "kind": "count", "relation": "X"}}
             )
         assert excinfo.value.status == 404
+
+
+class TestAnalyzeEndpoint:
+    def test_analyze_round_trip_switches_cost_model(self, running_server):
+        plan_spec = {
+            "database": "D2",
+            "query": {"name": "Q2", "sql": "SELECT COUNT(Major) FROM D2"},
+        }
+        before = running_server.plan(plan_spec)
+        assert before["cost_model"] == "heuristic"
+        payload = running_server.analyze("D2")
+        assert payload["database"] == "D2"
+        assert payload["relations"]["D2"]["row_count"] == 7
+        columns = payload["relations"]["D2"]["columns"]
+        assert columns["Univ"]["distinct"] == 2
+        after = running_server.plan(plan_spec)
+        assert after["cost_model"] == "statistics"
+        assert after["rows_out"] == before["rows_out"]
+
+    def test_analyze_custom_buckets(self, running_server):
+        payload = running_server.analyze("D1", buckets=2)
+        histogram = payload["relations"]["D1"]["columns"]["Program"]["histogram"]
+        assert histogram["buckets"] == 2
+
+    def test_analyze_unknown_database_is_404(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.analyze("missing")
+        assert excinfo.value.status == 404
+
+    def test_analyze_bad_buckets_is_spec_error(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.analyze("D1", buckets=0)
+        assert excinfo.value.status == 400

@@ -1,0 +1,243 @@
+"""The ANALYZE subsystem: statistics collection, caching and the cost model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.relational.executor import Database
+from repro.relational.expressions import Comparison, IsNull, Membership, col
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Join,
+    Project,
+    Scan,
+    Select,
+    count_query,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DataType, Schema
+from repro.stats import (
+    CostModel,
+    DatabaseStats,
+    StatsCatalog,
+    analyze_database,
+    analyze_relation,
+    equi_depth_histogram,
+)
+from repro.plan import estimate_rows, plan_query
+
+
+def _db(rows: int = 40) -> Database:
+    db = Database("stats_test")
+    db.add_records(
+        "T",
+        [
+            {
+                "k": index % 10,
+                "v": float(index),
+                "tag": ("a" if index % 2 else "b") if index % 5 else None,
+            }
+            for index in range(rows)
+        ],
+    )
+    db.add_records("D", [{"k": index, "name": f"n{index}"} for index in range(10)])
+    return db
+
+
+class TestAnalyzeRelation:
+    def test_row_and_column_counters(self):
+        db = _db()
+        stats = analyze_relation(db.relation("T"))
+        assert stats.row_count == 40
+        k = stats.column("k")
+        assert k.distinct == 10
+        assert k.null_count == 0
+        assert (k.min_value, k.max_value) == (0, 9)
+        tag = stats.column("tag")
+        assert tag.null_count == 8
+        assert tag.null_fraction == pytest.approx(0.2)
+        assert tag.distinct == 2
+
+    def test_histogram_is_equi_depth(self):
+        histogram = equi_depth_histogram(list(range(100)), buckets=4)
+        assert len(histogram.bounds) == 5
+        assert histogram.bounds[0] == 0 and histogram.bounds[-1] == 99
+        # The median boundary splits the mass in half.
+        assert histogram.fraction_below(histogram.bounds[2], inclusive=True) == (
+            pytest.approx(0.5, abs=0.2)
+        )
+        assert histogram.fraction_below(-1, inclusive=True) == 0.0
+        assert histogram.fraction_below(1000, inclusive=True) == 1.0
+
+    def test_histogram_incomparable_value_returns_none(self):
+        histogram = equi_depth_histogram(list(range(10)))
+        assert histogram.fraction_below("zzz", inclusive=True) is None
+
+    def test_zero_distinct_all_null_column(self):
+        """An all-NULL column: no histogram, full null fraction, no crash."""
+        relation = Relation.from_records(
+            [{"x": None, "y": 1}, {"x": None, "y": 2}],
+            Schema([Attribute("x", DataType.STRING), Attribute("y", DataType.INTEGER)]),
+            name="N",
+        )
+        stats = analyze_relation(relation)
+        x = stats.column("x")
+        assert x.distinct == 0
+        assert x.null_fraction == 1.0
+        assert x.histogram is None
+        json.dumps(stats.to_dict())  # JSON-safe end to end
+
+    def test_empty_relation(self):
+        relation = Relation(Schema([Attribute("x", DataType.INTEGER)]), [], name="E")
+        stats = analyze_relation(relation)
+        assert stats.row_count == 0
+        assert stats.column("x").null_fraction == 0.0
+        assert stats.column("x").histogram is None
+
+
+class TestStatsCatalog:
+    def test_caches_by_content_fingerprint(self):
+        db = _db()
+        catalog = StatsCatalog()
+        first = catalog.relation_stats(db.relation("T"))
+        second = catalog.relation_stats(db.relation("T"))
+        assert first is second
+        assert (catalog.hits, catalog.misses) == (1, 1)
+        # Identical content registered under another database still hits.
+        other = Database("other")
+        other.add(db.relation("T"))
+        catalog.relation_stats(other.relation("T"))
+        assert catalog.hits == 2
+
+    def test_analyze_database_via_catalog(self):
+        db = _db()
+        catalog = StatsCatalog(buckets=4)
+        stats = analyze_database(db, catalog=catalog)
+        assert stats.buckets == 4
+        assert set(stats.relations()) == {"T", "D"}
+
+
+class TestDatabaseAnalyze:
+    def test_analyze_attaches_statistics(self):
+        db = _db()
+        assert db.statistics is None
+        stats = db.analyze()
+        assert db.statistics is stats
+        assert stats.relation("T").row_count == 40
+
+    def test_add_invalidates_stale_entry(self):
+        db = _db()
+        db.analyze()
+        db.add_records("T", [{"k": 1, "v": 1.0, "tag": "x"}])
+        assert db.statistics.relation("T") is None  # stale entry dropped
+        assert db.statistics.relation("D") is not None
+
+    def test_fingerprint_tracks_content(self):
+        db = _db()
+        first = db.analyze().fingerprint()
+        assert db.analyze().fingerprint() == first
+        db.add_records("X", [{"a": 1}])
+        assert db.analyze().fingerprint() != first
+        json.dumps(db.statistics.to_dict())
+
+
+class TestCostModel:
+    def test_scan_estimates_are_exact_with_stats(self):
+        db = _db()
+        db.analyze()
+        assert CostModel(db).estimated_rows(Scan("T")) == 40
+
+    def test_heuristics_without_stats_match_pr4_planner(self):
+        db = _db()
+        cost = CostModel(db)
+        assert not cost.has_statistics
+        assert cost.estimated_rows(Scan("T")) == 40
+        assert cost.estimated_rows(Select(Scan("T"), col("k") == 1)) == 13  # 40 * 0.33
+        join = Join(Scan("T"), Scan("D"), on=(("k", "k"),))
+        assert cost.estimated_rows(join) == 40  # max(left, right)
+        assert cost.estimated_rows(Aggregate(Scan("T"), AggregateFunction.COUNT)) == 1
+
+    def test_equality_selectivity_uses_distinct_counts(self):
+        db = _db()
+        db.analyze()
+        cost = CostModel(db)
+        estimate = cost.estimated_rows(Select(Scan("T"), col("k") == 3))
+        assert estimate == 4  # 40 rows / 10 distinct values
+
+    def test_range_selectivity_uses_histograms(self):
+        db = _db()
+        db.analyze()
+        cost = CostModel(db)
+        low = cost.estimated_rows(Select(Scan("T"), Comparison("v", "<", 4.0)))
+        high = cost.estimated_rows(Select(Scan("T"), Comparison("v", "<", 36.0)))
+        assert low < high
+        assert 0 < low < 12
+        assert 28 < high <= 40
+
+    def test_null_fraction_drives_is_null(self):
+        db = _db()
+        db.analyze()
+        cost = CostModel(db)
+        null_rows = cost.estimated_rows(Select(Scan("T"), IsNull("tag")))
+        assert null_rows == 8
+        not_null = cost.estimated_rows(Select(Scan("T"), IsNull("tag", negate=True)))
+        assert not_null == 32
+
+    def test_membership_selectivity(self):
+        db = _db()
+        db.analyze()
+        cost = CostModel(db)
+        profiles = cost.profiles(Scan("T"))
+        selectivity = cost.predicate_selectivity(Membership("k", (1, 2)), profiles)
+        assert selectivity == pytest.approx(0.2)
+
+    def test_join_estimate_uses_ndv(self):
+        db = _db()
+        db.analyze()
+        cost = CostModel(db)
+        join = Join(Scan("T"), Scan("D"), on=(("k", "k"),))
+        # 40 * 10 / max(10, 10) = 40
+        assert cost.estimated_rows(join) == 40
+
+    def test_distinct_projection_bounded_by_ndv(self):
+        db = _db()
+        db.analyze()
+        cost = CostModel(db)
+        assert cost.estimated_rows(Project(Scan("T"), ("k",), distinct=True)) == 10
+
+    def test_public_estimate_rows_picks_up_statistics(self):
+        db = _db()
+        before = estimate_rows(Select(Scan("T"), col("k") == 3), db)
+        db.analyze()
+        after = estimate_rows(Select(Scan("T"), col("k") == 3), db)
+        assert (before, after) == (13, 4)
+
+
+class TestExplainQError:
+    def test_q_error_reported_per_operator(self):
+        db = _db()
+        db.analyze()
+        query = count_query("c", Scan("T"), predicate=(col("k") == 3), attribute="k")
+        payload = query.explain_plan(db, run=True).to_dict()
+        assert payload["cost_model"] == "statistics"
+
+        def walk(node):
+            yield node
+            for child in node.get("children", ()):
+                yield from walk(child)
+
+        nodes = list(walk(payload["plan"]))
+        assert all("q_error" in node for node in nodes)
+        scan = next(node for node in nodes if node["operator"] == "ScanExec")
+        assert scan["q_error"] == 1.0  # scans estimate exactly with stats
+        text = query.explain_plan(db, run=True).describe()
+        assert "q=" in text and "cost model: statistics" in text
+
+    def test_heuristic_plans_say_so(self):
+        db = _db()
+        query = count_query("c", Scan("T"), attribute="k")
+        payload = query.explain_plan(db, run=False).to_dict()
+        assert payload["cost_model"] == "heuristic"
