@@ -11,8 +11,20 @@ perturbations).  Three passes run over the same request sequence:
 * **warm**   -- the same service seeing the sequence again (report-cache hits).
 
 Result equivalence between the direct and the served reports is asserted for
-every request, so a reported speedup is always for identical output.  Results
-(including cache hit/miss counters) go to ``BENCH_service.json``.  Run with::
+every request, so a reported speedup is always for identical output.
+
+A fourth **reliability** section measures the cost of the reliability layer:
+
+* fault-free overhead -- warm request latency with a bounded deadline (every
+  cooperative checkpoint active) vs. the unbounded fast path, asserted below
+  ``MAX_RELIABILITY_OVERHEAD`` (median over interleaved passes, plus a small
+  absolute epsilon so sub-millisecond timings cannot flake the gate);
+* degraded mode -- p50/p99 latency and correctness counts with 10% of cache
+  spill loads failing (``cache.spill_load=raise`` with ``every=10``): every
+  injected fault must degrade to a logged recompute, never a wrong answer.
+
+Results (including cache hit/miss counters) go to ``BENCH_service.json``.
+Run with::
 
     PYTHONPATH=src python benchmarks/bench_service.py
 """
@@ -20,8 +32,11 @@ every request, so a reported speedup is always for identical output.  Results
 from __future__ import annotations
 
 import json
+import statistics
 import sys
+import tempfile
 import time
+from dataclasses import replace
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -30,10 +45,14 @@ if str(ROOT / "src") not in sys.path:
 
 from repro.core.explain3d import Explain3D, Explain3DConfig
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
-from repro.service import ExplainRequest, ExplainService
+from repro.reliability import FAULTS
+from repro.service import ExplainRequest, ExplainService, ServiceConfig
 
 RESULT_PATH = ROOT / "BENCH_service.json"
 MIN_WARM_SPEEDUP = 3.0
+MAX_RELIABILITY_OVERHEAD = 0.05   # fault-free deadline-checked path vs fast path
+OVERHEAD_EPSILON_SECONDS = 0.002  # absolute slack: warm passes are ~ms-scale
+FAULT_EVERY = 10                  # every 10th spill load fails -> 10% fault rate
 
 
 def _reports_equal(a, b) -> bool:
@@ -92,6 +111,100 @@ def run_served(service, requests):
     return time.perf_counter() - start, reports
 
 
+def run_latency_pass(service, requests, deadline_seconds=None):
+    """One pass over the sequence, timed per request."""
+    latencies, reports = [], []
+    for request in requests:
+        timed = (
+            request
+            if deadline_seconds is None
+            else replace(request, deadline_seconds=deadline_seconds)
+        )
+        start = time.perf_counter()
+        reports.append(service.explain(timed).report)
+        latencies.append(time.perf_counter() - start)
+    return latencies, reports
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def measure_reliability_overhead(service, requests, passes=12):
+    """Median warm latency: unbounded fast path vs. deadline-checked path.
+
+    A generous bounded deadline keeps every cooperative checkpoint active
+    without ever firing, so the delta is pure reliability-layer bookkeeping.
+    Passes are interleaved so clock drift and cache temperature hit both
+    sides equally.
+    """
+    baseline, guarded = [], []
+    for _ in range(passes):
+        latencies, _ = run_latency_pass(service, requests)
+        baseline.extend(latencies)
+        latencies, _ = run_latency_pass(service, requests, deadline_seconds=300.0)
+        guarded.extend(latencies)
+    return statistics.median(baseline), statistics.median(guarded)
+
+
+def run_degraded(pair, requests, direct_reports, passes=10):
+    """Warm latency and correctness with 10% of cache spill loads failing.
+
+    A deliberately tiny in-memory cache over a spill directory makes every
+    warm request take the disk path; ``cache.spill_load=raise`` with
+    ``every=10`` then fails one load in ten.  Each injected fault must turn
+    into a logged miss plus recompute -- the served answers are asserted
+    equal to the direct baseline for every request of every pass.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-bench-spill-") as spill_dir:
+        service = ExplainService(
+            ServiceConfig(cache_entries=1, report_cache_entries=1, spill_dir=spill_dir)
+        )
+        service.register_database(pair.db_left, "left")
+        service.register_database(pair.db_right, "right")
+        run_served(service, requests)  # cold fill: evictions spill to disk
+
+        clean = []
+        for _ in range(passes):
+            latencies, _ = run_latency_pass(service, requests)
+            clean.extend(latencies)
+
+        faulted, correct, total = [], 0, 0
+        FAULTS.arm("cache.spill_load", "raise", every=FAULT_EVERY)
+        try:
+            for _ in range(passes):
+                latencies, reports = run_latency_pass(service, requests)
+                faulted.extend(latencies)
+                for index, report in enumerate(reports):
+                    total += 1
+                    correct += _reports_equal(direct_reports[index], report)
+            injected = FAULTS.fired("cache.spill_load")
+        finally:
+            FAULTS.reset()
+        spill_stats = service.stats()["total"]
+
+    if injected == 0:
+        raise AssertionError("degraded pass never hit a spill load: nothing was measured")
+    if correct != total:
+        raise AssertionError(
+            f"degraded mode returned wrong answers: {correct}/{total} correct"
+        )
+    return {
+        "fault_site": "cache.spill_load",
+        "fault_rate": f"1/{FAULT_EVERY}",
+        "injected_faults": injected,
+        "requests": total,
+        "correct_reports": correct,
+        "spill_errors": spill_stats["spill_errors"],
+        "clean_p50_seconds": round(_percentile(clean, 0.50), 6),
+        "clean_p99_seconds": round(_percentile(clean, 0.99), 6),
+        "faulted_p50_seconds": round(_percentile(faulted, 0.50), 6),
+        "faulted_p99_seconds": round(_percentile(faulted, 0.99), 6),
+    }
+
+
 def main() -> dict:
     pair, requests = build_workload()
 
@@ -111,6 +224,10 @@ def main() -> dict:
         if not _reports_equal(direct_report, warm_reports[index]):
             raise AssertionError(f"request {index}: warm service report diverges from direct")
 
+    fast_median, guarded_median = measure_reliability_overhead(service, requests)
+    overhead = (guarded_median - fast_median) / fast_median if fast_median else 0.0
+    degraded = run_degraded(pair, requests, direct_reports)
+
     warm_speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
     results = {
         "workload": {
@@ -126,6 +243,14 @@ def main() -> dict:
         "cache_stats_after_cold": cold_stats["caches"],
         "cache_stats_after_warm": warm_stats["caches"],
         "reports_equivalent": True,
+        "reliability": {
+            "fast_path_median_seconds": round(fast_median, 6),
+            "deadline_checked_median_seconds": round(guarded_median, 6),
+            "fault_free_overhead": round(overhead, 4),
+            "max_fault_free_overhead": MAX_RELIABILITY_OVERHEAD,
+            "overhead_epsilon_seconds": OVERHEAD_EPSILON_SECONDS,
+            "degraded_mode": degraded,
+        },
     }
 
     print(
@@ -141,10 +266,26 @@ def main() -> dict:
         f"candidates cache: {warm_stats['caches']['candidates']['hits']} hits"
     )
 
+    print(
+        f"[service] reliability: fault-free overhead "
+        f"{overhead * 100:.2f}% (fast {fast_median * 1e3:.3f}ms vs guarded "
+        f"{guarded_median * 1e3:.3f}ms); degraded mode "
+        f"{degraded['correct_reports']}/{degraded['requests']} correct under "
+        f"{degraded['injected_faults']} injected spill faults "
+        f"(p50 {degraded['faulted_p50_seconds'] * 1e3:.3f}ms, "
+        f"p99 {degraded['faulted_p99_seconds'] * 1e3:.3f}ms)"
+    )
+
     if warm_speedup < MIN_WARM_SPEEDUP:
         raise AssertionError(
             f"warm pass only {warm_speedup:.2f}x faster than cold "
             f"(acceptance floor is {MIN_WARM_SPEEDUP}x)"
+        )
+    if guarded_median > fast_median * (1 + MAX_RELIABILITY_OVERHEAD) + OVERHEAD_EPSILON_SECONDS:
+        raise AssertionError(
+            f"fault-free reliability overhead {overhead * 100:.2f}% exceeds "
+            f"{MAX_RELIABILITY_OVERHEAD * 100:.0f}% "
+            f"({fast_median * 1e3:.3f}ms -> {guarded_median * 1e3:.3f}ms)"
         )
 
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")

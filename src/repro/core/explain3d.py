@@ -68,13 +68,21 @@ class Explain3DConfig:
 
 @dataclass
 class ExplanationReport:
-    """The full output of one Explain3D run."""
+    """The full output of one Explain3D run.
+
+    ``degraded`` lists every degradation-ladder rung this run took (empty on
+    a normal run): e.g. a deadline-bounded solve that returned the partial
+    incumbent, or a skipped summarization.  Degradation is always explicit --
+    a report produced through any fallback says so here rather than silently
+    presenting different answers.
+    """
 
     problem: ExplainProblem
     explanations: ExplanationSet
     summary: ExplanationSummary
     stats: SolveStats
     timings: dict
+    degraded: list = field(default_factory=list)
 
     @property
     def evidence(self) -> TupleMapping:
@@ -159,6 +167,7 @@ class ExplanationReport:
                 },
                 "stats": asdict(self.stats),
                 "timings": dict(self.timings),
+                "degraded": list(self.degraded),
             }
         )
 
@@ -215,29 +224,59 @@ class Explain3D:
 
     # -- stages 2 and 3 ------------------------------------------------------------------
     def explain_problem(
-        self, problem: ExplainProblem, *, stage1_seconds: float = 0.0
+        self,
+        problem: ExplainProblem,
+        *,
+        stage1_seconds: float = 0.0,
+        deadline=None,
+        allow_partial: bool = False,
     ) -> ExplanationReport:
         """Stages 2-3 for an already constructed problem.
 
         ``stage1_seconds`` records how long the caller spent building the
         problem, so end-to-end timings stay consistent however Stage 1 ran
-        (inline, cached, or injected).
+        (inline, cached, or injected).  ``deadline`` (a
+        :class:`~repro.reliability.Deadline`) is observed at per-partition
+        solver checkpoints; with ``allow_partial`` an expired deadline yields
+        the incumbent explanation set with an optimality gap (and skips
+        summarization when the budget is gone) instead of raising, each rung
+        recorded in the report's ``degraded`` list.
         """
         timings: dict[str, float] = {"stage1": stage1_seconds}
+        degraded: list[dict] = []
 
         solve_start = time.perf_counter()
-        solver = PartitionedSolver(problem, self.config.solve_config())
+        solver = PartitionedSolver(
+            problem, self.config.solve_config(),
+            deadline=deadline, allow_partial=allow_partial,
+        )
         explanations = solver.solve()
         timings["solve"] = time.perf_counter() - solve_start
+        if solver.stats.partial:
+            degraded.append(
+                {
+                    "site": "solve.partition",
+                    "fallback": "partial-incumbent",
+                    "unsolved_partitions": solver.stats.unsolved_partitions,
+                    "optimality_gap": solver.stats.optimality_gap,
+                }
+            )
 
         summary = ExplanationSummary()
         if self.config.summarize:
-            summarize_start = time.perf_counter()
-            summarizer = PatternSummarizer(min_precision=self.config.min_summary_precision)
-            summary = summarizer.summarize(
-                explanations, problem.canonical_left, problem.canonical_right
-            )
-            timings["summarize"] = time.perf_counter() - summarize_start
+            if deadline is not None and allow_partial and deadline.expired():
+                # The budget is spent: return the incumbent promptly rather
+                # than burn more time summarizing it -- explicitly reported.
+                degraded.append({"site": "summarize", "fallback": "skipped"})
+            else:
+                if deadline is not None:
+                    deadline.check("summarize")
+                summarize_start = time.perf_counter()
+                summarizer = PatternSummarizer(min_precision=self.config.min_summary_precision)
+                summary = summarizer.summarize(
+                    explanations, problem.canonical_left, problem.canonical_right
+                )
+                timings["summarize"] = time.perf_counter() - summarize_start
 
         # Compute the total exactly once, after every stage key exists --
         # mutating it afterwards (the old `+= build_time`) desyncs it from
@@ -249,6 +288,7 @@ class Explain3D:
             summary=summary,
             stats=solver.stats,
             timings=timings,
+            degraded=degraded,
         )
 
     # -- end to end ----------------------------------------------------------------------

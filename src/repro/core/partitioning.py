@@ -24,11 +24,12 @@ import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Optional
 
 from repro.core.canonical import CanonicalRelation
-from repro.core.explanations import ExplanationSet
+from repro.core.explanations import ExplanationSet, ProvenanceExplanation
 from repro.core.milp_model import MILPTransformation
 from repro.core.problem import ExplainProblem
 from repro.core.scoring import MatchLogProbability, Priors
@@ -36,6 +37,8 @@ from repro.graphs.smart_partition import SmartPartitioner, TuplePartition
 from repro.graphs.weighting import WeightingParams
 from repro.matching.attribute_match import SemanticRelation
 from repro.matching.tuple_matching import TupleMapping
+from repro.reliability.deadline import Deadline, DeadlineExceeded, OperationCancelled
+from repro.reliability.faults import FAULTS
 from repro.solver.backends import MILPSolver, default_solver
 
 PartitioningMode = Literal["none", "components", "smart"]
@@ -76,6 +79,10 @@ class SolveStats:
     total_time: float = 0.0
     workers_used: int = 1
     milp_sizes: list[dict] = field(default_factory=list)
+    # Anytime/partial solving (deadline expiry with ``allow_partial``):
+    partial: bool = False
+    unsolved_partitions: int = 0
+    optimality_gap: float = 0.0
 
 
 def _restrict_by_partition(
@@ -141,12 +148,46 @@ def _solve_partition_task(
     Module-level (and fed picklable arguments) so it can run on a process
     pool as well as on threads or inline.
     """
+    FAULTS.check("solve.partition")
     index, left, right, mapping, relation, priors, solver = task
     transformation = MILPTransformation(
         left, right, mapping, relation, priors, solver=solver, name=f"exp3d_part{index}"
     )
     piece = transformation.solve()
     return piece, transformation.problem_size()
+
+
+def _trivial_partition_solution(
+    left: CanonicalRelation,
+    right: CanonicalRelation,
+    mapping: TupleMapping,
+    priors: Priors,
+) -> tuple[ExplanationSet, float]:
+    """A feasible fallback for a partition whose MILP was never solved.
+
+    Removing every tuple (all become provenance explanations) and rejecting
+    every match satisfies all MILP constraints by construction, so merging
+    this piece with optimally solved partitions still yields a *valid*
+    explanation set -- just not an optimal one.  Returns the piece and an
+    upper bound on the objective this partition could have contributed minus
+    what the trivial solution contributes, i.e. this partition's share of the
+    reported optimality gap.
+    """
+    a = priors.removed
+    per_tuple_best = max(a, priors.kept_unchanged, priors.kept_changed)
+    provenance = [
+        ProvenanceExplanation(relation.side, canonical_tuple.key)
+        for relation in (left, right)
+        for canonical_tuple in relation
+    ]
+    objective = a * len(provenance)
+    bound = per_tuple_best * len(provenance)
+    for match in mapping:
+        terms = MatchLogProbability.of(match.probability)
+        objective += terms.rejected
+        bound += max(terms.selected, terms.rejected)
+    piece = ExplanationSet(provenance=provenance, objective=objective)
+    return piece, bound - objective
 
 
 def _worker_solver(solver: MILPSolver) -> MILPSolver:
@@ -162,11 +203,25 @@ def _supports_cloning(solver: MILPSolver) -> bool:
 class PartitionedSolver:
     """Solves an :class:`ExplainProblem`, optionally split into sub-problems."""
 
-    def __init__(self, problem: ExplainProblem, config: SolveConfig | None = None):
+    def __init__(
+        self,
+        problem: ExplainProblem,
+        config: SolveConfig | None = None,
+        *,
+        deadline: Deadline | None = None,
+        allow_partial: bool = False,
+    ):
         self.problem = problem
         self.config = config or SolveConfig()
         self.solver = self.config.solver or default_solver()
         self.stats = SolveStats()
+        #: Cooperative deadline observed before each partition solve; an
+        #: unbounded deadline still observes its cancellation event.
+        self.deadline = deadline or Deadline.unbounded()
+        #: When True, deadline expiry mid-solve yields the incumbent (solved
+        #: partitions + trivial fallbacks, with an optimality gap in
+        #: ``stats``) instead of raising :class:`DeadlineExceeded`.
+        self.allow_partial = allow_partial
 
     # -- partition selection ----------------------------------------------------------
     def _partitions(self) -> list[TuplePartition]:
@@ -237,16 +292,32 @@ class PartitionedSolver:
         ]
         if not parallel:
             # Deterministic sequential fallback (also the workers=1 reference path).
-            results = [_solve_partition_task(task) for task in tasks]
+            results = self._run_sequential(tasks)
         else:
             pool_type = ThreadPoolExecutor if self.config.executor == "thread" else ProcessPoolExecutor
-            with pool_type(max_workers=self.stats.workers_used) as pool:
-                # Executor.map preserves task order, so the merge below is
-                # independent of completion order.
-                results = list(pool.map(_solve_partition_task, tasks))
+            results = self._run_parallel(tasks, pool_type)
 
-        pieces = [piece for piece, _ in results]
-        self.stats.milp_sizes.extend(size for _, size in results)
+        # Positions left as None missed the deadline: substitute the trivial
+        # feasible solution and account its contribution to the optimality
+        # gap, keeping the merge order identical to a full solve.
+        pieces: list[ExplanationSet] = []
+        gap = 0.0
+        for position, result in enumerate(results):
+            if result is not None:
+                piece, size = result
+                self.stats.milp_sizes.append(size)
+            else:
+                piece, partition_gap = _trivial_partition_solution(
+                    lefts[position], rights[position], mappings[position],
+                    self.problem.priors,
+                )
+                gap += partition_gap
+            pieces.append(piece)
+        unsolved = sum(1 for result in results if result is None)
+        if unsolved:
+            self.stats.partial = True
+            self.stats.unsolved_partitions = unsolved
+            self.stats.optimality_gap = gap
         merged = ExplanationSet.merge_all(pieces)
 
         # Matches cut across partitions are implicitly rejected (z = 0); add
@@ -258,6 +329,62 @@ class PartitionedSolver:
         self.stats.solve_time = time.perf_counter() - solve_start
         self.stats.total_time = time.perf_counter() - start
         return merged
+
+    # -- task execution (sequential / parallel, deadline-checkpointed) ------------------
+    def _run_sequential(self, tasks: list) -> list[Optional[tuple]]:
+        """Solve tasks in order; a deadline checkpoint precedes each one.
+
+        Returns one slot per task; ``None`` marks a partition the deadline
+        cut off (only reachable with ``allow_partial`` -- otherwise the
+        checkpoint's :class:`DeadlineExceeded` propagates).  Cancellation
+        always propagates: a cancelled request has no use for an incumbent.
+        """
+        results: list[Optional[tuple]] = [None] * len(tasks)
+        for position, task in enumerate(tasks):
+            try:
+                self.deadline.check("solve.partition")
+            except DeadlineExceeded:
+                if not self.allow_partial:
+                    raise
+                break
+            results[position] = _solve_partition_task(task)
+        return results
+
+    def _run_parallel(self, tasks: list, pool_type) -> list[Optional[tuple]]:
+        """Dispatch all tasks, then await them in order within the deadline.
+
+        On expiry, not-yet-started futures are cancelled; futures already
+        running finish (threads cannot be killed), which bounds the overrun
+        to one checkpoint interval -- the same guarantee as the sequential
+        path.  Completed futures are harvested as the incumbent when
+        ``allow_partial`` is set.
+        """
+        results: list[Optional[tuple]] = [None] * len(tasks)
+        with pool_type(max_workers=self.stats.workers_used) as pool:
+            futures = [pool.submit(_solve_partition_task, task) for task in tasks]
+            try:
+                for position, future in enumerate(futures):
+                    if self.deadline.cancelled():
+                        raise OperationCancelled("solve.partition")
+                    try:
+                        results[position] = future.result(timeout=self.deadline.remaining())
+                    except FutureTimeoutError:
+                        raise DeadlineExceeded(
+                            "solve.partition", self.deadline.elapsed(),
+                            float(self.deadline.seconds),
+                        ) from None
+            except (DeadlineExceeded, OperationCancelled):
+                for future in futures:
+                    future.cancel()
+                if not self.allow_partial or self.deadline.cancelled():
+                    raise
+                for position, future in enumerate(futures):
+                    if results[position] is None and future.done() and not future.cancelled():
+                        try:
+                            results[position] = future.result(timeout=0)
+                        except Exception:  # noqa: BLE001 - failed piece stays unsolved
+                            pass
+        return results
 
     # -- convenience --------------------------------------------------------------------
     def expected_partitions(self) -> int:

@@ -245,9 +245,16 @@ def build_problem(
             result_left = scalar_result(query_left, db_left, planner="optimized")
             result_right = scalar_result(query_right, db_right, planner="optimized")
         except Exception:
-            # Non-aggregate queries have no scalar result; the disagreement is
-            # then judged on provenance rather than a single number.
-            result_left = result_right = None
+            # A planner failure must not erase the results (the problem may be
+            # cached and served to later requests): degrade to the naive
+            # interpreter first.  Only when that fails too is the query a
+            # non-aggregate with no scalar result, and the disagreement is
+            # judged on provenance rather than a single number.
+            try:
+                result_left = scalar_result(query_left, db_left, planner="naive")
+                result_right = scalar_result(query_right, db_right, planner="naive")
+            except Exception:
+                result_left = result_right = None
 
     return ExplainProblem(
         canonical_left=canonical_left,

@@ -38,6 +38,7 @@ from repro.relational.query import (
 )
 from repro.relational.relation import Relation
 from repro.plan.optimizer import RewriteLog, infer_schema, optimize
+from repro.reliability.faults import FAULTS
 from repro.plan.physical import (
     AggregateExec,
     AntiJoinExec,
@@ -488,6 +489,9 @@ class PlanExplanation:
 
 def plan_node(node: QueryNode, db, *, optimize_tree: bool = True) -> PhysicalPlan:
     """Plan a logical tree: optimize (unless disabled) and lower to operators."""
+    # Chaos hook: a failure here must degrade to the fingerprint-reference
+    # naive interpreter in the service's ladder, never fail the request.
+    FAULTS.check("plan.lower")
     if optimize_tree:
         optimized, log = optimize(node, db)
     else:

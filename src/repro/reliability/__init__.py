@@ -1,0 +1,51 @@
+"""The reliability core: deadlines, fault injection, breakers and retries.
+
+This package holds the cross-cutting machinery that keeps the explanation
+service alive under partial failure:
+
+* :mod:`repro.reliability.deadline` -- cooperative :class:`Deadline` budgets
+  propagated from requests down to per-partition solver checkpoints, raising
+  typed :class:`DeadlineExceeded` / :class:`OperationCancelled` instead of
+  hanging;
+* :mod:`repro.reliability.faults` -- the :class:`FaultInjector` chaos hooks
+  (``REPRO_FAULTS`` env spec, :func:`inject` context manager) at the named
+  sites in :data:`KNOWN_SITES`, which the chaos suite enumerates;
+* :mod:`repro.reliability.breaker` -- per-key :class:`CircuitBreaker` with
+  open/half-open/closed semantics and a :class:`BreakerRegistry`;
+* :mod:`repro.reliability.retry` -- :func:`retry_call` with exponential
+  backoff and jitter under a :class:`RetryPolicy`.
+
+Design rule (see the README's "Reliability & degradation" section): every
+fallback is *explicit*.  A degraded request reports each ladder rung it took
+in its response metadata; silent answer-swapping is never allowed.
+"""
+
+from repro.reliability.breaker import BreakerRegistry, CircuitBreaker, CircuitOpenError
+from repro.reliability.deadline import Deadline, DeadlineExceeded, OperationCancelled
+from repro.reliability.faults import (
+    FAULTS,
+    FaultInjector,
+    FaultRule,
+    InjectedFault,
+    KNOWN_SITES,
+    inject,
+)
+from repro.reliability.retry import RetryOutcome, RetryPolicy, retry_call
+
+__all__ = [
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "OperationCancelled",
+    "FAULTS",
+    "FaultInjector",
+    "FaultRule",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "inject",
+    "RetryOutcome",
+    "RetryPolicy",
+    "retry_call",
+]

@@ -1,0 +1,133 @@
+"""Cooperative deadlines and cancellation for long-running requests.
+
+A :class:`Deadline` is created once at the edge of a request (the service
+engine, a CLI entry point, a test) and threaded down through the pipeline.
+Long-running stages call :meth:`Deadline.check` at *checkpoints* -- natural
+unit boundaries such as "before solving the next partition" -- so an expired
+deadline or a cancellation surfaces as a typed exception within one
+checkpoint interval, never as a hang.
+
+Two typed exceptions can leave a checkpoint:
+
+* :class:`DeadlineExceeded` -- the wall-clock budget ran out; carries the
+  checkpoint site, the elapsed time and the budget, so callers can report
+  exactly where the request was cut off;
+* :class:`OperationCancelled` -- a cooperative cancellation (e.g. ``DELETE
+  /jobs/<id>`` on a running job) was observed.
+
+Deadlines are measured on the monotonic clock and are safe to share across
+threads: the only mutable piece is the optional ``cancel_event``, which is a
+``threading.Event``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran past its wall-clock budget at checkpoint ``site``."""
+
+    def __init__(self, site: str, elapsed: float, budget: float):
+        super().__init__(
+            f"deadline of {budget:.3f}s exceeded at {site!r} "
+            f"(elapsed {elapsed:.3f}s)"
+        )
+        self.site = site
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class OperationCancelled(RuntimeError):
+    """A cooperative cancellation request was observed at checkpoint ``site``."""
+
+    def __init__(self, site: str):
+        super().__init__(f"operation cancelled at {site!r}")
+        self.site = site
+
+
+class Deadline:
+    """A wall-clock budget plus an optional cancellation flag.
+
+    ``seconds=None`` means unbounded: :meth:`check` then only observes the
+    cancellation event, so an unbounded deadline still supports cooperative
+    cancellation.  The zero-argument constructor form is the no-op used by
+    code paths that always thread a deadline object.
+    """
+
+    __slots__ = ("seconds", "started", "cancel_event", "last_site")
+
+    def __init__(
+        self,
+        seconds: float | None = None,
+        *,
+        cancel_event: threading.Event | None = None,
+    ):
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"deadline seconds must be positive, got {seconds}")
+        self.seconds = seconds
+        self.started = time.monotonic()
+        self.cancel_event = cancel_event
+        #: The last checkpoint site observed -- diagnostic only.
+        self.last_site = ""
+
+    # -- constructors ----------------------------------------------------------------
+    @classmethod
+    def after(
+        cls, seconds: float | None, *, cancel_event: threading.Event | None = None
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now (or unbounded when ``None``)."""
+        return cls(seconds, cancel_event=cancel_event)
+
+    @classmethod
+    def unbounded(cls, *, cancel_event: threading.Event | None = None) -> "Deadline":
+        return cls(None, cancel_event=cancel_event)
+
+    # -- observation -----------------------------------------------------------------
+    @property
+    def bounded(self) -> bool:
+        return self.seconds is not None
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (possibly negative), or ``None`` when unbounded."""
+        if self.seconds is None:
+            return None
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0
+
+    def cancelled(self) -> bool:
+        return self.cancel_event is not None and self.cancel_event.is_set()
+
+    # -- the checkpoint protocol -----------------------------------------------------
+    def check(self, site: str) -> None:
+        """Raise if the budget ran out or a cancellation was requested.
+
+        Cancellation is checked first: a cancelled request should report
+        :class:`OperationCancelled` even if its deadline also expired.
+        """
+        self.last_site = site
+        if self.cancelled():
+            raise OperationCancelled(site)
+        if self.expired():
+            raise DeadlineExceeded(site, self.elapsed(), float(self.seconds))
+
+    def to_dict(self) -> dict:
+        """JSON-safe description used in response metadata."""
+        return {
+            "seconds": self.seconds,
+            "elapsed": round(self.elapsed(), 6),
+            "expired": self.expired(),
+            "cancelled": self.cancelled(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        budget = f"{self.seconds:.3f}s" if self.seconds is not None else "unbounded"
+        return f"Deadline({budget}, elapsed {self.elapsed():.3f}s)"

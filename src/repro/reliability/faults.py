@@ -1,0 +1,210 @@
+"""Config-driven fault injection (chaos hooks) at named pipeline sites.
+
+Production code calls :func:`check` (or :func:`corrupt` for byte payloads) at
+*fault sites* -- the places where the reliability design says a failure must
+be survivable.  With no faults armed these calls are a dictionary probe on an
+empty dict, so the fault-free path pays effectively nothing.
+
+Faults are armed either programmatically::
+
+    from repro.reliability import faults
+
+    with faults.inject("plan.lower", "raise"):
+        service.explain(request)        # the planner fails; the ladder catches it
+
+or from the environment (picked up by ``python -m repro.service`` and the
+chaos CI step)::
+
+    REPRO_FAULTS="cache.spill_load=raise,solve.partition=delay:0.05"
+
+Supported modes:
+
+* ``raise``            -- raise :class:`InjectedFault` at the site;
+* ``delay:<seconds>``  -- sleep before proceeding (deadline/chaos testing);
+* ``corrupt``          -- at byte-payload sites, mangle the payload
+  (truncate and flip bytes) instead of raising.
+
+A rule may be rate-limited: ``times=N`` fires only the first N hits,
+``every=N`` fires every Nth hit (deterministic "10% fault rate" is
+``every=10``).  Every site registers in :data:`KNOWN_SITES` so the chaos
+suite can enumerate and exercise all of them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Every fault site wired into the pipeline, with the declared behaviour the
+#: chaos suite asserts.  ``identical`` means the degradation ladder guarantees
+#: a fingerprint-identical result when the site fails; ``typed-error`` means
+#: the failure surfaces as a structured, typed exception instead.
+KNOWN_SITES: dict[str, str] = {
+    "cache.spill_load": "identical",    # corrupt/failed spill read -> cache miss
+    "cache.spill_write": "identical",   # failed spill write -> entry dropped
+    "plan.lower": "identical",          # planner failure -> naive interpreter
+    "stats.analyze": "identical",       # ANALYZE failure -> heuristic cost model
+    "solve.partition": "typed-error",   # solver failure -> structured error
+}
+
+
+class InjectedFault(RuntimeError):
+    """The typed error raised by an armed ``raise``-mode fault."""
+
+    def __init__(self, site: str):
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: what to do at a site, and how often."""
+
+    site: str
+    mode: str                  # "raise" | "delay" | "corrupt"
+    delay: float = 0.0
+    times: int | None = None   # fire at most this many times (None = unlimited)
+    every: int = 1             # fire on every Nth hit
+    hits: int = 0              # total check() calls at this site
+    fired: int = 0             # how often the fault actually triggered
+
+    def should_fire(self) -> bool:
+        """Advance the hit counter and decide (caller holds the injector lock)."""
+        self.hits += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.every > 1 and self.hits % self.every != 0:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultInjector:
+    """A registry of armed :class:`FaultRule` objects, checked by site name."""
+
+    def __init__(self):
+        self._rules: dict[str, FaultRule] = {}
+        self._lock = threading.Lock()
+
+    # -- arming ----------------------------------------------------------------------
+    def arm(
+        self,
+        site: str,
+        mode: str = "raise",
+        *,
+        delay: float = 0.0,
+        times: int | None = None,
+        every: int = 1,
+    ) -> FaultRule:
+        if mode.startswith("delay:"):
+            delay = float(mode.split(":", 1)[1])
+            mode = "delay"
+        if mode not in ("raise", "delay", "corrupt"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        rule = FaultRule(site=site, mode=mode, delay=delay, times=times, every=every)
+        with self._lock:
+            self._rules[site] = rule
+        return rule
+
+    def disarm(self, site: str) -> None:
+        with self._lock:
+            self._rules.pop(site, None)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rules.clear()
+
+    def configure(self, spec: str) -> None:
+        """Arm faults from a spec string: ``site=mode[,site=mode...]``."""
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad fault spec {part!r}: expected site=mode")
+            site, mode = part.split("=", 1)
+            self.arm(site.strip(), mode.strip())
+
+    def load_env(self, variable: str = "REPRO_FAULTS") -> bool:
+        """Arm faults from an environment variable; True if any were armed."""
+        spec = os.environ.get(variable, "").strip()
+        if not spec:
+            return False
+        self.configure(spec)
+        return True
+
+    # -- observation -----------------------------------------------------------------
+    def rules(self) -> list[FaultRule]:
+        with self._lock:
+            return list(self._rules.values())
+
+    def fired(self, site: str) -> int:
+        with self._lock:
+            rule = self._rules.get(site)
+            return rule.fired if rule is not None else 0
+
+    def active(self) -> bool:
+        return bool(self._rules)
+
+    # -- the hooks called by production code -----------------------------------------
+    def check(self, site: str) -> None:
+        """Fire the armed fault for ``site``, if any (raise or delay)."""
+        if not self._rules:  # the fault-free fast path: one truthiness test
+            return
+        with self._lock:
+            rule = self._rules.get(site)
+            if rule is None or not rule.should_fire():
+                return
+            mode, delay = rule.mode, rule.delay
+        if mode == "delay":
+            time.sleep(delay)
+        elif mode == "raise":
+            raise InjectedFault(site)
+        # "corrupt" rules are observed through corrupt(), not check().
+
+    def corrupt(self, site: str, payload: bytes) -> bytes:
+        """Mangle ``payload`` when a corrupt-mode fault is armed at ``site``.
+
+        Truncates to half length and flips the leading bytes -- enough to
+        defeat both the length and the checksum of a spill envelope, like a
+        torn write or bit rot would.
+        """
+        if not self._rules:
+            return payload
+        with self._lock:
+            rule = self._rules.get(site)
+            if rule is None or rule.mode != "corrupt" or not rule.should_fire():
+                return payload
+        mangled = bytearray(payload[: max(1, len(payload) // 2)])
+        for index in range(min(8, len(mangled))):
+            mangled[index] ^= 0xFF
+        return bytes(mangled)
+
+
+#: The process-wide injector used by all production fault sites.
+FAULTS = FaultInjector()
+
+
+class inject:
+    """Context manager arming one fault on the global injector.
+
+    ::
+
+        with inject("cache.spill_load", "raise", times=1):
+            ...
+    """
+
+    def __init__(self, site: str, mode: str = "raise", **kwargs):
+        self.site = site
+        self.mode = mode
+        self.kwargs = kwargs
+        self.rule: FaultRule | None = None
+
+    def __enter__(self) -> FaultRule:
+        self.rule = FAULTS.arm(self.site, self.mode, **self.kwargs)
+        return self.rule
+
+    def __exit__(self, *exc_info) -> None:
+        FAULTS.disarm(self.site)

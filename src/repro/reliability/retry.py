@@ -1,0 +1,90 @@
+"""Retry with exponential backoff and jitter.
+
+:func:`retry_call` re-runs a callable on *retryable* exceptions with
+exponentially growing, jittered sleeps between attempts.  Jitter is drawn
+from a dedicated :class:`random.Random` instance (seedable for deterministic
+tests) so retries from many workers do not synchronize into thundering
+herds.  Exceptions outside the policy's ``retryable`` tuple propagate
+immediately -- a malformed request must never be retried into a different
+answer.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """How often and how patiently to retry.
+
+    ``attempts`` counts *total* tries (1 = no retries).  The sleep before
+    retry ``k`` (1-based) is ``base_delay * multiplier**(k-1)``, capped at
+    ``max_delay``, plus uniform jitter in ``[0, jitter * delay]``.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    retryable: tuple = (ConnectionError, TimeoutError, OSError)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be positive, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """The jittered sleep before the ``retry_index``-th retry (1-based)."""
+        base = min(self.base_delay * self.multiplier ** (retry_index - 1), self.max_delay)
+        return base + rng.uniform(0.0, self.jitter * base)
+
+
+@dataclass
+class RetryOutcome:
+    """Diagnostics of one :func:`retry_call` invocation."""
+
+    attempts: int = 1
+    retried: int = 0
+    slept: float = 0.0
+    errors: list = field(default_factory=list)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy | None = None,
+    *,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    outcome: RetryOutcome | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds, the policy is exhausted, or a
+    non-retryable exception escapes.
+
+    ``sleep`` and ``rng`` are injectable for tests; ``outcome`` (when given)
+    is filled with attempt counts, total sleep and the error strings of the
+    failed attempts.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng or random.Random()
+    record = outcome if outcome is not None else RetryOutcome()
+    for attempt in range(1, policy.attempts + 1):
+        record.attempts = attempt
+        try:
+            return fn()
+        except policy.retryable as exc:
+            record.errors.append(f"{type(exc).__name__}: {exc}")
+            if attempt == policy.attempts:
+                raise
+            delay = policy.delay(attempt, rng)
+            record.retried += 1
+            record.slept += delay
+            sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -7,12 +7,24 @@ This subsystem converts the one-shot pipeline into a request-serving system:
   Stage-1 artifacts across requests;
 * :mod:`repro.service.cache` -- the LRU artifact cache with fingerprinting,
   hit/miss statistics and optional disk spill;
-* :mod:`repro.service.jobs` -- the bounded-concurrency async job queue;
+* :mod:`repro.service.jobs` -- the bounded-concurrency async job queue with
+  cooperative cancellation and optional retry;
 * :mod:`repro.service.api` -- the JSON schema, stdlib HTTP daemon and client.
+
+Reliability primitives (deadlines, circuit breakers, retry policies, fault
+injection) live in :mod:`repro.reliability` and are re-exported here where
+they surface in the service API.
 
 Run the daemon with ``python -m repro.service``.
 """
 
+from repro.reliability import (
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    OperationCancelled,
+    RetryPolicy,
+)
 from repro.service.cache import ArtifactCache, CacheRegistry, CacheStats, fingerprint_of
 from repro.service.engine import (
     ExplainRequest,
@@ -38,6 +50,11 @@ from repro.service.api import (
 )
 
 __all__ = [
+    "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceeded",
+    "OperationCancelled",
+    "RetryPolicy",
     "ArtifactCache",
     "CacheRegistry",
     "CacheStats",

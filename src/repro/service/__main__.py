@@ -1,9 +1,22 @@
 """Run the explanation service daemon: ``python -m repro.service``.
 
-Options cover the service knobs (cache sizes, disk spill, job concurrency)
-plus ``--self-test``, which boots the daemon on an ephemeral port, drives one
-full register + explain round trip through the HTTP client, validates the
-response shape, and exits -- the CI smoke job runs exactly that.
+Options cover the service knobs (cache sizes, disk spill, job concurrency),
+the reliability knobs (default request deadline, circuit-breaker thresholds,
+job retry attempts), plus two smoke modes:
+
+* ``--self-test`` boots the daemon on an ephemeral port, drives one full
+  register + explain round trip through the HTTP client, validates the
+  response shape, and exits -- the CI smoke job runs exactly that;
+* ``--crash-smoke`` exercises crash recovery: it starts the daemon as a
+  subprocess with a disk-spill directory, serves requests, ``kill -9``-s the
+  process, corrupts a spilled cache file (plus plants an orphaned temp file,
+  as a mid-write crash would), restarts on the same spill directory and
+  asserts the warm answers are byte-identical to the pre-crash ones while
+  the corrupt file is quarantined -- a warm cache is never worse than a
+  cold one.
+
+Chaos faults can be armed at daemon start via the ``REPRO_FAULTS``
+environment variable, e.g. ``REPRO_FAULTS="cache.spill_load=raise"``.
 """
 
 from __future__ import annotations
@@ -11,6 +24,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.reliability.faults import FAULTS
+from repro.reliability.retry import RetryPolicy
 from repro.service.api import ServiceClient, serve, serve_in_background
 from repro.service.engine import ExplainService, ServiceConfig
 
@@ -21,6 +36,9 @@ def _build_service(args: argparse.Namespace) -> ExplainService:
             cache_entries=args.cache_entries,
             report_cache_entries=args.report_cache_entries,
             spill_dir=args.spill_dir,
+            default_deadline_seconds=args.default_deadline_seconds,
+            breaker_failures=args.breaker_failures,
+            breaker_reset_seconds=args.breaker_reset_seconds,
         )
     )
 
@@ -110,6 +128,140 @@ def self_test() -> int:
         server.shutdown()
 
 
+def crash_smoke() -> int:
+    """Crash-recovery smoke: serve, ``kill -9``, corrupt a spill, restart.
+
+    Asserts the three crash-safety guarantees end to end, across real
+    processes: answers after recovery are identical to pre-crash answers;
+    a corrupt spill file is quarantined (counted, renamed ``*.corrupt``)
+    instead of crashing or poisoning the warm path; orphaned temp files from
+    a mid-write crash are ignored.
+    """
+    import json
+    import os
+    import signal
+    import subprocess
+    import tempfile
+    import time
+    import urllib.error
+
+    def _start_daemon(spill_dir: str) -> tuple[subprocess.Popen, ServiceClient]:
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service",
+                "--port", "0",
+                "--cache-entries", "1",   # force evictions -> disk spill
+                "--spill-dir", spill_dir,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=dict(os.environ),
+        )
+        line = process.stdout.readline()
+        marker = "listening on "
+        assert marker in line, f"daemon did not announce its port: {line!r}"
+        base_url = line.split(marker, 1)[1].split()[0]
+        client = ServiceClient(base_url, timeout=10.0)
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                client.health()
+                return process, client
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() > deadline:
+                    process.kill()
+                    raise AssertionError("daemon never became healthy")
+                time.sleep(0.05)
+
+    def _register_and_explain(client: ServiceClient) -> dict:
+        client.register_database(
+            "D1",
+            {"D1": [
+                {"Program": "Accounting", "Degree": "B.S."},
+                {"Program": "CS", "Degree": "B.A."},
+                {"Program": "CS", "Degree": "B.S."},
+                {"Program": "ECE", "Degree": "B.S."},
+            ]},
+        )
+        client.register_database(
+            "D2",
+            {"D2": [
+                {"Univ": "A", "Major": "Accounting"},
+                {"Univ": "A", "Major": "CSE"},
+                {"Univ": "A", "Major": "ECE"},
+                {"Univ": "B", "Major": "Art"},
+            ]},
+        )
+        payload = {
+            "database_left": "D1",
+            "query_left": {"name": "Q1", "kind": "count", "relation": "D1",
+                           "attribute": "Program"},
+            "database_right": "D2",
+            "query_right": {
+                "name": "Q2", "kind": "count", "relation": "D2", "attribute": "Major",
+                "where": [{"column": "Univ", "op": "=", "value": "A"}],
+            },
+            "attribute_matches": [["Program", "Major"]],
+            "config": {"partitioning": "none"},
+        }
+        return client.explain(payload)
+
+    def _answers(report: dict) -> str:
+        return json.dumps(
+            {"explanations": report["explanations"], "summary": report["summary"]},
+            sort_keys=True,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-crash-smoke-") as spill_dir:
+        process, client = _start_daemon(spill_dir)
+        try:
+            before = _register_and_explain(client)
+        except BaseException:
+            process.kill()
+            raise
+        # The crash: no shutdown hooks, no flushing -- SIGKILL.
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=10)
+
+        spills = sorted(p for p in os.listdir(spill_dir) if p.endswith(".pkl"))
+        assert spills, f"no spill files written before the crash: {os.listdir(spill_dir)}"
+        # Corrupt one spilled artifact (torn write / bit rot) and plant an
+        # orphaned temp file, as a crash mid-spill-write would leave behind.
+        victim = os.path.join(spill_dir, spills[0])
+        raw = open(victim, "rb").read()
+        open(victim, "wb").write(raw[: max(1, len(raw) // 2)])
+        open(os.path.join(spill_dir, ".provenance-deadbeef.tmp"), "wb").write(b"torn")
+
+        process, client = _start_daemon(spill_dir)
+        try:
+            after = _register_and_explain(client)
+            assert _answers(before) == _answers(after), (
+                "answers diverged across crash recovery"
+            )
+            health = client.health()
+            stats = client.stats()["service"]
+            spill_errors = stats["total"]["spill_errors"]
+            listing = os.listdir(spill_dir)
+            quarantined = [p for p in listing if p.endswith(".corrupt")]
+            if spills[0] not in listing:
+                # The warm path read the corrupt file: it must have been
+                # quarantined and counted, never silently dropped.
+                assert f"{spills[0]}.corrupt" in listing, (
+                    f"corrupt spill vanished without quarantine: {listing}"
+                )
+                assert spill_errors >= 1
+            print(
+                "crash-recovery smoke ok: identical answers after kill -9 + "
+                f"corrupt spill (spill_errors={spill_errors}, "
+                f"quarantined={len(quarantined)}, status={health['status']})"
+            )
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -124,17 +276,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report-cache-entries", type=int, default=256)
     parser.add_argument("--spill-dir", default=None,
                         help="directory for disk spill of evicted artifacts")
+    parser.add_argument("--default-deadline-seconds", type=float, default=None,
+                        help="wall-clock budget applied to requests without one")
+    parser.add_argument("--breaker-failures", type=int, default=5,
+                        help="consecutive failures before a database's breaker opens")
+    parser.add_argument("--breaker-reset-seconds", type=float, default=30.0,
+                        help="cool-down before an open breaker admits a probe")
+    parser.add_argument("--retry-attempts", type=int, default=1,
+                        help="total tries per async job on transient errors (1 = no retry)")
     parser.add_argument("--self-test", action="store_true",
                         help="boot on an ephemeral port, run one request, exit")
+    parser.add_argument("--crash-smoke", action="store_true",
+                        help="kill -9 + corrupt-spill crash-recovery smoke, then exit")
     args = parser.parse_args(argv)
 
     if args.self_test:
         return self_test()
+    if args.crash_smoke:
+        return crash_smoke()
+
+    if FAULTS.load_env():
+        armed = ", ".join(f"{rule.site}={rule.mode}" for rule in FAULTS.rules())
+        print(f"chaos faults armed from REPRO_FAULTS: {armed}")
 
     service = _build_service(args)
-    server = serve(service, host=args.host, port=args.port, job_workers=args.job_workers)
+    retry_policy = (
+        RetryPolicy(attempts=args.retry_attempts) if args.retry_attempts > 1 else None
+    )
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+        retry_policy=retry_policy,
+    )
     host, port = server.server_address[:2]
-    print(f"explain service listening on http://{host}:{port} (Ctrl-C to stop)")
+    print(f"explain service listening on http://{host}:{port} (Ctrl-C to stop)",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -37,7 +37,8 @@ returns alongside the message.
 
 Endpoints of the daemon (``python -m repro.service``):
 
-* ``GET  /health``        -- liveness probe;
+* ``GET  /health``        -- liveness + reliability snapshot (circuit-breaker
+  states, degradation counters, cache totals, job-queue depth);
 * ``GET  /stats``         -- cache + job-queue counters;
 * ``POST /databases``     -- register a database from records;
 * ``POST /explain``       -- synchronous explain, returns the full report;
@@ -50,7 +51,14 @@ Endpoints of the daemon (``python -m repro.service``):
   and switches its plans to the cost-based planner;
 * ``POST /jobs``          -- asynchronous explain, returns a job id;
 * ``GET  /jobs/<id>``     -- job status (plus the report once done);
-* ``DELETE /jobs/<id>``   -- cancel a still-queued job.
+* ``DELETE /jobs/<id>``   -- cancel a queued *or running* job (running jobs
+  are cancelled cooperatively at the solver's checkpoints).
+
+Every non-2xx response carries one uniform error envelope
+``{"error": {"type", "message", "path"}}`` with a distinct status per typed
+error: 400 spec/SQL errors, 404 unknown database, 409 cancelled, 503 open
+circuit breaker, 504 deadline exceeded.  Unexpected failures are structured
+500s -- never a bare string.
 
 :class:`ServiceClient` is a thin urllib-based helper mirroring the endpoints.
 """
@@ -92,6 +100,9 @@ from repro.relational.query import (
     projection_query,
     sum_query,
 )
+from repro.reliability.breaker import CircuitOpenError
+from repro.reliability.deadline import DeadlineExceeded, OperationCancelled
+from repro.reliability.retry import RetryPolicy
 from repro.service.engine import ExplainRequest, ExplainService, UnknownDatabaseError
 from repro.service.jobs import JobQueue, JobState
 from repro.sql import SqlError
@@ -111,7 +122,30 @@ class SpecError(ValueError):
         self.path = path
 
     def to_payload(self) -> dict:
-        return {"error": str(self), "path": self.path}
+        kind = "SqlError" if isinstance(self.__cause__, SqlError) else "SpecError"
+        return error_payload(kind, str(self), self.path)
+
+
+def error_payload(kind: str, message: str, path: str = "") -> dict:
+    """The uniform error envelope of every non-2xx daemon response.
+
+    ``{"error": {"type": ..., "message": ..., "path": ...}}`` -- ``type`` is
+    the exception class name (machine-matchable), ``path`` a JSON-pointer to
+    the offending request field where one exists (empty otherwise).
+    """
+    return {"error": {"type": kind, "message": message, "path": path}}
+
+
+#: Exception type -> HTTP status for the daemon's typed error responses.
+#: Anything not listed is an unexpected pipeline failure and maps to 500
+#: (still as a structured envelope, never a bare string).
+_ERROR_STATUS = (
+    (SpecError, 400),
+    (UnknownDatabaseError, 404),
+    (OperationCancelled, 409),
+    (CircuitOpenError, 503),
+    (DeadlineExceeded, 504),
+)
 
 
 # ---------------------------------------------------------------------------
@@ -468,6 +502,20 @@ def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainReq
                 f"labeled_pairs entries are [left, right] pairs: {exc}",
                 "/labeled_pairs",
             ) from exc
+    deadline_seconds = payload.get("deadline_seconds")
+    if deadline_seconds is not None:
+        try:
+            deadline_seconds = float(deadline_seconds)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"bad deadline_seconds: {exc}", "/deadline_seconds") from exc
+        if deadline_seconds <= 0:
+            raise SpecError("deadline_seconds must be positive", "/deadline_seconds")
+    on_deadline = str(payload.get("on_deadline", "error"))
+    if on_deadline not in ("error", "partial"):
+        raise SpecError(
+            f"on_deadline must be 'error' or 'partial', got {on_deadline!r}",
+            "/on_deadline",
+        )
     return ExplainRequest(
         query_left=query_from_spec(
             payload["query_left"], _database("database_left"), "/query_left"
@@ -493,6 +541,8 @@ def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainReq
             if payload.get("config")
             else None
         ),
+        deadline_seconds=deadline_seconds,
+        on_deadline=on_deadline,
     )
 
 
@@ -505,10 +555,19 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, service: ExplainService, *, job_workers: int = 2):
+    def __init__(
+        self,
+        address,
+        service: ExplainService,
+        *,
+        job_workers: int = 2,
+        retry_policy: RetryPolicy | None = None,
+    ):
         super().__init__(address, _ServiceRequestHandler)
         self.service = service
-        self.jobs = JobQueue(service.explain, max_workers=job_workers)
+        self.jobs = JobQueue(
+            service.explain, max_workers=job_workers, retry_policy=retry_policy
+        )
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -538,18 +597,51 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise SpecError(f"invalid JSON body: {exc}") from exc
 
+    def _send_error(self, exc: Exception) -> None:
+        """One typed JSON error envelope per exception -- never a bare 500.
+
+        :class:`SpecError` keeps its own payload (it carries the JSON-pointer
+        path and distinguishes SQL errors); everything else maps through
+        ``_ERROR_STATUS``, with unexpected exceptions reported as a
+        structured 500.
+        """
+        if isinstance(exc, SpecError):
+            self._send_json(exc.to_payload(), status=400)
+            return
+        for exc_type, status in _ERROR_STATUS:
+            if isinstance(exc, exc_type):
+                self._send_json(
+                    error_payload(type(exc).__name__, str(exc)), status=status
+                )
+                return
+        self._send_json(
+            error_payload(type(exc).__name__, str(exc)), status=500
+        )
+
     # -- routes -------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        if self.path == "/health":
-            self._send_json({"status": "ok"})
-        elif self.path == "/stats":
-            self._send_json(
-                {"service": self.server.service.stats(), "jobs": self.server.jobs.queue_stats()}
-            )
-        elif self.path.startswith("/jobs/"):
-            self._get_job(self.path.removeprefix("/jobs/"))
-        else:
-            self._send_json({"error": f"unknown path {self.path}"}, status=404)
+        try:
+            if self.path == "/health":
+                payload = self.server.service.health()
+                queue_stats = self.server.jobs.queue_stats()
+                payload["jobs"] = {
+                    "queue_depth": queue_stats["states"].get("queued", 0),
+                    "running": queue_stats["states"].get("running", 0),
+                    **{k: queue_stats[k] for k in ("submitted", "completed", "failed", "cancelled")},
+                }
+                self._send_json(payload)
+            elif self.path == "/stats":
+                self._send_json(
+                    {"service": self.server.service.stats(), "jobs": self.server.jobs.queue_stats()}
+                )
+            elif self.path.startswith("/jobs/"):
+                self._get_job(self.path.removeprefix("/jobs/"))
+            else:
+                self._send_json(
+                    error_payload("NotFound", f"unknown path {self.path}"), status=404
+                )
+        except Exception as exc:  # noqa: BLE001 - surface errors as JSON
+            self._send_error(exc)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
@@ -579,30 +671,43 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 job = self.server.jobs.submit(request)
                 self._send_json(job.status(), status=202)
             else:
-                self._send_json({"error": f"unknown path {self.path}"}, status=404)
-        except SpecError as exc:
-            self._send_json(exc.to_payload(), status=400)
-        except UnknownDatabaseError as exc:
-            self._send_json({"error": str(exc)}, status=404)
+                self._send_json(
+                    error_payload("NotFound", f"unknown path {self.path}"), status=404
+                )
         except Exception as exc:  # noqa: BLE001 - surface pipeline errors as JSON
-            self._send_json({"error": f"{type(exc).__name__}: {exc}"}, status=500)
+            self._send_error(exc)
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
         if not self.path.startswith("/jobs/"):
-            self._send_json({"error": f"unknown path {self.path}"}, status=404)
+            self._send_json(
+                error_payload("NotFound", f"unknown path {self.path}"), status=404
+            )
             return
         job_id = self.path.removeprefix("/jobs/")
-        if self.server.jobs.get(job_id) is None:
-            self._send_json({"error": f"unknown job {job_id}"}, status=404)
+        job = self.server.jobs.get(job_id)
+        if job is None:
+            self._send_json(
+                error_payload("UnknownJobError", f"unknown job {job_id}"), status=404
+            )
         elif self.server.jobs.cancel(job_id):
-            self._send_json({"id": job_id, "state": JobState.CANCELLED.value})
+            # Queued jobs are CANCELLED immediately; running jobs get a
+            # cooperative cancel request honoured at the next checkpoint.
+            self._send_json({"id": job_id, "state": job.state.value,
+                             "cancel_requested": job.cancel_requested})
         else:
-            self._send_json({"error": f"job {job_id} already started"}, status=409)
+            self._send_json(
+                error_payload(
+                    "JobFinishedError", f"job {job_id} already finished"
+                ),
+                status=409,
+            )
 
     def _get_job(self, job_id: str) -> None:
         job = self.server.jobs.get(job_id)
         if job is None:
-            self._send_json({"error": f"unknown job {job_id}"}, status=404)
+            self._send_json(
+                error_payload("UnknownJobError", f"unknown job {job_id}"), status=404
+            )
             return
         payload = job.status()
         if job.state is JobState.DONE:
@@ -616,9 +721,12 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8311,
     job_workers: int = 2,
+    retry_policy: RetryPolicy | None = None,
 ) -> ServiceHTTPServer:
     """Create (but do not start) the HTTP server -- call ``serve_forever()``."""
-    return ServiceHTTPServer((host, port), service, job_workers=job_workers)
+    return ServiceHTTPServer(
+        (host, port), service, job_workers=job_workers, retry_policy=retry_policy
+    )
 
 
 def serve_in_background(
@@ -627,9 +735,12 @@ def serve_in_background(
     host: str = "127.0.0.1",
     port: int = 0,
     job_workers: int = 2,
+    retry_policy: RetryPolicy | None = None,
 ) -> tuple[ServiceHTTPServer, threading.Thread]:
     """Start the daemon on a background thread (port 0 = ephemeral); returns both."""
-    server = serve(service, host=host, port=port, job_workers=job_workers)
+    server = serve(
+        service, host=host, port=port, job_workers=job_workers, retry_policy=retry_policy
+    )
     thread = threading.Thread(target=server.serve_forever, name="explain-http", daemon=True)
     thread.start()
     return server, thread
@@ -659,11 +770,20 @@ class ServiceClient:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
             body = exc.read()
+            error_type, path = "", ""
             try:
-                detail = json.loads(body).get("error", body.decode(errors="replace"))
+                error = json.loads(body).get("error", body.decode(errors="replace"))
+                if isinstance(error, dict):
+                    detail = str(error.get("message", ""))
+                    error_type = str(error.get("type", ""))
+                    path = str(error.get("path", ""))
+                else:
+                    detail = str(error)
             except (json.JSONDecodeError, AttributeError):
                 detail = body.decode(errors="replace")
-            raise ServiceClientError(exc.code, detail) from None
+            raise ServiceClientError(
+                exc.code, detail, error_type=error_type, path=path
+            ) from None
 
     def health(self) -> dict:
         return self._call("GET", "/health")
@@ -710,9 +830,15 @@ class ServiceClient:
 
 
 class ServiceClientError(RuntimeError):
-    """An HTTP error response from the daemon, with status code and detail."""
+    """An HTTP error response from the daemon, with status code and detail.
 
-    def __init__(self, status: int, detail: str):
+    ``error_type`` and ``path`` mirror the daemon's typed error envelope
+    (``{"error": {"type", "message", "path"}}``) when present.
+    """
+
+    def __init__(self, status: int, detail: str, *, error_type: str = "", path: str = ""):
         super().__init__(f"HTTP {status}: {detail}")
         self.status = status
         self.detail = detail
+        self.error_type = error_type
+        self.path = path

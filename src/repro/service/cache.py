@@ -11,19 +11,41 @@ statistics and an optional disk spill directory: entries evicted from memory
 are pickled to disk and transparently reloaded on the next request, which
 keeps warm-cache behaviour across memory pressure (and, for picklable
 artifacts, across processes).
+
+The spill tier is **crash-safe**: files are written to a temporary name and
+atomically renamed into place (a ``kill -9`` mid-write can never leave a
+half-written file under the final name), and every file carries a checksummed
+envelope (magic + sha256 + length).  A corrupt or truncated file -- torn
+write on a non-atomic filesystem, bit rot, version skew -- is *quarantined*
+(renamed to ``*.corrupt``), counted in :attr:`CacheStats.spill_errors` and
+treated as an ordinary miss, so a warm cache is never worse than a cold one.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
+import os
 import pickle
 import threading
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional
 
+from repro.reliability.faults import FAULTS
+
 _MISSING = object()
+
+logger = logging.getLogger(__name__)
+
+#: Spill envelope: magic + format version, a sha256 of the pickled payload,
+#: and the payload length -- enough to reject truncation, corruption and
+#: incompatible formats before unpickling a single byte.
+_SPILL_MAGIC = b"RSPILL1\n"
+_DIGEST_BYTES = 32
+_LENGTH_BYTES = 8
 
 
 # ---------------------------------------------------------------------------
@@ -79,6 +101,7 @@ class CacheStats:
     evictions: int = 0
     spill_writes: int = 0
     spill_loads: int = 0
+    spill_errors: int = 0
 
     @property
     def requests(self) -> int:
@@ -95,6 +118,7 @@ class CacheStats:
             "evictions": self.evictions,
             "spill_writes": self.spill_writes,
             "spill_loads": self.spill_loads,
+            "spill_errors": self.spill_errors,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -183,8 +207,13 @@ class ArtifactCache:
         with self._lock:
             self._entries.clear()
             if self.spill_dir is not None:
-                for path in self.spill_dir.glob(f"{self.name}-*.pkl"):
-                    path.unlink(missing_ok=True)
+                for pattern in (
+                    f"{self.name}-*.pkl",
+                    f"{self.name}-*.pkl.corrupt",
+                    f".{self.name}-*.tmp",
+                ):
+                    for path in self.spill_dir.glob(pattern):
+                        path.unlink(missing_ok=True)
 
     # -- internals ----------------------------------------------------------------
     def _insert(self, key: str, value) -> None:
@@ -201,25 +230,80 @@ class ArtifactCache:
         return self.spill_dir / f"{self.name}-{key}.pkl"
 
     def _write_spill(self, key: str, value) -> None:
+        """Spill one evicted entry to disk: envelope + atomic rename.
+
+        The temporary file lives in the same directory (so ``os.replace`` is
+        a same-filesystem atomic rename); a crash at any point leaves either
+        the previous file or an orphaned ``.tmp`` -- never a torn final file.
+        Failures of any kind (unpicklable artifact, full disk, injected
+        fault) drop the entry: the cache is an accelerator, never a source
+        of truth.
+        """
         path = self._spill_path(key)
         if path is None:
             return
+        tmp_path = path.parent / f".{self.name}-{uuid.uuid4().hex}.tmp"
         try:
-            path.write_bytes(pickle.dumps(value))
+            FAULTS.check("cache.spill_write")
+            payload = pickle.dumps(value)
+            payload = FAULTS.corrupt("cache.spill_write", payload)
+            envelope = (
+                _SPILL_MAGIC
+                + hashlib.sha256(payload).digest()
+                + len(payload).to_bytes(_LENGTH_BYTES, "big")
+                + payload
+            )
+            tmp_path.write_bytes(envelope)
+            os.replace(tmp_path, path)
             self.stats.spill_writes += 1
-        except Exception:
-            # Unpicklable artifacts (e.g. reports holding ad-hoc callables)
-            # are dropped; the next request recomputes them.
-            path.unlink(missing_ok=True)
+        except Exception as exc:
+            self.stats.spill_errors += 1
+            logger.warning(
+                "cache %s: dropping spill of %s (%s: %s)",
+                self.name, key[:12], type(exc).__name__, exc,
+            )
+            tmp_path.unlink(missing_ok=True)
+
+    def _decode_spill(self, raw: bytes):
+        """Unwrap one spill envelope; raises ``ValueError`` on any damage."""
+        if not raw.startswith(_SPILL_MAGIC):
+            raise ValueError("bad spill magic (foreign or pre-envelope file)")
+        header_end = len(_SPILL_MAGIC) + _DIGEST_BYTES + _LENGTH_BYTES
+        if len(raw) < header_end:
+            raise ValueError("truncated spill header")
+        digest = raw[len(_SPILL_MAGIC):len(_SPILL_MAGIC) + _DIGEST_BYTES]
+        length = int.from_bytes(raw[len(_SPILL_MAGIC) + _DIGEST_BYTES:header_end], "big")
+        payload = raw[header_end:]
+        if len(payload) != length:
+            raise ValueError(f"truncated spill payload ({len(payload)} of {length} bytes)")
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError("spill checksum mismatch")
+        return pickle.loads(payload)
 
     def _load_spill(self, key: str):
+        """Load a spilled entry; every failure quarantines the file and misses.
+
+        Quarantine renames the file to ``*.corrupt`` (preserved for
+        post-mortems, invisible to future loads) rather than deleting it, and
+        the read is counted in ``spill_errors`` -- a corrupt spill must never
+        raise out of :meth:`get`.
+        """
         path = self._spill_path(key)
         if path is None or not path.exists():
             return _MISSING
         try:
-            return pickle.loads(path.read_bytes())
-        except Exception:
-            path.unlink(missing_ok=True)
+            FAULTS.check("cache.spill_load")
+            return self._decode_spill(path.read_bytes())
+        except Exception as exc:
+            self.stats.spill_errors += 1
+            logger.warning(
+                "cache %s: quarantining corrupt spill %s (%s: %s)",
+                self.name, path.name, type(exc).__name__, exc,
+            )
+            try:
+                os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+            except OSError:
+                path.unlink(missing_ok=True)
             return _MISSING
 
 
@@ -264,6 +348,7 @@ class CacheRegistry:
             totals.evictions += cache.stats.evictions
             totals.spill_writes += cache.stats.spill_writes
             totals.spill_loads += cache.stats.spill_loads
+            totals.spill_errors += cache.stats.spill_errors
         return {"caches": per_cache, "total": totals.as_dict()}
 
     def clear(self) -> None:

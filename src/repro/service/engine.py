@@ -30,8 +30,10 @@ with the same inputs -- the caches inject work, never change it.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
+from collections import Counter
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional
@@ -44,7 +46,12 @@ from repro.plan import PhysicalPlan, logical_fingerprint, plan_node, plan_query
 from repro.relational.executor import Database
 from repro.relational.provenance import provenance_relation
 from repro.relational.query import Query
+from repro.reliability.breaker import BreakerRegistry
+from repro.reliability.deadline import Deadline, DeadlineExceeded, OperationCancelled
+from repro.reliability.faults import FAULTS
 from repro.service.cache import CacheRegistry, fingerprint_of
+
+logger = logging.getLogger(__name__)
 
 
 class UnknownDatabaseError(KeyError):
@@ -67,6 +74,12 @@ class ServiceConfig:
     cache_entries: int = 128
     report_cache_entries: int = 256
     spill_dir: str | Path | None = None
+    #: Deadline applied to requests that do not set their own (None = none).
+    default_deadline_seconds: float | None = None
+    #: Per-database circuit breaker: consecutive unexpected failures before
+    #: the breaker opens, and the cool-down before a half-open probe.
+    breaker_failures: int = 5
+    breaker_reset_seconds: float = 30.0
 
 
 @dataclass
@@ -76,6 +89,18 @@ class ExplainRequest:
     ``database_left`` / ``database_right`` are names previously passed to
     :meth:`ExplainService.register_database`.  ``config`` overrides the
     service's default pipeline configuration for this request only.
+
+    Reliability knobs:
+
+    * ``deadline_seconds`` -- wall-clock budget for this request, observed
+      at cooperative checkpoints down to the per-partition solver;
+    * ``on_deadline`` -- ``"error"`` raises a typed
+      :class:`~repro.reliability.DeadlineExceeded`; ``"partial"`` returns
+      the incumbent explanation with an optimality gap, explicitly marked in
+      the response's ``degraded`` metadata;
+    * ``cancel_event`` -- cooperative cancellation flag (set by
+      :meth:`~repro.service.jobs.JobQueue.cancel` for running jobs), observed
+      at the same checkpoints.
     """
 
     query_left: Query
@@ -86,11 +111,19 @@ class ExplainRequest:
     tuple_mapping: TupleMapping | None = None
     labeled_pairs: set | None = None
     config: Explain3DConfig | None = None
+    deadline_seconds: float | None = None
+    on_deadline: str = "error"
+    cancel_event: threading.Event | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass
 class ServiceResult:
-    """A served explanation: the report plus service-level bookkeeping."""
+    """A served explanation: the report plus service-level bookkeeping.
+
+    ``degraded`` lists every degradation-ladder rung the serving path took
+    (planner fallback, partial solve, skipped summarization...); an empty
+    list means the full optimized path ran.  Fallbacks are never silent.
+    """
 
     report: ExplanationReport
     request_fingerprint: str
@@ -98,6 +131,8 @@ class ServiceResult:
     cached_report: bool
     cached_problem: bool
     service_seconds: float
+    degraded: list = field(default_factory=list)
+    deadline: dict | None = None
 
     def to_dict(self) -> dict:
         payload = self.report.to_dict()
@@ -107,6 +142,8 @@ class ServiceResult:
             "cached_report": self.cached_report,
             "cached_problem": self.cached_problem,
             "service_seconds": self.service_seconds,
+            "degraded": list(self.degraded),
+            "deadline": self.deadline,
         }
         return payload
 
@@ -138,6 +175,16 @@ class ExplainService:
         self._db_fingerprints: dict[str, str] = {}
         self._lock = threading.RLock()
         self._requests_served = 0
+        self.breakers = BreakerRegistry(
+            failure_threshold=self.config.breaker_failures,
+            reset_seconds=self.config.breaker_reset_seconds,
+        )
+        # Degradation-ladder counters: "site:fallback" -> times taken.
+        self._degradations: Counter = Counter()
+
+    def _record_degradation(self, site: str, fallback: str) -> None:
+        with self._lock:
+            self._degradations[f"{site}:{fallback}"] += 1
 
     # -- database registry ---------------------------------------------------------
     def register_database(self, db: Database, name: str | None = None) -> str:
@@ -260,15 +307,53 @@ class ExplainService:
 
     # -- the serving path ----------------------------------------------------------
     def explain(self, request: ExplainRequest) -> ServiceResult:
-        """Serve one request, reusing every cached artifact that applies."""
+        """Serve one request, reusing every cached artifact that applies.
+
+        The request deadline (or the service default) is observed at
+        cooperative checkpoints throughout; unexpected pipeline failures
+        trip the per-database circuit breakers, while client mistakes,
+        deadlines and cancellations do not -- they say nothing about the
+        health of the data behind a database name.
+        """
         started = time.perf_counter()
         config = request.config or self.config.default_pipeline
+        seconds = (
+            request.deadline_seconds
+            if request.deadline_seconds is not None
+            else self.config.default_deadline_seconds
+        )
+        deadline = Deadline.after(seconds, cancel_event=request.cancel_event)
         # One consistent (database, fingerprint) snapshot per side serves the
-        # whole request, even if a re-registration lands mid-flight.
+        # whole request, even if a re-registration lands mid-flight.  Snapshot
+        # *before* the breaker gate so an unknown name stays a 404 even while
+        # a breaker is open.
         left = self._snapshot(request.database_left)
         right = self._snapshot(request.database_right)
+        self.breakers.acquire(request.database_left, request.database_right)
+        try:
+            result = self._serve(request, config, deadline, left, right, started)
+        except (DeadlineExceeded, OperationCancelled, UnknownDatabaseError):
+            # Not a dependency-health signal: the request ran out of budget,
+            # was cancelled, or named nothing -- the databases are fine.
+            raise
+        except Exception:
+            self.breakers.record_failure(request.database_left, request.database_right)
+            raise
+        self.breakers.record_success(request.database_left, request.database_right)
+        return result
+
+    def _serve(
+        self,
+        request: ExplainRequest,
+        config: Explain3DConfig,
+        deadline: Deadline,
+        left: tuple[Database, str],
+        right: tuple[Database, str],
+        started: float,
+    ) -> ServiceResult:
         problem_key = self._problem_key(request, config, left[1], right[1])
         report_key = self._report_key(problem_key, config)
+        degraded: list[dict] = []
 
         cached_report = self._reports.get(report_key)
         if cached_report is not None:
@@ -281,19 +366,37 @@ class ExplainService:
                 cached_report=True,
                 cached_problem=True,
                 service_seconds=time.perf_counter() - started,
+                deadline=deadline.to_dict(),
             )
 
+        deadline.check("stage1.build")
         build_start = time.perf_counter()
         problem = self._problems.get(problem_key)
         cached_problem = problem is not None
         if problem is None:
-            problem = self._build_problem(request, config, left, right)
+            problem = self._build_problem(request, config, left, right, degraded)
             self._problems.put(problem_key, problem)
         build_seconds = time.perf_counter() - build_start
 
+        deadline.check("stage2.solve")
         engine = Explain3D(config)
-        report = engine.explain_problem(problem, stage1_seconds=build_seconds)
-        self._reports.put(report_key, report)
+        report = engine.explain_problem(
+            problem,
+            stage1_seconds=build_seconds,
+            deadline=deadline if deadline.bounded or deadline.cancel_event else None,
+            allow_partial=request.on_deadline == "partial",
+        )
+        degraded.extend(report.degraded)
+        for rung in degraded:
+            self._record_degradation(rung.get("site", "?"), rung.get("fallback", "?"))
+        if degraded:
+            # Never cache a degraded report: the planner fallback produces
+            # fingerprint-identical answers, but a partial solve or skipped
+            # summary does not -- and a later, unhurried request with the
+            # same key must get (and will cache) the full answer.
+            report.degraded = list(degraded)
+        else:
+            self._reports.put(report_key, report)
         with self._lock:
             self._requests_served += 1
         return ServiceResult(
@@ -303,6 +406,8 @@ class ExplainService:
             cached_report=False,
             cached_problem=cached_problem,
             service_seconds=time.perf_counter() - started,
+            degraded=list(degraded),
+            deadline=deadline.to_dict(),
         )
 
     def _build_problem(
@@ -311,8 +416,14 @@ class ExplainService:
         config: Explain3DConfig,
         left: tuple[Database, str],
         right: tuple[Database, str],
+        degraded: list[dict] | None = None,
     ):
-        """Cold problem construction, threading cached Stage-1 artifacts through."""
+        """Cold problem construction, threading cached Stage-1 artifacts through.
+
+        ``degraded`` (when given) collects any degradation-ladder rungs taken
+        while building -- e.g. the optimized planner failing over to the
+        naive interpreter.
+        """
         db_left, left_fp = left
         db_right, right_fp = right
 
@@ -337,11 +448,11 @@ class ExplainService:
         # compiled plan even though their provenance artifacts differ.
         if artifacts.provenance_left is None:
             artifacts.provenance_left = self._planned_provenance(
-                request.query_left, db_left, left_fp
+                request.query_left, db_left, left_fp, degraded
             )
         if artifacts.provenance_right is None:
             artifacts.provenance_right = self._planned_provenance(
-                request.query_right, db_right, right_fp
+                request.query_right, db_right, right_fp, degraded
             )
         features = self._features.get(linkage_key)
         if features is not None:
@@ -391,19 +502,43 @@ class ExplainService:
 
         buckets = buckets if buckets is not None else DEFAULT_BUCKETS
         db, _ = self._snapshot(database)
-        relations = {}
-        for name, relation in db.relations().items():
-            fingerprint = relation.fingerprint()
-            key = fingerprint_of(fingerprint, buckets)
-            stats = self._stats.get_or_compute(
-                key,
-                lambda relation=relation, fingerprint=fingerprint: analyze_relation(
-                    relation, buckets=buckets, fingerprint=fingerprint
-                ),
+        try:
+            relations = {}
+            for name, relation in db.relations().items():
+                FAULTS.check("stats.analyze")
+                fingerprint = relation.fingerprint()
+                key = fingerprint_of(fingerprint, buckets)
+                stats = self._stats.get_or_compute(
+                    key,
+                    lambda relation=relation, fingerprint=fingerprint: analyze_relation(
+                        relation, buckets=buckets, fingerprint=fingerprint
+                    ),
+                )
+                # A content-cache hit may carry the name the identical content
+                # was first analyzed under; report it under this database's name.
+                relations[name] = stats.with_name(name)
+        except Exception as exc:
+            # Degradation ladder, rung 2: without ANALYZE statistics the
+            # planner keeps using the heuristic cost model -- plans may be
+            # slower, answers are identical.  Leave any previously attached
+            # statistics in place rather than half-replacing them.
+            logger.warning(
+                "ANALYZE of %s failed (%s: %s); planner stays on the "
+                "heuristic cost model",
+                database, type(exc).__name__, exc,
             )
-            # A content-cache hit may carry the name the identical content
-            # was first analyzed under; report it under this database's name.
-            relations[name] = stats.with_name(name)
+            self._record_degradation("stats.analyze", "heuristic-cost-model")
+            return {
+                "database": database,
+                "relations": {},
+                "degraded": [
+                    {
+                        "site": "stats.analyze",
+                        "fallback": "heuristic-cost-model",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                ],
+            }
         statistics = DatabaseStats(relations, buckets=buckets)
         db.statistics = statistics
         payload = statistics.to_dict()
@@ -412,10 +547,39 @@ class ExplainService:
         return payload
 
     # -- query planning --------------------------------------------------------------
-    def _planned_provenance(self, query: Query, db: Database, db_fp: str):
-        """Provenance via the plan cache (compile once per database + body)."""
+    def _planned_provenance(
+        self, query: Query, db: Database, db_fp: str, degraded: list[dict] | None = None
+    ):
+        """Provenance via the plan cache (compile once per database + body).
+
+        Degradation ladder, rung 1: if the optimized planner fails for any
+        reason -- a lowering bug, an injected fault -- fall back to the naive
+        reference interpreter, which produces fingerprint-identical provenance
+        (asserted by the chaos suite).  The rung is recorded in ``degraded``
+        and in the engine counters; answers never change, only speed.
+        """
         inner = query.inner
-        plan = self._cached_plan(db, db_fp, inner, lambda: plan_node(inner, db))
+        try:
+            plan = self._cached_plan(db, db_fp, inner, lambda: plan_node(inner, db))
+        except Exception as exc:
+            logger.warning(
+                "optimized planner failed for %s (%s: %s); "
+                "falling back to the naive interpreter",
+                query.name, type(exc).__name__, exc,
+            )
+            self._record_degradation("plan.lower", "naive-interpreter")
+            if degraded is not None:
+                degraded.append(
+                    {
+                        "site": "plan.lower",
+                        "fallback": "naive-interpreter",
+                        "query": query.name,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            return provenance_relation(
+                query, db, label=f"P[{query.name}]", planner="naive"
+            )
         return provenance_relation(query, db, label=f"P[{query.name}]", plan=plan)
 
     def _cached_plan(self, db: Database, db_fp: str, node, factory) -> PhysicalPlan:
@@ -453,10 +617,34 @@ class ExplainService:
         with self._lock:
             served = self._requests_served
             databases = dict(self._db_fingerprints)
+            degradations = dict(self._degradations)
         return {
             "requests_served": served,
             "databases": databases,
+            "degradations": degradations,
+            "breakers": self.breakers.states(),
             **self.caches.stats(),
+        }
+
+    def health(self) -> dict:
+        """Liveness + reliability snapshot (the payload of ``GET /health``).
+
+        ``status`` is ``"degraded"`` (not an error status -- the service is
+        up and serving what it can) whenever any circuit breaker is open or
+        any degradation rung has been taken; ``"ok"`` otherwise.
+        """
+        with self._lock:
+            served = self._requests_served
+            degradations = dict(self._degradations)
+        breakers = self.breakers.states()
+        cache_stats = self.caches.stats()
+        degraded = self.breakers.any_open() or bool(degradations)
+        return {
+            "status": "degraded" if degraded else "ok",
+            "requests_served": served,
+            "breakers": breakers,
+            "degradations": degradations,
+            "caches": cache_stats["total"],
         }
 
     def clear_caches(self) -> None:

@@ -4,8 +4,15 @@ Requests are enqueued as :class:`Job` objects and drained by a bounded pool of
 worker threads (layered on the same threading substrate as the Stage-2 worker
 pools of :mod:`repro.core.partitioning` -- a job's partitions may themselves
 solve in parallel, governed by its ``SolveConfig``).  Jobs expose their
-status, can be cancelled while still queued, and batches can be submitted and
-awaited as a unit.
+status, can be cancelled both while queued *and* while running (running jobs
+are cancelled cooperatively: the job's ``cancel_event`` is observed at
+deadline checkpoints down to the per-partition solver), and batches can be
+submitted and awaited as a unit.
+
+Transient runner failures can be retried with exponential backoff and jitter
+by passing a :class:`~repro.reliability.RetryPolicy`; retries never apply to
+typed client or budget errors, only to the policy's ``retryable`` exception
+types.
 
 The queue is deliberately generic over its runner: anything accepting an
 :class:`~repro.service.engine.ExplainRequest`-shaped payload and returning a
@@ -21,6 +28,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
+
+from repro.reliability.deadline import OperationCancelled
+from repro.reliability.retry import RetryOutcome, RetryPolicy, retry_call
 
 
 class JobState(enum.Enum):
@@ -47,6 +57,11 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    retries: int = 0
+    cancel_requested: bool = False
+    #: Cooperative cancellation flag, observed by the runner at deadline
+    #: checkpoints when the request threads it through (ExplainRequest does).
+    cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -62,6 +77,8 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "retries": self.retries,
+            "cancel_requested": self.cancel_requested,
         }
 
 
@@ -97,6 +114,7 @@ class JobQueue:
         max_workers: int = 2,
         max_retained: int = 1024,
         name: str = "explain-jobs",
+        retry_policy: RetryPolicy | None = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
@@ -106,6 +124,9 @@ class JobQueue:
         self.max_workers = max_workers
         self.max_retained = max_retained
         self.name = name
+        #: When set, transient runner failures (the policy's ``retryable``
+        #: exception types) are retried with exponential backoff + jitter.
+        self.retry_policy = retry_policy
         self.stats = QueueStats()
         self._queue: queue.Queue = queue.Queue()
         self._jobs: dict[str, Job] = {}
@@ -121,6 +142,15 @@ class JobQueue:
             raise RuntimeError("job queue has been shut down")
         with self._lock:
             job = Job(id=f"job-{next(self._counter)}", request=request)
+            # Thread the job's cancellation flag into the request so a
+            # DELETE on a *running* job is observed at the runner's
+            # cooperative checkpoints.  Requests that brought their own
+            # event keep it (and the job shares it).
+            existing = getattr(request, "cancel_event", None)
+            if existing is not None:
+                job.cancel_event = existing
+            elif hasattr(request, "cancel_event"):
+                request.cancel_event = job.cancel_event
             self._jobs[job.id] = job
             self.stats.submitted += 1
             self._prune_retained()
@@ -153,15 +183,26 @@ class JobQueue:
             return self._jobs.get(job_id)
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a job that has not started yet; False if it already ran."""
+        """Cancel a job; False only if it is already terminal (or unknown).
+
+        A still-queued job is cancelled immediately.  A *running* job is
+        cancelled cooperatively: its ``cancel_event`` is set here and the
+        worker observes it at the runner's next deadline checkpoint, after
+        which the job settles as CANCELLED.  ``True`` from this method
+        therefore means "cancellation requested and will be honoured", not
+        "already stopped" -- poll :meth:`Job.wait` for settlement.
+        """
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None or job.state is not JobState.QUEUED:
+            if job is None or job.state.terminal:
                 return False
-            job.state = JobState.CANCELLED
-            job.finished_at = time.time()
-            self.stats.cancelled += 1
-            job._done.set()
+            job.cancel_requested = True
+            job.cancel_event.set()
+            if job.state is JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                self.stats.cancelled += 1
+                job._done.set()
             return True
 
     @staticmethod
@@ -232,7 +273,23 @@ class JobQueue:
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
             try:
-                job.result = self.runner(job.request)
+                if self.retry_policy is not None:
+                    outcome = RetryOutcome()
+                    job.result = retry_call(
+                        lambda: self.runner(job.request),
+                        self.retry_policy,
+                        outcome=outcome,
+                    )
+                    job.retries = outcome.retried
+                else:
+                    job.result = self.runner(job.request)
+            except OperationCancelled:
+                # The runner observed the cancel_event at a checkpoint: the
+                # job was cancelled while running, not failed.
+                with self._lock:
+                    job.state = JobState.CANCELLED
+                    job.finished_at = time.time()
+                    self.stats.cancelled += 1
             except Exception as exc:  # noqa: BLE001 - job errors must not kill workers
                 with self._lock:
                     job.state = JobState.FAILED

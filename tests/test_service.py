@@ -343,12 +343,19 @@ class TestJobQueue:
         queued = queue.submit("second")
         assert queue.cancel(queued.id)
         assert queued.state is JobState.CANCELLED
-        assert not queue.cancel(running.id)  # already running
+        # Cancelling a *running* job is now a cooperative request: it
+        # returns True, sets the job's cancel_event, and the runner decides
+        # whether to observe it.  This runner ignores it, so the job still
+        # settles DONE -- but the request is recorded.
+        assert queue.cancel(running.id)
+        assert running.cancel_requested
+        assert running.cancel_event.is_set()
         release.set()
         assert queue.wait_all([running], timeout=5)
         assert running.state is JobState.DONE
         assert queued.wait(5)
         assert queue.stats.cancelled == 1
+        assert not queue.cancel(running.id)  # terminal now
         queue.shutdown()
 
     def test_failed_job_records_error(self):

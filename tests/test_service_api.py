@@ -142,9 +142,16 @@ def running_server():
 
 class TestHTTPDaemon:
     def test_health_and_stats(self, running_server):
-        assert running_server.health() == {"status": "ok"}
+        health = running_server.health()
+        assert health["status"] == "ok"
+        assert health["breakers"] == {}
+        assert health["degradations"] == {}
+        assert "spill_errors" in health["caches"]
+        assert health["jobs"]["queue_depth"] == 0
         stats = running_server.stats()
         assert "service" in stats and "jobs" in stats
+        assert "breakers" in stats["service"]
+        assert "degradations" in stats["service"]
 
     def test_sync_explain_equals_direct_pipeline(self, running_server):
         payload = running_server.explain(EXPLAIN_PAYLOAD)
@@ -397,7 +404,8 @@ class TestHTTPSqlRequests:
         except urllib.error.HTTPError as exc:
             body = json.loads(exc.read())
             assert exc.code == 400
-            assert body["path"] == "/query_right/where/0/op"
+            assert body["error"]["type"] == "SpecError"
+            assert body["error"]["path"] == "/query_right/where/0/op"
 
     def test_async_job_accepts_sql_specs(self, running_server):
         job = running_server.submit_job(SQL_EXPLAIN_PAYLOAD)
@@ -491,3 +499,175 @@ class TestAnalyzeEndpoint:
         with pytest.raises(ServiceClientError) as excinfo:
             running_server.analyze("D1", buckets=0)
         assert excinfo.value.status == 400
+
+
+class TestTypedErrorResponses:
+    """Satellite (c): every error type -> a distinct status + uniform envelope.
+
+    The envelope is ``{"error": {"type", "message", "path"}}`` on *every*
+    non-2xx response -- including unexpected pipeline failures (structured
+    500s, never a bare string).
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self):
+        from repro.reliability.faults import FAULTS
+
+        FAULTS.reset()
+        yield
+        FAULTS.reset()
+
+    def _raw_error(self, client, path, payload):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{client.base_url}{path}",
+            data=json.dumps(payload).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request)
+            raise AssertionError("expected an HTTP error")
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_spec_error_is_400_with_type_and_path(self, running_server):
+        bad = dict(EXPLAIN_PAYLOAD)
+        bad["on_deadline"] = "shrug"
+        code, body = self._raw_error(running_server, "/explain", bad)
+        assert code == 400
+        assert body["error"]["type"] == "SpecError"
+        assert body["error"]["path"] == "/on_deadline"
+        assert body["error"]["message"]
+
+    def test_sql_error_is_400_with_sql_type(self, running_server):
+        bad = dict(EXPLAIN_PAYLOAD)
+        bad["query_left"] = {"name": "Q1", "sql": "SELEKT * FROM D1"}
+        code, body = self._raw_error(running_server, "/explain", bad)
+        assert code == 400
+        assert body["error"]["type"] == "SqlError"
+        assert body["error"]["path"] == "/query_left/sql"
+
+    def test_unknown_database_is_404_typed(self, running_server):
+        bad = dict(EXPLAIN_PAYLOAD)
+        bad["database_left"] = "missing"
+        code, body = self._raw_error(running_server, "/explain", bad)
+        assert code == 404
+        assert body["error"]["type"] == "UnknownDatabaseError"
+
+    def test_unknown_path_is_404_typed(self, running_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server._call("GET", "/nope")
+        assert excinfo.value.status == 404
+        assert excinfo.value.error_type == "NotFound"
+
+    def test_client_surfaces_type_and_path(self, running_server):
+        bad = dict(EXPLAIN_PAYLOAD)
+        bad["deadline_seconds"] = -1
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.explain(bad)
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "SpecError"
+        assert excinfo.value.path == "/deadline_seconds"
+
+    def test_deadline_exceeded_is_504(self, running_server):
+        from repro.reliability.faults import inject
+
+        # A fresh config variant misses the report cache, so the request
+        # actually solves (and trips the delayed checkpoint).
+        hurried = dict(EXPLAIN_PAYLOAD)
+        hurried["config"] = {
+            "partitioning": "none",
+            "priors": {"alpha": 0.9, "beta": 0.9},
+            "min_summary_precision": 0.74,
+        }
+        hurried["deadline_seconds"] = 0.02
+        with inject("solve.partition", "delay:0.1"):
+            code, body = self._raw_error(running_server, "/explain", hurried)
+        assert code == 504
+        assert body["error"]["type"] == "DeadlineExceeded"
+
+    def test_unexpected_failure_is_structured_500(self, figure1_db1, figure1_db2):
+        from repro.reliability.faults import inject
+        from repro.service import serve_in_background
+
+        service = ExplainService()
+        service.register_database(figure1_db1, "D1")
+        service.register_database(figure1_db2, "D2")
+        server, _ = serve_in_background(service, port=0)
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            with inject("solve.partition", "raise"):
+                code, body = self._raw_error(client, "/explain", EXPLAIN_PAYLOAD)
+            assert code == 500
+            assert body["error"]["type"] == "InjectedFault"
+            assert body["error"]["message"]
+        finally:
+            server.shutdown()
+
+    def test_open_breaker_is_503(self, figure1_db1, figure1_db2):
+        from repro.reliability.faults import inject
+        from repro.service import ServiceConfig, serve_in_background
+
+        service = ExplainService(
+            ServiceConfig(breaker_failures=1, breaker_reset_seconds=30.0)
+        )
+        service.register_database(figure1_db1, "D1")
+        service.register_database(figure1_db2, "D2")
+        server, _ = serve_in_background(service, port=0)
+        try:
+            host, port = server.server_address[:2]
+            client = ServiceClient(f"http://{host}:{port}")
+            with inject("solve.partition", "raise"):
+                code, _body = self._raw_error(client, "/explain", EXPLAIN_PAYLOAD)
+                assert code == 500
+            code, body = self._raw_error(client, "/explain", EXPLAIN_PAYLOAD)
+            assert code == 503
+            assert body["error"]["type"] == "CircuitOpenError"
+            assert client.health()["status"] == "degraded"
+        finally:
+            server.shutdown()
+
+    def test_cancel_running_job_over_http(self, running_server):
+        import time as _time
+
+        from repro.reliability.faults import inject
+
+        # A fresh config variant so the job misses the report cache and
+        # actually runs the (delayed) solve.
+        slow = dict(EXPLAIN_PAYLOAD)
+        slow["config"] = {
+            "partitioning": "none",
+            "priors": {"alpha": 0.9, "beta": 0.9},
+            "min_summary_precision": 0.72,
+        }
+        with inject("solve.partition", "delay:0.5"):
+            job = running_server.submit_job(slow)
+            deadline = _time.monotonic() + 5.0
+            while True:
+                status = running_server.job(job["id"])
+                if status["state"] in ("running", "queued"):
+                    break
+                assert _time.monotonic() < deadline
+                _time.sleep(0.005)
+            cancelled = running_server.cancel_job(job["id"])
+            assert cancelled["id"] == job["id"]
+            final = running_server.wait_for_job(job["id"], timeout=10)
+        assert final["state"] == "cancelled"
+        assert final["cancel_requested"] is True
+
+    def test_cancel_finished_job_is_409(self, running_server):
+        job = running_server.submit_job(EXPLAIN_PAYLOAD)
+        running_server.wait_for_job(job["id"], timeout=30)
+        with pytest.raises(ServiceClientError) as excinfo:
+            running_server.cancel_job(job["id"])
+        assert excinfo.value.status == 409
+        assert excinfo.value.error_type == "JobFinishedError"
+
+    def test_explain_response_reports_deadline_and_degraded(self, running_server):
+        result = running_server.explain(EXPLAIN_PAYLOAD)
+        assert result["service"]["degraded"] == []
+        assert "deadline" in result["service"]
