@@ -54,6 +54,17 @@ MAX_RELIABILITY_OVERHEAD = 0.05   # fault-free deadline-checked path vs fast pat
 OVERHEAD_EPSILON_SECONDS = 0.002  # absolute slack: warm passes are ~ms-scale
 FAULT_EVERY = 10                  # every 10th spill load fails -> 10% fault rate
 
+FLEET_PAIRS = 8                   # distinct db pairs so the ring spreads load
+FLEET_PAIR_ROWS = 40              # rows per side; mostly-unique values keep a
+                                  # cold explain at ~150ms of real pipeline work
+FLEET_CLIENTS = 4                 # concurrent client threads in the load test
+FLEET_ROUNDS = 2                  # times each client walks the pair list per pass
+FLEET_PASSES = 3                  # alternating measurement passes (best-of)
+FLEET_EXTRA_PASSES = 5            # extra alternating passes if the gate misses
+FLEET_MIN_SPEEDUP = 1.5           # 2-worker vs 1-worker throughput, multi-core
+FLEET_MULTICORE_THRESHOLD = 4     # cores needed before the 1.5x gate applies
+                                  # (below it the gate relaxes to 1.0x, recorded)
+
 
 def _reports_equal(a, b) -> bool:
     return (
@@ -205,6 +216,248 @@ def run_degraded(pair, requests, direct_reports, passes=10):
     }
 
 
+def fleet_pair(index: int) -> tuple[str, dict, str, dict, dict]:
+    """One bench database pair: mostly-unique values -> a real matching/MILP.
+
+    Unlike the tiny catalog pairs of the fleet smokes, these carry
+    ``FLEET_PAIR_ROWS`` distinct attribute values per side, so a cold
+    explain is ~150ms of genuine pipeline compute -- what a throughput
+    measurement should be made of.  ``index`` salts every value, giving
+    each pair its own fingerprints and its own ring placement.
+    """
+    left_name, right_name = f"BL_{index}", f"BR_{index}"
+    rows = FLEET_PAIR_ROWS
+    left = {
+        left_name: [
+            {"Program": f"Prog {j} Sec{index}", "Degree": "B.S." if j % 2 else "B.A."}
+            for j in range(rows)
+        ]
+    }
+    right = {
+        right_name: [
+            {
+                "Univ": "A" if j % 3 else "B",
+                "Major": f"Prog {j} Sec{index}" if j % 5 else f"Major {j} Sec{index}",
+            }
+            for j in range(rows)
+        ]
+    }
+    payload = {
+        "database_left": left_name,
+        "query_left": {"name": "Q1", "kind": "count", "relation": left_name,
+                       "attribute": "Program"},
+        "database_right": right_name,
+        "query_right": {
+            "name": "Q2", "kind": "count", "relation": right_name,
+            "attribute": "Major",
+            "where": [{"column": "Univ", "op": "=", "value": "A"}],
+        },
+        "attribute_matches": [["Program", "Major"]],
+        "config": {"partitioning": "smart"},
+    }
+    return left_name, left, right_name, right, payload
+
+
+class _FleetUnderTest:
+    """One booted fleet (router + N subprocess workers) behind a client URL."""
+
+    def __init__(self, worker_count: int, pairs):
+        from repro.fleet.router import FleetRouter, serve_router_in_background
+        from repro.fleet.shared_cache import SharedCacheTier
+        from repro.fleet.worker import WorkerPool, WorkerSpec
+        from repro.service.api import ServiceClient
+
+        self.worker_count = worker_count
+        self.tier = SharedCacheTier()
+        self.pool = WorkerPool(WorkerSpec(spill_dir=self.tier.directory))
+        workers = self.pool.spawn(worker_count)
+        self.router = FleetRouter(workers, pool=self.pool, shared_cache=self.tier)
+        self.server, _ = serve_router_in_background(self.router)
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        client = ServiceClient(self.url, timeout=120.0)
+        for left_name, left, right_name, right, _ in pairs:
+            client.register_database(left_name, left)
+            client.register_database(right_name, right)
+
+    def close(self):
+        self.server.shutdown()
+        self.router.shutdown()
+        self.pool.stop()
+        self.tier.cleanup()
+
+
+def _fleet_load_pass(url: str, pairs, clients: int, rounds: int):
+    """One concurrent-clients pass; returns (throughput_rps, latencies, answers).
+
+    Each client thread walks the pair list from its own offset, so at any
+    instant the in-flight requests target *different* database pairs --
+    measuring real routed load rather than single-flight collapse.  The
+    canonical form of every response comes back (answers[pair_index]) so the
+    caller can assert equivalence outside the timed window.
+    """
+    import threading
+
+    from repro.fleet.__main__ import canonical_report
+    from repro.service.api import ServiceClient
+
+    latencies_per_client = [[] for _ in range(clients)]
+    answers_per_client = [dict() for _ in range(clients)]
+    failures = []
+    start_gate = threading.Barrier(clients + 1)
+
+    def drive(client_index: int) -> None:
+        client = ServiceClient(url, timeout=120.0)
+        sink = latencies_per_client[client_index]
+        answers = answers_per_client[client_index]
+        try:
+            start_gate.wait(timeout=30)
+            for _ in range(rounds):
+                for step in range(len(pairs)):
+                    pair_index = (client_index + step) % len(pairs)
+                    began = time.perf_counter()
+                    response = client.explain(pairs[pair_index][4])
+                    sink.append(time.perf_counter() - began)
+                    answers[pair_index] = canonical_report(response)
+        except Exception as exc:  # noqa: BLE001 - benchmark must report, not die
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(index,)) for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_gate.wait(timeout=30)
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall = time.perf_counter() - wall_start
+    if failures:
+        raise AssertionError(f"fleet load pass failed: {failures[0]}")
+    latencies = [sample for sink in latencies_per_client for sample in sink]
+    answers: dict[int, set] = {}
+    for per_client in answers_per_client:
+        for pair_index, canonical in per_client.items():
+            answers.setdefault(pair_index, set()).add(canonical)
+    return (len(latencies) / wall if wall else 0.0), latencies, answers
+
+
+def run_fleet() -> dict:
+    """The fleet section: equivalence, 1-vs-2-worker load, shared-tier reuse.
+
+    Both fleets stay up through alternating best-of passes so OS noise hits
+    them symmetrically, and every pass uses *fresh* database pairs so the
+    measured requests do real pipeline work (a pass over nothing but warm
+    cache hits would measure the HTTP stack, not the fleet).  The canonical
+    form of every routed response is asserted equal to a direct single
+    daemon's before any throughput is credited.
+    """
+    import os
+
+    from repro.fleet.__main__ import _direct_baseline, canonical_report
+    from repro.fleet.worker import http_json
+    from repro.service.api import ServiceClient
+
+    fleets = {count: _FleetUnderTest(count, []) for count in (1, 2)}
+    try:
+        best = {count: (0.0, []) for count in fleets}
+        first_pass_pairs = None
+
+        def measure_round(pass_index: int) -> None:
+            # Fresh pairs per pass: every first touch is a cold pipeline run.
+            pass_pairs = [
+                fleet_pair(pass_index * FLEET_PAIRS + offset)
+                for offset in range(FLEET_PAIRS)
+            ]
+            nonlocal first_pass_pairs
+            if first_pass_pairs is None:
+                first_pass_pairs = pass_pairs
+            baseline = _direct_baseline(pass_pairs)
+            for count, fleet in fleets.items():
+                client = ServiceClient(fleet.url, timeout=120.0)
+                for left_name, left, right_name, right, _ in pass_pairs:
+                    client.register_database(left_name, left)
+                    client.register_database(right_name, right)
+                throughput, latencies, answers = _fleet_load_pass(
+                    fleet.url, pass_pairs, FLEET_CLIENTS, FLEET_ROUNDS
+                )
+                for pair_index, canonicals in answers.items():
+                    if canonicals != {baseline[pair_index]}:
+                        raise AssertionError(
+                            f"{count}-worker fleet: pair {pair_index} of pass "
+                            f"{pass_index} diverged from the direct daemon"
+                        )
+                if throughput > best[count][0]:
+                    best[count] = (throughput, latencies)
+
+        passes_run = 0
+        for _ in range(FLEET_PASSES):
+            measure_round(passes_run)
+            passes_run += 1
+        cores = os.cpu_count() or 1
+        floor = FLEET_MIN_SPEEDUP if cores >= FLEET_MULTICORE_THRESHOLD else 1.0
+        for _ in range(FLEET_EXTRA_PASSES):
+            if best[2][0] >= floor * best[1][0]:
+                break
+            measure_round(passes_run)
+            passes_run += 1
+        speedup = best[2][0] / best[1][0] if best[1][0] else 0.0
+
+        # The shared tier across workers: a late joiner on the populated
+        # spill must serve warm disk hits instead of recomputing.
+        first_baseline = _direct_baseline(first_pass_pairs[:1])
+        newcomer = fleets[2].pool.spawn(1)[0]
+        fleets[2].router._admit(newcomer)
+        status, body = http_json(
+            "POST", f"{newcomer.url}/explain", first_pass_pairs[0][4], timeout=120.0
+        )
+        if status != 200 or canonical_report(body) != first_baseline[0]:
+            raise AssertionError(f"newcomer answer diverged (status {status})")
+        _, worker_stats = http_json("GET", f"{newcomer.url}/stats", timeout=30.0)
+        cross_worker_hits = worker_stats["service"]["caches"]["report"]["spill_loads"]
+        if cross_worker_hits < 1:
+            raise AssertionError(
+                "late-joining worker recomputed instead of reading the shared tier"
+            )
+
+        router_health = ServiceClient(fleets[2].url, timeout=30.0).health()
+        shared_tier = router_health["shared_cache"]
+
+        if speedup < floor:
+            raise AssertionError(
+                f"2-worker fleet only {speedup:.2f}x single-worker throughput "
+                f"(floor {floor}x on {cores} core(s))"
+            )
+
+        def _side(count: int) -> dict:
+            throughput, latencies = best[count]
+            return {
+                "workers": count,
+                "requests": len(latencies),
+                "throughput_rps": round(throughput, 2),
+                "p50_seconds": round(_percentile(latencies, 0.50), 6),
+                "p99_seconds": round(_percentile(latencies, 0.99), 6),
+            }
+
+        return {
+            "pairs_per_pass": FLEET_PAIRS,
+            "concurrent_clients": FLEET_CLIENTS,
+            "rounds_per_client": FLEET_ROUNDS,
+            "passes_run": passes_run,
+            "cores": cores,
+            "reports_byte_identical_to_direct": True,
+            "single_worker": _side(1),
+            "multi_worker": _side(2),
+            "throughput_speedup": round(speedup, 3),
+            "speedup_floor": floor,
+            "cross_worker_warm_hits": cross_worker_hits,
+            "shared_cache_tier": shared_tier,
+        }
+    finally:
+        for fleet in fleets.values():
+            fleet.close()
+
+
 def main() -> dict:
     pair, requests = build_workload()
 
@@ -287,6 +540,20 @@ def main() -> dict:
             f"{MAX_RELIABILITY_OVERHEAD * 100:.0f}% "
             f"({fast_median * 1e3:.3f}ms -> {guarded_median * 1e3:.3f}ms)"
         )
+
+    fleet = run_fleet()
+    results["fleet"] = fleet
+    print(
+        f"[fleet] {fleet['single_worker']['requests']} requests x "
+        f"{fleet['concurrent_clients']} clients: 1 worker "
+        f"{fleet['single_worker']['throughput_rps']} rps "
+        f"(p99 {fleet['single_worker']['p99_seconds'] * 1e3:.1f}ms), 2 workers "
+        f"{fleet['multi_worker']['throughput_rps']} rps "
+        f"(p99 {fleet['multi_worker']['p99_seconds'] * 1e3:.1f}ms) -> "
+        f"{fleet['throughput_speedup']}x on {fleet['cores']} core(s) "
+        f"(floor {fleet['speedup_floor']}x); "
+        f"{fleet['cross_worker_warm_hits']} cross-worker warm hit(s)"
+    )
 
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")

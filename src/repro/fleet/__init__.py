@@ -1,0 +1,60 @@
+"""The sharded multi-process service fleet: router, worker pods, shared cache.
+
+``python -m repro.fleet --workers N`` starts N ``repro.service`` worker
+daemons sharing one write-through spill directory (the cross-process cache
+tier) behind a consistent-hash router that speaks the exact single-daemon
+HTTP protocol -- :class:`~repro.service.api.ServiceClient` works unchanged.
+
+Layers:
+
+* :mod:`repro.fleet.ring` -- consistent hashing with virtual nodes (placement
+  and failover order);
+* :mod:`repro.fleet.worker` -- worker-pod lifecycle: spawn, readiness probe,
+  heartbeat, SIGTERM drain-then-exit;
+* :mod:`repro.fleet.router` -- idempotency-keyed routing with single-flight
+  dedup, per-worker circuit breakers and dead-worker failover re-hash;
+* :mod:`repro.fleet.shared_cache` -- observability over the shared spill tier.
+"""
+
+from repro.fleet.ring import HashRing, ring_position
+from repro.fleet.router import (
+    FleetRouter,
+    NoWorkerAvailable,
+    RouterHTTPServer,
+    serve_router,
+    serve_router_in_background,
+)
+from repro.fleet.shared_cache import (
+    SHARED_TIERS,
+    SharedCacheTier,
+    aggregate_cache_stats,
+)
+from repro.fleet.worker import (
+    StaticWorker,
+    WorkerError,
+    WorkerPool,
+    WorkerProcess,
+    WorkerSpec,
+    WorkerUnavailable,
+    http_json,
+)
+
+__all__ = [
+    "HashRing",
+    "ring_position",
+    "FleetRouter",
+    "NoWorkerAvailable",
+    "RouterHTTPServer",
+    "serve_router",
+    "serve_router_in_background",
+    "SHARED_TIERS",
+    "SharedCacheTier",
+    "aggregate_cache_stats",
+    "StaticWorker",
+    "WorkerError",
+    "WorkerPool",
+    "WorkerProcess",
+    "WorkerSpec",
+    "WorkerUnavailable",
+    "http_json",
+]

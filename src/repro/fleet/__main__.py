@@ -1,0 +1,389 @@
+"""Run the sharded service fleet: ``python -m repro.fleet --workers N``.
+
+Boots N ``repro.service`` worker daemons sharing one write-through spill
+directory (the cross-process cache tier) behind a consistent-hash router
+that speaks the single-daemon HTTP protocol -- point any existing
+:class:`~repro.service.api.ServiceClient` at the router and nothing changes.
+
+Smoke modes (both used by CI):
+
+* ``--self-test`` boots a 2-worker fleet on ephemeral ports, drives the
+  stock ``ServiceClient`` through register + explain + async-job round
+  trips, asserts every routed answer is byte-identical to a direct
+  single-daemon answer, verifies a late-joining worker reads its siblings'
+  artifacts out of the shared tier, and checks SIGTERM drain exits 0.
+* ``--chaos-smoke`` streams concurrent requests at the fleet and
+  ``kill -9``-s one worker mid-stream: every request must still succeed
+  (failover re-hash) with byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+import time
+
+from repro.service.api import ServiceClient, serve_in_background
+from repro.service.engine import ExplainService
+from repro.fleet.router import FleetRouter, serve_router, serve_router_in_background
+from repro.fleet.shared_cache import SharedCacheTier
+from repro.fleet.worker import WorkerPool, WorkerSpec, http_json
+
+
+# ---------------------------------------------------------------------------
+# Demo workload: distinct database pairs so placement spreads over the ring
+# ---------------------------------------------------------------------------
+
+def demo_pair(index: int) -> tuple[str, dict, str, dict, dict]:
+    """One synthetic database pair + explain payload, distinct per index.
+
+    Each pair gets its own content (an extra program row keyed by the
+    index), hence its own fingerprints, hence its own ring placement --
+    which is what lets a multi-pair workload exercise more than one worker.
+    """
+    left_name, right_name = f"D1_{index}", f"D2_{index}"
+    left = {
+        left_name: [
+            {"Program": "Accounting", "Degree": "B.S."},
+            {"Program": "CS", "Degree": "B.A."},
+            {"Program": "CS", "Degree": "B.S."},
+            {"Program": "ECE", "Degree": "B.S."},
+            {"Program": f"Minor{index}", "Degree": "B.S."},
+        ]
+    }
+    right = {
+        right_name: [
+            {"Univ": "A", "Major": "Accounting"},
+            {"Univ": "A", "Major": "CSE"},
+            {"Univ": "A", "Major": "ECE"},
+            {"Univ": "B", "Major": "Art"},
+            {"Univ": "B", "Major": f"Minor{index}"},
+        ]
+    }
+    payload = {
+        "database_left": left_name,
+        "query_left": {"name": "Q1", "kind": "count", "relation": left_name,
+                       "attribute": "Program"},
+        "database_right": right_name,
+        "query_right": {
+            "name": "Q2", "kind": "count", "relation": right_name,
+            "attribute": "Major",
+            "where": [{"column": "Univ", "op": "=", "value": "A"}],
+        },
+        "attribute_matches": [["Program", "Major"]],
+        "config": {"partitioning": "none"},
+    }
+    return left_name, left, right_name, right, payload
+
+
+def canonical_report(report: dict) -> str:
+    """The byte-identity form of an explain response.
+
+    Strips the fields that legitimately differ between servers --
+    ``timings`` (wall clock), ``service`` (cache hit/miss provenance),
+    ``fleet`` (which worker answered) and the wall-clock members of the
+    solver ``stats`` block -- and canonicalizes the rest.  Two responses
+    are *the same answer* iff these strings are equal.
+    """
+    trimmed = {
+        key: value
+        for key, value in report.items()
+        if key not in ("timings", "service", "fleet")
+    }
+    if isinstance(trimmed.get("stats"), dict):
+        trimmed["stats"] = {
+            key: value
+            for key, value in trimmed["stats"].items()
+            if not key.endswith("_time")
+        }
+    return json.dumps(trimmed, sort_keys=True)
+
+
+def _register_pairs(client: ServiceClient, pairs) -> None:
+    for left_name, left, right_name, right, _ in pairs:
+        client.register_database(left_name, left)
+        client.register_database(right_name, right)
+
+
+def _direct_baseline(pairs) -> dict[int, str]:
+    """Canonical answers from a plain single daemon (no fleet, no spill)."""
+    server, _ = serve_in_background(ExplainService(), port=0)
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+        _register_pairs(client, pairs)
+        return {
+            index: canonical_report(client.explain(pair[4]))
+            for index, pair in enumerate(pairs)
+        }
+    finally:
+        server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Smoke modes
+# ---------------------------------------------------------------------------
+
+def self_test() -> int:
+    """Fleet round trip + shared-tier reuse + SIGTERM drain, all asserted."""
+    pairs = [demo_pair(index) for index in range(4)]
+    baseline = _direct_baseline(pairs)
+
+    tier = SharedCacheTier()
+    pool = WorkerPool(WorkerSpec(spill_dir=tier.directory, drain_seconds=5.0))
+    router = None
+    server = None
+    try:
+        workers = pool.spawn(2)
+        router = FleetRouter(workers, pool=pool, shared_cache=tier)
+        server, _ = serve_router_in_background(router)
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+
+        health = client.health()
+        assert health["live_workers"] == 2, f"fleet not fully live: {health}"
+        _register_pairs(client, pairs)
+        assert sorted(client.health()["registered_databases"]) == sorted(
+            name for pair in pairs for name in (pair[0], pair[2])
+        )
+
+        served_by = set()
+        for index, pair in enumerate(pairs):
+            report = client.explain(pair[4])
+            assert canonical_report(report) == baseline[index], (
+                f"routed answer for pair {index} diverged from the direct daemon"
+            )
+            served_by.add(report["fleet"]["worker"])
+        # Warm repeat: the owning worker's report cache answers.
+        warm = client.explain(pairs[0][4])
+        assert warm["service"]["cached_report"] is True, "repeat must be cached"
+
+        # Async jobs route by the same key and return worker-prefixed ids.
+        job = client.submit_job(pairs[1][4])
+        assert ":" in job["id"], f"job id not worker-prefixed: {job}"
+        final = client.wait_for_job(job["id"])
+        assert final["state"] == "done", f"fleet job failed: {final}"
+
+        # The shared tier: a late-joining worker must read its siblings'
+        # artifacts off the shared spill instead of recomputing.
+        newcomer = pool.spawn(1)[0]
+        router._admit(newcomer)
+        status, body = http_json(
+            "POST", f"{newcomer.url}/explain", pairs[0][4], timeout=60.0
+        )
+        assert status == 200, f"newcomer explain failed: {body}"
+        assert canonical_report(body) == baseline[0], (
+            "newcomer's shared-tier answer diverged"
+        )
+        status, stats = http_json("GET", f"{newcomer.url}/stats", timeout=10.0)
+        report_cache = stats["service"]["caches"]["report"]
+        assert report_cache["spill_loads"] >= 1, (
+            f"newcomer recomputed instead of reading the shared tier: {report_cache}"
+        )
+
+        # SIGTERM drain-then-exit: graceful termination is exit code 0.
+        code = newcomer.terminate()
+        assert code == 0, f"SIGTERM drain exited {code}, expected 0"
+
+        fleet_health = client.health()
+        shared = fleet_health["shared_cache"]
+        assert shared["artifacts"] >= 1, f"shared tier never populated: {shared}"
+        assert shared["quarantined"] == 0, f"quarantines in shared tier: {shared}"
+        print(
+            "fleet self-test ok: "
+            f"{len(pairs)} pairs byte-identical via {len(served_by)} worker(s), "
+            "async job + warm cache + shared-tier reuse "
+            f"({report_cache['spill_loads']} spill loads) + SIGTERM drain passed"
+        )
+        return 0
+    finally:
+        if server is not None:
+            server.shutdown()
+        if router is not None:
+            router.shutdown()
+        pool.stop()
+        tier.cleanup()
+
+
+def chaos_smoke() -> int:
+    """``kill -9`` one worker mid-stream; zero lost requests, identical bytes."""
+    pairs = [demo_pair(index) for index in range(6)]
+    baseline = _direct_baseline(pairs)
+
+    tier = SharedCacheTier()
+    pool = WorkerPool(WorkerSpec(spill_dir=tier.directory, drain_seconds=5.0))
+    router = None
+    server = None
+    try:
+        workers = pool.spawn(2)
+        router = FleetRouter(workers, pool=pool, shared_cache=tier)
+        server, _ = serve_router_in_background(router)
+        host, port = server.server_address[:2]
+        base_url = f"http://{host}:{port}"
+        _register_pairs(ServiceClient(base_url, timeout=60.0), pairs)
+
+        failures: list[str] = []
+        mismatches: list[str] = []
+        completed = 0
+        lock = threading.Lock()
+        kill_at = threading.Event()
+
+        def _stream(rounds: int) -> None:
+            nonlocal completed
+            client = ServiceClient(base_url, timeout=60.0)
+            for round_no in range(rounds):
+                for index, pair in enumerate(pairs):
+                    try:
+                        report = client.explain(pair[4])
+                    except Exception as exc:  # noqa: BLE001 - tallied below
+                        with lock:
+                            failures.append(f"pair {index} round {round_no}: {exc}")
+                        continue
+                    if canonical_report(report) != baseline[index]:
+                        with lock:
+                            mismatches.append(f"pair {index} round {round_no}")
+                    with lock:
+                        completed += 1
+                        if completed >= len(pairs):
+                            kill_at.set()
+
+        threads = [
+            threading.Thread(target=_stream, args=(3,), daemon=True)
+            for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        # The chaos: once the stream is warmed up, SIGKILL a worker with
+        # requests in flight.  No drain, no goodbye.
+        assert kill_at.wait(timeout=120.0), "stream never warmed up"
+        victim = workers[0]
+        victim.process.kill()
+        for thread in threads:
+            thread.join(timeout=300.0)
+
+        assert not failures, f"{len(failures)} request(s) lost to the kill: {failures[:5]}"
+        assert not mismatches, f"answers diverged after failover: {mismatches[:5]}"
+        health = ServiceClient(base_url, timeout=10.0).health()
+        assert health["workers"][victim.name]["state"] == "dead", (
+            f"victim never marked dead: {health['workers'][victim.name]}"
+        )
+        assert health["live_workers"] >= 1
+        failovers = health["router"]["failovers"]
+        print(
+            f"fleet chaos smoke ok: {completed} requests, 0 failures, "
+            f"0 divergent answers across kill -9 of {victim.name} "
+            f"({failovers} failover(s), {health['router']['routed']} routed)"
+        )
+        return 0
+    finally:
+        if server is not None:
+            server.shutdown()
+        if router is not None:
+            router.shutdown()
+        pool.stop()
+        tier.cleanup()
+
+
+# ---------------------------------------------------------------------------
+# The fleet daemon
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Sharded Explain3D service fleet: router + N worker pods",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="router port (workers always bind ephemeral ports)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker pods to spawn")
+    parser.add_argument("--replicas", type=int, default=64,
+                        help="virtual nodes per worker on the hash ring")
+    parser.add_argument("--spill-dir", default=None,
+                        help="shared cache-tier directory (default: owned temp dir)")
+    parser.add_argument("--cache-entries", type=int, default=128)
+    parser.add_argument("--report-cache-entries", type=int, default=256)
+    parser.add_argument("--job-workers", type=int, default=2,
+                        help="concurrent async jobs per worker")
+    parser.add_argument("--drain-seconds", type=float, default=10.0,
+                        help="per-worker SIGTERM drain bound")
+    parser.add_argument("--heartbeat-seconds", type=float, default=1.0,
+                        help="supervisor probe interval")
+    parser.add_argument("--no-respawn", action="store_true",
+                        help="do not replace dead workers")
+    parser.add_argument("--self-test", action="store_true",
+                        help="boot a 2-worker fleet, assert round trips, exit")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="kill -9 a worker mid-stream, assert zero lost requests")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if args.chaos_smoke:
+        return chaos_smoke()
+
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    tier = SharedCacheTier(args.spill_dir)
+    pool = WorkerPool(WorkerSpec(
+        spill_dir=tier.directory,
+        cache_entries=args.cache_entries,
+        report_cache_entries=args.report_cache_entries,
+        job_workers=args.job_workers,
+        drain_seconds=args.drain_seconds,
+    ))
+    print(f"spawning {args.workers} worker pod(s)...", flush=True)
+    workers = pool.spawn(args.workers)
+    router = FleetRouter(
+        workers,
+        pool=pool,
+        shared_cache=tier,
+        replicas=args.replicas,
+        respawn=not args.no_respawn,
+        heartbeat_seconds=args.heartbeat_seconds,
+    )
+    server = serve_router(router, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    for worker in workers:
+        print(f"  {worker.name} ready at {worker.url}", flush=True)
+    print(
+        f"fleet router listening on http://{host}:{port} "
+        f"fronting {len(workers)} worker(s), shared cache at {tier.directory} "
+        "(Ctrl-C to stop)",
+        flush=True,
+    )
+    router.start_supervisor()
+
+    stop_requested = threading.Event()
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - stdlib signature
+        stop_requested.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use): skip the handler
+
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down fleet")
+    finally:
+        server.shutdown()
+        # Drain-then-exit for the whole fleet: workers get SIGTERM and
+        # persist their caches; the shared tier survives for the next boot
+        # when --spill-dir was given (owned temp dirs are removed).
+        router.shutdown()
+        tier.cleanup()
+    if stop_requested.is_set():
+        print("fleet drained; exiting 0", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

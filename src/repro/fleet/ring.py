@@ -1,0 +1,131 @@
+"""Consistent-hash ring with virtual nodes for the fleet router.
+
+Each worker contributes ``replicas`` virtual points on a ring of sha256
+positions; a key (in the fleet: the fingerprint of a request's database
+pair) is owned by the first virtual point clockwise from the key's own
+position.  Two properties matter for the fleet:
+
+* **Stability under join/leave** -- adding or removing one worker moves only
+  the keys that hashed into its arcs (~1/N of the keyspace), so the artifact
+  caches of the surviving workers stay warm through membership churn.
+* **Process-independent determinism** -- positions come from sha256, never
+  from Python's per-process-salted ``hash()``, so the router, every worker
+  and every test agree on ownership.
+
+:meth:`HashRing.preference` yields the failover order: the owner first, then
+each successive distinct node clockwise -- exactly the worker sequence the
+router walks when one dies mid-request.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+from typing import Iterable, Iterator
+
+
+def ring_position(value: str) -> int:
+    """A stable 64-bit ring position for any string (sha256-derived)."""
+    digest = hashlib.sha256(value.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping string keys to member nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        #: Sorted virtual-point positions and their owning node, kept aligned.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Add a node (idempotent); moves ~1/N of the keyspace onto it."""
+        if not node:
+            raise ValueError("ring nodes must be non-empty names")
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            position = ring_position(f"{node}#{replica}")
+            index = bisect.bisect_left(self._points, position)
+            # sha256 collisions between distinct vnode labels are not a
+            # practical concern, but keep insertion deterministic anyway:
+            # ties resolve by node name.
+            while (
+                index < len(self._points)
+                and self._points[index] == position
+                and self._owners[index] < node
+            ):
+                index += 1
+            self._points.insert(index, position)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove a node (idempotent); its arcs fall to their successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -- lookup ---------------------------------------------------------------------
+    def node_for(self, key: str, *, exclude: frozenset[str] | set[str] = frozenset()) -> str:
+        """The node owning ``key``, skipping any in ``exclude``.
+
+        Raises :class:`LookupError` when no eligible node remains -- the
+        router turns that into a 503 rather than routing into the void.
+        """
+        for node in self.preference(key):
+            if node not in exclude:
+                return node
+        raise LookupError(f"no eligible node for key {key!r} (ring has {len(self)})")
+
+    def preference(self, key: str, count: int | None = None) -> Iterator[str]:
+        """Distinct nodes in failover order: the owner, then clockwise successors."""
+        if not self._points:
+            return
+        limit = len(self._nodes) if count is None else min(count, len(self._nodes))
+        start = bisect.bisect_right(self._points, ring_position(key))
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner in seen:
+                continue
+            seen.add(owner)
+            yield owner
+            if len(seen) >= limit:
+                return
+
+    # -- introspection ----------------------------------------------------------------
+    def spread(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each node owns (balance diagnostics)."""
+        counts: Counter[str] = Counter({node: 0 for node in self._nodes})
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return dict(counts)
+
+    def describe(self) -> dict:
+        """JSON-safe ring summary for the router's /health payload."""
+        return {
+            "nodes": self.nodes(),
+            "replicas": self.replicas,
+            "virtual_points": len(self._points),
+        }

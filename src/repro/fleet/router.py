@@ -1,0 +1,587 @@
+"""The fleet router: one front door, N worker pods, zero lost requests.
+
+:class:`FleetRouter` speaks the exact JSON-over-HTTP protocol of the
+single-process daemon (``repro.service.api``), so :class:`ServiceClient`
+and every existing caller work unchanged against a fleet.  Behind the door:
+
+* **Placement** -- requests route over a consistent-hash ring keyed by the
+  fingerprint of their database pair (:mod:`repro.fleet.ring`), so all
+  traffic for one dataset pair lands on one worker and its in-memory
+  artifact caches stay hot.  Database registrations broadcast to *every*
+  worker, which is what makes failover re-hash sound: any worker can serve
+  any request, identically, because the pipeline is deterministic and the
+  artifact keys are content fingerprints.
+* **Idempotent request keys** -- every explain carries an idempotency key
+  (fingerprint of the full request payload).  Concurrent identical requests
+  coalesce onto one upstream call (single-flight), and a failover retry of
+  the same request is safe by construction -- replaying a pure computation.
+* **Failover** -- a transport-dead worker is removed from the ring and the
+  request re-hashes onto the next worker in the key's preference order; the
+  response is byte-identical because every worker computes the same answer.
+* **Circuit breakers** -- per-worker, reusing
+  :class:`~repro.reliability.breaker.BreakerRegistry`: a worker that keeps
+  failing is skipped in preference order until its cool-down probe passes.
+* **Supervision** -- an optional heartbeat thread probes workers, respawns
+  dead pods (replaying database registrations onto the newcomer) and adds
+  them back to the ring.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.reliability.breaker import BreakerRegistry, CircuitOpenError
+from repro.service.api import error_payload
+from repro.service.cache import fingerprint_of
+from repro.service.metrics import LatencyRecorder, merge_endpoint_snapshots
+from repro.fleet.ring import HashRing
+from repro.fleet.shared_cache import SharedCacheTier, aggregate_cache_stats
+from repro.fleet.worker import WorkerPool, WorkerUnavailable, http_json
+
+
+class NoWorkerAvailable(RuntimeError):
+    """Every eligible worker is dead or breaker-open for this request (503)."""
+
+
+class _Flight:
+    """One in-flight routed request that duplicates can latch onto."""
+
+    __slots__ = ("done", "outcome", "error", "followers")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.outcome: tuple[int, dict] | None = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class FleetRouter:
+    """Routes service requests across worker pods; see the module docstring."""
+
+    def __init__(
+        self,
+        workers,
+        *,
+        pool: WorkerPool | None = None,
+        shared_cache: SharedCacheTier | None = None,
+        replicas: int = 64,
+        breaker_failures: int = 3,
+        breaker_reset_seconds: float = 5.0,
+        forward_timeout: float = 600.0,
+        respawn: bool = False,
+        heartbeat_seconds: float = 1.0,
+    ):
+        self._workers = {worker.name: worker for worker in workers}
+        if not self._workers:
+            raise ValueError("a fleet needs at least one worker")
+        self.ring = HashRing(self._workers, replicas=replicas)
+        self.pool = pool
+        self.shared_cache = shared_cache
+        self.forward_timeout = forward_timeout
+        self.respawn = respawn
+        self.heartbeat_seconds = heartbeat_seconds
+        self.breakers = BreakerRegistry(
+            failure_threshold=breaker_failures, reset_seconds=breaker_reset_seconds
+        )
+        self.metrics = LatencyRecorder()
+        self._lock = threading.RLock()
+        #: Replayed onto respawned/joining workers so any pod can serve
+        #: any database.  Maps name -> the raw /databases payload.
+        self._registrations: dict[str, dict] = {}
+        self._inflight: dict[str, _Flight] = {}
+        self._counters = {
+            "routed": 0, "failovers": 0, "coalesced": 0,
+            "respawns": 0, "rejected": 0,
+        }
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+
+    # -- request keys -----------------------------------------------------------------
+    @staticmethod
+    def placement_key(database_left: str, database_right: str) -> str:
+        """The ring key of a database pair (order-sensitive, like the caches)."""
+        return fingerprint_of(str(database_left), str(database_right))
+
+    @staticmethod
+    def request_key(payload: dict) -> str:
+        """The idempotency key: a fingerprint of the full request payload."""
+        return fingerprint_of(payload)
+
+    # -- worker membership --------------------------------------------------------------
+    def workers(self) -> dict:
+        with self._lock:
+            return dict(self._workers)
+
+    def _mark_dead(self, name: str) -> None:
+        """Drop a transport-dead worker from rotation; its arcs fail over."""
+        with self._lock:
+            worker = self._workers.get(name)
+            if worker is not None and worker.state != "dead":
+                worker.state = "dead"
+            self.ring.remove(name)
+
+    def _admit(self, worker) -> None:
+        """Add a (re)spawned worker: replay registrations, then join the ring.
+
+        Registrations replay *before* the ring add so the worker never
+        receives a routed request for a database it has not seen.
+        """
+        with self._lock:
+            registrations = list(self._registrations.values())
+        for payload in registrations:
+            http_json(
+                "POST", f"{worker.url}/databases", payload,
+                timeout=self.forward_timeout,
+            )
+        with self._lock:
+            self._workers[worker.name] = worker
+            self.ring.add(worker.name)
+
+    # -- supervision --------------------------------------------------------------------
+    def start_supervisor(self) -> None:
+        """Start the heartbeat/respawn loop (idempotent)."""
+        if self._supervisor is not None:
+            return
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="fleet-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _supervise(self) -> None:
+        while not self._stop.wait(self.heartbeat_seconds):
+            try:
+                self._heartbeat_once()
+            except Exception:  # noqa: BLE001 - supervision must never die
+                pass
+
+    def _heartbeat_once(self) -> None:
+        for name, worker in list(self.workers().items()):
+            if worker.state == "dead":
+                continue
+            if worker.heartbeat() is None and worker.state == "dead":
+                self._mark_dead(name)
+        if self.respawn and self.pool is not None:
+            for newcomer in self.pool.respawn_dead():
+                try:
+                    self._admit(newcomer)
+                    with self._lock:
+                        self._counters["respawns"] += 1
+                except WorkerUnavailable:
+                    newcomer.kill()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+        if self.pool is not None:
+            self.pool.stop()
+
+    # -- forwarding --------------------------------------------------------------------
+    def _forward(
+        self, key: str, method: str, path: str, payload: dict | None
+    ) -> tuple[int, dict, str]:
+        """Forward to the key's preferred worker, failing over down the ring.
+
+        Returns ``(status, body, worker_name)``.  Transport failures mark the
+        worker dead and re-hash; HTTP responses -- including the worker's own
+        typed errors -- are relayed as-is (the worker answered; its answer is
+        the answer).  Breaker-open workers are skipped in preference order.
+        """
+        attempts = 0
+        with self._lock:
+            preference = list(self.ring.preference(key))
+        for name in preference:
+            worker = self._workers.get(name)
+            if worker is None or worker.state == "dead" or worker.url is None:
+                continue
+            try:
+                self.breakers.breaker(name).acquire()
+            except CircuitOpenError:
+                continue
+            attempts += 1
+            try:
+                status, body = http_json(
+                    method, f"{worker.url}{path}", payload,
+                    timeout=self.forward_timeout,
+                )
+            except WorkerUnavailable:
+                # The failover path: this worker is gone at the transport
+                # level; requests re-hash onto the next node of the ring.
+                self.breakers.record_failure(name)
+                self._mark_dead(name)
+                with self._lock:
+                    self._counters["failovers"] += 1
+                continue
+            if status >= 500:
+                self.breakers.record_failure(name)
+            else:
+                self.breakers.record_success(name)
+            with self._lock:
+                self._counters["routed"] += 1
+            return status, body, name
+        with self._lock:
+            self._counters["rejected"] += 1
+        raise NoWorkerAvailable(
+            f"no live worker for this request after {attempts} attempt(s); "
+            f"ring members: {self.ring.nodes()}"
+        )
+
+    def _single_flight(self, idempotency_key: str, call):
+        """Coalesce concurrent identical requests onto one upstream execution."""
+        with self._lock:
+            flight = self._inflight.get(idempotency_key)
+            if flight is None:
+                flight = self._inflight[idempotency_key] = _Flight()
+                leader = True
+            else:
+                flight.followers += 1
+                self._counters["coalesced"] += 1
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.outcome
+        try:
+            flight.outcome = call()
+            return flight.outcome
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(idempotency_key, None)
+            flight.done.set()
+
+    # -- the routed API -----------------------------------------------------------------
+    def register_database(self, payload: dict) -> tuple[int, dict]:
+        """Broadcast a database registration to every live worker.
+
+        Every worker must know every database for failover re-hash to be
+        sound; the payload is also retained and replayed onto respawned
+        pods.  All live workers must agree on the content fingerprint --
+        a disagreement would mean divergent data and is a hard error.
+        """
+        name = str(payload.get("name", ""))
+        responses: dict[str, dict] = {}
+        status_out = 201
+        for worker_name, worker in list(self.workers().items()):
+            if worker.state == "dead" or worker.url is None:
+                continue
+            try:
+                status, body = http_json(
+                    "POST", f"{worker.url}/databases", payload,
+                    timeout=self.forward_timeout,
+                )
+            except WorkerUnavailable:
+                self._mark_dead(worker_name)
+                continue
+            if status >= 400:
+                return status, body
+            responses[worker_name] = body
+        if not responses:
+            raise NoWorkerAvailable("no live worker accepted the registration")
+        fingerprints = {body.get("fingerprint") for body in responses.values()}
+        if len(fingerprints) != 1:
+            return 500, error_payload(
+                "FleetConsistencyError",
+                f"workers disagree on the fingerprint of {name!r}: {fingerprints}",
+            )
+        with self._lock:
+            self._registrations[name] = payload
+        body = next(iter(responses.values()))
+        body["workers"] = sorted(responses)
+        return status_out, body
+
+    def explain(self, payload: dict) -> tuple[int, dict]:
+        """Route one explain: single-flight, placement by database pair, failover."""
+        key = self.placement_key(
+            payload.get("database_left", ""), payload.get("database_right", "")
+        )
+        idempotency_key = self.request_key(payload)
+
+        def _call():
+            status, body, worker = self._forward(key, "POST", "/explain", payload)
+            if isinstance(body, dict) and status == 200:
+                body.setdefault("fleet", {})
+                body["fleet"].update(
+                    {"worker": worker, "idempotency_key": idempotency_key}
+                )
+            return status, body
+
+        return self._single_flight(idempotency_key, _call)
+
+    def plan(self, payload: dict) -> tuple[int, dict]:
+        key = self.placement_key(payload.get("database", ""), payload.get("database", ""))
+        status, body, _ = self._forward(key, "POST", "/plan", payload)
+        return status, body
+
+    def analyze(self, payload: dict) -> tuple[int, dict]:
+        key = self.placement_key(payload.get("database", ""), payload.get("database", ""))
+        status, body, _ = self._forward(key, "POST", "/analyze", payload)
+        return status, body
+
+    # -- async jobs ---------------------------------------------------------------------
+    #: Job references returned by the router are ``<worker>:<job-id>`` so
+    #: status polls and cancels route back to the pod that owns the job.
+    def submit_job(self, payload: dict) -> tuple[int, dict]:
+        key = self.placement_key(
+            payload.get("database_left", ""), payload.get("database_right", "")
+        )
+        status, body, worker = self._forward(key, "POST", "/jobs", payload)
+        if status < 400 and isinstance(body, dict) and "id" in body:
+            body["id"] = f"{worker}:{body['id']}"
+        return status, body
+
+    def _job_ref(self, ref: str) -> tuple[str, str] | None:
+        worker, _, job_id = ref.partition(":")
+        if not job_id or worker not in self._workers:
+            return None
+        return worker, job_id
+
+    def _job_call(self, method: str, ref: str) -> tuple[int, dict]:
+        parsed = self._job_ref(ref)
+        if parsed is None:
+            return 404, error_payload("UnknownJobError", f"unknown job {ref}")
+        worker_name, job_id = parsed
+        worker = self._workers[worker_name]
+        if worker.state == "dead" or worker.url is None:
+            # The owning pod died; its in-memory job state died with it.
+            # Clients re-submit: the idempotency key dedupes on the new pod.
+            return 404, error_payload(
+                "JobLostError",
+                f"worker {worker_name} holding job {job_id} is gone; "
+                "re-submit the request (idempotency keys make this safe)",
+            )
+        try:
+            status, body = http_json(
+                method, f"{worker.url}/jobs/{job_id}", timeout=self.forward_timeout
+            )
+        except WorkerUnavailable:
+            self._mark_dead(worker_name)
+            return 404, error_payload(
+                "JobLostError",
+                f"worker {worker_name} holding job {job_id} is gone; "
+                "re-submit the request (idempotency keys make this safe)",
+            )
+        if isinstance(body, dict) and "id" in body:
+            body["id"] = f"{worker_name}:{body['id']}"
+        return status, body
+
+    def job_status(self, ref: str) -> tuple[int, dict]:
+        return self._job_call("GET", ref)
+
+    def cancel_job(self, ref: str) -> tuple[int, dict]:
+        return self._job_call("DELETE", ref)
+
+    # -- introspection ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The fleet-level /health: workers, ring, shared tier, load metrics."""
+        workers_payload: dict[str, dict] = {}
+        worker_health: list[dict] = []
+        for name, worker in self.workers().items():
+            entry = worker.describe() if hasattr(worker, "describe") else {
+                "name": name, "url": worker.url, "state": worker.state,
+            }
+            if worker.state != "dead":
+                health = worker.probe() if hasattr(worker, "probe") else None
+                if health is not None:
+                    worker_health.append(health)
+                    entry["health"] = {
+                        key: health.get(key)
+                        for key in ("status", "requests_served", "degradations")
+                    }
+            workers_payload[name] = entry
+        live = [w for w in self.workers().values() if w.state != "dead"]
+        with self._lock:
+            counters = dict(self._counters)
+            registered = sorted(self._registrations)
+            inflight = len(self._inflight)
+        payload = {
+            "status": "ok" if len(live) == len(self._workers) else "degraded",
+            "workers": workers_payload,
+            "live_workers": len(live),
+            "ring": self.ring.describe(),
+            "registered_databases": registered,
+            "router": {**counters, "inflight": inflight},
+            "breakers": self.breakers.states(),
+            "endpoints": self.metrics.snapshot(),
+            "worker_endpoints": merge_endpoint_snapshots(
+                [health.get("endpoints", {}) for health in worker_health]
+            ),
+        }
+        if self.shared_cache is not None:
+            payload["shared_cache"] = self.shared_cache.describe()
+        return payload
+
+    def stats(self) -> dict:
+        """Aggregated fleet stats, including the per-tier shared-cache view."""
+        per_worker: dict[str, dict] = {}
+        cache_blocks: list[dict] = []
+        for name, worker in self.workers().items():
+            if worker.state == "dead" or worker.url is None:
+                per_worker[name] = {"state": "dead"}
+                continue
+            try:
+                status, body = http_json(
+                    "GET", f"{worker.url}/stats", timeout=self.forward_timeout
+                )
+            except WorkerUnavailable:
+                self._mark_dead(name)
+                per_worker[name] = {"state": "dead"}
+                continue
+            if status == 200:
+                per_worker[name] = body
+                service = body.get("service", {})
+                if "caches" in service:
+                    cache_blocks.append(service["caches"])
+        with self._lock:
+            counters = dict(self._counters)
+        payload = {
+            "router": counters,
+            "workers": per_worker,
+            "shared_cache": aggregate_cache_stats(cache_blocks),
+        }
+        if self.shared_cache is not None:
+            payload["shared_cache"]["disk"] = self.shared_cache.describe()
+        return payload
+
+
+# ---------------------------------------------------------------------------
+# The router's HTTP front door
+# ---------------------------------------------------------------------------
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the router (mirrors the worker protocol)."""
+
+    daemon_threads = True
+
+    def __init__(self, address, router: FleetRouter):
+        super().__init__(address, _RouterRequestHandler)
+        self.router = router
+
+
+class _RouterRequestHandler(BaseHTTPRequestHandler):
+    server: RouterHTTPServer  # narrowed for type checkers
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        import json
+
+        body = json.dumps(payload).encode()
+        self._last_status = status
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        import json
+
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from exc
+
+    def _endpoint(self, method: str) -> str:
+        path = self.path
+        if path.startswith("/jobs/"):
+            path = "/jobs/{id}"
+        elif path not in ("/health", "/stats", "/databases", "/explain",
+                          "/plan", "/analyze", "/jobs"):
+            path = "{unknown}"
+        return f"{method} {path}"
+
+    def _serve(self, method: str) -> None:
+        self._last_status = 200
+        start = time.perf_counter()
+        try:
+            self._route(method)
+        except NoWorkerAvailable as exc:
+            self._send_json(error_payload("NoWorkerAvailable", str(exc)), status=503)
+        except ValueError as exc:
+            self._send_json(error_payload("SpecError", str(exc)), status=400)
+        except Exception as exc:  # noqa: BLE001 - surface as JSON, never a bare 500
+            self._send_json(error_payload(type(exc).__name__, str(exc)), status=500)
+        finally:
+            self.server.router.metrics.observe(
+                self._endpoint(method),
+                time.perf_counter() - start,
+                error=self._last_status >= 400,
+            )
+
+    def _route(self, method: str) -> None:
+        router = self.server.router
+        if method == "GET":
+            if self.path == "/health":
+                self._send_json(router.health())
+            elif self.path == "/stats":
+                self._send_json(router.stats())
+            elif self.path.startswith("/jobs/"):
+                status, body = router.job_status(self.path.removeprefix("/jobs/"))
+                self._send_json(body, status=status)
+            else:
+                self._send_json(
+                    error_payload("NotFound", f"unknown path {self.path}"), status=404
+                )
+        elif method == "POST":
+            routes = {
+                "/databases": router.register_database,
+                "/explain": router.explain,
+                "/plan": router.plan,
+                "/analyze": router.analyze,
+                "/jobs": router.submit_job,
+            }
+            handler = routes.get(self.path)
+            if handler is None:
+                self._send_json(
+                    error_payload("NotFound", f"unknown path {self.path}"), status=404
+                )
+                return
+            status, body = handler(self._read_json())
+            self._send_json(body, status=status)
+        elif method == "DELETE":
+            if self.path.startswith("/jobs/"):
+                status, body = router.cancel_job(self.path.removeprefix("/jobs/"))
+                self._send_json(body, status=status)
+            else:
+                self._send_json(
+                    error_payload("NotFound", f"unknown path {self.path}"), status=404
+                )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._serve("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._serve("DELETE")
+
+
+def serve_router(
+    router: FleetRouter, *, host: str = "127.0.0.1", port: int = 8320
+) -> RouterHTTPServer:
+    """Create (but do not start) the router's HTTP server."""
+    return RouterHTTPServer((host, port), router)
+
+
+def serve_router_in_background(
+    router: FleetRouter, *, host: str = "127.0.0.1", port: int = 0
+) -> tuple[RouterHTTPServer, threading.Thread]:
+    """Start the router daemon on a background thread (port 0 = ephemeral)."""
+    server = serve_router(router, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="fleet-router", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -22,7 +22,9 @@ environment variable, e.g. ``REPRO_FAULTS="cache.spill_load=raise"``.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 
 from repro.reliability.faults import FAULTS
 from repro.reliability.retry import RetryPolicy
@@ -36,6 +38,7 @@ def _build_service(args: argparse.Namespace) -> ExplainService:
             cache_entries=args.cache_entries,
             report_cache_entries=args.report_cache_entries,
             spill_dir=args.spill_dir,
+            spill_write_through=args.spill_write_through,
             default_deadline_seconds=args.default_deadline_seconds,
             breaker_failures=args.breaker_failures,
             breaker_reset_seconds=args.breaker_reset_seconds,
@@ -276,6 +279,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report-cache-entries", type=int, default=256)
     parser.add_argument("--spill-dir", default=None,
                         help="directory for disk spill of evicted artifacts")
+    parser.add_argument("--spill-write-through", action="store_true",
+                        help="persist every cached artifact to --spill-dir eagerly "
+                             "(shared cross-process cache tier for fleet workers)")
+    parser.add_argument("--drain-seconds", type=float, default=10.0,
+                        help="SIGTERM grace: bound on draining in-flight jobs "
+                             "before the daemon persists its caches and exits 0")
     parser.add_argument("--default-deadline-seconds", type=float, default=None,
                         help="wall-clock budget applied to requests without one")
     parser.add_argument("--breaker-failures", type=int, default=5,
@@ -313,12 +322,38 @@ def main(argv: list[str] | None = None) -> int:
     host, port = server.server_address[:2]
     print(f"explain service listening on http://{host}:{port} (Ctrl-C to stop)",
           flush=True)
+
+    # Graceful SIGTERM: stop accepting, drain in-flight jobs (bounded by
+    # --drain-seconds), persist the cache spill, exit 0.  The handler only
+    # requests shutdown from a helper thread -- calling ``server.shutdown()``
+    # inside the handler would deadlock the serve_forever loop it interrupts.
+    drain_requested = threading.Event()
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - stdlib signature
+        drain_requested.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use): skip the handler
+
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.shutdown()
+    if drain_requested.is_set():
+        drained = server.jobs.drain(timeout=args.drain_seconds)
+        server.jobs.shutdown(wait=False)
+        persisted = service.persist_caches()
+        print(
+            f"SIGTERM drain: jobs {'settled' if drained else 'timed out'} "
+            f"within {args.drain_seconds}s, persisted {persisted} cache "
+            f"entr{'y' if persisted == 1 else 'ies'}; exiting 0",
+            flush=True,
+        )
     return 0
 
 

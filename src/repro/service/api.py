@@ -38,7 +38,9 @@ returns alongside the message.
 Endpoints of the daemon (``python -m repro.service``):
 
 * ``GET  /health``        -- liveness + reliability snapshot (circuit-breaker
-  states, degradation counters, cache totals, job-queue depth);
+  states, degradation counters, cache totals, job-queue depth, per-endpoint
+  request counts and latency quantiles -- the load signal the fleet router
+  aggregates across workers);
 * ``GET  /stats``         -- cache + job-queue counters;
 * ``POST /databases``     -- register a database from records;
 * ``POST /explain``       -- synchronous explain, returns the full report;
@@ -67,6 +69,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from dataclasses import fields
@@ -103,8 +106,10 @@ from repro.relational.query import (
 from repro.reliability.breaker import CircuitOpenError
 from repro.reliability.deadline import DeadlineExceeded, OperationCancelled
 from repro.reliability.retry import RetryPolicy
+from repro.service.cache import fingerprint_of
 from repro.service.engine import ExplainRequest, ExplainService, UnknownDatabaseError
 from repro.service.jobs import JobQueue, JobState
+from repro.service.metrics import LatencyRecorder
 from repro.sql import SqlError
 from repro.sql import parse_query as parse_sql_query
 
@@ -568,6 +573,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.jobs = JobQueue(
             service.explain, max_workers=job_workers, retry_policy=retry_policy
         )
+        #: Per-endpoint request counts + latency quantiles (rides /health).
+        self.metrics = LatencyRecorder()
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -581,11 +588,38 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _send_json(self, payload: dict, status: int = 200) -> None:
         body = json.dumps(payload).encode()
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    _KNOWN_PATHS = frozenset(
+        {"/health", "/stats", "/databases", "/explain", "/plan", "/analyze", "/jobs"}
+    )
+
+    def _endpoint(self, method: str) -> str:
+        """A bounded-cardinality endpoint label for the metrics recorder."""
+        path = self.path
+        if path.startswith("/jobs/"):
+            path = "/jobs/{id}"
+        elif path not in self._KNOWN_PATHS:
+            path = "{unknown}"
+        return f"{method} {path}"
+
+    def _timed(self, method: str, route) -> None:
+        """Serve one request through ``route``, recording endpoint metrics."""
+        self._last_status = 200
+        start = time.perf_counter()
+        try:
+            route()
+        finally:
+            self.server.metrics.observe(
+                self._endpoint(method),
+                time.perf_counter() - start,
+                error=self._last_status >= 400,
+            )
 
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", 0))
@@ -620,6 +654,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # -- routes -------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._timed("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._timed("POST", self._route_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        self._timed("DELETE", self._route_delete)
+
+    def _route_get(self) -> None:
         try:
             if self.path == "/health":
                 payload = self.server.service.health()
@@ -627,8 +670,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 payload["jobs"] = {
                     "queue_depth": queue_stats["states"].get("queued", 0),
                     "running": queue_stats["states"].get("running", 0),
-                    **{k: queue_stats[k] for k in ("submitted", "completed", "failed", "cancelled")},
+                    **{
+                        k: queue_stats[k]
+                        for k in ("submitted", "completed", "failed",
+                                  "cancelled", "deduplicated")
+                    },
                 }
+                payload["endpoints"] = self.server.metrics.snapshot()
                 self._send_json(payload)
             elif self.path == "/stats":
                 self._send_json(
@@ -643,7 +691,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - surface errors as JSON
             self._send_error(exc)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _route_post(self) -> None:
         try:
             if self.path == "/databases":
                 spec = self._read_json()
@@ -665,10 +713,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 name, buckets = analyze_request_from_payload(self._read_json())
                 self._send_json(self.server.service.analyze(name, buckets=buckets))
             elif self.path == "/jobs":
+                payload = self._read_json()
                 request = request_from_payload(
-                    self._read_json(), database_resolver=self.server.service.database
+                    payload, database_resolver=self.server.service.database
                 )
-                job = self.server.jobs.submit(request)
+                # Single-flight: identical concurrent submissions (retries,
+                # duplicate clicks, router failover) coalesce onto one job.
+                job = self.server.jobs.submit(
+                    request, idempotency_key=fingerprint_of(payload)
+                )
                 self._send_json(job.status(), status=202)
             else:
                 self._send_json(
@@ -677,7 +730,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - surface pipeline errors as JSON
             self._send_error(exc)
 
-    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+    def _route_delete(self) -> None:
         if not self.path.startswith("/jobs/"):
             self._send_json(
                 error_payload("NotFound", f"unknown path {self.path}"), status=404

@@ -19,6 +19,13 @@ envelope (magic + sha256 + length).  A corrupt or truncated file -- torn
 write on a non-atomic filesystem, bit rot, version skew -- is *quarantined*
 (renamed to ``*.corrupt``), counted in :attr:`CacheStats.spill_errors` and
 treated as an ordinary miss, so a warm cache is never worse than a cold one.
+
+With ``write_through=True`` the spill directory doubles as a **shared
+cross-process tier**: every ``put`` is persisted eagerly (not only on
+eviction), so a second service instance pointed at the same directory reads
+artifacts the first one computed.  No file lock is needed -- keys are content
+fingerprints, so concurrent writers of one key produce byte-identical
+payloads and the atomic rename makes either write a correct winner.
 """
 
 from __future__ import annotations
@@ -138,11 +145,13 @@ class ArtifactCache:
         *,
         max_entries: int = 128,
         spill_dir: str | Path | None = None,
+        write_through: bool = False,
     ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.name = name
         self.max_entries = max_entries
+        self.write_through = write_through
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
@@ -182,6 +191,11 @@ class ArtifactCache:
     def put(self, key: str, value) -> None:
         with self._lock:
             self._insert(key, value)
+            if self.write_through:
+                # Persist eagerly so other processes sharing the spill
+                # directory see this artifact without waiting for an
+                # eviction here.
+                self._write_spill(key, value)
 
     def get_or_compute(self, key: str, factory: Callable[[], object]):
         """Return the cached artifact, computing and caching it on a miss.
@@ -197,6 +211,23 @@ class ArtifactCache:
         value = factory()
         self.put(key, value)
         return value
+
+    def flush(self) -> int:
+        """Persist every in-memory entry to the spill directory; returns count.
+
+        Used by graceful shutdown: a drained daemon flushes its hot entries
+        so a successor process (or a fleet sibling sharing the directory)
+        starts warm.  A cache without a spill directory flushes nothing.
+        Entries whose spill file already exists are skipped for free
+        (content-addressed keys), so repeated flushes are idempotent.
+        """
+        with self._lock:
+            if self.spill_dir is None:
+                return 0
+            before = self.stats.spill_writes
+            for key, value in list(self._entries.items()):
+                self._write_spill(key, value)
+            return self.stats.spill_writes - before
 
     def clear(self) -> None:
         """Drop all entries, including this cache's spill files on disk.
@@ -241,6 +272,12 @@ class ArtifactCache:
         """
         path = self._spill_path(key)
         if path is None:
+            return
+        if path.exists():
+            # Keys are content fingerprints: an existing file for this key
+            # already holds exactly this value (written by us earlier, or by
+            # another process sharing the directory).  Skipping the rewrite
+            # keeps write-through puts and re-evictions cheap.
             return
         tmp_path = path.parent / f".{self.name}-{uuid.uuid4().hex}.tmp"
         try:
@@ -310,9 +347,16 @@ class ArtifactCache:
 class CacheRegistry:
     """The named artifact caches of one service instance, with combined stats."""
 
-    def __init__(self, *, max_entries: int = 128, spill_dir: str | Path | None = None):
+    def __init__(
+        self,
+        *,
+        max_entries: int = 128,
+        spill_dir: str | Path | None = None,
+        write_through: bool = False,
+    ):
         self.max_entries = max_entries
         self.spill_dir = spill_dir
+        self.write_through = write_through
         self._caches: dict[str, ArtifactCache] = {}
         self._lock = threading.Lock()
 
@@ -331,6 +375,7 @@ class CacheRegistry:
                     name,
                     max_entries=max_entries or self.max_entries,
                     spill_dir=self.spill_dir if spill else None,
+                    write_through=self.write_through and spill,
                 )
             return self._caches[name]
 
@@ -350,6 +395,10 @@ class CacheRegistry:
             totals.spill_loads += cache.stats.spill_loads
             totals.spill_errors += cache.stats.spill_errors
         return {"caches": per_cache, "total": totals.as_dict()}
+
+    def flush(self) -> int:
+        """Persist every cache's in-memory entries to disk; returns total written."""
+        return sum(cache.flush() for cache in self.caches())
 
     def clear(self) -> None:
         for cache in self.caches():

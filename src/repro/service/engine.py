@@ -74,6 +74,12 @@ class ServiceConfig:
     cache_entries: int = 128
     report_cache_entries: int = 256
     spill_dir: str | Path | None = None
+    #: Persist every cached artifact to ``spill_dir`` eagerly (not only on
+    #: eviction), turning the directory into a shared cross-process cache
+    #: tier: fleet workers pointed at one directory reuse each other's
+    #: artifacts.  Safe by construction -- keys are content fingerprints and
+    #: writes are atomic renames, so concurrent writers cannot conflict.
+    spill_write_through: bool = False
     #: Deadline applied to requests that do not set their own (None = none).
     default_deadline_seconds: float | None = None
     #: Per-database circuit breaker: consecutive unexpected failures before
@@ -154,7 +160,9 @@ class ExplainService:
     def __init__(self, config: ServiceConfig | None = None):
         self.config = config or ServiceConfig()
         self.caches = CacheRegistry(
-            max_entries=self.config.cache_entries, spill_dir=self.config.spill_dir
+            max_entries=self.config.cache_entries,
+            spill_dir=self.config.spill_dir,
+            write_through=self.config.spill_write_through,
         )
         self._provenance = self.caches.cache("provenance")
         # Plans hold a reference to their whole database: spilling one would
@@ -649,6 +657,16 @@ class ExplainService:
 
     def clear_caches(self) -> None:
         self.caches.clear()
+
+    def persist_caches(self) -> int:
+        """Flush every in-memory cache entry to the disk spill; returns count.
+
+        Called by the daemon's graceful-shutdown path so a successor process
+        (or a fleet sibling sharing the spill directory) starts warm instead
+        of relying on whatever happened to be evicted before the SIGTERM.
+        No spill directory means nothing to do.
+        """
+        return self.caches.flush()
 
     # -- conveniences -----------------------------------------------------------------
     def request(

@@ -14,6 +14,12 @@ by passing a :class:`~repro.reliability.RetryPolicy`; retries never apply to
 typed client or budget errors, only to the policy's ``retryable`` exception
 types.
 
+Submissions carrying an ``idempotency_key`` are **single-flight**: while a
+job with that key is queued or running, identical submissions coalesce onto
+it (one execution, every caller receives the result) instead of solving the
+same problem twice.  The daemon derives the key from a fingerprint of the
+request payload, so duplicate / retried HTTP submissions dedupe for free.
+
 The queue is deliberately generic over its runner: anything accepting an
 :class:`~repro.service.engine.ExplainRequest`-shaped payload and returning a
 result works, which keeps the queue testable in isolation.
@@ -59,6 +65,10 @@ class Job:
     finished_at: Optional[float] = None
     retries: int = 0
     cancel_requested: bool = False
+    #: Single-flight key: identical concurrent submissions share this job.
+    idempotency_key: Optional[str] = None
+    #: How many duplicate submissions were coalesced onto this job.
+    coalesced: int = 0
     #: Cooperative cancellation flag, observed by the runner at deadline
     #: checkpoints when the request threads it through (ExplainRequest does).
     cancel_event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -79,6 +89,8 @@ class Job:
             "finished_at": self.finished_at,
             "retries": self.retries,
             "cancel_requested": self.cancel_requested,
+            "idempotency_key": self.idempotency_key,
+            "coalesced": self.coalesced,
         }
 
 
@@ -88,6 +100,8 @@ class QueueStats:
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
+    #: Submissions coalesced onto an in-flight identical job (single-flight).
+    deduplicated: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -95,6 +109,7 @@ class QueueStats:
             "completed": self.completed,
             "failed": self.failed,
             "cancelled": self.cancelled,
+            "deduplicated": self.deduplicated,
         }
 
 
@@ -130,18 +145,41 @@ class JobQueue:
         self.stats = QueueStats()
         self._queue: queue.Queue = queue.Queue()
         self._jobs: dict[str, Job] = {}
+        #: Single-flight index: idempotency key -> its one in-flight job.
+        self._inflight: dict[str, Job] = {}
         self._lock = threading.RLock()
         self._counter = itertools.count(1)
         self._workers: list[threading.Thread] = []
         self._shutdown = threading.Event()
 
     # -- submission ---------------------------------------------------------------
-    def submit(self, request) -> Job:
-        """Enqueue one request; returns its :class:`Job` handle immediately."""
+    def submit(self, request, *, idempotency_key: str | None = None) -> Job:
+        """Enqueue one request; returns its :class:`Job` handle immediately.
+
+        With an ``idempotency_key``, submissions are **single-flight**: while
+        a job with the same key is queued or running, an identical submission
+        returns that same job instead of enqueueing a second execution --
+        both callers wait on (and receive) one result.  The coalescing window
+        closes when the job settles: a key resubmitted *after* completion
+        runs again (and typically hits the runner's report cache).  Note that
+        cancelling a coalesced job cancels it for every caller sharing it.
+        """
         if self._shutdown.is_set():
             raise RuntimeError("job queue has been shut down")
         with self._lock:
-            job = Job(id=f"job-{next(self._counter)}", request=request)
+            if idempotency_key is not None:
+                inflight = self._inflight.get(idempotency_key)
+                if inflight is not None and not inflight.state.terminal:
+                    inflight.coalesced += 1
+                    self.stats.deduplicated += 1
+                    return inflight
+            job = Job(
+                id=f"job-{next(self._counter)}",
+                request=request,
+                idempotency_key=idempotency_key,
+            )
+            if idempotency_key is not None:
+                self._inflight[idempotency_key] = job
             # Thread the job's cancellation flag into the request so a
             # DELETE on a *running* job is observed at the runner's
             # cooperative checkpoints.  Requests that brought their own
@@ -157,6 +195,18 @@ class JobQueue:
         self._queue.put(job)
         self._ensure_workers()
         return job
+
+    def _unindex(self, job: Job) -> None:
+        """Close the job's single-flight window (lock held, job terminal).
+
+        New submissions of the key after this point start a fresh execution;
+        callers already holding the job handle still read its result.
+        """
+        if (
+            job.idempotency_key is not None
+            and self._inflight.get(job.idempotency_key) is job
+        ):
+            del self._inflight[job.idempotency_key]
 
     def _prune_retained(self) -> None:
         """Drop the oldest *terminal* jobs beyond ``max_retained`` (lock held).
@@ -202,6 +252,7 @@ class JobQueue:
                 job.state = JobState.CANCELLED
                 job.finished_at = time.time()
                 self.stats.cancelled += 1
+                self._unindex(job)
                 job._done.set()
             return True
 
@@ -230,6 +281,16 @@ class JobQueue:
             **self.stats.as_dict(),
         }
 
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for every queued/running job to settle; True if all did.
+
+        Used by graceful shutdown: the daemon stops accepting requests, then
+        drains in-flight work bounded by ``--drain-seconds`` before exiting.
+        """
+        with self._lock:
+            pending = [job for job in self._jobs.values() if not job.state.terminal]
+        return self.wait_all(pending, timeout)
+
     def shutdown(self, *, wait: bool = True, timeout: float | None = None) -> None:
         """Stop accepting work; optionally wait for in-flight jobs to settle.
 
@@ -243,6 +304,7 @@ class JobQueue:
                     job.state = JobState.CANCELLED
                     job.finished_at = time.time()
                     self.stats.cancelled += 1
+                    self._unindex(job)
                     job._done.set()
         for _ in self._workers:
             self._queue.put(None)  # wake blocked workers
@@ -302,4 +364,6 @@ class JobQueue:
                     job.finished_at = time.time()
                     self.stats.completed += 1
             finally:
+                with self._lock:
+                    self._unindex(job)
                 job._done.set()

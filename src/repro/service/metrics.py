@@ -1,0 +1,117 @@
+"""Per-endpoint request metrics for the service daemon and the fleet router.
+
+:class:`LatencyRecorder` keeps, per endpoint label (``"POST /explain"``,
+``"GET /jobs/{id}"``), a monotonically increasing request/error count and a
+bounded sorted-sample reservoir of recent latencies from which p50/p90/p99
+quantiles are computed on demand.  The reservoir keeps the most recent
+``max_samples`` observations -- a deliberate sliding window, so the reported
+quantiles describe *current* load rather than the daemon's whole lifetime
+(a t-digest would summarize forever; for load balancing, recency wins).
+
+The snapshot is JSON-safe and rides on ``GET /health``, which is how the
+fleet router aggregates per-worker load -- the groundwork for
+smarter-than-hash balancing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+
+def quantile(ordered: list[float], fraction: float) -> float:
+    """The ``fraction`` quantile of an ascending-sorted sample (nearest rank)."""
+    if not ordered:
+        return 0.0
+    index = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+class _EndpointSeries:
+    """One endpoint's counters plus its bounded latency window."""
+
+    __slots__ = ("count", "errors", "samples")
+
+    def __init__(self, max_samples: int):
+        self.count = 0
+        self.errors = 0
+        self.samples: deque[float] = deque(maxlen=max_samples)
+
+
+class LatencyRecorder:
+    """Thread-safe per-endpoint request counts and latency quantiles."""
+
+    #: Quantiles reported in every snapshot (name -> fraction).
+    QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+    def __init__(self, *, max_samples: int = 512):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self.max_samples = max_samples
+        self._series: dict[str, _EndpointSeries] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, endpoint: str, seconds: float, *, error: bool = False) -> None:
+        """Record one served request: its endpoint label, latency and outcome."""
+        with self._lock:
+            series = self._series.get(endpoint)
+            if series is None:
+                series = self._series[endpoint] = _EndpointSeries(self.max_samples)
+            series.count += 1
+            if error:
+                series.errors += 1
+            series.samples.append(seconds)
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-endpoint metrics (the ``endpoints`` block of /health)."""
+        with self._lock:
+            frozen = {
+                endpoint: (series.count, series.errors, list(series.samples))
+                for endpoint, series in self._series.items()
+            }
+        payload = {}
+        for endpoint, (count, errors, samples) in sorted(frozen.items()):
+            ordered = sorted(samples)
+            payload[endpoint] = {
+                "count": count,
+                "errors": errors,
+                "window": len(ordered),
+                **{
+                    f"{name}_ms": round(quantile(ordered, fraction) * 1e3, 3)
+                    for name, fraction in self.QUANTILES
+                },
+            }
+        return payload
+
+    def total_count(self) -> int:
+        with self._lock:
+            return sum(series.count for series in self._series.values())
+
+
+def merge_endpoint_snapshots(snapshots: list[dict]) -> dict:
+    """Aggregate per-worker endpoint snapshots into one fleet-level view.
+
+    Counts and errors sum exactly; quantiles cannot be merged from quantiles,
+    so the aggregate reports the per-worker range (min/max) of each quantile
+    alongside the summed request counts -- enough for the router to spot an
+    overloaded worker without shipping raw samples over the wire.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for endpoint, stats in snapshot.items():
+            slot = merged.setdefault(
+                endpoint,
+                {"count": 0, "errors": 0, "workers": 0},
+            )
+            slot["count"] += stats.get("count", 0)
+            slot["errors"] += stats.get("errors", 0)
+            slot["workers"] += 1
+            for name, _ in LatencyRecorder.QUANTILES:
+                value = stats.get(f"{name}_ms")
+                if value is None:
+                    continue
+                low, high = f"{name}_ms_min", f"{name}_ms_max"
+                slot[low] = min(slot.get(low, value), value)
+                slot[high] = max(slot.get(high, value), value)
+    return merged

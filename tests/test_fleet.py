@@ -1,0 +1,397 @@
+"""The fleet layer: hash ring, router failover, single flight, metrics.
+
+The fleet guarantee mirrors the service guarantee one level up: a fleet of
+workers behind the router is a transparent accelerator -- every routed
+answer must be byte-identical to a direct single-daemon answer, through
+worker death, failover re-hash and request coalescing.
+
+Router tests run against *in-process* worker daemons (``serve_in_background``
+fronted by :class:`StaticWorker` handles) so they exercise the real HTTP
+protocol without subprocess spawn latency; one lifecycle test uses a real
+``python -m repro.service`` subprocess.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.fleet import (
+    FleetRouter,
+    HashRing,
+    StaticWorker,
+    WorkerPool,
+    WorkerSpec,
+    ring_position,
+    serve_router_in_background,
+)
+from repro.fleet.__main__ import canonical_report, demo_pair
+from repro.service.api import ServiceClient, ServiceClientError, serve_in_background
+from repro.service.engine import ExplainService
+from repro.service.metrics import (
+    LatencyRecorder,
+    merge_endpoint_snapshots,
+    quantile,
+)
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+
+KEYS = [f"key-{i}" for i in range(400)]
+
+
+class TestHashRing:
+    def test_position_is_process_independent(self):
+        # sha256, not salted hash(): the literal value pins determinism
+        # across interpreter restarts (router and workers must agree).
+        assert ring_position("worker-0#0") == ring_position("worker-0#0")
+        assert ring_position("a") != ring_position("b")
+
+    def test_identical_rings_agree_on_every_key(self):
+        a = HashRing(["w0", "w1", "w2"], replicas=32)
+        b = HashRing(["w2", "w0", "w1"], replicas=32)  # order must not matter
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(["w0"], replicas=8)
+        ring.add("w0")
+        assert len(ring) == 1
+        ring.remove("absent")
+        assert ring.nodes() == ["w0"]
+
+    def test_join_moves_only_a_bounded_fraction(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"], replicas=64)
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add("w4")
+        after = {k: ring.node_for(k) for k in KEYS}
+        moved = sum(1 for k in KEYS if before[k] != after[k])
+        # Expected ~1/5 of the keyspace; a rehash-everything bug moves ~4/5.
+        assert 0 < moved < len(KEYS) * 0.45
+        # Every moved key moved *onto* the newcomer, never between survivors.
+        assert all(after[k] == "w4" for k in KEYS if before[k] != after[k])
+
+    def test_leave_moves_only_the_departed_nodes_keys(self):
+        ring = HashRing(["w0", "w1", "w2"], replicas=64)
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove("w1")
+        after = {k: ring.node_for(k) for k in KEYS}
+        for key in KEYS:
+            if before[key] != "w1":
+                assert after[key] == before[key]  # survivors keep their keys
+            else:
+                assert after[key] != "w1"
+
+    def test_failover_preference_is_distinct_and_owner_first(self):
+        ring = HashRing(["w0", "w1", "w2"], replicas=32)
+        for key in KEYS[:50]:
+            order = list(ring.preference(key))
+            assert order[0] == ring.node_for(key)
+            assert sorted(order) == ["w0", "w1", "w2"]  # all distinct nodes
+
+    def test_exclude_reroutes_and_exhaustion_raises(self):
+        ring = HashRing(["w0", "w1"], replicas=16)
+        key = "some-request"
+        owner = ring.node_for(key)
+        other = ring.node_for(key, exclude={owner})
+        assert other != owner
+        with pytest.raises(LookupError):
+            ring.node_for(key, exclude={"w0", "w1"})
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(["w0", "w1", "w2"], replicas=64)
+        spread = ring.spread(KEYS)
+        assert sum(spread.values()) == len(KEYS)
+        for node, owned in spread.items():
+            assert owned >= len(KEYS) * 0.10, f"{node} starved: {spread}"
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert list(ring.preference("k")) == []
+        with pytest.raises(LookupError):
+            ring.node_for("k")
+
+
+# ---------------------------------------------------------------------------
+# Latency metrics
+# ---------------------------------------------------------------------------
+
+class TestLatencyMetrics:
+    def test_quantile_nearest_rank(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(ordered, 0.50) == 2.0
+        assert quantile(ordered, 0.99) == 4.0
+        assert quantile([7.0], 0.50) == 7.0
+
+    def test_recorder_counts_and_quantiles(self):
+        recorder = LatencyRecorder()
+        for ms in (1, 2, 3, 4, 5, 6, 7, 8, 9, 100):
+            recorder.observe("POST /explain", ms / 1000.0)
+        recorder.observe("POST /explain", 0.5, error=True)
+        snapshot = recorder.snapshot()["POST /explain"]
+        assert snapshot["count"] == 11
+        assert snapshot["errors"] == 1
+        assert snapshot["p50_ms"] <= snapshot["p90_ms"] <= snapshot["p99_ms"]
+        assert recorder.total_count() == 11
+
+    def test_merge_sums_counts_and_ranges_quantiles(self):
+        a = LatencyRecorder()
+        b = LatencyRecorder()
+        a.observe("GET /health", 0.001)
+        a.observe("GET /health", 0.002)
+        b.observe("GET /health", 0.010, error=True)
+        b.observe("POST /explain", 0.005)
+        merged = merge_endpoint_snapshots([a.snapshot(), b.snapshot()])
+        health = merged["GET /health"]
+        assert health["count"] == 3
+        assert health["errors"] == 1
+        assert health["workers"] == 2
+        # Quantiles cannot be merged exactly -> the fleet reports ranges.
+        assert health["p50_ms_min"] <= health["p50_ms_max"]
+        assert merged["POST /explain"]["workers"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Router over in-process workers
+# ---------------------------------------------------------------------------
+
+PAIRS = [demo_pair(index) for index in range(3)]
+
+
+class _Fleet:
+    """A router fronting N in-process daemons, with a stock ServiceClient."""
+
+    def __init__(self, count: int = 2):
+        self.servers = []
+        workers = []
+        for index in range(count):
+            server, _ = serve_in_background(ExplainService(), port=0)
+            self.servers.append(server)
+            host, port = server.server_address[:2]
+            workers.append(StaticWorker(f"w{index}", f"http://{host}:{port}"))
+        self.workers = workers
+        self.router = FleetRouter(workers, breaker_reset_seconds=0.2)
+        self.http, _ = serve_router_in_background(self.router)
+        host, port = self.http.server_address[:2]
+        self.client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+
+    def register(self, pairs=PAIRS):
+        for left_name, left, right_name, right, _ in pairs:
+            self.client.register_database(left_name, left)
+            self.client.register_database(right_name, right)
+
+    def kill_worker(self, index: int) -> None:
+        """Transport-level death: stop serving *and* close the socket, so
+        new connections are refused rather than queueing forever."""
+        self.servers[index].shutdown()
+        self.servers[index].server_close()
+
+    def close(self):
+        self.http.shutdown()
+        self.router.shutdown()
+        for server in self.servers:
+            try:
+                server.shutdown()
+                server.server_close()
+            except OSError:
+                pass  # already closed by kill_worker
+
+
+@pytest.fixture()
+def fleet():
+    instance = _Fleet(2)
+    instance.register()
+    yield instance
+    instance.close()
+
+
+def _direct_answers():
+    server, _ = serve_in_background(ExplainService(), port=0)
+    try:
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+        for left_name, left, right_name, right, _ in PAIRS:
+            client.register_database(left_name, left)
+            client.register_database(right_name, right)
+        return [client.explain(pair[4]) for pair in PAIRS]
+    finally:
+        server.shutdown()
+
+
+class TestFleetRouter:
+    def test_routed_answers_byte_identical_to_direct(self, fleet):
+        direct = _direct_answers()
+        for pair, expected in zip(PAIRS, direct):
+            routed = fleet.client.explain(pair[4])
+            assert canonical_report(routed) == canonical_report(expected)
+            assert routed["fleet"]["worker"] in ("w0", "w1")
+
+    def test_placement_is_sticky_per_database_pair(self, fleet):
+        first = fleet.client.explain(PAIRS[0][4])["fleet"]["worker"]
+        again = fleet.client.explain(PAIRS[0][4])["fleet"]["worker"]
+        assert first == again
+        assert fleet.client.explain(PAIRS[0][4])["service"]["cached_report"] is True
+
+    def test_failover_rehash_when_worker_dies_mid_stream(self, fleet):
+        direct = _direct_answers()
+        owners = {
+            index: fleet.client.explain(pair[4])["fleet"]["worker"]
+            for index, pair in enumerate(PAIRS)
+        }
+        victim_name = owners[0]
+        fleet.kill_worker(int(victim_name[1:]))
+        # Every pair -- including those owned by the victim -- still answers,
+        # and the answers are the same bytes the direct daemon produces.
+        for index, pair in enumerate(PAIRS):
+            report = fleet.client.explain(pair[4])
+            assert canonical_report(report) == canonical_report(direct[index])
+            assert report["fleet"]["worker"] != victim_name
+        health = fleet.client.health()
+        assert health["workers"][victim_name]["state"] == "dead"
+        assert health["router"]["failovers"] >= 1
+        assert health["status"] == "degraded"
+        assert victim_name not in health["ring"]["nodes"]
+
+    def test_all_workers_dead_is_503_not_a_hang(self, fleet):
+        fleet.kill_worker(0)
+        fleet.kill_worker(1)
+        with pytest.raises(ServiceClientError) as excinfo:
+            fleet.client.explain(PAIRS[0][4])
+        assert excinfo.value.status == 503
+        assert excinfo.value.error_type == "NoWorkerAvailable"
+
+    def test_worker_error_responses_relay_without_failover(self, fleet):
+        # A 4xx means the worker answered; the router must relay it, not
+        # mark the worker dead and retry elsewhere.
+        with pytest.raises(ServiceClientError) as excinfo:
+            fleet.client.explain({"database_left": "D1_0"})
+        assert excinfo.value.status == 400
+        assert fleet.client.health()["router"]["failovers"] == 0
+
+    def test_job_ids_are_worker_prefixed_and_routable(self, fleet):
+        job = fleet.client.submit_job(PAIRS[1][4])
+        worker_name, _, _ = job["id"].partition(":")
+        assert worker_name in ("w0", "w1")
+        final = fleet.client.wait_for_job(job["id"], timeout=60)
+        assert final["state"] == "done"
+        assert final["id"] == job["id"]
+        with pytest.raises(ServiceClientError) as excinfo:
+            fleet.client.job("nonsense")
+        assert excinfo.value.status == 404
+
+    def test_health_aggregates_worker_endpoint_metrics(self, fleet):
+        fleet.client.explain(PAIRS[0][4])
+        health = fleet.client.health()
+        assert health["live_workers"] == 2
+        assert sorted(health["registered_databases"]) == sorted(
+            name for pair in PAIRS for name in (pair[0], pair[2])
+        )
+        merged = health["worker_endpoints"]
+        assert merged["POST /explain"]["count"] >= 1
+        assert merged["POST /explain"]["workers"] >= 1
+        assert merged["POST /databases"]["count"] >= len(PAIRS) * 2 * 2
+        # The router's own front-door metrics are tracked separately.
+        assert health["endpoints"]["POST /explain"]["count"] >= 1
+
+    @staticmethod
+    def _await_coalesced(router, count: int) -> None:
+        """Block until ``count`` followers have latched onto a flight."""
+        deadline = time.monotonic() + 10.0
+        while router._counters["coalesced"] < count:
+            assert time.monotonic() < deadline, "follower never latched"
+            time.sleep(0.005)
+
+    def test_single_flight_coalesces_concurrent_identical_requests(self, fleet):
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def blocked_call():
+            calls.append(1)
+            entered.set()
+            release.wait(timeout=10)
+            return 200, {"answer": 42}
+
+        results = []
+
+        def run():
+            results.append(fleet.router._single_flight("key-x", blocked_call))
+
+        leader = threading.Thread(target=run)
+        leader.start()
+        assert entered.wait(timeout=10)  # leader is executing upstream
+        follower = threading.Thread(target=run)
+        follower.start()
+        self._await_coalesced(fleet.router, 1)  # follower latched, then release
+        release.set()
+        leader.join(timeout=10)
+        follower.join(timeout=10)
+        assert len(calls) == 1  # one upstream execution for two requests
+        assert results == [(200, {"answer": 42})] * 2
+        # The flight is gone: the next identical request executes afresh.
+        assert fleet.router._single_flight("key-x", lambda: (200, {})) == (200, {})
+
+    def test_single_flight_leader_error_propagates_to_followers(self, fleet):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def failing_call():
+            entered.set()
+            release.wait(timeout=10)
+            raise ValueError("upstream exploded")
+
+        errors = []
+
+        def run(call):
+            try:
+                fleet.router._single_flight("key-y", call)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        leader = threading.Thread(target=run, args=(failing_call,))
+        leader.start()
+        assert entered.wait(timeout=10)
+        follower = threading.Thread(target=run, args=(lambda: (200, {}),))
+        follower.start()
+        self._await_coalesced(fleet.router, 1)
+        release.set()
+        leader.join(timeout=10)
+        follower.join(timeout=10)
+        # A coalesced failure fails both callers -- never a silent hang or
+        # a follower succeeding with nothing.
+        assert errors == ["upstream exploded"] * 2
+
+
+# ---------------------------------------------------------------------------
+# Real worker subprocess lifecycle
+# ---------------------------------------------------------------------------
+
+class TestWorkerLifecycle:
+    def test_spawn_probe_sigterm_drain_exits_zero(self, tmp_path):
+        pool = WorkerPool(WorkerSpec(spill_dir=tmp_path, drain_seconds=3.0))
+        try:
+            worker = pool.spawn(1)[0]
+            assert worker.state == "ready"
+            assert worker.url and worker.url.startswith("http://")
+            health = worker.heartbeat()
+            assert health is not None and health["status"] == "ok"
+            code = worker.terminate()
+            assert code == 0  # SIGTERM drains and exits cleanly
+            assert worker.state == "stopped"
+        finally:
+            pool.stop()
+
+    def test_heartbeat_flips_dead_after_kill(self, tmp_path):
+        pool = WorkerPool(WorkerSpec(spill_dir=tmp_path))
+        try:
+            worker = pool.spawn(1)[0]
+            worker.process.kill()
+            worker.process.wait(timeout=10)
+            assert worker.heartbeat() is None
+            assert worker.state == "dead"
+            assert not worker.alive
+        finally:
+            pool.stop()

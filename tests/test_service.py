@@ -405,6 +405,74 @@ class TestJobQueue:
         assert queued.state is JobState.CANCELLED
         assert running.state is JobState.DONE
 
+    def test_idempotency_key_coalesces_inflight_submissions(self):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def slow_runner(request):
+            gate.set()
+            release.wait(5)
+            return request
+
+        queue = JobQueue(slow_runner, max_workers=1)
+        first = queue.submit("payload", idempotency_key="k1")
+        assert gate.wait(5)  # first is executing behind the barrier
+        duplicate = queue.submit("payload", idempotency_key="k1")
+        assert duplicate is first  # single flight: same Job object
+        assert first.coalesced == 1
+        assert queue.stats.deduplicated == 1
+        distinct = queue.submit("other", idempotency_key="k2")
+        assert distinct is not first
+        unkeyed = queue.submit("payload")
+        assert unkeyed is not first  # no key, no coalescing
+        release.set()
+        assert queue.wait_all([first, distinct, unkeyed], timeout=5)
+        # Terminal jobs never coalesce: a later replay executes afresh.
+        replay = queue.submit("payload", idempotency_key="k1")
+        assert replay is not first
+        assert replay.wait(5)
+        assert queue.stats.deduplicated == 1  # unchanged by the replay
+        queue.shutdown()
+
+    def test_cancelled_key_is_unindexed_for_replay(self):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def slow_runner(request):
+            gate.set()
+            release.wait(5)
+            return request
+
+        queue = JobQueue(slow_runner, max_workers=1)
+        queue.submit("running")
+        assert gate.wait(5)
+        queued = queue.submit("payload", idempotency_key="k")
+        assert queue.cancel(queued.id)
+        replay = queue.submit("payload", idempotency_key="k")
+        assert replay is not queued  # the cancelled flight released its key
+        release.set()
+        assert queue.wait_all([replay], timeout=5)
+        assert replay.state is JobState.DONE
+        queue.shutdown()
+
+    def test_drain_waits_for_inflight_jobs(self):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def slow_runner(request):
+            gate.set()
+            release.wait(5)
+            return request
+
+        queue = JobQueue(slow_runner, max_workers=1)
+        job = queue.submit("x")
+        assert gate.wait(5)
+        assert not queue.drain(timeout=0.1)  # still running: drain times out
+        release.set()
+        assert queue.drain(timeout=5)
+        assert job.state is JobState.DONE
+        queue.shutdown()
+
 
 class TestReportSerialization:
     def test_to_dict_roundtrips_through_json(self, figure1_service, figure1_request):

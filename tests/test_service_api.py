@@ -671,3 +671,45 @@ class TestTypedErrorResponses:
         result = running_server.explain(EXPLAIN_PAYLOAD)
         assert result["service"]["degraded"] == []
         assert "deadline" in result["service"]
+
+
+class TestEndpointMetrics:
+    """GET /health carries per-endpoint request counts and latency quantiles."""
+
+    def test_health_reports_per_endpoint_latency(self, running_server):
+        running_server.explain(EXPLAIN_PAYLOAD)
+        endpoints = running_server.health()["endpoints"]
+        health_series = endpoints["GET /health"]
+        assert health_series["count"] >= 1
+        assert health_series["window"] >= 1
+        explain_series = endpoints["POST /explain"]
+        assert explain_series["count"] >= 1
+        assert 0.0 <= explain_series["p50_ms"] <= explain_series["p90_ms"] \
+            <= explain_series["p99_ms"]
+
+    def test_errors_are_counted_per_endpoint(self, running_server):
+        before = running_server.health()["endpoints"].get(
+            "POST /explain", {"errors": 0}
+        )["errors"]
+        with pytest.raises(ServiceClientError):
+            running_server.explain({"database_left": "D1"})
+        after = running_server.health()["endpoints"]["POST /explain"]["errors"]
+        assert after == before + 1
+
+    def test_unknown_paths_bucket_without_label_explosion(self, running_server):
+        for suffix in ("a", "b", "c"):
+            with pytest.raises(ServiceClientError):
+                running_server._call("GET", f"/no-such-{suffix}")
+        endpoints = running_server.health()["endpoints"]
+        assert endpoints["GET {unknown}"]["count"] >= 3
+        assert not any("/no-such-" in label for label in endpoints)
+
+    def test_job_submissions_carry_idempotency_keys(self, running_server):
+        health = running_server.health()
+        assert "deduplicated" in health["jobs"]
+        first = running_server.submit_job(EXPLAIN_PAYLOAD)
+        second = running_server.submit_job(EXPLAIN_PAYLOAD)
+        final = running_server.wait_for_job(second["id"], timeout=30)
+        assert final["state"] == "done"
+        if first["id"] == second["id"]:  # coalesced onto the in-flight job
+            assert running_server.health()["jobs"]["deduplicated"] >= 1

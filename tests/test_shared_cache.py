@@ -1,0 +1,197 @@
+"""The shared cross-process cache tier: write-through spill, reuse, safety.
+
+The fleet's shared tier is the PR-2/PR-6 content-addressed disk spill with
+write-through enabled.  These tests pin the three claims the fleet rests on:
+
+* a second service sharing the spill directory serves *disk hits* with
+  fingerprints identical to the first (cross-process reuse),
+* concurrent writers racing on the same keys never corrupt the tier
+  (content-addressing + atomic rename is the whole coordination protocol),
+* ``flush()``/``persist_caches()`` make SIGTERM drain durable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import Explain3DConfig, Priors, matching
+from repro.service import ArtifactCache, ExplainRequest, ExplainService, ServiceConfig
+from repro.service.cache import CacheRegistry
+from repro.fleet.shared_cache import SHARED_TIERS, SharedCacheTier, aggregate_cache_stats
+
+
+def _request(figure1_queries, figure1_mapping) -> ExplainRequest:
+    q1, q2 = figure1_queries
+    return ExplainRequest(
+        query_left=q1,
+        database_left="D1",
+        query_right=q2,
+        database_right="D2",
+        attribute_matches=matching(("Program", "Major")),
+        tuple_mapping=figure1_mapping,
+        config=Explain3DConfig(partitioning="none", priors=Priors(0.9, 0.9)),
+    )
+
+
+class TestWriteThrough:
+    def test_put_persists_eagerly_and_skips_existing(self, tmp_path):
+        cache = ArtifactCache("t", max_entries=8, spill_dir=tmp_path, write_through=True)
+        cache.put("k1", {"v": 1})
+        assert cache.stats.spill_writes == 1
+        assert list(tmp_path.glob("t-*.pkl"))  # on disk before any eviction
+        # Content-addressed: a second put of the same key is the same bytes,
+        # so the existing file short-circuits the write.
+        cache.put("k1", {"v": 1})
+        assert cache.stats.spill_writes == 1
+
+    def test_write_through_entry_readable_by_sibling_cache(self, tmp_path):
+        writer = ArtifactCache("t", max_entries=8, spill_dir=tmp_path, write_through=True)
+        writer.put("k1", {"answer": 42})
+        reader = ArtifactCache("t", max_entries=8, spill_dir=tmp_path)
+        assert reader.get("k1") == {"answer": 42}
+        assert reader.stats.spill_loads == 1  # a shared-disk hit, not a recompute
+
+    def test_flush_persists_remaining_entries(self, tmp_path):
+        cache = ArtifactCache("t", max_entries=8, spill_dir=tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats.spill_writes == 0  # lazy by default
+        assert cache.flush() == 2
+        assert len(list(tmp_path.glob("t-*.pkl"))) == 2
+        assert cache.flush() == 0  # idempotent: everything already on disk
+
+    def test_registry_flush_sums_across_caches(self, tmp_path):
+        registry = CacheRegistry(spill_dir=tmp_path)
+        registry.cache("provenance").put("k", "v")
+        registry.cache("report").put("k", "w")
+        registry.cache("plans", spill=False).put("k", object())  # never spilled
+        assert registry.flush() == 2
+        names = {path.name.split("-", 1)[0] for path in tmp_path.glob("*.pkl")}
+        assert names == {"provenance", "report"}
+
+
+class TestCrossProcessReuse:
+    def test_second_service_on_same_spill_gets_disk_hits(
+        self, tmp_path, figure1_db1, figure1_db2, figure1_queries, figure1_mapping
+    ):
+        config = ServiceConfig(spill_dir=tmp_path, spill_write_through=True)
+        first = ExplainService(config)
+        first.register_database(figure1_db1, "D1")
+        first.register_database(figure1_db2, "D2")
+        cold = first.explain(_request(figure1_queries, figure1_mapping))
+        assert cold.cached_report is False
+
+        # A fresh service (a different worker in fleet terms) on the same
+        # spill directory: same fingerprints, and the report comes off disk.
+        second = ExplainService(ServiceConfig(spill_dir=tmp_path, spill_write_through=True))
+        second.register_database(figure1_db1, "D1")
+        second.register_database(figure1_db2, "D2")
+        warm = second.explain(_request(figure1_queries, figure1_mapping))
+        assert warm.cached_report is True
+        assert warm.request_fingerprint == cold.request_fingerprint
+        assert warm.problem_fingerprint == cold.problem_fingerprint
+        report_stats = second.caches.cache("report").stats
+        assert report_stats.spill_loads >= 1
+        assert report_stats.misses == 0
+        assert (
+            warm.report.explanations.explanation_identities()
+            == cold.report.explanations.explanation_identities()
+        )
+
+    def test_concurrent_writers_never_corrupt_the_tier(self, tmp_path):
+        # Eight "workers" (cache instances) race write-through puts of the
+        # same keyset: identical keys carry identical bytes, so the atomic
+        # rename makes any winner correct and quarantines must stay at zero.
+        keys = [f"key-{i}" for i in range(24)]
+        barrier = threading.Barrier(8)
+        errors: list[Exception] = []
+
+        def hammer(worker_index: int) -> None:
+            cache = ArtifactCache(
+                "report", max_entries=4, spill_dir=tmp_path, write_through=True
+            )
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(5):
+                    for key in keys:
+                        cache.put(key, {"key": key, "payload": list(range(50))})
+            except Exception as exc:  # noqa: BLE001 - tallied below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        tier = SharedCacheTier(tmp_path)
+        snapshot = tier.describe()
+        assert snapshot["quarantined"] == 0
+        assert snapshot["orphaned_tmp"] == 0
+        assert snapshot["tiers"]["report"]["artifacts"] == len(keys)
+        # And every artifact reads back intact through a fresh cache.
+        reader = ArtifactCache("report", max_entries=64, spill_dir=tmp_path)
+        for key in keys:
+            assert reader.get(key) == {"key": key, "payload": list(range(50))}
+        assert reader.stats.spill_errors == 0
+
+    def test_persist_caches_flushes_for_drain(
+        self, tmp_path, figure1_db1, figure1_db2, figure1_queries, figure1_mapping
+    ):
+        # Lazy spill (no write-through): nothing on disk until the SIGTERM
+        # drain path calls persist_caches().
+        service = ExplainService(ServiceConfig(spill_dir=tmp_path))
+        service.register_database(figure1_db1, "D1")
+        service.register_database(figure1_db2, "D2")
+        service.explain(_request(figure1_queries, figure1_mapping))
+        assert not list(tmp_path.glob("*.pkl"))
+        persisted = service.persist_caches()
+        assert persisted >= 1
+        assert len(list(tmp_path.glob("*.pkl"))) == persisted
+
+
+class TestTierObservability:
+    def test_describe_buckets_by_tier_and_counts_quarantine(self, tmp_path):
+        (tmp_path / "report-abc.pkl").write_bytes(b"x" * 10)
+        (tmp_path / "report-def.pkl").write_bytes(b"x" * 20)
+        (tmp_path / "stats-123.pkl").write_bytes(b"x" * 5)
+        (tmp_path / "stats-bad.pkl.corrupt").write_bytes(b"!")
+        (tmp_path / ".report-xyz.pkl.tmp").write_bytes(b"torn")
+        snapshot = SharedCacheTier(tmp_path).describe()
+        assert snapshot["tiers"]["report"] == {"artifacts": 2, "bytes": 30}
+        assert snapshot["tiers"]["stats"] == {"artifacts": 1, "bytes": 5}
+        assert snapshot["artifacts"] == 3 and snapshot["bytes"] == 35
+        assert snapshot["quarantined"] == 1
+        assert snapshot["orphaned_tmp"] == 1
+
+    def test_owned_temp_dir_is_cleaned_up(self):
+        tier = SharedCacheTier()
+        directory = tier.directory
+        assert directory.exists()
+        tier.cleanup()
+        assert not directory.exists()
+
+    def test_aggregate_cache_stats_splits_memory_vs_shared_disk(self):
+        worker_a = {
+            "report": {"hits": 5, "misses": 2, "spill_loads": 1,
+                       "spill_writes": 3, "spill_errors": 0},
+        }
+        worker_b = {
+            "report": {"hits": 2, "misses": 1, "spill_loads": 2,
+                       "spill_writes": 1, "spill_errors": 0},
+            "stats": {"hits": 1, "misses": 0, "spill_loads": 0,
+                      "spill_writes": 0, "spill_errors": 0},
+        }
+        merged = aggregate_cache_stats([worker_a, worker_b])
+        report = merged["tiers"]["report"]
+        assert report["memory_hits"] == 4  # (5-1) + (2-2)
+        assert report["shared_disk_hits"] == 3
+        assert report["misses"] == 3
+        assert merged["total"]["shared_disk_hits"] == 3
+        assert merged["total"]["memory_hits"] == 5  # + stats tier's 1
+
+    def test_shared_tier_names_cover_the_service_caches(self):
+        caches = ExplainService().stats()["caches"]
+        for name in SHARED_TIERS:
+            assert name in caches, f"unknown shared tier {name!r}"
+        assert "plans" not in SHARED_TIERS  # holds live refs, never shared
