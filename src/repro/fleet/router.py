@@ -24,6 +24,12 @@ and every existing caller work unchanged against a fleet.  Behind the door:
 * **Supervision** -- an optional heartbeat thread probes workers, respawns
   dead pods (replaying database registrations onto the newcomer) and adds
   them back to the ring.
+* **Live deltas** -- ``POST /ingest`` broadcasts a row-level delta batch to
+  every live worker (single-flighted by delta id); all pods must agree on
+  the post-delta fingerprint, and each pod's delta-aware invalidation drops
+  write-through tombstones into the shared tier so siblings cannot resurrect
+  artifacts of the previous database version.  Applied deltas are logged and
+  replayed (after the base registration) onto respawned pods.
 """
 
 from __future__ import annotations
@@ -90,6 +96,10 @@ class FleetRouter:
         #: Replayed onto respawned/joining workers so any pod can serve
         #: any database.  Maps name -> the raw /databases payload.
         self._registrations: dict[str, dict] = {}
+        #: Applied deltas per database, in order, replayed after the
+        #: registration so a respawned pod converges on the live fingerprint.
+        #: Cleared when a database is (re)registered from scratch.
+        self._ingests: dict[str, list[dict]] = {}
         self._inflight: dict[str, _Flight] = {}
         self._counters = {
             "routed": 0, "failovers": 0, "coalesced": 0,
@@ -125,16 +135,24 @@ class FleetRouter:
     def _admit(self, worker) -> None:
         """Add a (re)spawned worker: replay registrations, then join the ring.
 
-        Registrations replay *before* the ring add so the worker never
-        receives a routed request for a database it has not seen.
+        Registrations -- and the deltas applied since each registration, in
+        order -- replay *before* the ring add so the worker never receives a
+        routed request for a database (or database version) it has not seen.
         """
         with self._lock:
             registrations = list(self._registrations.values())
+            ingests = {name: list(deltas) for name, deltas in self._ingests.items()}
         for payload in registrations:
             http_json(
                 "POST", f"{worker.url}/databases", payload,
                 timeout=self.forward_timeout,
             )
+        for deltas in ingests.values():
+            for delta_payload in deltas:
+                http_json(
+                    "POST", f"{worker.url}/ingest", delta_payload,
+                    timeout=self.forward_timeout,
+                )
         with self._lock:
             self._workers[worker.name] = worker
             self.ring.add(worker.name)
@@ -291,9 +309,62 @@ class FleetRouter:
             )
         with self._lock:
             self._registrations[name] = payload
+            # A (re)registration defines the database from scratch; earlier
+            # deltas are folded into history and must not replay on top.
+            self._ingests.pop(name, None)
         body = next(iter(responses.values()))
         body["workers"] = sorted(responses)
         return status_out, body
+
+    def ingest(self, payload: dict) -> tuple[int, dict]:
+        """Broadcast one delta batch to every live worker, coherently.
+
+        Deltas, like registrations, go to *every* pod: failover re-hash is
+        only sound if all workers hold the same database version.  The
+        delta id (client-supplied or derived by the API layer) keys the
+        single-flight latch, so a concurrent duplicate submission rides the
+        in-flight broadcast instead of racing it; a later retry is absorbed
+        by each worker's idempotent delta log.  All live workers must agree
+        on the post-delta content fingerprint -- the shared disk tier's
+        tombstones are content-addressed, so divergence would corrupt the
+        fleet's cache coherence and is a hard error.
+        """
+        delta_id = str(payload.get("delta_id") or self.request_key(payload))
+        return self._single_flight(
+            f"ingest:{delta_id}", lambda: self._broadcast_ingest(payload)
+        )
+
+    def _broadcast_ingest(self, payload: dict) -> tuple[int, dict]:
+        database = str(payload.get("database", ""))
+        responses: dict[str, dict] = {}
+        for worker_name, worker in list(self.workers().items()):
+            if worker.state == "dead" or worker.url is None:
+                continue
+            try:
+                status, body = http_json(
+                    "POST", f"{worker.url}/ingest", payload,
+                    timeout=self.forward_timeout,
+                )
+            except WorkerUnavailable:
+                self._mark_dead(worker_name)
+                continue
+            if status >= 400:
+                return status, body
+            responses[worker_name] = body
+        if not responses:
+            raise NoWorkerAvailable("no live worker accepted the delta")
+        fingerprints = {body.get("fingerprint") for body in responses.values()}
+        if len(fingerprints) != 1:
+            return 500, error_payload(
+                "FleetConsistencyError",
+                f"workers disagree on the post-delta fingerprint of "
+                f"{database!r}: {fingerprints}",
+            )
+        with self._lock:
+            self._ingests.setdefault(database, []).append(payload)
+        body = next(iter(responses.values()))
+        body["workers"] = sorted(responses)
+        return 200, body
 
     def explain(self, payload: dict) -> tuple[int, dict]:
         """Route one explain: single-flight, placement by database pair, failover."""
@@ -497,7 +568,7 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
         if path.startswith("/jobs/"):
             path = "/jobs/{id}"
         elif path not in ("/health", "/stats", "/databases", "/explain",
-                          "/plan", "/analyze", "/jobs"):
+                          "/plan", "/analyze", "/jobs", "/ingest"):
             path = "{unknown}"
         return f"{method} {path}"
 
@@ -539,6 +610,7 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
                 "/explain": router.explain,
                 "/plan": router.plan,
                 "/analyze": router.analyze,
+                "/ingest": router.ingest,
                 "/jobs": router.submit_job,
             }
             handler = routes.get(self.path)

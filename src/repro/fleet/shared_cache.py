@@ -52,6 +52,7 @@ class SharedCacheTier:
         tiers: dict[str, dict] = {}
         corrupt = 0
         orphaned_tmp = 0
+        tombstones = 0
         for path in self.directory.iterdir():
             name = path.name
             if name.endswith(".corrupt"):
@@ -59,6 +60,9 @@ class SharedCacheTier:
                 continue
             if name.endswith(".tmp"):
                 orphaned_tmp += 1
+                continue
+            if name.endswith(".tomb"):
+                tombstones += 1
                 continue
             if not name.endswith(".pkl"):
                 continue
@@ -73,6 +77,7 @@ class SharedCacheTier:
             "bytes": sum(slot["bytes"] for slot in tiers.values()),
             "quarantined": corrupt,
             "orphaned_tmp": orphaned_tmp,
+            "tombstones": tombstones,
         }
 
 

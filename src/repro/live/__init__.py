@@ -1,0 +1,45 @@
+"""The live-update subsystem: row-level deltas under serving traffic.
+
+Explain3D's pipeline assumes two frozen datasets; this package is what lets
+the *service* built around it take writes without wholesale recomputation:
+
+* :mod:`repro.live.delta` -- typed :class:`RowChange`/:class:`Delta` batches
+  emitted by ``Relation.insert/update/delete``, change-spec validation for
+  the ``POST /ingest`` wire form, and copy-on-write batch application;
+* :mod:`repro.live.invalidation` -- the provenance-based affectedness rules
+  deciding which cached artifacts a delta truly invalidates (evict) and
+  which merely need re-keying to the new database fingerprint (rewire);
+* incremental ANALYZE lives with the statistics themselves
+  (:func:`repro.stats.statistics.merge_relation_stats`), and the serving
+  front end (``ExplainService.ingest``, ``POST /ingest`` on daemon and
+  router) in :mod:`repro.service` / :mod:`repro.fleet`.
+
+``python -m repro.live --fuzz N --seed S`` runs the delta fuzzer: random
+insert/update/delete sequences asserting that rolling fingerprints,
+incrementally merged statistics and rewired caches all match a from-scratch
+rebuild (the CI gate for this subsystem).
+"""
+
+from repro.live.delta import (
+    Delta,
+    DeltaConflictError,
+    DeltaError,
+    RowChange,
+    apply_changes,
+    apply_changes_copy,
+    validate_change_specs,
+)
+from repro.live.invalidation import delta_affects, is_monotone, lineage_union
+
+__all__ = [
+    "Delta",
+    "DeltaConflictError",
+    "DeltaError",
+    "RowChange",
+    "apply_changes",
+    "apply_changes_copy",
+    "validate_change_specs",
+    "delta_affects",
+    "is_monotone",
+    "lineage_union",
+]

@@ -1,0 +1,342 @@
+"""The delta fuzzer: random live updates must match a from-scratch rebuild.
+
+``python -m repro.live --fuzz N --seed S`` drives N seeded trials, each
+exercising the three layers of the live-update subsystem against the oracle
+of full recomputation:
+
+* **relation** -- a random insert/update/delete batch applied copy-on-write:
+  the rolling fingerprint must be bit-identical to rehashing the resulting
+  relation from scratch, the input relation must be untouched, and replaying
+  the batch must be deterministic (same ``delta_id``, same fingerprint);
+* **stats** -- incrementally merged ANALYZE statistics must agree with a
+  full rescan on every exact quantity (row counts, per-column null counts;
+  ndv exactly in the sub-sketch insert-only regime, bounds containment
+  otherwise), and drift past the threshold must force a rescan;
+* **service** -- ``ExplainService.ingest`` followed by a re-explain must be
+  byte-identical (canonical report form) to a cold service built directly on
+  the post-delta data, with the cache ledger (evicted/rewired/retained)
+  accounted for.
+
+Any violation raises :class:`FuzzFailure` with the seed that reproduces it;
+the CI step runs this with a fixed seed as the subsystem's gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.live.delta import DeltaError, apply_changes, apply_changes_copy
+from repro.relational.relation import Relation
+from repro.stats.statistics import KMV_K, StatsCatalog, analyze_relation
+
+PROGRAMS = (
+    "Accounting", "Art", "Biology", "CS", "CSE", "Design",
+    "ECE", "EE", "History", "Management", "Math", "Physics",
+)
+DEGREES = ("B.S.", "B.A.", None)
+
+
+class FuzzFailure(AssertionError):
+    """An invariant violation, tagged with the reproducing seed."""
+
+
+def _check(condition: bool, seed: int, message: str) -> None:
+    if not condition:
+        raise FuzzFailure(f"[seed {seed}] {message}")
+
+
+def _random_record(rng: random.Random) -> dict:
+    return {
+        "Program": rng.choice(PROGRAMS),
+        "Degree": rng.choice(DEGREES),
+        "Score": rng.choice([None, rng.randrange(1000)]),
+    }
+
+
+def _random_relation(rng: random.Random, *, name: str = "T") -> Relation:
+    records = [_random_record(rng) for _ in range(rng.randrange(3, 24))]
+    records[0]["Score"] = rng.randrange(1000)  # type every column on row 0
+    records[0]["Degree"] = "B.S."
+    return Relation.from_records(records, name=name)
+
+
+def _random_specs(
+    rng: random.Random,
+    relation: Relation,
+    *,
+    max_changes: int = 8,
+    make_insert=_random_record,
+    make_update=None,
+) -> list[dict]:
+    """A random, *applicable* change-spec batch against ``relation``.
+
+    Positions are generated against the evolving row count (specs apply in
+    order), and updates always write a fresh never-seen value so the
+    no-op-update guard never fires by accident.
+    """
+    if make_update is None:
+        make_update = lambda r: {"Score": 10_000 + r.randrange(100_000)}  # noqa: E731
+    length = len(relation)
+    specs: list[dict] = []
+    for _ in range(rng.randrange(1, max_changes + 1)):
+        ops = ["insert"] + (["update", "delete"] if length > 0 else [])
+        op = rng.choice(ops)
+        if op == "insert":
+            specs.append({"op": "insert", "record": make_insert(rng)})
+            length += 1
+        elif op == "update":
+            specs.append({
+                "op": "update",
+                "row": rng.randrange(length),
+                "record": make_update(rng),
+            })
+        else:
+            specs.append({"op": "delete", "row": rng.randrange(length)})
+            length -= 1
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: relation fingerprints
+# ---------------------------------------------------------------------------
+
+def fuzz_relation(rng: random.Random, seed: int) -> None:
+    relation = _random_relation(rng)
+    base_fp = relation.fingerprint()
+    specs = _random_specs(rng, relation)
+
+    new_relation, delta = apply_changes_copy(relation, specs)
+    _check(
+        relation.fingerprint() == base_fp, seed,
+        "copy-on-write apply mutated the input relation",
+    )
+    _check(delta.base_fingerprint == base_fp, seed, "delta base fingerprint wrong")
+    _check(
+        delta.new_fingerprint == new_relation.fingerprint(), seed,
+        "delta new fingerprint does not match the produced relation",
+    )
+    rebuilt = Relation(new_relation.schema, new_relation.rows, name=new_relation.name)
+    _check(
+        rebuilt.fingerprint() == new_relation.fingerprint(), seed,
+        "rolling fingerprint diverged from a from-scratch rehash",
+    )
+    counts = delta.counts()
+    _check(
+        sum(counts.values()) == len(specs), seed,
+        f"delta counts {counts} do not cover the {len(specs)} submitted changes",
+    )
+    _check(
+        len(new_relation) == len(relation) + counts["insert"] - counts["delete"],
+        seed, "post-delta row count arithmetic is off",
+    )
+    # Determinism: replaying the identical batch reproduces id + fingerprint.
+    replay_relation, replay = apply_changes_copy(relation, specs)
+    _check(replay.delta_id == delta.delta_id, seed, "delta_id is not deterministic")
+    _check(
+        replay_relation.fingerprint() == new_relation.fingerprint(), seed,
+        "replayed batch produced a different fingerprint",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: incremental ANALYZE
+# ---------------------------------------------------------------------------
+
+def fuzz_stats(rng: random.Random, seed: int) -> None:
+    relation = _random_relation(rng)
+    insert_only = rng.random() < 0.5
+    if insert_only:
+        specs = [
+            {"op": "insert", "record": _random_record(rng)}
+            for _ in range(rng.randrange(1, 6))
+        ]
+    else:
+        specs = _random_specs(rng, relation)
+
+    catalog = StatsCatalog()
+    catalog.relation_stats(relation)  # prime the base entry
+    new_relation, delta = apply_changes_copy(relation, specs)
+
+    merged, mode = catalog.apply_delta(
+        delta, new_relation, drift_threshold=float("inf")
+    )
+    _check(mode == "incremental", seed, f"expected incremental merge, got {mode!r}")
+    rescan = analyze_relation(new_relation, fingerprint=delta.new_fingerprint)
+    _check(
+        merged.row_count == rescan.row_count == len(new_relation), seed,
+        f"merged row_count {merged.row_count} != rescan {rescan.row_count}",
+    )
+    _check(merged.fingerprint == delta.new_fingerprint, seed,
+           "merged stats carry the wrong fingerprint")
+    merged_columns = {column.name: column for column in merged.columns}
+    for rescan_column in rescan.columns:
+        name = rescan_column.name
+        column = merged_columns[name]
+        _check(
+            column.null_count == rescan_column.null_count, seed,
+            f"column {name!r}: merged null_count {column.null_count} "
+            f"!= rescan {rescan_column.null_count}",
+        )
+        if insert_only and rescan_column.distinct < KMV_K:
+            _check(
+                column.distinct == rescan_column.distinct, seed,
+                f"column {name!r}: sub-sketch insert-only ndv "
+                f"{column.distinct} != exact {rescan_column.distinct}",
+            )
+        else:  # deletes retained in the sketch -> an upper bound, clamped
+            _check(
+                column.distinct <= max(0, merged.row_count - column.null_count),
+                seed, f"column {name!r}: ndv exceeds the non-null row bound",
+            )
+        if rescan_column.min_value is not None and column.min_value is not None:
+            _check(
+                column.min_value <= rescan_column.min_value
+                and column.max_value >= rescan_column.max_value,
+                seed, f"column {name!r}: merged bounds do not contain the data",
+            )
+
+    # Past the drift threshold the catalog must fall back to a full rescan.
+    big = Relation.from_records(
+        [{"Program": "CS", "Degree": "B.S.", "Score": i} for i in range(5)],
+        name="T",
+    )
+    fresh = StatsCatalog()
+    fresh.relation_stats(big)
+    churned, churn_delta = apply_changes_copy(
+        big, [{"op": "delete", "row": 0}, {"op": "delete", "row": 0}]
+    )
+    _, churn_mode = fresh.apply_delta(churn_delta, churned, drift_threshold=0.2)
+    _check(churn_mode == "rescan", seed,
+           f"40% churn should force a rescan, got {churn_mode!r}")
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: service ingest vs. cold rebuild
+# ---------------------------------------------------------------------------
+
+def _figure1_service(db1, db2, matches):
+    from repro.relational.expressions import col
+    from repro.relational.query import Scan, count_query
+    from repro.service.engine import ExplainRequest, ExplainService
+
+    q1 = count_query("Q1", Scan("D1"), attribute="Program")
+    q2 = count_query(
+        "Q2", Scan("D2"), predicate=(col("Univ") == "A"), attribute="Major"
+    )
+    service = ExplainService()
+    service.register_database(db1)
+    service.register_database(db2)
+    request = ExplainRequest(
+        query_left=q1, database_left="D1",
+        query_right=q2, database_right="D2",
+        attribute_matches=matches,
+    )
+    return service, request
+
+
+def fuzz_service(rng: random.Random, seed: int) -> None:
+    from repro.datasets.sql_catalog import figure1_databases
+    from repro.fleet.__main__ import canonical_report
+
+    service, request = _figure1_service(*figure1_databases())
+    service.explain(request)  # warm every cache layer
+
+    # Generate the batch against an identical copy of the live content,
+    # then apply it on both sides: live via ingest, oracle in place.
+    cold_db1, cold_db2, cold_matches = figure1_databases()
+    target = rng.choice(["D1", "D2"])
+    oracle_relation = {"D1": cold_db1, "D2": cold_db2}[target].relation(target)
+    if target == "D1":
+        make_insert = lambda r: {  # noqa: E731
+            "Program": r.choice(PROGRAMS), "Degree": r.choice(["B.S.", "B.A."]),
+        }
+        make_update = lambda r: {"Program": f"Prog{r.randrange(10**6)}"}  # noqa: E731
+    else:
+        make_insert = lambda r: {  # noqa: E731
+            "Univ": r.choice(["A", "B"]), "Major": r.choice(PROGRAMS),
+        }
+        make_update = lambda r: {"Major": f"Major{r.randrange(10**6)}"}  # noqa: E731
+    specs = _random_specs(
+        rng, oracle_relation, max_changes=3,
+        make_insert=make_insert, make_update=make_update,
+    )
+
+    summary = service.ingest(target, target, specs)
+    _check(summary["applied"] is True, seed, "ingest did not apply")
+    _check(summary["stats"] in ("none", "incremental", "rescan"), seed,
+           f"unexpected stats mode {summary['stats']!r}")
+    moves = summary["caches"]
+    _check(
+        all(moves[key] >= 0 for key in ("rewired", "evicted", "retained")),
+        seed, f"cache ledger malformed: {moves}",
+    )
+    after = canonical_report(service.explain(request).report.to_dict())
+
+    # The oracle: a cold service built directly on the post-delta data
+    # (mutated before registration, so nothing incremental is in play).
+    delta = apply_changes(oracle_relation, specs)
+    _check(
+        delta.new_fingerprint == summary["relation_fingerprint"], seed,
+        "live and oracle relations diverged after the same batch",
+    )
+    cold, cold_request = _figure1_service(cold_db1, cold_db2, cold_matches)
+    cold_answer = canonical_report(cold.explain(cold_request).report.to_dict())
+    _check(
+        after == cold_answer, seed,
+        "post-ingest explain differs from a cold rebuild on the same data",
+    )
+
+    # Idempotency: re-submitting the same delta id is a no-op.
+    duplicate = service.ingest(
+        target, target, specs, delta_id=summary["delta_id"]
+    )
+    _check(duplicate["applied"] is False and duplicate.get("deduplicated"), seed,
+           "duplicate delta id was re-applied")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def run_fuzz(trials: int, seed: int, *, service_every: int = 5) -> dict:
+    """Run the fuzzer; returns a JSON-safe summary (raises on violation)."""
+    checks = {"relation": 0, "stats": 0, "service": 0}
+    for trial in range(trials):
+        trial_seed = seed * 1_000_003 + trial
+        rng = random.Random(trial_seed)
+        fuzz_relation(rng, trial_seed)
+        checks["relation"] += 1
+        fuzz_stats(rng, trial_seed)
+        checks["stats"] += 1
+        if trial % service_every == 0:  # the expensive end-to-end oracle
+            fuzz_service(rng, trial_seed)
+            checks["service"] += 1
+    return {"trials": trials, "seed": seed, "checks": checks, "ok": True}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live",
+        description="Fuzz the live-update subsystem against full rebuilds.",
+    )
+    parser.add_argument("--fuzz", type=int, default=25, metavar="N",
+                        help="number of trials (default 25)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="base random seed (default 0)")
+    parser.add_argument("--service-every", type=int, default=5, metavar="K",
+                        help="run the end-to-end service oracle every Kth trial")
+    args = parser.parse_args(argv)
+    try:
+        summary = run_fuzz(args.fuzz, args.seed, service_every=args.service_every)
+    except FuzzFailure as failure:
+        print(f"FUZZ FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Delta-aware affectedness: which cached artifacts does a delta invalidate?
+
+The service's Stage-1 artifacts (provenance, features, candidates, problems,
+reports) are content-addressed by database fingerprint, so *any* delta re-keys
+all of them.  The question this module answers is finer: did the delta change
+the artifact's **content**, or only its key?
+
+* Content changed -> the old entry is evicted; the next request recomputes.
+* Content unchanged -> the old entry is *rewired* to its new key: same bytes,
+  new address, zero recomputation.
+
+The sound rewiring rule rests on provenance:
+
+1. A delta to a relation the query never references cannot change its output
+   (queries read only their referenced relations).
+2. For a **monotone** query tree (no ``Difference``), a *delete-only* delta
+   whose row ids appear in no output lineage cannot change the output either:
+   monotone operators only ever derive output rows from input rows, so a base
+   row absent from every output lineage contributed to nothing.
+3. Everything else is conservatively affected.  Inserts and updates can
+   create or alter output rows without any lineage warning; and a
+   ``Difference`` (anti-join) is non-monotone -- deleting a right-side row can
+   *grow* the output even though right-side rows never appear in its lineage.
+
+The rules only ever err toward eviction: a rewire is performed exactly when
+the recomputed artifact would be byte-identical (the live fuzzer and chaos
+suite assert this continuously).
+"""
+
+from __future__ import annotations
+
+from repro.live.delta import Delta
+from repro.relational.query import Difference, Query, QueryNode
+
+
+def is_monotone(node: QueryNode) -> bool:
+    """True when the tree contains no non-monotone operator (``Difference``).
+
+    Monotonicity is what makes lineage a complete witness: every output row
+    of a monotone tree derives from specific input rows, so rows outside all
+    lineages are provably irrelevant.  An anti-join breaks this -- its output
+    depends on the *absence* of right-side rows.
+    """
+    if isinstance(node, Difference):
+        return False
+    return all(is_monotone(child) for child in node.children())
+
+
+def lineage_union(provenance) -> frozenset:
+    """All base-row ids contributing to a provenance relation's tuples."""
+    ids: set = set()
+    for tuple_ in provenance.tuples:
+        ids |= tuple_.lineage
+    return frozenset(ids)
+
+
+def delta_affects(query: Query, delta: Delta, provenance=None) -> bool:
+    """Would re-running ``query`` after ``delta`` produce a different artifact?
+
+    ``provenance`` is the query's cached
+    :class:`~repro.relational.provenance.ProvenanceRelation` when available;
+    without it the lineage test cannot run and delete-only deltas are
+    conservatively affected.  Returns False only when the post-delta artifact
+    is provably byte-identical to the cached one.
+    """
+    if delta.relation not in query.root.referenced_relations():
+        return False
+    if not delta.deletes_only:
+        return True
+    if not is_monotone(query.root):
+        return True
+    if provenance is None:
+        return True
+    return bool(delta.deleted_ids() & lineage_union(provenance))

@@ -57,6 +57,78 @@ class Database:
         if self.statistics is not None:
             self.statistics.invalidate(label)
 
+    def remove(self, name: str) -> Relation:
+        """Unregister a base relation; returns it.
+
+        Any ANALYZE statistics held under the name are dropped with it --
+        leaving them would let the planner cost queries against a relation
+        that no longer exists (or, worse, a future one reusing the name).
+        """
+        try:
+            relation = self._relations.pop(name)
+        except KeyError:
+            raise UnknownRelationError(name, self._relations.keys()) from None
+        if self.statistics is not None:
+            self.statistics.invalidate(name)
+        return relation
+
+    def rename_relation(self, old: str, new: str) -> Relation:
+        """Re-register a relation under a new name (copy-on-rename).
+
+        The stored relation is copied with the new name (the caller may hold
+        the old object; renaming it in place would change its fingerprint and
+        future lineage ids behind their back).  ANALYZE statistics are dropped
+        for *both* names: the old name no longer exists, and the new name's
+        content produces different lineage ids than whatever was analyzed
+        under it before.
+        """
+        if not new:
+            raise SchemaError("base relations must have a name")
+        try:
+            relation = self._relations.pop(old)
+        except KeyError:
+            raise UnknownRelationError(old, self._relations.keys()) from None
+        renamed = Relation(relation.schema, relation.rows, name=new)
+        self._relations[new] = renamed
+        if self.statistics is not None:
+            self.statistics.invalidate(old)
+            self.statistics.invalidate(new)
+        return renamed
+
+    def with_relation(self, name: str, relation: Relation, *, statistics=None) -> "Database":
+        """A copy-on-write database with one relation replaced.
+
+        The new database shares every other :class:`Relation` object (and
+        their cached fingerprints) with this one, so building it is O(1) in
+        total row count -- the primitive behind atomic live-update swaps: a
+        reader holding the old database keeps a fully consistent pre-delta
+        view.  ``statistics`` attaches ready-made
+        :class:`~repro.stats.statistics.DatabaseStats` (the incremental
+        ANALYZE path); by default the replaced relation's entry is dropped
+        from a copy of the current statistics, never mutating the original.
+        """
+        if name not in self._relations:
+            raise UnknownRelationError(name, self._relations.keys())
+        if relation.name != name:
+            relation = Relation(relation.schema, relation.rows, name=name)
+        clone = Database(self.name)
+        clone._relations = dict(self._relations)
+        clone._relations[name] = relation
+        if statistics is not None:
+            clone.statistics = statistics
+        elif self.statistics is not None:
+            from repro.stats.statistics import DatabaseStats
+
+            remaining = {
+                label: stats
+                for label, stats in self.statistics.relations().items()
+                if label != name
+            }
+            clone.statistics = DatabaseStats(
+                remaining, buckets=self.statistics.buckets
+            )
+        return clone
+
     def analyze(self, *, buckets: int | None = None, catalog=None):
         """ANALYZE: collect per-relation/per-column statistics for planning.
 

@@ -37,12 +37,19 @@ class Row:
         return self.lineage | other.lineage
 
 
+def _row_digest_bytes(row: Row) -> bytes:
+    """The bytes one row contributes to a relation fingerprint."""
+    return repr((row.values, sorted(row.lineage))).encode()
+
+
 class Relation:
     """An ordered bag of rows conforming to a schema.
 
-    Relations are append-only; all algebraic operations return new relations.
-    Duplicate rows are allowed (bag semantics), matching SQL behaviour for the
-    queries the paper considers.
+    All algebraic operations return new relations; base relations additionally
+    support row-level mutation (:meth:`insert` / :meth:`update` /
+    :meth:`delete`), each emitting a typed :class:`~repro.live.delta.Delta`
+    describing exactly what changed.  Duplicate rows are allowed (bag
+    semantics), matching SQL behaviour for the queries the paper considers.
     """
 
     def __init__(
@@ -55,6 +62,18 @@ class Relation:
         self.schema = schema
         self.name = name
         self._rows: list[Row] = list(rows) if rows is not None else []
+        # The next lineage position is monotonic, never the current length:
+        # after a delete, re-using ``len(rows)`` would hand a new row the
+        # identity of one that still exists (or once existed) -- poisoning
+        # provenance and the content fingerprint.  For pure-append relations
+        # the counter equals the length, preserving historical ids.
+        self._row_counter: int = len(self._rows)
+        # Rolling fingerprint state: ``_fp_state`` is a sha256 object covering
+        # schema + every row appended so far (appends roll it in O(1));
+        # ``_fp_cache`` memoizes the hexdigest.  Mid-table mutation resets
+        # both, and the next fingerprint() call rebuilds from scratch.
+        self._fp_state = None
+        self._fp_cache: str | None = None
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -83,9 +102,11 @@ class Relation:
         coerced = self.schema.coerce_row(values)
         if lineage is None:
             label = self.name or "R"
-            lineage = frozenset({f"{label}:{len(self._rows)}"})
+            lineage = frozenset({f"{label}:{self._row_counter}"})
         row = Row(coerced, lineage)
         self._rows.append(row)
+        self._row_counter += 1
+        self._roll_fingerprint(row)
         return row
 
     def append_row(self, row: Row) -> None:
@@ -94,6 +115,8 @@ class Relation:
                 f"row arity {len(row.values)} does not match schema arity {len(self.schema)}"
             )
         self._rows.append(row)
+        self._row_counter += 1
+        self._roll_fingerprint(row)
 
     # -- container protocol -------------------------------------------------------
     def __len__(self) -> int:
@@ -135,12 +158,158 @@ class Relation:
         (including their provenance lineage) produce the same fingerprint,
         regardless of how they were constructed.  The service layer uses this
         to content-address cached Stage-1 artifacts.
+
+        The digest is maintained *incrementally*: appends roll the hash state
+        in O(1), repeated calls on an unchanged relation return a memoized
+        string, and only a mid-table :meth:`update`/:meth:`delete` forces a
+        from-scratch rebuild on the next call.  The value is bit-identical to
+        hashing schema + rows in order, however the relation was built.
         """
-        digest = hashlib.sha256()
-        digest.update(repr([str(attribute) for attribute in self.schema]).encode())
-        for row in self._rows:
-            digest.update(repr((row.values, sorted(row.lineage))).encode())
-        return digest.hexdigest()
+        if self._fp_cache is None:
+            if self._fp_state is None:
+                digest = hashlib.sha256()
+                digest.update(
+                    repr([str(attribute) for attribute in self.schema]).encode()
+                )
+                for row in self._rows:
+                    digest.update(_row_digest_bytes(row))
+                self._fp_state = digest
+            self._fp_cache = self._fp_state.hexdigest()
+        return self._fp_cache
+
+    def _roll_fingerprint(self, row: Row) -> None:
+        """Fold an appended row into the rolling digest (O(1) per append)."""
+        if self._fp_state is not None:
+            self._fp_state.update(_row_digest_bytes(row))
+        self._fp_cache = None
+
+    def _reset_fingerprint(self) -> None:
+        """Invalidate the digest after a mid-table mutation (lazy rebuild)."""
+        self._fp_state = None
+        self._fp_cache = None
+
+    def copy(self) -> "Relation":
+        """A mutable copy sharing the immutable :class:`Row` objects.
+
+        The rolling fingerprint state is cloned too, so appending to the copy
+        stays O(1) per row instead of forcing a full rehash -- this is what
+        makes copy-on-write delta application cheap for insert-only batches.
+        """
+        clone = Relation(self.schema, self._rows, name=self.name)
+        clone._row_counter = self._row_counter
+        if self._fp_state is not None:
+            clone._fp_state = self._fp_state.copy()
+            clone._fp_cache = self._fp_cache
+        return clone
+
+    # -- row-level mutation (the live-update delta source) ------------------------
+    def _resolve_row(self, row_ref) -> int:
+        """Index of a row by position or by its lineage id ("<name>:<n>")."""
+        from repro.live.delta import DeltaError
+
+        if isinstance(row_ref, int):
+            if not 0 <= row_ref < len(self._rows):
+                raise DeltaError(
+                    f"row index {row_ref} out of range for {self.name or '<anonymous>'} "
+                    f"({len(self._rows)} rows)"
+                )
+            return row_ref
+        row_id = str(row_ref)
+        for index, row in enumerate(self._rows):
+            if row_id in row.lineage:
+                return index
+        raise DeltaError(
+            f"no row with id {row_id!r} in {self.name or '<anonymous>'}"
+        )
+
+    def _record_values(self, record, *, base: Row | None = None) -> tuple:
+        """Coerced values from a (possibly partial) record dict or a sequence."""
+        from repro.live.delta import DeltaError
+
+        if isinstance(record, dict):
+            unknown = set(record) - set(self.schema.names)
+            if unknown:
+                raise UnknownAttributeError(sorted(unknown)[0], self.schema.names)
+            merged = base.as_dict(self.schema) if base is not None else {}
+            merged.update(record)
+            values = [merged.get(name) for name in self.schema.names]
+        elif isinstance(record, (list, tuple)):
+            if len(record) != len(self.schema):
+                raise DeltaError(
+                    f"row arity {len(record)} does not match schema arity "
+                    f"{len(self.schema)}"
+                )
+            values = list(record)
+        else:
+            raise DeltaError(
+                f"a row is a record object or a value list, got "
+                f"{type(record).__name__}"
+            )
+        return self.schema.coerce_row(values)
+
+    def insert(self, record) -> "Delta":
+        """Append one row from a record dict (or value list); emits a Delta.
+
+        The new row receives a fresh, never-recycled lineage id; the rolling
+        fingerprint is advanced in O(1).
+        """
+        from repro.live.delta import Delta, RowChange
+
+        base_fingerprint = self.fingerprint()
+        row = self.append(self._record_values(record))
+        (row_id,) = row.lineage
+        change = RowChange.make("insert", row_id, before=None, after=row.values)
+        return Delta.single(
+            self.name, base_fingerprint, self.fingerprint(), change
+        )
+
+    def update(self, row_ref, record) -> "Delta":
+        """Replace (or partially update) one row in place; emits a Delta.
+
+        ``row_ref`` is a position or a lineage id; the row keeps its identity
+        (lineage), so downstream provenance still points at it.  Partial
+        record dicts merge into the existing values.
+        """
+        from repro.live.delta import Delta, DeltaError, RowChange
+
+        index = self._resolve_row(row_ref)
+        old_row = self._rows[index]
+        values = self._record_values(record, base=old_row)
+        if values == old_row.values:
+            raise DeltaError(
+                f"update of {sorted(old_row.lineage)} changes nothing"
+            )
+        base_fingerprint = self.fingerprint()
+        self._rows[index] = Row(values, old_row.lineage)
+        self._reset_fingerprint()
+        row_id = min(old_row.lineage) if old_row.lineage else self.row_id(index)
+        change = RowChange.make(
+            "update", row_id, before=old_row.values, after=values
+        )
+        return Delta.single(
+            self.name, base_fingerprint, self.fingerprint(), change
+        )
+
+    def delete(self, row_ref) -> "Delta":
+        """Remove one row (by position or lineage id); emits a Delta.
+
+        The freed lineage id is never reused -- later inserts draw from the
+        monotonic counter -- so a delete + insert can never alias an old row.
+        """
+        from repro.live.delta import Delta, RowChange
+
+        index = self._resolve_row(row_ref)
+        old_row = self._rows[index]
+        base_fingerprint = self.fingerprint()
+        del self._rows[index]
+        self._reset_fingerprint()
+        row_id = min(old_row.lineage) if old_row.lineage else self.row_id(index)
+        change = RowChange.make(
+            "delete", row_id, before=old_row.values, after=None
+        )
+        return Delta.single(
+            self.name, base_fingerprint, self.fingerprint(), change
+        )
 
     # -- algebra ------------------------------------------------------------------
     def select(self, predicate) -> "Relation":

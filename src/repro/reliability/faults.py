@@ -47,6 +47,7 @@ KNOWN_SITES: dict[str, str] = {
     "plan.lower": "identical",          # planner failure -> naive interpreter
     "stats.analyze": "identical",       # ANALYZE failure -> heuristic cost model
     "solve.partition": "typed-error",   # solver failure -> structured error
+    "live.apply_delta": "typed-error",  # ingest failure -> error, state pre-delta
 }
 
 

@@ -18,6 +18,7 @@ they surface in the service API.
 Run the daemon with ``python -m repro.service``.
 """
 
+from repro.live import DeltaConflictError, DeltaError
 from repro.reliability import (
     CircuitOpenError,
     Deadline,
@@ -40,6 +41,7 @@ from repro.service.api import (
     SpecError,
     config_from_spec,
     database_from_spec,
+    ingest_request_from_payload,
     mapping_from_spec,
     matches_from_spec,
     query_from_spec,
@@ -51,6 +53,8 @@ from repro.service.api import (
 
 __all__ = [
     "CircuitOpenError",
+    "DeltaConflictError",
+    "DeltaError",
     "Deadline",
     "DeadlineExceeded",
     "OperationCancelled",
@@ -72,6 +76,7 @@ __all__ = [
     "SpecError",
     "config_from_spec",
     "database_from_spec",
+    "ingest_request_from_payload",
     "mapping_from_spec",
     "matches_from_spec",
     "query_from_spec",

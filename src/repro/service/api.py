@@ -51,6 +51,13 @@ Endpoints of the daemon (``python -m repro.service``):
   (``{"database": ..., "buckets": 8}``): collects per-relation/per-column
   statistics (cached by relation content in the ``stats`` artifact cache)
   and switches its plans to the cost-based planner;
+* ``POST /ingest``        -- apply row-level changes to a registered database
+  (``{"database": ..., "relation": ..., "changes": [{"op": "insert",
+  "record": {...}}, {"op": "delete", "row_id": "D1:3"}]}``): statistics
+  advance incrementally, unaffected cached artifacts are rewired to the new
+  fingerprint, affected ones evicted; ``delta_id`` is the idempotency key
+  (derived from the payload when omitted) and ``expect_fingerprint`` turns a
+  lost update into a 409 conflict instead of a silent overwrite;
 * ``POST /jobs``          -- asynchronous explain, returns a job id;
 * ``GET  /jobs/<id>``     -- job status (plus the report once done);
 * ``DELETE /jobs/<id>``   -- cancel a queued *or running* job (running jobs
@@ -78,6 +85,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.core.explain3d import Explain3DConfig
 from repro.core.scoring import Priors
 from repro.graphs.weighting import WeightingParams
+from repro.live import DeltaConflictError, DeltaError, validate_change_specs
 from repro.matching.attribute_match import AttributeMatching, matching
 from repro.matching.tuple_matching import TupleMapping, TupleMatch
 from repro.relational.executor import Database
@@ -146,7 +154,9 @@ def error_payload(kind: str, message: str, path: str = "") -> dict:
 #: (still as a structured envelope, never a bare string).
 _ERROR_STATUS = (
     (SpecError, 400),
+    (DeltaError, 400),
     (UnknownDatabaseError, 404),
+    (DeltaConflictError, 409),
     (OperationCancelled, 409),
     (CircuitOpenError, 503),
     (DeadlineExceeded, 504),
@@ -474,6 +484,41 @@ def analyze_request_from_payload(payload: dict) -> tuple[str, int | None]:
     return str(payload["database"]), buckets
 
 
+def ingest_request_from_payload(payload: dict) -> dict:
+    """Compile a ``POST /ingest`` payload into :meth:`ExplainService.ingest` kwargs.
+
+    Change specs are shape-validated here (JSON-pointer errors); value-level
+    problems (unknown rows, bad columns) surface at apply time against the
+    actual schema.  When the payload carries no ``delta_id``, a deterministic
+    one is derived from the payload itself, so a client retry of the same
+    batch dedupes at the engine's idempotency gate -- intentionally repeated
+    identical batches must carry distinct ``delta_id`` values (or pin
+    ``expect_fingerprint``).
+    """
+    if not isinstance(payload, dict):
+        raise SpecError("ingest payload must be a JSON object")
+    for key in ("database", "relation", "changes"):
+        if key not in payload:
+            raise SpecError(f"ingest payload needs {key!r}", f"/{key}")
+    changes = validate_change_specs(payload["changes"], "/changes")
+    expect = payload.get("expect_fingerprint")
+    delta_id = payload.get("delta_id")
+    if delta_id is None:
+        delta_id = fingerprint_of(
+            str(payload["database"]),
+            str(payload["relation"]),
+            changes,
+            expect if expect is not None else "auto",
+        )
+    return {
+        "database": str(payload["database"]),
+        "relation": str(payload["relation"]),
+        "changes": changes,
+        "delta_id": str(delta_id),
+        "expect_fingerprint": str(expect) if expect is not None else None,
+    }
+
+
 def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainRequest:
     """Compile a full JSON request payload into an :class:`ExplainRequest`.
 
@@ -596,7 +641,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     _KNOWN_PATHS = frozenset(
-        {"/health", "/stats", "/databases", "/explain", "/plan", "/analyze", "/jobs"}
+        {"/health", "/stats", "/databases", "/explain", "/plan", "/analyze",
+         "/ingest", "/jobs"}
     )
 
     def _endpoint(self, method: str) -> str:
@@ -645,7 +691,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         for exc_type, status in _ERROR_STATUS:
             if isinstance(exc, exc_type):
                 self._send_json(
-                    error_payload(type(exc).__name__, str(exc)), status=status
+                    error_payload(
+                        type(exc).__name__, str(exc), getattr(exc, "path", "")
+                    ),
+                    status=status,
                 )
                 return
         self._send_json(
@@ -712,6 +761,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             elif self.path == "/analyze":
                 name, buckets = analyze_request_from_payload(self._read_json())
                 self._send_json(self.server.service.analyze(name, buckets=buckets))
+            elif self.path == "/ingest":
+                kwargs = ingest_request_from_payload(self._read_json())
+                self._send_json(self.server.service.ingest(**kwargs))
             elif self.path == "/jobs":
                 payload = self._read_json()
                 request = request_from_payload(
@@ -858,6 +910,22 @@ class ServiceClient:
         if buckets is not None:
             payload["buckets"] = buckets
         return self._call("POST", "/analyze", payload)
+
+    def ingest(
+        self,
+        database: str,
+        relation: str,
+        changes: list,
+        *,
+        delta_id: str | None = None,
+        expect_fingerprint: str | None = None,
+    ) -> dict:
+        payload: dict = {"database": database, "relation": relation, "changes": changes}
+        if delta_id is not None:
+            payload["delta_id"] = delta_id
+        if expect_fingerprint is not None:
+            payload["expect_fingerprint"] = expect_fingerprint
+        return self._call("POST", "/ingest", payload)
 
     def submit_job(self, payload: dict) -> dict:
         return self._call("POST", "/jobs", payload)

@@ -109,6 +109,8 @@ class CacheStats:
     spill_writes: int = 0
     spill_loads: int = 0
     spill_errors: int = 0
+    invalidations: int = 0
+    rewires: int = 0
 
     @property
     def requests(self) -> int:
@@ -126,6 +128,8 @@ class CacheStats:
             "spill_writes": self.spill_writes,
             "spill_loads": self.spill_loads,
             "spill_errors": self.spill_errors,
+            "invalidations": self.invalidations,
+            "rewires": self.rewires,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -212,6 +216,73 @@ class ArtifactCache:
         self.put(key, value)
         return value
 
+    def invalidate(self, key: str) -> bool:
+        """Evict one key everywhere: memory, disk, and sibling processes.
+
+        Used by delta-aware ingest for artifacts whose content actually
+        changed.  Beyond dropping the local entry and its spill file, a
+        **tombstone** marker (``<name>-<key>.pkl.tomb``) is written through to
+        the spill directory: fleet siblings sharing the directory treat a
+        tombstoned key as a miss and refuse to (re)spill it, so a lagging pod
+        can never resurrect the stale artifact from its memory tier into the
+        shared one.  Keys are content fingerprints of their full input set
+        (including the database fingerprint), so a tombstoned key addresses
+        permanently stale content.  Returns True when an entry or spill file
+        actually existed here.
+        """
+        with self._lock:
+            existed = self._entries.pop(key, _MISSING) is not _MISSING
+            path = self._spill_path(key)
+            if path is not None:
+                if path.exists():
+                    existed = True
+                    path.unlink(missing_ok=True)
+                try:
+                    self._tomb_path(key).touch()
+                except OSError:  # pragma: no cover - tombstone is best-effort
+                    pass
+            self.stats.invalidations += 1
+            return existed
+
+    def rewire(self, old_key: str, new_key: str) -> bool:
+        """Re-address one entry whose content is unchanged: same bytes, new key.
+
+        Used by delta-aware ingest for artifacts a delta provably did not
+        affect: the artifact computed under the old database fingerprint is
+        byte-identical under the new one, so it moves instead of being
+        recomputed.  On disk the move is an atomic rename (the artifact is
+        never missing under both names); an entry living only in memory is
+        written through under the new key first, so sharing siblings see the
+        rewired artifact.  Returns True when an entry was actually moved.
+        """
+        if old_key == new_key:
+            return False
+        with self._lock:
+            value = self._entries.pop(old_key, _MISSING)
+            old_path, new_path = self._spill_path(old_key), self._spill_path(new_key)
+            if new_path is not None:
+                # The new address is legitimately live again; clear any
+                # tombstone so the rewired artifact can spill there.
+                self._tomb_path(new_key).unlink(missing_ok=True)
+            moved = False
+            if old_path is not None and old_path.exists():
+                try:
+                    if new_path.exists():
+                        old_path.unlink(missing_ok=True)
+                    else:
+                        os.replace(old_path, new_path)
+                    moved = True
+                except OSError:
+                    pass
+            if value is not _MISSING:
+                self._insert(new_key, value)
+                if self.write_through and not moved:
+                    self._write_spill(new_key, value)
+                moved = True
+            if moved:
+                self.stats.rewires += 1
+            return moved
+
     def flush(self) -> int:
         """Persist every in-memory entry to the spill directory; returns count.
 
@@ -241,6 +312,7 @@ class ArtifactCache:
                 for pattern in (
                     f"{self.name}-*.pkl",
                     f"{self.name}-*.pkl.corrupt",
+                    f"{self.name}-*.pkl.tomb",
                     f".{self.name}-*.tmp",
                 ):
                     for path in self.spill_dir.glob(pattern):
@@ -260,6 +332,9 @@ class ArtifactCache:
             return None
         return self.spill_dir / f"{self.name}-{key}.pkl"
 
+    def _tomb_path(self, key: str) -> Path:
+        return self.spill_dir / f"{self.name}-{key}.pkl.tomb"
+
     def _write_spill(self, key: str, value) -> None:
         """Spill one evicted entry to disk: envelope + atomic rename.
 
@@ -272,6 +347,10 @@ class ArtifactCache:
         """
         path = self._spill_path(key)
         if path is None:
+            return
+        if self._tomb_path(key).exists():
+            # The key was invalidated through the shared tier; re-spilling it
+            # would resurrect a stale artifact for every sharing sibling.
             return
         if path.exists():
             # Keys are content fingerprints: an existing file for this key
@@ -327,6 +406,10 @@ class ArtifactCache:
         """
         path = self._spill_path(key)
         if path is None or not path.exists():
+            return _MISSING
+        if self._tomb_path(key).exists():
+            # Invalidated via the shared tier (possibly by another process):
+            # a plain miss, even if a stale spill file still lingers.
             return _MISSING
         try:
             FAULTS.check("cache.spill_load")
@@ -394,6 +477,8 @@ class CacheRegistry:
             totals.spill_writes += cache.stats.spill_writes
             totals.spill_loads += cache.stats.spill_loads
             totals.spill_errors += cache.stats.spill_errors
+            totals.invalidations += cache.stats.invalidations
+            totals.rewires += cache.stats.rewires
         return {"caches": per_cache, "total": totals.as_dict()}
 
     def flush(self) -> int:

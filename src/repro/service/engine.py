@@ -33,16 +33,18 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional
 
 from repro.core.explain3d import Explain3D, Explain3DConfig, ExplanationReport
 from repro.core.problem import Stage1Artifacts, build_problem
+from repro.live import DeltaConflictError, DeltaError, apply_changes_copy, delta_affects
 from repro.matching.attribute_match import AttributeMatching
 from repro.matching.tuple_matching import TupleMapping
 from repro.plan import PhysicalPlan, logical_fingerprint, plan_node, plan_query
+from repro.relational.errors import UnknownRelationError
 from repro.relational.executor import Database
 from repro.relational.provenance import provenance_relation
 from repro.relational.query import Query
@@ -52,6 +54,37 @@ from repro.reliability.faults import FAULTS
 from repro.service.cache import CacheRegistry, fingerprint_of
 
 logger = logging.getLogger(__name__)
+
+#: How many request shapes (per problem key) the engine remembers for
+#: delta-aware cache rewiring, and how many applied delta ids it retains for
+#: ingest idempotency.  Both are bookkeeping, not correctness: a forgotten
+#: signature degrades to plain eviction-by-re-keying, a forgotten delta id to
+#: a 409 conflict on the (stale) retry.
+_SIGNATURE_LIMIT = 512
+_DELTA_LOG_LIMIT = 512
+
+
+@dataclass
+class _LiveSignature:
+    """The request shape behind one cached problem.
+
+    Holds exactly what :meth:`ExplainService.ingest` needs to recompute the
+    problem's artifact keys under a *different* database fingerprint: the
+    queries, both database names, and the canonicalized request parts that
+    participate in each key.  ``solve_parts`` collects every solve
+    configuration seen for the problem (keyed by its own fingerprint), since
+    each produced a distinct cached report.
+    """
+
+    database_left: str
+    database_right: str
+    query_left: Query
+    query_right: Query
+    matches_part: object
+    mapping_part: object
+    labeled_part: object
+    stage1_part: object
+    solve_parts: dict = field(default_factory=dict)
 
 
 class UnknownDatabaseError(KeyError):
@@ -183,6 +216,13 @@ class ExplainService:
         self._db_fingerprints: dict[str, str] = {}
         self._lock = threading.RLock()
         self._requests_served = 0
+        # Live-update bookkeeping: request shapes for delta-aware rewiring,
+        # applied delta ids for ingest idempotency, and a lock serializing
+        # ingests (explains stay concurrent -- they read one atomic snapshot).
+        self._signatures: OrderedDict[str, _LiveSignature] = OrderedDict()
+        self._applied_deltas: OrderedDict[str, dict] = OrderedDict()
+        self._ingest_lock = threading.Lock()
+        self._ingests_applied = 0
         self.breakers = BreakerRegistry(
             failure_threshold=self.config.breaker_failures,
             reset_seconds=self.config.breaker_reset_seconds,
@@ -361,6 +401,7 @@ class ExplainService:
     ) -> ServiceResult:
         problem_key = self._problem_key(request, config, left[1], right[1])
         report_key = self._report_key(problem_key, config)
+        self._record_signature(problem_key, request, config)
         degraded: list[dict] = []
 
         cached_report = self._reports.get(report_key)
@@ -554,6 +595,290 @@ class ExplainService:
         payload["fingerprint"] = statistics.fingerprint()
         return payload
 
+    # -- live updates (POST /ingest) ---------------------------------------------------
+    def _record_signature(
+        self, problem_key: str, request: ExplainRequest, config: Explain3DConfig
+    ) -> None:
+        """Remember the request shape behind ``problem_key`` for rewiring."""
+        solve_part = self._solve_config_part(config)
+        with self._lock:
+            signature = self._signatures.get(problem_key)
+            if signature is None:
+                signature = _LiveSignature(
+                    database_left=request.database_left,
+                    database_right=request.database_right,
+                    query_left=request.query_left,
+                    query_right=request.query_right,
+                    matches_part=self._matches_part(request.attribute_matches),
+                    mapping_part=self._mapping_part(request.tuple_mapping),
+                    labeled_part=(
+                        request.labeled_pairs
+                        if request.labeled_pairs is not None
+                        else "none"
+                    ),
+                    stage1_part=self._stage1_config_part(config),
+                )
+                self._signatures[problem_key] = signature
+            signature.solve_parts[fingerprint_of(solve_part)] = solve_part
+            self._signatures.move_to_end(problem_key)
+            while len(self._signatures) > _SIGNATURE_LIMIT:
+                self._signatures.popitem(last=False)
+
+    def _signature_keys(
+        self, signature: _LiveSignature, left_fp: str, right_fp: str
+    ) -> dict:
+        """Every artifact key of one request shape under the given fingerprints."""
+        provenance_left = fingerprint_of(left_fp, signature.query_left, "L")
+        provenance_right = fingerprint_of(right_fp, signature.query_right, "R")
+        linkage = fingerprint_of(
+            provenance_left, provenance_right, signature.matches_part
+        )
+        problem = fingerprint_of(
+            left_fp,
+            signature.query_left,
+            right_fp,
+            signature.query_right,
+            signature.matches_part,
+            signature.mapping_part,
+            signature.labeled_part,
+            signature.stage1_part,
+        )
+        return {
+            "provenance_left": provenance_left,
+            "provenance_right": provenance_right,
+            "linkage": linkage,
+            "problem": problem,
+            "reports": {
+                solve_fp: fingerprint_of(problem, part)
+                for solve_fp, part in signature.solve_parts.items()
+            },
+        }
+
+    def _advance_stats(self, statistics, relation: str, delta, new_relation):
+        """ANALYZE statistics carried across a delta; returns ``(stats, mode)``.
+
+        Merges the delta into the attached statistics when they describe the
+        delta's base content and carry mergeable sketches, falling back to a
+        full rescan past the drift threshold (``mode`` is ``"incremental"``
+        or ``"rescan"``).  Either way the result lands in the ``stats``
+        artifact cache under the new content fingerprint, so a later ANALYZE
+        of the post-delta database is a cache hit.
+        """
+        from repro.stats import analyze_relation
+        from repro.stats.statistics import DRIFT_THRESHOLD, merge_relation_stats
+
+        buckets = statistics.buckets
+        base = statistics.relation(relation)
+        stats = None
+        mode = "rescan"
+        if (
+            base is not None
+            and base.fingerprint == delta.base_fingerprint
+            and all(column.sketch is not None for column in base.columns)
+        ):
+            merged = merge_relation_stats(base, delta, buckets=buckets)
+            if merged.drift <= DRIFT_THRESHOLD:
+                stats, mode = merged, "incremental"
+        if stats is None:
+            stats = analyze_relation(
+                new_relation, buckets=buckets, fingerprint=delta.new_fingerprint
+            )
+        self._stats.put(fingerprint_of(delta.new_fingerprint, buckets), stats)
+        return stats, mode
+
+    def _rewire_caches(self, database: str, delta, new_db_fp: str) -> dict:
+        """Delta-aware invalidation: evict what changed, rewire what did not.
+
+        Walks every remembered request shape touching ``database``.  A shape
+        the delta provably does not affect (see
+        :func:`repro.live.delta_affects`) has its artifacts *rewired* -- same
+        bytes, re-addressed to the new database fingerprint; an affected
+        shape has its old-key artifacts evicted (with shared-tier tombstones)
+        so nothing stale survives.  Artifacts whose keys do not change (the
+        un-ingested side's provenance) are simply retained.  Compiled plans
+        are never rewired: a physical plan binds the old database object, and
+        replanning is cheap.
+        """
+        moves = {"rewired": 0, "evicted": 0, "retained": 0}
+        with self._lock:
+            signatures = list(self._signatures.items())
+            current = dict(self._db_fingerprints)
+        handled: set[tuple[str, str]] = set()
+
+        def rewire(cache, old_key: str, new_key: str) -> None:
+            if old_key == new_key:
+                if (cache.name, old_key) not in handled:
+                    handled.add((cache.name, old_key))
+                    if old_key in cache:
+                        moves["retained"] += 1
+                return
+            if (cache.name, old_key) in handled:
+                return
+            handled.add((cache.name, old_key))
+            if cache.rewire(old_key, new_key):
+                moves["rewired"] += 1
+                moves["retained"] += 1
+
+        def evict(cache, old_key: str) -> None:
+            if (cache.name, old_key) in handled:
+                return
+            handled.add((cache.name, old_key))
+            if cache.invalidate(old_key):
+                moves["evicted"] += 1
+
+        rekeyed: list[tuple[str, str]] = []
+        for problem_key, signature in signatures:
+            if database not in (signature.database_left, signature.database_right):
+                continue
+            old_left = current.get(signature.database_left)
+            old_right = current.get(signature.database_right)
+            if old_left is None or old_right is None:
+                continue
+            new_left = new_db_fp if signature.database_left == database else old_left
+            new_right = new_db_fp if signature.database_right == database else old_right
+            old_keys = self._signature_keys(signature, old_left, old_right)
+            new_keys = self._signature_keys(signature, new_left, new_right)
+
+            affected = False
+            if signature.database_left == database:
+                provenance = self._provenance.get(old_keys["provenance_left"])
+                affected |= delta_affects(signature.query_left, delta, provenance)
+            if not affected and signature.database_right == database:
+                provenance = self._provenance.get(old_keys["provenance_right"])
+                affected |= delta_affects(signature.query_right, delta, provenance)
+
+            if affected:
+                for slot, cache in (
+                    ("provenance_left", self._provenance),
+                    ("provenance_right", self._provenance),
+                    ("linkage", self._features),
+                    ("linkage", self._candidates),
+                    ("problem", self._problems),
+                ):
+                    if old_keys[slot] != new_keys[slot]:
+                        evict(cache, old_keys[slot])
+                for solve_fp, report_key in old_keys["reports"].items():
+                    if report_key != new_keys["reports"][solve_fp]:
+                        evict(self._reports, report_key)
+            else:
+                rewire(self._provenance, old_keys["provenance_left"],
+                       new_keys["provenance_left"])
+                rewire(self._provenance, old_keys["provenance_right"],
+                       new_keys["provenance_right"])
+                rewire(self._features, old_keys["linkage"], new_keys["linkage"])
+                rewire(self._candidates, old_keys["linkage"], new_keys["linkage"])
+                rewire(self._problems, old_keys["problem"], new_keys["problem"])
+                for solve_fp, report_key in old_keys["reports"].items():
+                    rewire(self._reports, report_key, new_keys["reports"][solve_fp])
+            rekeyed.append((problem_key, new_keys["problem"]))
+
+        with self._lock:
+            for old_problem_key, new_problem_key in rekeyed:
+                signature = self._signatures.pop(old_problem_key, None)
+                if signature is not None:
+                    self._signatures[new_problem_key] = signature
+        return moves
+
+    def ingest(
+        self,
+        database: str,
+        relation: str,
+        changes,
+        *,
+        delta_id: str | None = None,
+        expect_fingerprint: str | None = None,
+    ) -> dict:
+        """Apply a batch of row-level changes to a registered database.
+
+        The serving path of ``POST /ingest``: builds a copy-on-write version
+        of the touched relation (concurrent explains keep reading the
+        pre-delta snapshot), advances ANALYZE statistics incrementally,
+        evicts exactly the cached artifacts the delta affected -- rewiring
+        the rest to the new database fingerprint -- and atomically swaps the
+        new database version in.  Every explain answer is therefore
+        byte-identical to a cold rebuild at either the pre- or post-delta
+        version, never a mix.
+
+        ``delta_id`` is the idempotency key: re-submitting an applied id
+        returns the original summary without re-applying (the PR-7
+        single-flight machinery on the router funnels concurrent duplicates
+        into one call).  Without one, a deterministic id is derived from the
+        payload and the current database fingerprint.  ``expect_fingerprint``
+        (when given) must match the live database fingerprint, else
+        :class:`~repro.live.DeltaConflictError` (HTTP 409).
+        """
+        with self._ingest_lock:
+            db, db_fp = self._snapshot(database)
+            if expect_fingerprint is not None and expect_fingerprint != db_fp:
+                raise DeltaConflictError(
+                    f"ingest targets {database!r} at fingerprint "
+                    f"{expect_fingerprint[:12]}..., but the live database is at "
+                    f"{db_fp[:12]}...; re-read and rebuild the delta"
+                )
+            idempotency_key = delta_id or fingerprint_of(
+                database, relation, changes, db_fp
+            )
+            with self._lock:
+                summary = self._applied_deltas.get(idempotency_key)
+            if summary is not None:
+                duplicate = dict(summary)
+                duplicate["applied"] = False
+                duplicate["deduplicated"] = True
+                return duplicate
+            # The fault gate sits before any state change: an injected ingest
+            # fault leaves database, statistics and caches fully pre-delta.
+            FAULTS.check("live.apply_delta")
+            try:
+                old_relation = db.relation(relation)
+            except UnknownRelationError as exc:
+                raise DeltaError(str(exc), "/relation") from None
+            new_relation, delta = apply_changes_copy(old_relation, changes)
+
+            stats_mode = "none"
+            new_statistics = None
+            if db.statistics is not None and relation in db.statistics:
+                stats, stats_mode = self._advance_stats(
+                    db.statistics, relation, delta, new_relation
+                )
+                relations = db.statistics.relations()
+                relations[relation] = stats.with_name(relation)
+                from repro.stats import DatabaseStats
+
+                new_statistics = DatabaseStats(
+                    relations, buckets=db.statistics.buckets
+                )
+
+            new_db = db.with_relation(relation, new_relation, statistics=new_statistics)
+            new_db_fp = new_db.fingerprint()
+            caches = self._rewire_caches(database, delta, new_db_fp)
+
+            with self._lock:
+                if self._db_fingerprints.get(database) != db_fp:
+                    raise DeltaConflictError(
+                        f"database {database!r} was re-registered during ingest; "
+                        "re-read and rebuild the delta"
+                    )
+                self._databases[database] = new_db
+                self._db_fingerprints[database] = new_db_fp
+                self._ingests_applied += 1
+                summary = {
+                    "database": database,
+                    "relation": relation,
+                    "delta_id": delta.delta_id,
+                    "applied": True,
+                    "base_fingerprint": db_fp,
+                    "fingerprint": new_db_fp,
+                    "relation_fingerprint": delta.new_fingerprint,
+                    "changes": delta.counts(),
+                    "stats": stats_mode,
+                    "caches": caches,
+                }
+                for key in {idempotency_key, delta.delta_id}:
+                    self._applied_deltas[key] = summary
+                while len(self._applied_deltas) > _DELTA_LOG_LIMIT:
+                    self._applied_deltas.popitem(last=False)
+            return dict(summary)
+
     # -- query planning --------------------------------------------------------------
     def _planned_provenance(
         self, query: Query, db: Database, db_fp: str, degraded: list[dict] | None = None
@@ -626,8 +951,10 @@ class ExplainService:
             served = self._requests_served
             databases = dict(self._db_fingerprints)
             degradations = dict(self._degradations)
+            ingests = self._ingests_applied
         return {
             "requests_served": served,
+            "ingests_applied": ingests,
             "databases": databases,
             "degradations": degradations,
             "breakers": self.breakers.states(),

@@ -23,26 +23,34 @@ from repro.stats.cost import (
 )
 from repro.stats.statistics import (
     DEFAULT_BUCKETS,
+    DRIFT_THRESHOLD,
+    KMV_K,
     ColumnStats,
     DatabaseStats,
     Histogram,
+    KMVSketch,
     RelationStats,
     StatsCatalog,
     analyze_database,
     analyze_relation,
     equi_depth_histogram,
+    merge_relation_stats,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DRIFT_THRESHOLD",
+    "KMV_K",
     "ColumnStats",
     "RelationStats",
     "DatabaseStats",
     "Histogram",
+    "KMVSketch",
     "StatsCatalog",
     "analyze_relation",
     "analyze_database",
     "equi_depth_histogram",
+    "merge_relation_stats",
     "ColumnProfile",
     "CostModel",
     "JoinInput",

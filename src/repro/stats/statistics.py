@@ -22,6 +22,7 @@ wraps the same keying in its ``stats`` artifact cache.
 from __future__ import annotations
 
 import bisect
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -29,6 +30,77 @@ from typing import Optional, Sequence
 from repro.relational.relation import Relation
 
 DEFAULT_BUCKETS = 8
+
+#: Default size of the KMV distinct-count sketches carried by ColumnStats.
+KMV_K = 64
+
+#: Fraction of a relation's rows that may change through incremental merges
+#: before the next delta forces a full rescan (histogram bounds and ndv
+#: estimates degrade with drift; counts stay exact regardless).
+DRIFT_THRESHOLD = 0.2
+
+
+# ---------------------------------------------------------------------------
+# KMV distinct-count sketches (mergeable ndv)
+# ---------------------------------------------------------------------------
+
+_KMV_SPACE = 2 ** 64
+
+
+def _kmv_hash(value) -> int:
+    """A stable 64-bit hash of one column value (None never reaches here)."""
+    return int.from_bytes(
+        hashlib.blake2b(repr(value).encode(), digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class KMVSketch:
+    """A k-minimum-values distinct-count sketch: mergeable, never rescanning.
+
+    Keeps the ``k`` smallest 64-bit hashes seen; with fewer than ``k``
+    distinct hashes the estimate is exact, beyond that the classic KMV
+    estimator ``(k - 1) / kth_minimum`` (scaled to the hash space) applies.
+    Merging two sketches -- or folding a delta's inserted values into one --
+    is a set union + truncation, which is what makes ANALYZE incremental.
+    Deleted values cannot be unhashed, so after deletes the estimate is an
+    upper bound (conservative for a cost model).
+    """
+
+    k: int = KMV_K
+    values: tuple = ()  # sorted, distinct, at most k smallest hashes
+
+    @classmethod
+    def of(cls, column_values, k: int = KMV_K) -> "KMVSketch":
+        hashes = sorted(
+            {_kmv_hash(value) for value in column_values if value is not None}
+        )
+        return cls(k, tuple(hashes[:k]))
+
+    def extend(self, column_values) -> "KMVSketch":
+        """The sketch after observing more values (non-null only counted)."""
+        fresh = {_kmv_hash(value) for value in column_values if value is not None}
+        if not fresh:
+            return self
+        merged = sorted(set(self.values) | fresh)
+        return KMVSketch(self.k, tuple(merged[: self.k]))
+
+    def merge(self, other: "KMVSketch") -> "KMVSketch":
+        k = min(self.k, other.k)
+        merged = sorted(set(self.values) | set(other.values))
+        return KMVSketch(k, tuple(merged[:k]))
+
+    def estimate(self) -> int:
+        """Estimated distinct count (exact while under k values)."""
+        if len(self.values) < self.k:
+            return len(self.values)
+        kth = self.values[-1]
+        if kth <= 0:
+            return len(self.values)
+        return max(self.k, int(round((self.k - 1) * _KMV_SPACE / kth)))
+
+    def to_dict(self) -> dict:
+        return {"k": self.k, "size": len(self.values), "estimate": self.estimate()}
 
 
 # ---------------------------------------------------------------------------
@@ -114,6 +186,8 @@ class ColumnStats:
     min_value: object = None
     max_value: object = None
     histogram: Optional[Histogram] = None
+    #: Mergeable ndv sketch -- what makes incremental ANALYZE possible.
+    sketch: Optional[KMVSketch] = None
 
     @property
     def non_null_count(self) -> int:
@@ -135,6 +209,8 @@ class ColumnStats:
         }
         if self.histogram is not None:
             payload["histogram"] = self.histogram.to_dict()
+        if self.sketch is not None:
+            payload["ndv_sketch"] = self.sketch.to_dict()
         return payload
 
 
@@ -146,6 +222,10 @@ class RelationStats:
     fingerprint: str
     row_count: int
     columns: tuple[ColumnStats, ...] = ()
+    #: Fraction of rows changed by incremental merges since the last full
+    #: scan; 0.0 for freshly scanned statistics.  Past ``DRIFT_THRESHOLD``
+    #: the next delta triggers a rescan instead of another merge.
+    drift: float = 0.0
     _by_name: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self):
@@ -168,6 +248,7 @@ class RelationStats:
             fingerprint=self.fingerprint,
             row_count=self.row_count,
             columns=self.columns,
+            drift=self.drift,
         )
 
     def to_dict(self) -> dict:
@@ -175,6 +256,7 @@ class RelationStats:
             "relation": self.relation,
             "fingerprint": self.fingerprint,
             "row_count": self.row_count,
+            "drift": round(self.drift, 4),
             "columns": {column.name: column.to_dict() for column in self.columns},
         }
 
@@ -217,6 +299,7 @@ def analyze_relation(
                 min_value=min_value,
                 max_value=max_value,
                 histogram=histogram,
+                sketch=KMVSketch.of(non_null),
             )
         )
     return RelationStats(
@@ -224,6 +307,67 @@ def analyze_relation(
         fingerprint=fingerprint if fingerprint is not None else relation.fingerprint(),
         row_count=row_count,
         columns=tuple(columns),
+    )
+
+
+def merge_relation_stats(stats: RelationStats, delta, *, buckets: int = DEFAULT_BUCKETS) -> RelationStats:
+    """Fold a row-level delta into existing statistics without rescanning.
+
+    Counts (rows, nulls) advance exactly; distinct counts advance through the
+    mergeable KMV sketch (exact for insert-only histories under ``k`` values,
+    an upper bound after deletes); min/max widen on inserts and are retained
+    on deletes; histogram bounds are retained as an approximation.  ``drift``
+    accumulates the changed-row fraction -- past :data:`DRIFT_THRESHOLD` the
+    catalog rescans instead of merging again.  The result is addressed by the
+    delta's post-change fingerprint.
+    """
+    inserted = [change.after for change in delta.changes if change.after is not None]
+    removed = [change.before for change in delta.changes if change.before is not None]
+    counts = delta.counts()
+    row_count = max(0, stats.row_count + counts["insert"] - counts["delete"])
+    columns = []
+    for position, column in enumerate(stats.columns):
+        added = [values[position] for values in inserted]
+        dropped = [values[position] for values in removed]
+        added_non_null = [value for value in added if value is not None]
+        null_count = max(
+            0,
+            column.null_count
+            + (len(added) - len(added_non_null))
+            - sum(1 for value in dropped if value is None),
+        )
+        sketch = (column.sketch or KMVSketch()).extend(added_non_null)
+        distinct = min(sketch.estimate(), max(0, row_count - null_count))
+        min_value, max_value = column.min_value, column.max_value
+        if added_non_null:
+            try:
+                low, high = min(added_non_null), max(added_non_null)
+                min_value = low if min_value is None else min(min_value, low)
+                max_value = high if max_value is None else max(max_value, high)
+            except TypeError:
+                pass
+        histogram = column.histogram
+        if histogram is None and added_non_null:
+            histogram = equi_depth_histogram(added_non_null, buckets)
+        columns.append(
+            ColumnStats(
+                name=column.name,
+                dtype=column.dtype,
+                row_count=row_count,
+                null_count=null_count,
+                distinct=distinct,
+                min_value=min_value,
+                max_value=max_value,
+                histogram=histogram,
+                sketch=sketch,
+            )
+        )
+    return RelationStats(
+        relation=stats.relation,
+        fingerprint=delta.new_fingerprint,
+        row_count=row_count,
+        columns=tuple(columns),
+        drift=stats.drift + len(delta.changes) / max(1, stats.row_count),
     )
 
 
@@ -316,6 +460,41 @@ class StatsCatalog:
         with self._lock:
             self._entries[fingerprint] = stats
         return stats
+
+    def apply_delta(
+        self,
+        delta,
+        relation_after: Relation,
+        *,
+        drift_threshold: float = DRIFT_THRESHOLD,
+    ) -> tuple[RelationStats, str]:
+        """Advance cached statistics across a delta; returns ``(stats, mode)``.
+
+        Merges the delta into the entry cached at the delta's base fingerprint
+        (``mode == "incremental"``); falls back to a full rescan of
+        ``relation_after`` when no mergeable base exists or accumulated drift
+        would exceed ``drift_threshold`` (``mode == "rescan"``).  Either way
+        the result lands in the catalog under the post-change fingerprint, so
+        subsequent ANALYZE calls over the new content are dictionary hits.
+        """
+        with self._lock:
+            base = self._entries.get(delta.base_fingerprint)
+        if base is not None and all(
+            column.sketch is not None for column in base.columns
+        ):
+            merged = merge_relation_stats(base, delta, buckets=self.buckets)
+            if merged.drift <= drift_threshold:
+                with self._lock:
+                    self._entries[delta.new_fingerprint] = merged
+                    self.hits += 1
+                return merged, "incremental"
+        stats = analyze_relation(
+            relation_after, buckets=self.buckets, fingerprint=delta.new_fingerprint
+        )
+        with self._lock:
+            self._entries[delta.new_fingerprint] = stats
+            self.misses += 1
+        return stats, "rescan"
 
 
 def analyze_database(

@@ -159,6 +159,7 @@ class TestFaultInjector:
             "plan.lower": "identical",
             "stats.analyze": "identical",
             "solve.partition": "typed-error",
+            "live.apply_delta": "typed-error",
         }
 
     def test_unarmed_check_is_a_noop(self):
@@ -659,6 +660,85 @@ class TestCancelWhileRunning:
         )
         assert clean.degraded == []
         assert not clean.report.stats.partial
+
+
+# ---------------------------------------------------------------------------
+# Live ingest under faults and under concurrent reads
+# ---------------------------------------------------------------------------
+
+class TestLiveIngestChaos:
+    _SPECS = [{"op": "insert", "record": {"Program": "Math", "Degree": "B.S."}}]
+
+    def test_injected_ingest_fault_is_typed_and_state_stays_pre_delta(
+        self, figure1_service
+    ):
+        before = figure1_service.databases()["D1"]
+        with inject("live.apply_delta", "raise"):
+            with pytest.raises(InjectedFault) as excinfo:
+                figure1_service.ingest("D1", "D1", self._SPECS)
+        assert excinfo.value.site == "live.apply_delta"
+        # The gate sits before any state change: fingerprint, counters and
+        # the idempotency log are all pre-delta, so a retry applies cleanly.
+        assert figure1_service.databases()["D1"] == before
+        assert figure1_service.stats()["ingests_applied"] == 0
+        summary = figure1_service.ingest("D1", "D1", self._SPECS)
+        assert summary["applied"] is True
+        assert figure1_service.databases()["D1"] == summary["fingerprint"] != before
+
+    def test_concurrent_ingest_and_explain_is_pre_or_post_never_torn(
+        self, figure1_request
+    ):
+        from repro.datasets.sql_catalog import figure1_databases
+        from repro.fleet.__main__ import canonical_report
+        from repro.live import apply_changes
+
+        def fresh_service(mutate: bool = False) -> ExplainService:
+            db1, db2, _ = figure1_databases()
+            if mutate:
+                apply_changes(db1.relation("D1"), self._SPECS)
+            service = ExplainService()
+            service.register_database(db1, "D1")
+            service.register_database(db2, "D2")
+            return service
+
+        def canon(service: ExplainService) -> str:
+            return canonical_report(service.explain(figure1_request).report.to_dict())
+
+        pre = canon(fresh_service())
+        post = canon(fresh_service(mutate=True))
+        assert pre != post  # the delta visibly changes the answer
+
+        service = fresh_service()
+        assert canon(service) == pre  # warm every cache layer
+        answers: list[str] = []
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    answers.append(canon(service))
+                except BaseException as exc:  # noqa: BLE001 - collected for assert
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        FAULTS.arm("live.apply_delta", "delay:0.02")  # widen the swap window
+        try:
+            service.ingest("D1", "D1", self._SPECS)
+        finally:
+            FAULTS.reset()
+        time.sleep(0.05)  # let readers observe the post-delta version
+        stop.set()
+        for thread in threads:
+            thread.join(10.0)
+        assert not errors
+        # Every concurrent answer is the pre- or the post-delta report,
+        # byte-identical to the matching cold rebuild -- never a torn mix.
+        assert set(answers) <= {pre, post}
+        assert canon(service) == post  # and the delta is durably visible
 
 
 class TestJobRetry:

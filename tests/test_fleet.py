@@ -395,3 +395,101 @@ class TestWorkerLifecycle:
             assert not worker.alive
         finally:
             pool.stop()
+
+
+# ---------------------------------------------------------------------------
+# Live deltas across the fleet
+# ---------------------------------------------------------------------------
+
+class TestFleetIngest:
+    INSERT = [{"op": "insert", "record": {"Program": "Live", "Degree": "B.S."}}]
+
+    def test_ingest_broadcasts_to_every_pod_and_matches_direct(self, fleet):
+        pre = canonical_report(fleet.client.explain(PAIRS[0][4]))
+        summary = fleet.client.ingest("D1_0", "D1_0", self.INSERT)
+        assert summary["applied"] is True
+        assert summary["workers"] == ["w0", "w1"]  # every pod took the delta
+        post = fleet.client.explain(PAIRS[0][4])
+        assert canonical_report(post) != pre
+
+        # The routed post-delta answer is byte-identical to a direct daemon
+        # that ingested the same batch -- and both agree on the fingerprint.
+        server, _ = serve_in_background(ExplainService(), port=0)
+        try:
+            host, port = server.server_address[:2]
+            direct = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+            direct.register_database(PAIRS[0][0], PAIRS[0][1])
+            direct.register_database(PAIRS[0][2], PAIRS[0][3])
+            direct_summary = direct.ingest("D1_0", "D1_0", self.INSERT)
+            assert direct_summary["fingerprint"] == summary["fingerprint"]
+            expected = direct.explain(PAIRS[0][4])
+        finally:
+            server.shutdown()
+        assert canonical_report(post) == canonical_report(expected)
+
+    def test_duplicate_submission_dedupes_on_every_pod(self, fleet):
+        first = fleet.client.ingest("D1_1", "D1_1", self.INSERT)
+        again = fleet.client.ingest("D1_1", "D1_1", self.INSERT)
+        assert first["applied"] is True
+        assert again["applied"] is False and again["deduplicated"] is True
+        assert again["fingerprint"] == first["fingerprint"]
+        assert again["workers"] == ["w0", "w1"]
+
+    def test_admitted_worker_replays_registrations_then_deltas(self, fleet):
+        from repro.fleet import StaticWorker as _StaticWorker
+
+        fleet.client.ingest("D1_0", "D1_0", self.INSERT)
+        post = canonical_report(fleet.client.explain(PAIRS[0][4]))
+        server, _ = serve_in_background(ExplainService(), port=0)
+        try:
+            host, port = server.server_address[:2]
+            fleet.router._admit(_StaticWorker("w9", f"http://{host}:{port}"))
+            # The newcomer converged on the live (post-delta) version: asking
+            # it directly yields the same bytes the fleet serves.
+            direct = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+            assert canonical_report(direct.explain(PAIRS[0][4])) == post
+        finally:
+            server.shutdown()
+
+    def test_reregistration_clears_the_delta_log(self, fleet):
+        fleet.client.ingest("D1_2", "D1_2", self.INSERT)
+        with fleet.router._lock:
+            assert "D1_2" in fleet.router._ingests
+        fleet.client.register_database("D1_2", PAIRS[2][1])
+        with fleet.router._lock:
+            assert "D1_2" not in fleet.router._ingests
+
+    def test_shared_tier_tombstones_are_write_through(self, tmp_path):
+        from repro.fleet.shared_cache import SharedCacheTier
+        from repro.service.engine import ServiceConfig
+
+        servers, workers = [], []
+        for index in range(2):
+            service = ExplainService(
+                ServiceConfig(spill_dir=tmp_path, spill_write_through=True)
+            )
+            server, _ = serve_in_background(service, port=0)
+            servers.append(server)
+            host, port = server.server_address[:2]
+            workers.append(StaticWorker(f"s{index}", f"http://{host}:{port}"))
+        router = FleetRouter(workers, shared_cache=SharedCacheTier(tmp_path))
+        http, _ = serve_router_in_background(router)
+        host, port = http.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+        try:
+            client.register_database(PAIRS[0][0], PAIRS[0][1])
+            client.register_database(PAIRS[0][2], PAIRS[0][3])
+            assert client.explain(PAIRS[0][4])["query_left"]["result"] == 5.0
+            tier = SharedCacheTier(tmp_path)
+            assert tier.describe()["artifacts"] > 0
+            client.ingest("D1_0", "D1_0", self.INSERT)
+            # The serving pod's eviction wrote tombstones through to the
+            # shared tier, so no sibling can resurrect pre-delta artifacts.
+            assert tier.describe()["tombstones"] > 0
+            assert client.explain(PAIRS[0][4])["query_left"]["result"] == 6.0
+        finally:
+            http.shutdown()
+            router.shutdown()
+            for server in servers:
+                server.shutdown()
+                server.server_close()

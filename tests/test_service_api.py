@@ -713,3 +713,84 @@ class TestEndpointMetrics:
         assert final["state"] == "done"
         if first["id"] == second["id"]:  # coalesced onto the in-flight job
             assert running_server.health()["jobs"]["deduplicated"] >= 1
+
+
+@pytest.fixture()
+def mutable_server():
+    """A private daemon per test: ingest tests mutate the registered data."""
+    service = ExplainService()
+    server, thread = serve_in_background(service, port=0)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    client.register_database("D1", {"D1": D1_RECORDS})
+    client.register_database("D2", {"D2": D2_RECORDS})
+    yield client
+    server.shutdown()
+
+
+class TestIngestEndpoint:
+    """POST /ingest: row-level deltas over the wire."""
+
+    INSERT = [{"op": "insert", "record": {"Program": "Math", "Degree": "B.S."}}]
+
+    def test_ingest_applies_and_explain_sees_the_delta(self, mutable_server):
+        assert mutable_server.explain(EXPLAIN_PAYLOAD)["query_left"]["result"] == 7.0
+        summary = mutable_server.ingest("D1", "D1", self.INSERT)
+        assert summary["applied"] is True
+        assert summary["changes"] == {"insert": 1, "update": 0, "delete": 0}
+        assert summary["database"] == "D1" and summary["relation"] == "D1"
+        assert summary["fingerprint"] != summary["base_fingerprint"]
+        assert mutable_server.explain(EXPLAIN_PAYLOAD)["query_left"]["result"] == 8.0
+
+    def test_retry_without_delta_id_is_idempotent(self, mutable_server):
+        first = mutable_server.ingest("D1", "D1", self.INSERT)
+        again = mutable_server.ingest("D1", "D1", self.INSERT)
+        assert first["applied"] is True
+        assert again["applied"] is False and again["deduplicated"] is True
+        assert again["delta_id"] == first["delta_id"]
+        assert again["fingerprint"] == first["fingerprint"]
+
+    def test_explicit_delta_id_dedupes(self, mutable_server):
+        first = mutable_server.ingest("D1", "D1", self.INSERT, delta_id="batch-7")
+        again = mutable_server.ingest(
+            "D1", "D1", [{"op": "delete", "row": 0}], delta_id="batch-7"
+        )
+        assert first["applied"] is True and again["applied"] is False
+        assert mutable_server.explain(EXPLAIN_PAYLOAD)["query_left"]["result"] == 8.0
+
+    def test_malformed_changes_are_400_with_path(self, mutable_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            mutable_server.ingest("D1", "D1", [{"op": "upsert"}])
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "DeltaError"
+        assert excinfo.value.path == "/changes/0/op"
+
+    def test_unknown_relation_is_400(self, mutable_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            mutable_server.ingest("D1", "Nope", [{"op": "delete", "row": 0}])
+        assert excinfo.value.status == 400
+
+    def test_unknown_database_is_404(self, mutable_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            mutable_server.ingest("ghost", "D1", self.INSERT)
+        assert excinfo.value.status == 404
+
+    def test_stale_expect_fingerprint_is_409(self, mutable_server):
+        first = mutable_server.ingest("D1", "D1", self.INSERT)
+        with pytest.raises(ServiceClientError) as excinfo:
+            mutable_server.ingest(
+                "D1", "D1", [{"op": "delete", "row": 0}],
+                expect_fingerprint=first["base_fingerprint"],
+            )
+        assert excinfo.value.status == 409
+        assert excinfo.value.error_type == "DeltaConflictError"
+
+    def test_unaffected_artifacts_are_retained_not_evicted(self, mutable_server):
+        mutable_server.explain(EXPLAIN_PAYLOAD)
+        # D2's row 6 ("B", "Art") sits outside Q2's Univ='A' provenance.
+        summary = mutable_server.ingest("D2", "D2", [{"op": "delete", "row": 6}])
+        assert summary["caches"]["evicted"] == 0
+        assert summary["caches"]["rewired"] > 0
+        warm = mutable_server.explain(EXPLAIN_PAYLOAD)
+        assert warm["service"]["cached_report"] is True
+        assert warm["query_right"]["result"] == 6.0
