@@ -1,0 +1,234 @@
+"""Run-diff benchmark: aligner throughput and warm-vs-cold service explains.
+
+Two measurements over the ``repro.runs`` workload:
+
+* **aligner throughput** -- align two 50k-row runs (a perturbed copy of a
+  synthetic run: value mismatches, drops on both sides, duplicate keys) with
+  the production hash-indexed aligner and report rows/second.  The brute-force
+  O(n*m) reference aligner is the correctness oracle; running it at 50k rows
+  is infeasible by design, so equivalence is asserted on a deterministic
+  slice of the same workload instead.
+
+* **warm vs cold service explain** -- the variants scenario through a live
+  daemon.  The first ``{"runs": ...}`` request pays registration plus a cold
+  pipeline run; the second sends the byte-identical spec, so the
+  content-addressed caches must serve it as a report-cache hit at least
+  ``MIN_WARM_SPEEDUP`` x faster.  Byte-identity is asserted the whole way:
+  direct pipeline == cold daemon == warm daemon == fleet-routed (two
+  ``StaticWorker`` pods behind a ``FleetRouter``).
+
+Results go to ``BENCH_runs.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_runs.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.datasets.variants import VariantsConfig, generate_variant_runs
+from repro.fleet.__main__ import canonical_report
+from repro.fleet.router import FleetRouter, serve_router_in_background
+from repro.fleet.worker import StaticWorker
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DataType, Schema
+from repro.runs import align_runs, align_runs_reference, build_run_problem
+from repro.service import ExplainService, ServiceClient, serve_in_background
+
+RESULT_PATH = ROOT / "BENCH_runs.json"
+MIN_WARM_SPEEDUP = 3.0   # gated: warm (cached) runs explain vs the cold one
+
+ALIGN_ROWS = 50_000      # production-aligner workload size
+ALIGN_PASSES = 3         # best-of passes for the throughput number
+ORACLE_ROWS = 1_500      # slice re-checked against the brute-force reference
+SEED = 7
+
+BENCH_SCHEMA = Schema(
+    [
+        Attribute("id", DataType.INTEGER),
+        Attribute("shard", DataType.STRING),
+        Attribute("value", DataType.FLOAT),
+        Attribute("ok", DataType.BOOLEAN),
+    ]
+)
+
+
+def build_align_workload(rows: int, rng: random.Random) -> tuple[Relation, Relation]:
+    """A run and a perturbed re-run: ~1% mismatches, drops, duplicate keys."""
+    base = [
+        {
+            "id": index,
+            "shard": f"shard-{index % 16}",
+            "value": round(rng.uniform(0, 1000), 3),
+            "ok": index % 7 != 0,
+        }
+        for index in range(rows)
+    ]
+    left = [dict(record) for record in base if rng.random() > 0.005]
+    right = []
+    for record in base:
+        if rng.random() <= 0.005:
+            continue
+        mutated = dict(record)
+        if rng.random() < 0.01:
+            mutated["value"] = mutated["value"] + 1.0
+        right.append(mutated)
+    for source, side in ((left, left), (right, right)):
+        for _ in range(rows // 10_000):
+            side.append(dict(rng.choice(source)))
+    rng.shuffle(right)
+    return (
+        Relation.from_records(left, BENCH_SCHEMA, name="run_a"),
+        Relation.from_records(right, BENCH_SCHEMA, name="run_b"),
+    )
+
+
+def run_aligner_bench() -> dict:
+    rng = random.Random(SEED)
+    left, right = build_align_workload(ALIGN_ROWS, rng)
+
+    best_seconds, counts = float("inf"), None
+    for _ in range(ALIGN_PASSES):
+        start = time.perf_counter()
+        alignment = align_runs(left, right, ("id",))
+        best_seconds = min(best_seconds, time.perf_counter() - start)
+        if counts is not None and alignment.counts() != counts:
+            raise AssertionError("aligner is not deterministic across passes")
+        counts = alignment.counts()
+    if not alignment.disagreements:
+        raise AssertionError("bench workload produced no disagreements to classify")
+
+    # Oracle slice: the brute-force reference is O(n*m), so the equivalence
+    # check runs on a deterministic prefix of the same workload.
+    slice_left, slice_right = build_align_workload(ORACLE_ROWS, random.Random(SEED))
+    fast = align_runs(slice_left, slice_right, ("id",))
+    reference = align_runs_reference(slice_left, slice_right, ("id",))
+    if fast.canonical() != reference.canonical():
+        raise AssertionError("production aligner diverged from the brute-force oracle")
+
+    total_rows = len(left.rows) + len(right.rows)
+    return {
+        "rows_per_side": ALIGN_ROWS,
+        "total_rows": total_rows,
+        "passes": ALIGN_PASSES,
+        "align_seconds": round(best_seconds, 6),
+        "rows_per_second": round(total_rows / best_seconds),
+        "disagreements": counts,
+        "oracle_slice_rows": ORACLE_ROWS,
+        "oracle_identical": True,
+    }
+
+
+def run_service_bench() -> dict:
+    scenario = generate_variant_runs(VariantsConfig(num_rows=60, stale_stride=11))
+    problem = build_run_problem(
+        scenario.relation("single_thread"),
+        scenario.relation("shared_state"),
+        key=scenario.key,
+    )
+    direct = canonical_report(problem.explain().to_dict())
+    runs_payload = {
+        "runs": {
+            "left": {"name": "single_thread", "records": scenario.runs["single_thread"]},
+            "right": {"name": "shared_state", "records": scenario.runs["shared_state"]},
+            "key": "id",
+        }
+    }
+
+    server, _ = serve_in_background(ExplainService())
+    servers = [server]
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+        start = time.perf_counter()
+        cold = client.explain(runs_payload)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = client.explain(runs_payload)
+        warm_seconds = time.perf_counter() - start
+
+        if canonical_report(cold) != direct:
+            raise AssertionError("cold daemon explain diverged from the direct pipeline")
+        if canonical_report(warm) != direct:
+            raise AssertionError("warm daemon explain diverged from the direct pipeline")
+        if not warm["service"]["cached_report"]:
+            raise AssertionError("second identical runs request missed the report cache")
+
+        # The same spec through a two-pod fleet, byte-identical again.
+        workers = []
+        for index in range(2):
+            worker_server, _ = serve_in_background(ExplainService())
+            servers.append(worker_server)
+            workers.append(
+                StaticWorker(
+                    f"pod-{index}",
+                    f"http://127.0.0.1:{worker_server.server_address[1]}",
+                )
+            )
+        router_server, _ = serve_router_in_background(FleetRouter(workers))
+        servers.append(router_server)
+        router_client = ServiceClient(
+            f"http://127.0.0.1:{router_server.server_address[1]}"
+        )
+        routed = router_client.explain(runs_payload)
+        if canonical_report(routed) != direct:
+            raise AssertionError("fleet-routed explain diverged from the direct pipeline")
+    finally:
+        for running in servers:
+            running.shutdown()
+
+    speedup = cold_seconds / warm_seconds if warm_seconds else float("inf")
+    return {
+        "scenario_rows": 60,
+        "compare_column": problem.compare,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(speedup, 2),
+        "warm_cached_report": True,
+        "byte_identical": ["direct", "daemon_cold", "daemon_warm", "fleet_routed"],
+    }
+
+
+def main() -> dict:
+    aligner = run_aligner_bench()
+    service = run_service_bench()
+
+    results = {
+        "aligner": aligner,
+        "service": service,
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+    }
+
+    print(
+        f"[runs] aligner: {aligner['total_rows']} rows in "
+        f"{aligner['align_seconds']:.3f}s -> {aligner['rows_per_second']:,} rows/s "
+        f"({aligner['disagreements']}), oracle-identical on a "
+        f"{ORACLE_ROWS}-row slice"
+    )
+    print(
+        f"[runs] service: cold {service['cold_seconds']:.4f}s vs warm "
+        f"{service['warm_seconds']:.4f}s -> {service['warm_speedup']}x "
+        f"(report-cache hit), byte-identical across "
+        f"{', '.join(service['byte_identical'])}"
+    )
+
+    if service["warm_speedup"] < MIN_WARM_SPEEDUP:
+        raise AssertionError(
+            f"warm runs explain only {service['warm_speedup']:.2f}x faster than "
+            f"cold (acceptance floor is {MIN_WARM_SPEEDUP}x)"
+        )
+
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

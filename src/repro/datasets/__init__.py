@@ -15,6 +15,10 @@ known by construction:
 * :mod:`repro.datasets.synthetic` -- the Section 5.3 generator
   (``Table(id, match_attr, val)``, drop/corrupt ratios, vocabulary size).
 * :mod:`repro.datasets.corruption` -- BART-style random error injection.
+* :mod:`repro.datasets.variants` -- N seeded program variants of one tax
+  pipeline with injected divergence bugs (rounding mode, stale shared state,
+  dropped async batch), emitting the NDJSON run files the
+  :mod:`repro.runs` workload diffs and explains.
 * :mod:`repro.datasets.gold` -- gold standards and the
   :class:`~repro.datasets.gold.DatasetPair` bundle consumed by the evaluation
   harness.
@@ -25,8 +29,12 @@ from repro.datasets.academic import AcademicConfig, generate_academic_pair
 from repro.datasets.imdb import IMDbConfig, IMDbWorkload, generate_imdb_workload
 from repro.datasets.synthetic import SyntheticConfig, generate_synthetic_pair
 from repro.datasets.corruption import CorruptionConfig, inject_errors
+from repro.datasets.variants import VariantRuns, VariantsConfig, generate_variant_runs
 
 __all__ = [
+    "VariantRuns",
+    "VariantsConfig",
+    "generate_variant_runs",
     "GoldStandard",
     "DatasetPair",
     "build_gold_from_entities",

@@ -1,0 +1,236 @@
+"""Program-variant run generator: one tax pipeline, N buggy implementations.
+
+The run-diff workload (:mod:`repro.runs`) needs disagreeing runs of "the same
+program" with a gold standard known by construction.  This generator
+reproduces the classic lab shape -- one per-row tax computation implemented
+several ways, each variant carrying one injected divergence bug:
+
+* ``single_thread``     -- the reference implementation (exact integer-cent
+  arithmetic, round-half-even);
+* ``vectorized``        -- **rounding-mode bug**: rounds half-up instead of
+  half-even.  Rows are seeded so that exact half-cent amounts occur (incomes
+  engineered per region rate with an even floor), making the two modes
+  genuinely diverge;
+* ``shared_state``      -- **stale-shared-state bug**: every
+  ``stale_stride``-th row reads the *previous* row's region rate out of the
+  shared accumulator (regions cycle, so the stale rate always differs);
+* ``async_event_loop``  -- **dropped-batch bug**: one whole batch of rows is
+  never awaited, so its ids are missing from the output.
+
+Every divergence set is *computed*, not assumed: the generator runs both the
+reference and the buggy arithmetic and records which ids differ, so the gold
+standard stays honest even where a bug happens to produce the right answer.
+
+Outputs are row records ``{id, region, income, tax}``; :meth:`VariantRuns.write`
+emits one NDJSON run file plus a declared-schema sidecar per variant, the
+exact on-disk shape :func:`repro.runs.loader.load_run` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+import json
+import random
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DataType, Schema
+
+#: Per-region tax rates as exact rationals (numerator per 100).  Numerators
+#: are coprime with 100 so exact half-cent products exist for every region
+#: (``income_cents * rate ≡ 50 (mod 100)`` is solvable).
+RATES: dict[str, int] = {"north": 7, "south": 9, "east": 11, "west": 13}
+
+VARIANTS: tuple[str, ...] = (
+    "single_thread",
+    "vectorized",
+    "shared_state",
+    "async_event_loop",
+)
+
+RUN_SCHEMA = Schema(
+    [
+        Attribute("id", DataType.INTEGER),
+        Attribute("region", DataType.STRING),
+        Attribute("income", DataType.FLOAT),
+        Attribute("tax", DataType.FLOAT),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class VariantsConfig:
+    """Knobs of the variant-run generator (all divergence is seeded)."""
+
+    num_rows: int = 200
+    seed: int = 7
+    batch_size: int = 16       # async variant processes rows in batches
+    dropped_batch: int = 3     # which batch the async variant loses
+    stale_stride: int = 23     # shared_state reads a stale rate every Nth row
+    half_cent_stride: int = 9  # seed an exact half-cent row every Nth row
+
+    def __post_init__(self):
+        if self.num_rows < 2:
+            raise ValueError("variants scenario needs at least 2 rows")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.dropped_batch < 0:
+            raise ValueError("dropped_batch must be non-negative")
+        if self.stale_stride < 2 or self.half_cent_stride < 2:
+            raise ValueError("strides must be at least 2")
+
+
+def _round_half_even(numerator: int, denominator: int) -> int:
+    """Banker's rounding of an exact rational (the reference rounding mode)."""
+    quotient, remainder = divmod(numerator, denominator)
+    twice = 2 * remainder
+    if twice > denominator or (twice == denominator and quotient % 2 == 1):
+        quotient += 1
+    return quotient
+
+
+def _round_half_up(numerator: int, denominator: int) -> int:
+    """Round-half-up -- the vectorized variant's (buggy) rounding mode."""
+    quotient, remainder = divmod(numerator, denominator)
+    if 2 * remainder >= denominator:
+        quotient += 1
+    return quotient
+
+
+def _half_cent_income(rate: int, base_cents: int) -> int:
+    """An income near ``base_cents`` whose tax lands on an exact half cent
+    with an *even* floor, so half-even and half-up provably disagree."""
+    # Solve income * rate ≡ 50 (mod 100); rate is coprime with 100.
+    residue = (50 * pow(rate, -1, 100)) % 100
+    income = base_cents - (base_cents % 100) + residue
+    if income <= 0:
+        income += 100
+    # Each +100 step adds `rate` (odd) to the floor, flipping its parity.
+    if (income * rate - 50) // 100 % 2 == 1:
+        income += 100
+    return income
+
+
+@dataclass
+class VariantRuns:
+    """The generated scenario: per-variant records plus the computed gold."""
+
+    config: VariantsConfig
+    runs: dict[str, list[dict]]
+    #: ids whose value diverges from single_thread, per variant (computed).
+    divergent_ids: dict[str, set[int]] = field(default_factory=dict)
+    #: ids missing from the variant's output entirely (computed).
+    missing_ids: dict[str, set[int]] = field(default_factory=dict)
+    key: tuple[str, ...] = ("id",)
+    compare: str = "tax"
+
+    def relation(self, variant: str) -> Relation:
+        return Relation.from_records(self.runs[variant], RUN_SCHEMA, name=variant)
+
+    def sidecar_spec(self) -> dict:
+        return {
+            "columns": [
+                {"name": attribute.name, "type": attribute.dtype.value}
+                for attribute in RUN_SCHEMA
+            ],
+            "key": list(self.key),
+        }
+
+    def write(self, directory: str | Path) -> dict[str, Path]:
+        """Emit one ``<variant>.ndjson`` + ``<variant>.schema.json`` per run."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        sidecar = json.dumps(self.sidecar_spec(), indent=2) + "\n"
+        paths: dict[str, Path] = {}
+        for variant, records in self.runs.items():
+            path = directory / f"{variant}.ndjson"
+            with path.open("w") as handle:
+                for record in records:
+                    handle.write(json.dumps(record) + "\n")
+            (directory / f"{variant}.schema.json").write_text(sidecar)
+            paths[variant] = path
+        return paths
+
+    def expected_kinds(self, variant: str) -> dict[str, set]:
+        """The aligner-facing gold for ``single_thread`` vs ``variant``:
+        which keys must classify as which disagreement kind."""
+        return {
+            "value_mismatch": {(i,) for i in self.divergent_ids[variant]},
+            "missing_in_b": {(i,) for i in self.missing_ids[variant]},
+        }
+
+
+def generate_variant_runs(config: VariantsConfig | None = None) -> VariantRuns:
+    """Run all variants over one seeded row stream; gold sets are computed."""
+    config = config or VariantsConfig()
+    rng = random.Random(config.seed)
+    regions = sorted(RATES)
+
+    # The shared input stream: (id, region, income_cents).
+    inputs: list[tuple[int, str, int]] = []
+    for i in range(config.num_rows):
+        region = regions[i % len(regions)]
+        income_cents = rng.randrange(20_000, 200_000)
+        if i % config.half_cent_stride == 0:
+            income_cents = _half_cent_income(RATES[region], income_cents)
+        inputs.append((i, region, income_cents))
+
+    def record(i: int, region: str, income_cents: int, tax_cents: int) -> dict:
+        return {
+            "id": i,
+            "region": region,
+            "income": income_cents / 100,
+            "tax": tax_cents / 100,
+        }
+
+    reference = [
+        record(i, region, cents, _round_half_even(cents * RATES[region], 100))
+        for i, region, cents in inputs
+    ]
+
+    vectorized = [
+        record(i, region, cents, _round_half_up(cents * RATES[region], 100))
+        for i, region, cents in inputs
+    ]
+
+    shared_state = []
+    previous_rate = None
+    for i, region, cents in inputs:
+        rate = RATES[region]
+        if i > 0 and i % config.stale_stride == 0 and previous_rate is not None:
+            rate = previous_rate  # the bug: reads the accumulator pre-update
+        shared_state.append(record(i, region, cents, _round_half_even(cents * rate, 100)))
+        previous_rate = RATES[region]
+
+    # Wrap the batch index so every config drops a real, in-range batch.
+    num_batches = max(1, (config.num_rows + config.batch_size - 1) // config.batch_size)
+    dropped_start = (config.dropped_batch % num_batches) * config.batch_size
+    dropped = set(range(dropped_start, min(dropped_start + config.batch_size, config.num_rows)))
+    async_event_loop = [row for row in reference if row["id"] not in dropped]
+
+    runs = {
+        "single_thread": reference,
+        "vectorized": vectorized,
+        "shared_state": shared_state,
+        "async_event_loop": async_event_loop,
+    }
+
+    by_id = {row["id"]: row for row in reference}
+    divergent: dict[str, set[int]] = {}
+    missing: dict[str, set[int]] = {}
+    for variant, records in runs.items():
+        present = {row["id"] for row in records}
+        missing[variant] = {i for i, _, _ in inputs if i not in present}
+        divergent[variant] = {
+            row["id"] for row in records if row["tax"] != by_id[row["id"]]["tax"]
+        }
+
+    # The seeding must actually produce each bug's signature divergence.
+    if not divergent["vectorized"]:
+        raise AssertionError("vectorized rounding bug produced no divergence")
+    if not divergent["shared_state"]:
+        raise AssertionError("shared_state staleness produced no divergence")
+    if not missing["async_event_loop"]:
+        raise AssertionError("async variant dropped no rows")
+
+    return VariantRuns(config=config, runs=runs, divergent_ids=divergent, missing_ids=missing)

@@ -39,6 +39,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.reliability.breaker import BreakerRegistry, CircuitOpenError
+from repro.runs.errors import RunError
+from repro.runs.spec import compile_runs_payload
 from repro.service.api import error_payload
 from repro.service.cache import fingerprint_of
 from repro.service.metrics import LatencyRecorder, merge_endpoint_snapshots
@@ -367,7 +369,23 @@ class FleetRouter:
         return 200, body
 
     def explain(self, payload: dict) -> tuple[int, dict]:
-        """Route one explain: single-flight, placement by database pair, failover."""
+        """Route one explain: single-flight, placement by database pair, failover.
+
+        A ``{"runs": ...}`` payload (the run-diff workload) is compiled at
+        the router: the run pair's registrations -- records plus pinned
+        dtypes -- broadcast to every worker exactly like any other database
+        (and replay onto respawned pods), then the rewritten declarative
+        payload routes normally.  Re-submitting the same runs lands on the
+        same fingerprints, so placement stays sticky and the owning worker's
+        report cache stays warm.
+        """
+        if isinstance(payload, dict) and "runs" in payload:
+            compiled = compile_runs_payload(payload)
+            for registration in compiled.registrations:
+                status, body = self.register_database(registration)
+                if status >= 400:
+                    return status, body
+            payload = compiled.explain_payload
         key = self.placement_key(
             payload.get("database_left", ""), payload.get("database_right", "")
         )
@@ -580,7 +598,10 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
         except NoWorkerAvailable as exc:
             self._send_json(error_payload("NoWorkerAvailable", str(exc)), status=503)
         except ValueError as exc:
-            self._send_json(error_payload("SpecError", str(exc)), status=400)
+            kind = type(exc).__name__ if isinstance(exc, RunError) else "SpecError"
+            self._send_json(
+                error_payload(kind, str(exc), getattr(exc, "path", "")), status=400
+            )
         except Exception as exc:  # noqa: BLE001 - surface as JSON, never a bare 500
             self._send_json(error_payload(type(exc).__name__, str(exc)), status=500)
         finally:

@@ -1,8 +1,15 @@
-"""CSV and record-list loading helpers for base relations."""
+"""CSV/NDJSON and record-list loading helpers for base relations.
+
+CSV is untyped on the wire: types are inferred per column and an empty cell
+cannot be told apart from an explicit NULL (both load as None, both save as
+``""``).  NDJSON (one JSON object per line) is the typed format: ints, floats,
+booleans and nulls survive a round trip, and ``""`` stays a string.
+"""
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Sequence
 
@@ -10,23 +17,26 @@ from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, DataType, Schema
 
 
+def _parses_as(converter, value: str) -> bool:
+    # Python's numeric constructors accept "1_0" (= 10); in a CSV cell that
+    # spelling is far more likely an identifier than a number literal.
+    if "_" in value:
+        return False
+    try:
+        converter(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
 def _infer_dtype(values: Sequence[str]) -> DataType:
     """Infer a column type from string cell values (CSV has no types)."""
     non_empty = [value for value in values if value not in ("", None)]
     if not non_empty:
         return DataType.STRING
-
-    def all_match(converter) -> bool:
-        for value in non_empty:
-            try:
-                converter(value)
-            except (TypeError, ValueError):
-                return False
-        return True
-
-    if all_match(int):
+    if all(_parses_as(int, value) for value in non_empty):
         return DataType.INTEGER
-    if all_match(float):
+    if all(_parses_as(float, value) for value in non_empty):
         return DataType.FLOAT
     return DataType.STRING
 
@@ -65,6 +75,76 @@ def save_csv(relation: Relation, path: str | Path) -> None:
         writer.writerow(relation.schema.names)
         for row in relation:
             writer.writerow(["" if value is None else value for value in row.values])
+
+
+def read_ndjson_records(path: str | Path) -> tuple[list[dict], list[str]]:
+    """Parse an NDJSON file into ``(records, column_names)``.
+
+    Blank lines are skipped; every other line must hold one JSON object.
+    Column order is first-seen order across all records (records may omit
+    keys -- missing keys load as NULL).  Errors carry the file and 1-based
+    line number.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    columns: list[str] = []
+    seen: set[str] = set()
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: invalid JSON: {exc}") from None
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}:{number}: each NDJSON line must be an object, "
+                    f"got {type(record).__name__}"
+                )
+            for key in record:
+                if key not in seen:
+                    seen.add(key)
+                    columns.append(str(key))
+            records.append(record)
+    if not records:
+        raise ValueError(f"NDJSON file {path} is empty")
+    for record in records:
+        for column in columns:
+            record.setdefault(column, None)
+    return records, columns
+
+
+def load_ndjson(
+    path: str | Path, *, name: str | None = None, schema: Schema | None = None
+) -> Relation:
+    """Load a relation from an NDJSON file (one JSON object per line).
+
+    NDJSON is typed at the source, so inference uses the JSON values
+    directly (mixed int/float columns promote to float) and an empty string
+    stays distinct from an explicit ``null`` -- the distinction CSV cannot
+    round-trip.
+    """
+    path = Path(path)
+    records, columns = read_ndjson_records(path)
+    if schema is None:
+        schema = Schema(
+            [
+                Attribute(column, DataType.infer_many(r.get(column) for r in records))
+                for column in columns
+            ]
+        )
+    return Relation.from_records(records, schema, name=name or path.stem)
+
+
+def save_ndjson(relation: Relation, path: str | Path) -> None:
+    """Write a relation to an NDJSON file, one JSON object per row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for row in relation:
+            handle.write(json.dumps(row.as_dict(relation.schema)) + "\n")
 
 
 def relation_from_rows(

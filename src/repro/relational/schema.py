@@ -65,6 +65,26 @@ class DataType(enum.Enum):
             return cls.FLOAT
         return cls.STRING
 
+    @classmethod
+    def infer_many(cls, values) -> "DataType":
+        """Infer one column type from every non-NULL value in a column.
+
+        A column mixing ints and floats promotes to FLOAT (coercing the floats
+        to the first-seen int type would silently truncate ``2.5`` to ``2``).
+        Other mixes keep the first-seen type, so coercion decides -- matching
+        the historical single-value behaviour for every non-numeric column.
+        """
+        dtype = None
+        for value in values:
+            if value is None:
+                continue
+            seen = cls.infer(value)
+            if dtype is None:
+                dtype = seen
+            elif dtype is not seen and {dtype, seen} == {cls.INTEGER, cls.FLOAT}:
+                dtype = cls.FLOAT
+        return dtype if dtype is not None else cls.STRING
+
 
 def concat_names(
     left: Sequence[str], right: Sequence[str]
@@ -227,17 +247,18 @@ class Schema:
 
     @classmethod
     def infer(cls, records: Sequence[dict]) -> "Schema":
-        """Infer a schema from a non-empty list of dictionaries."""
+        """Infer a schema from a non-empty list of dictionaries.
+
+        Column types come from *all* values of a column, not just the first
+        non-NULL one, so a column holding ``[1, 2.5]`` is FLOAT rather than an
+        INTEGER that would truncate ``2.5`` on coercion.
+        """
         if not records:
             raise SchemaError("cannot infer a schema from an empty record list")
         names = list(records[0].keys())
-        attributes = []
-        for name in names:
-            dtype = DataType.STRING
-            for record in records:
-                value = record.get(name)
-                if value is not None:
-                    dtype = DataType.infer(value)
-                    break
-            attributes.append(Attribute(name, dtype))
-        return cls(attributes)
+        return cls(
+            [
+                Attribute(name, DataType.infer_many(record.get(name) for record in records))
+                for name in names
+            ]
+        )

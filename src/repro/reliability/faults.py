@@ -48,6 +48,7 @@ KNOWN_SITES: dict[str, str] = {
     "stats.analyze": "identical",       # ANALYZE failure -> heuristic cost model
     "solve.partition": "typed-error",   # solver failure -> structured error
     "live.apply_delta": "typed-error",  # ingest failure -> error, state pre-delta
+    "runs.align": "identical",          # aligner failure -> brute-force reference
 }
 
 

@@ -1,0 +1,73 @@
+"""The run-diff workload: explain disagreements between program-variant runs.
+
+Runs of different implementations of one program are disjoint datasets that
+should agree but don't -- exactly the Explain3D problem.  This subsystem is
+the front door for that workload:
+
+* :mod:`repro.runs.loader` -- NDJSON/CSV run files with declared (sidecar)
+  or inferred schemas, JSON-pointer validation errors;
+* :mod:`repro.runs.align` -- key-based alignment classifying every
+  disagreement (missing rows, value mismatches with float tolerance,
+  duplicate keys), with a brute-force reference oracle and a chaos-covered
+  fallback (fault site ``runs.align``);
+* :mod:`repro.runs.bridge` -- synthesizes the aligned runs into a disjoint
+  :class:`Database` pair + canonical queries and feeds the unchanged
+  provenance -> candidates -> MILP -> report pipeline;
+* :mod:`repro.runs.spec` -- the ``{"runs": ...}`` wire spec the daemon and
+  the fleet router accept on ``POST /explain``;
+* ``python -m repro.runs`` -- the CLI: ``diff``, ``--explain``, ``--fuzz``,
+  ``--self-test``.
+
+The hermetic scenario generator lives in :mod:`repro.datasets.variants`.
+"""
+
+from repro.runs.align import (
+    DUPLICATE_KEY,
+    MISSING_IN_A,
+    MISSING_IN_B,
+    VALUE_MISMATCH,
+    Disagreement,
+    RunAlignment,
+    align_runs,
+    align_runs_reference,
+)
+from repro.runs.bridge import (
+    AUTO,
+    RunDiffProblem,
+    build_run_problem,
+    explain_run_diff,
+)
+from repro.runs.errors import RunError
+from repro.runs.loader import (
+    RunFile,
+    RunSchema,
+    load_run,
+    load_sidecar,
+    schema_from_spec,
+    sidecar_path,
+)
+from repro.runs.spec import RunsRequest, compile_runs_payload
+
+__all__ = [
+    "AUTO",
+    "DUPLICATE_KEY",
+    "MISSING_IN_A",
+    "MISSING_IN_B",
+    "VALUE_MISMATCH",
+    "Disagreement",
+    "RunAlignment",
+    "RunDiffProblem",
+    "RunError",
+    "RunFile",
+    "RunSchema",
+    "RunsRequest",
+    "align_runs",
+    "align_runs_reference",
+    "build_run_problem",
+    "compile_runs_payload",
+    "explain_run_diff",
+    "load_run",
+    "load_sidecar",
+    "schema_from_spec",
+    "sidecar_path",
+]

@@ -1,0 +1,253 @@
+"""The run-diff CLI: diff two run files, explain, fuzz, self-test.
+
+::
+
+    python -m repro.runs diff a.ndjson b.ndjson --key id [--tolerance 0.01]
+                              [--compare tax] [--explain] [--json]
+    python -m repro.runs --fuzz 200 --seed 7     # aligner vs brute-force oracle
+    python -m repro.runs --self-test             # hermetic end-to-end smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.runs.align import align_runs, align_runs_reference
+from repro.runs.bridge import AUTO, build_run_problem
+from repro.runs.errors import RunError
+from repro.runs.fuzz import fuzz_aligner
+from repro.runs.loader import load_run
+
+
+def _cmd_diff(args) -> int:
+    left = load_run(args.left, key=args.key)
+    right = load_run(args.right, key=args.key)
+    key = left.key or right.key
+    if not key:
+        print(
+            "error: no key declared (pass --key or add a *.schema.json sidecar)",
+            file=sys.stderr,
+        )
+        return 2
+    compare = (args.compare,) if args.compare else None
+    alignment = align_runs(
+        left.relation,
+        right.relation,
+        key,
+        float_tolerance=args.tolerance,
+        compare=compare,
+    )
+    if args.json:
+        print(json.dumps(alignment.to_dict(), indent=2))
+    else:
+        print(alignment.describe(limit=args.max))
+    if args.explain and not alignment.agree():
+        problem = build_run_problem(
+            left, right, key=key, compare=args.compare if args.compare else AUTO
+        )
+        report = problem.explain()
+        print()
+        print(report.describe())
+    return 0 if alignment.agree() else 1
+
+
+def _self_test() -> int:
+    """Hermetic end-to-end smoke over the variants scenario.
+
+    Covers: generator -> NDJSON round trip -> aligner (fast == reference ==
+    gold) -> bridge -> byte-identical reports across the direct pipeline, the
+    daemon (warm + cold), the fleet router, and an ingest-streamed re-explain.
+    """
+    from repro.datasets.variants import VariantsConfig, generate_variant_runs
+    from repro.fleet.__main__ import canonical_report
+    from repro.fleet.router import FleetRouter, serve_router_in_background
+    from repro.fleet.worker import StaticWorker
+    from repro.service import (
+        ExplainService,
+        ServiceClient,
+        ServiceClientError,
+        serve_in_background,
+    )
+
+    scenario = generate_variant_runs(VariantsConfig(num_rows=60, stale_stride=11))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = scenario.write(tmp)
+        reference = load_run(paths["single_thread"])
+        assert reference.key == ("id",), "sidecar key did not load"
+        for variant in ("vectorized", "shared_state", "async_event_loop"):
+            run = load_run(paths[variant])
+            fast = align_runs(reference.relation, run.relation, reference.key)
+            oracle = align_runs_reference(
+                reference.relation, run.relation, reference.key
+            )
+            assert fast.canonical() == oracle.canonical(), variant
+            gold = scenario.expected_kinds(variant)
+            got = {
+                kind: {tuple(d.key) for d in fast.disagreements if d.kind == kind}
+                for kind in ("value_mismatch", "missing_in_b")
+            }
+            assert got == gold, f"{variant}: {got} != {gold}"
+        print(
+            "[runs] aligner matches the brute-force oracle and the generator "
+            "gold on all 3 bug variants"
+        )
+
+        # Bridge -> direct pipeline.
+        right = load_run(paths["shared_state"])
+        problem = build_run_problem(reference, right)
+        assert problem.compare == "tax" and problem.key == ("id",)
+        direct = canonical_report(problem.explain().to_dict())
+
+    runs_payload = {
+        "runs": {
+            "left": {
+                "name": "single_thread",
+                "records": scenario.runs["single_thread"],
+            },
+            "right": {
+                "name": "shared_state",
+                "records": scenario.runs["shared_state"],
+            },
+            "key": "id",
+        }
+    }
+
+    # The daemon: cold, then warm (must be a report-cache hit), byte-identical.
+    server, _ = serve_in_background(ExplainService())
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        cold = client.explain(runs_payload)
+        warm = client.explain(runs_payload)
+        assert canonical_report(cold) == direct, "daemon diverged from direct"
+        assert canonical_report(warm) == direct, "warm daemon diverged"
+        assert warm["service"]["cached_report"], "second runs request missed the cache"
+        print("[runs] daemon: cold == warm == direct (warm is a report-cache hit)")
+
+        # Malformed specs return typed 400 envelopes with JSON-pointer paths.
+        try:
+            client.explain(
+                {"runs": {"left": {"records": [{"id": 1}]},
+                          "right": {"records": [{"id": 1}], "name": "r"},
+                          "key": "id"}}
+            )
+        except ServiceClientError as exc:
+            assert exc.status == 400 and exc.path == "/runs/left/name", exc
+        else:
+            raise AssertionError("malformed runs spec did not 400")
+
+        # A still-running variant streams rows through the live-delta path.
+        extra = [
+            {"id": 10_000 + i, "region": "north", "income": 100.0, "tax": 7.0}
+            for i in range(2)
+        ]
+        client.ingest(
+            "single_thread",
+            "single_thread",
+            [{"op": "insert", "record": record} for record in extra],
+        )
+        # Re-explain over the *live* databases with the plain declarative
+        # payload (re-sending the runs spec would re-register the pre-delta
+        # rows and undo the ingest).
+        streamed = client.explain(problem.to_payload())
+        # Oracle: recompute directly over the post-ingest rows.
+        from repro.relational.relation import Relation
+        from repro.datasets.variants import RUN_SCHEMA
+
+        post_rows = scenario.runs["single_thread"] + extra
+        # Pin compare to the streamed payload's column: AUTO would pick
+        # "income" post-ingest (the one-sided inserts skew its sum too).
+        oracle_problem = build_run_problem(
+            Relation.from_records(post_rows, RUN_SCHEMA, name="single_thread"),
+            scenario.relation("shared_state"),
+            key=("id",),
+            compare=problem.compare,
+        )
+        assert canonical_report(streamed) == canonical_report(
+            oracle_problem.explain().to_dict()
+        ), "ingest-streamed re-explain diverged from a direct recompute"
+        print("[runs] ingest: streamed run rows re-explain identically to a recompute")
+    finally:
+        server.shutdown()
+
+    # The fleet router over two worker pods.
+    servers = []
+    workers = []
+    try:
+        for index in range(2):
+            worker_server, _ = serve_in_background(ExplainService())
+            servers.append(worker_server)
+            workers.append(
+                StaticWorker(
+                    f"pod-{index}",
+                    f"http://127.0.0.1:{worker_server.server_address[1]}",
+                )
+            )
+        router = FleetRouter(workers)
+        router_server, _ = serve_router_in_background(router)
+        servers.append(router_server)
+        router_client = ServiceClient(
+            f"http://127.0.0.1:{router_server.server_address[1]}"
+        )
+        routed = router_client.explain(runs_payload)
+        assert canonical_report(routed) == direct, "router diverged from direct"
+        print("[runs] fleet router: routed answer byte-identical to direct")
+    finally:
+        for running in servers:
+            running.shutdown()
+
+    # A short oracle fuzz so the self-test stands alone.
+    fuzz_aligner(25, seed=3)
+    print("[runs] 25-round aligner fuzz vs brute-force oracle passed")
+    print("[runs] self-test OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--self-test", action="store_true", help="hermetic end-to-end smoke")
+    parser.add_argument("--fuzz", type=int, metavar="N", help="fuzz the aligner for N rounds")
+    parser.add_argument("--seed", type=int, default=7, help="fuzz seed")
+    subparsers = parser.add_subparsers(dest="command")
+    diff = subparsers.add_parser("diff", help="diff two run files by key")
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.add_argument("--key", help="alignment key column (falls back to sidecar keys)")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      help="absolute tolerance for numeric comparisons")
+    diff.add_argument("--compare", help="only compare this column (default: all shared)")
+    diff.add_argument("--explain", action="store_true",
+                      help="run the full Explain3D pipeline on the disagreement")
+    diff.add_argument("--json", action="store_true", help="emit the report as JSON")
+    diff.add_argument("--max", type=int, default=10, help="max disagreements to print")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "diff":
+            return _cmd_diff(args)
+        if args.self_test:
+            return _self_test()
+        if args.fuzz:
+            total = fuzz_aligner(args.fuzz, args.seed, verbose=True)
+            print(
+                f"[runs] {args.fuzz} fuzz rounds (seed {args.seed}): aligner "
+                f"identical to the brute-force oracle across {total} disagreements"
+            )
+            return 0
+    except RunError as exc:
+        location = f" at {exc.path}" if exc.path else ""
+        print(f"error{location}: {exc}", file=sys.stderr)
+        return 2
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

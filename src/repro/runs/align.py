@@ -1,0 +1,373 @@
+"""Key-based run alignment: pair records across two runs, classify divergence.
+
+Two runs of "the same program" should agree row-for-row.  The aligner pairs
+rows by a declared key and classifies every divergence:
+
+* ``duplicate_key``   -- a key value occurring more than once on one side
+  (alignment for that key is ambiguous; such keys are excluded from pairing);
+* ``missing_in_a``    -- the key exists only in the right run;
+* ``missing_in_b``    -- the key exists only in the left run;
+* ``value_mismatch``  -- both runs carry the key but compared columns differ
+  (numeric columns compare within a configurable absolute ``float_tolerance``).
+
+Two implementations produce *identical* :class:`RunAlignment` objects:
+
+* :func:`align_runs` -- the production path, one dict-indexed pass per side;
+* :func:`align_runs_reference` -- a brute-force O(n*m) scan used as the fuzz
+  oracle (``python -m repro.runs --fuzz``) and as the degradation fallback
+  when the ``runs.align`` fault site fires: an injected fault downgrades to
+  the reference aligner and records the rung in ``degraded`` -- never a
+  silently different answer.
+
+Deterministic ordering: duplicates first (left side then right, in first-
+occurrence order), then left-row-order mismatches and missing-in-B, then
+right-row-order missing-in-A.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.relational.relation import Relation
+from repro.reliability.faults import FAULTS, InjectedFault
+from repro.runs.errors import RunError
+
+MISSING_IN_A = "missing_in_a"
+MISSING_IN_B = "missing_in_b"
+VALUE_MISMATCH = "value_mismatch"
+DUPLICATE_KEY = "duplicate_key"
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One classified divergence between aligned runs."""
+
+    kind: str
+    key: tuple
+    left: dict | None = None   # the left-run record (None when missing in A)
+    right: dict | None = None  # the right-run record (None when missing in B)
+    columns: tuple[str, ...] = ()  # mismatching columns (value_mismatch only)
+    count: int = 0             # occurrences of the key (duplicate_key only)
+    side: str = ""             # which run duplicates the key (duplicate_key only)
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind, "key": list(self.key)}
+        if self.left is not None:
+            payload["left"] = self.left
+        if self.right is not None:
+            payload["right"] = self.right
+        if self.columns:
+            payload["columns"] = list(self.columns)
+        if self.count:
+            payload["count"] = self.count
+        if self.side:
+            payload["side"] = self.side
+        return payload
+
+
+@dataclass
+class RunAlignment:
+    """The disagreement report of one aligned run pair."""
+
+    left_name: str
+    right_name: str
+    key: tuple[str, ...]
+    compared: tuple[str, ...]
+    float_tolerance: float
+    left_rows: int
+    right_rows: int
+    matched: int      # keys present (uniquely) on both sides
+    agreeing: int     # matched keys whose compared columns all agree
+    disagreements: list[Disagreement]
+    degraded: list[dict] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for disagreement in self.disagreements:
+            out[disagreement.kind] = out.get(disagreement.kind, 0) + 1
+        return out
+
+    def agree(self) -> bool:
+        return not self.disagreements
+
+    def canonical(self) -> dict:
+        """The semantic content -- what both aligner implementations must equal.
+
+        Excludes ``degraded`` (which rung computed the answer is metadata,
+        not part of the answer).
+        """
+        return {
+            "left": self.left_name,
+            "right": self.right_name,
+            "key": list(self.key),
+            "compared": list(self.compared),
+            "float_tolerance": self.float_tolerance,
+            "left_rows": self.left_rows,
+            "right_rows": self.right_rows,
+            "matched": self.matched,
+            "agreeing": self.agreeing,
+            "counts": self.counts(),
+            "disagreements": [d.to_dict() for d in self.disagreements],
+        }
+
+    def to_dict(self) -> dict:
+        payload = self.canonical()
+        if self.degraded:
+            payload["degraded"] = list(self.degraded)
+        return payload
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(
+            json.dumps(self.canonical(), sort_keys=True).encode()
+        ).hexdigest()
+
+    def describe(self, limit: int = 10) -> str:
+        """A terse human-readable summary (the CLI's default output)."""
+        lines = [
+            f"{self.left_name} ({self.left_rows} rows) vs "
+            f"{self.right_name} ({self.right_rows} rows) on key "
+            f"{'+'.join(self.key)}: {self.matched} matched, "
+            f"{self.agreeing} agreeing, {len(self.disagreements)} disagreement(s)"
+        ]
+        counts = self.counts()
+        if counts:
+            lines.append(
+                "  " + ", ".join(f"{kind}: {n}" for kind, n in sorted(counts.items()))
+            )
+        for disagreement in self.disagreements[:limit]:
+            key = ", ".join(str(part) for part in disagreement.key)
+            if disagreement.kind == VALUE_MISMATCH:
+                details = []
+                for column in disagreement.columns:
+                    left = (disagreement.left or {}).get(column)
+                    right = (disagreement.right or {}).get(column)
+                    details.append(f"{column}: {left!r} != {right!r}")
+                lines.append(f"  [{key}] value_mismatch ({'; '.join(details)})")
+            elif disagreement.kind == DUPLICATE_KEY:
+                lines.append(
+                    f"  [{key}] duplicate_key x{disagreement.count} "
+                    f"in {disagreement.side}"
+                )
+            else:
+                lines.append(f"  [{key}] {disagreement.kind}")
+        hidden = len(self.disagreements) - limit
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+
+def _values_equal(left, right, tolerance: float) -> bool:
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return abs(left - right) <= tolerance
+    return left == right
+
+
+def _validate(
+    left: Relation, right: Relation, key: tuple[str, ...], compare
+) -> tuple[str, ...]:
+    if not key:
+        raise RunError("alignment needs at least one key column")
+    for column in key:
+        for side, relation in (("left", left), ("right", right)):
+            if column not in relation.schema:
+                raise RunError(
+                    f"key column {column!r} is not in the {side} run "
+                    f"(columns: {list(relation.schema.names)})"
+                )
+    shared = [
+        name
+        for name in left.schema.names
+        if name in right.schema and name not in key
+    ]
+    if compare is None:
+        return tuple(shared)
+    compared = tuple(str(column) for column in compare)
+    for column in compared:
+        if column in key:
+            raise RunError(f"compared column {column!r} is part of the key")
+        for side, relation in (("left", left), ("right", right)):
+            if column not in relation.schema:
+                raise RunError(
+                    f"compared column {column!r} is not in the {side} run "
+                    f"(columns: {list(relation.schema.names)})"
+                )
+    return compared
+
+
+def _index_hashed(relation: Relation, key: tuple[str, ...]) -> dict[tuple, list[int]]:
+    """The production index: one dict pass, key tuple -> row positions."""
+    positions = [relation.schema.index(column) for column in key]
+    index: dict[tuple, list[int]] = {}
+    for row_number, row in enumerate(relation):
+        key_value = tuple(row.values[position] for position in positions)
+        index.setdefault(key_value, []).append(row_number)
+    return index
+
+
+def _index_scan(relation: Relation, key: tuple[str, ...]) -> dict[tuple, list[int]]:
+    """The brute-force index: quadratic equality scans, no hashing.
+
+    Deliberately naive -- an independent implementation the fuzz harness can
+    trust.  Produces the same first-occurrence ordering as the hashed index.
+    """
+    positions = [relation.schema.index(column) for column in key]
+    keys: list[tuple] = []
+    groups: list[list[int]] = []
+    for row_number, row in enumerate(relation):
+        key_value = tuple(row.values[position] for position in positions)
+        found = None
+        for slot, existing in enumerate(keys):
+            if existing == key_value:
+                found = slot
+                break
+        if found is None:
+            keys.append(key_value)
+            groups.append([row_number])
+        else:
+            groups[found].append(row_number)
+    return dict(zip(keys, groups))
+
+
+def _align(
+    left: Relation,
+    right: Relation,
+    key: tuple[str, ...],
+    compared: tuple[str, ...],
+    tolerance: float,
+    indexer,
+) -> RunAlignment:
+    left_index = indexer(left, key)
+    right_index = indexer(right, key)
+
+    disagreements: list[Disagreement] = []
+    ambiguous: set[tuple] = set()
+    for side_name, relation, index in (
+        ("left", left, left_index),
+        ("right", right, right_index),
+    ):
+        for key_value, rows in index.items():
+            if len(rows) > 1:
+                ambiguous.add(key_value)
+                disagreements.append(
+                    Disagreement(
+                        DUPLICATE_KEY,
+                        key_value,
+                        left=relation[rows[0]].as_dict(relation.schema)
+                        if side_name == "left"
+                        else None,
+                        right=relation[rows[0]].as_dict(relation.schema)
+                        if side_name == "right"
+                        else None,
+                        count=len(rows),
+                        side=side_name,
+                    )
+                )
+
+    matched = 0
+    agreeing = 0
+    for key_value, rows in left_index.items():
+        if key_value in ambiguous:
+            continue
+        left_record = left[rows[0]].as_dict(left.schema)
+        right_rows = right_index.get(key_value)
+        if right_rows is None:
+            disagreements.append(
+                Disagreement(MISSING_IN_B, key_value, left=left_record)
+            )
+            continue
+        matched += 1
+        right_record = right[right_rows[0]].as_dict(right.schema)
+        mismatching = tuple(
+            column
+            for column in compared
+            if not _values_equal(
+                left_record.get(column), right_record.get(column), tolerance
+            )
+        )
+        if mismatching:
+            disagreements.append(
+                Disagreement(
+                    VALUE_MISMATCH,
+                    key_value,
+                    left=left_record,
+                    right=right_record,
+                    columns=mismatching,
+                )
+            )
+        else:
+            agreeing += 1
+    for key_value, rows in right_index.items():
+        if key_value in ambiguous or key_value in left_index:
+            continue
+        disagreements.append(
+            Disagreement(
+                MISSING_IN_A, key_value, right=right[rows[0]].as_dict(right.schema)
+            )
+        )
+
+    return RunAlignment(
+        left_name=left.name or "left",
+        right_name=right.name or "right",
+        key=key,
+        compared=compared,
+        float_tolerance=tolerance,
+        left_rows=len(left),
+        right_rows=len(right),
+        matched=matched,
+        agreeing=agreeing,
+        disagreements=disagreements,
+    )
+
+
+def _normalize_key(key) -> tuple[str, ...]:
+    if isinstance(key, str):
+        return (key,)
+    return tuple(str(column) for column in key or ())
+
+
+def align_runs_reference(
+    left: Relation,
+    right: Relation,
+    key,
+    *,
+    float_tolerance: float = 0.0,
+    compare=None,
+) -> RunAlignment:
+    """The brute-force oracle: same answer as :func:`align_runs`, no hashing."""
+    key = _normalize_key(key)
+    compared = _validate(left, right, key, compare)
+    return _align(left, right, key, compared, float_tolerance, _index_scan)
+
+
+def align_runs(
+    left: Relation,
+    right: Relation,
+    key,
+    *,
+    float_tolerance: float = 0.0,
+    compare=None,
+) -> RunAlignment:
+    """Align two runs by key and classify every disagreement.
+
+    The ``runs.align`` fault site covers the production (hash-indexed) pass;
+    an injected fault falls back to the brute-force reference aligner, which
+    produces the identical alignment (asserted by the chaos suite) -- the
+    degradation is recorded in ``RunAlignment.degraded``, never silent.
+    """
+    key = _normalize_key(key)
+    compared = _validate(left, right, key, compare)
+    try:
+        FAULTS.check("runs.align")
+    except InjectedFault:
+        result = _align(left, right, key, compared, float_tolerance, _index_scan)
+        result.degraded.append(
+            {"site": "runs.align", "fallback": "reference-aligner"}
+        )
+        return result
+    return _align(left, right, key, compared, float_tolerance, _index_hashed)

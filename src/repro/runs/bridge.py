@@ -1,0 +1,265 @@
+"""The bridge from aligned runs to a full Explain3D problem.
+
+Two runs of "the same program" are exactly the shape the paper's pipeline
+consumes: two disjoint databases that should agree but don't.  The bridge
+synthesizes everything the pipeline needs -- deterministically, so the same
+run pair compiled here, by the daemon's ``{"runs": ...}`` spec handler or by
+the fleet router yields byte-identical reports:
+
+* each run's relation becomes a one-relation :class:`Database` named after
+  the run (``_a``/``_b`` suffixes disambiguate same-named runs);
+* canonical queries over the run outputs: ``SUM(compare)`` when a shared
+  numeric non-key column exists (the first one in left-schema order, or an
+  explicit choice), else ``COUNT(key[0])`` -- both built with the existing
+  :mod:`repro.relational.query` constructors, so the provenance, candidate,
+  MILP and reporting stages run unchanged;
+* identity attribute matches over all shared columns (the key columns pair
+  the tuples; the value columns let Stage 1 score them).
+
+:meth:`RunDiffProblem.to_payload` emits the equivalent declarative service
+request and :meth:`RunDiffProblem.registrations` the ``POST /databases``
+payloads (records plus explicit per-column dtypes, so a worker that rebuilds
+the relations from JSON lands on the same typed schema and fingerprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.explain3d import Explain3D, Explain3DConfig
+from repro.matching.attribute_match import AttributeMatching, matching
+from repro.relational.executor import Database
+from repro.relational.query import Query, Scan, count_query, sum_query
+from repro.relational.relation import Relation
+from repro.runs.errors import RunError
+from repro.runs.loader import RunFile
+
+#: Sentinel: pick the compare column automatically (first shared numeric
+#: non-key column in left-schema order); pass ``None`` to force COUNT.
+AUTO = "auto"
+
+
+@dataclass
+class RunDiffProblem:
+    """A fully-synthesized Explain3D problem over one run pair."""
+
+    database_left: Database
+    database_right: Database
+    query_left: Query
+    query_right: Query
+    attribute_matches: AttributeMatching
+    key: tuple[str, ...]
+    compare: str | None          # the aggregated column (None -> COUNT)
+    shared_columns: tuple[str, ...]
+
+    @property
+    def relation_left(self) -> str:
+        return next(iter(self.database_left.relations()))
+
+    @property
+    def relation_right(self) -> str:
+        return next(iter(self.database_right.relations()))
+
+    def explain(self, config: Explain3DConfig | None = None):
+        """The direct path: run the unchanged three-stage pipeline."""
+        return Explain3D(config or Explain3DConfig()).explain(
+            self.query_left,
+            self.database_left,
+            self.query_right,
+            self.database_right,
+            attribute_matches=self.attribute_matches,
+        )
+
+    def query_specs(self) -> tuple[dict, dict]:
+        """The declarative query specs compiling to ``query_left/right``."""
+        if self.compare is not None:
+            left = {
+                "name": self.query_left.name,
+                "kind": "sum",
+                "relation": self.relation_left,
+                "attribute": self.compare,
+            }
+            right = dict(left, name=self.query_right.name, relation=self.relation_right)
+        else:
+            left = {
+                "name": self.query_left.name,
+                "kind": "count",
+                "relation": self.relation_left,
+                "attribute": self.key[0],
+            }
+            right = dict(left, name=self.query_right.name, relation=self.relation_right)
+        return left, right
+
+    def registrations(self) -> list[dict]:
+        """``POST /databases`` payloads carrying records *and* dtypes.
+
+        The explicit per-column dtypes make the registration loss-free: a
+        worker rebuilding the relation from JSON records coerces into the
+        same typed schema the bridge holds, so fingerprints -- and therefore
+        placement, caching and reports -- agree across every surface.
+        """
+        payloads = []
+        for database in (self.database_left, self.database_right):
+            relations = {}
+            dtypes = {}
+            for name, relation in database.relations().items():
+                relations[name] = relation.as_dicts()
+                dtypes[name] = {
+                    attribute.name: attribute.dtype.value
+                    for attribute in relation.schema
+                }
+            payloads.append(
+                {"name": database.name, "relations": relations, "dtypes": dtypes}
+            )
+        return payloads
+
+    def to_payload(self) -> dict:
+        """The declarative ``POST /explain`` payload equivalent to this problem."""
+        left_spec, right_spec = self.query_specs()
+        return {
+            "database_left": self.database_left.name,
+            "query_left": left_spec,
+            "database_right": self.database_right.name,
+            "query_right": right_spec,
+            "attribute_matches": [
+                [column, column] for column in self.shared_columns
+            ],
+        }
+
+
+def _as_relation(run) -> Relation:
+    if isinstance(run, RunFile):
+        return run.relation
+    if isinstance(run, Relation):
+        return run
+    raise RunError(f"expected a Relation or RunFile, got {type(run).__name__}")
+
+
+def _pick_compare(left: Relation, right: Relation, key: tuple[str, ...], compare):
+    shared = tuple(
+        name for name in left.schema.names if name in right.schema
+    )
+    if not shared:
+        raise RunError("the two runs share no columns; nothing to align or compare")
+    candidates = [name for name in shared if name not in key]
+    if compare is None:
+        return None, shared
+    if compare is AUTO or compare == AUTO:
+        numeric = [
+            name
+            for name in candidates
+            if left.schema.dtype(name).is_numeric and right.schema.dtype(name).is_numeric
+        ]
+
+        def column_sum(relation: Relation, name: str) -> float:
+            return sum(value for value in relation.column(name) if value is not None)
+
+        # Prefer the first numeric column on which the runs actually
+        # disagree in aggregate -- that is the disagreement worth explaining.
+        # Deterministic: left-schema order, data-only inputs.
+        for name in numeric:
+            if column_sum(left, name) != column_sum(right, name):
+                return name, shared
+        if numeric:
+            return numeric[0], shared
+        return None, shared  # no shared numeric column: fall back to COUNT
+    compare = str(compare)
+    if compare not in candidates:
+        raise RunError(
+            f"compare column {compare!r} is not a shared non-key column "
+            f"(candidates: {candidates})"
+        )
+    if not (left.schema.dtype(compare).is_numeric and right.schema.dtype(compare).is_numeric):
+        raise RunError(f"compare column {compare!r} is not numeric on both sides")
+    return compare, shared
+
+
+def build_run_problem(
+    left,
+    right,
+    *,
+    key=None,
+    compare=AUTO,
+) -> RunDiffProblem:
+    """Synthesize the Explain3D problem for one run pair.
+
+    ``left``/``right`` are :class:`Relation` or :class:`RunFile` objects;
+    ``key`` falls back to the runs' declared (sidecar) keys, which must agree
+    when both declare one.
+    """
+    left_file = left if isinstance(left, RunFile) else None
+    right_file = right if isinstance(right, RunFile) else None
+    left_relation = _as_relation(left)
+    right_relation = _as_relation(right)
+
+    if key is None:
+        declared_left = left_file.key if left_file is not None else ()
+        declared_right = right_file.key if right_file is not None else ()
+        if declared_left and declared_right and declared_left != declared_right:
+            raise RunError(
+                f"the runs declare different keys: {list(declared_left)} vs "
+                f"{list(declared_right)}; pass an explicit key"
+            )
+        key = declared_left or declared_right
+    if isinstance(key, str):
+        key = (key,)
+    key = tuple(str(column) for column in key or ())
+    if not key:
+        raise RunError("a run pair needs a key (declared in a sidecar or passed explicitly)")
+    for column in key:
+        for side, relation in (("left", left_relation), ("right", right_relation)):
+            if column not in relation.schema:
+                raise RunError(
+                    f"key column {column!r} is not in the {side} run "
+                    f"(columns: {list(relation.schema.names)})"
+                )
+
+    compare_column, shared = _pick_compare(left_relation, right_relation, key, compare)
+
+    left_name = left_relation.name or "left"
+    right_name = right_relation.name or "right"
+    if left_name == right_name:
+        left_name, right_name = f"{left_name}_a", f"{right_name}_b"
+
+    # Databases are built from the records so relation names (which seed the
+    # provenance lineage ids) match the database naming, whatever the caller
+    # originally named the relations.
+    database_left = Database(left_name)
+    database_left.add_records(left_name, left_relation.as_dicts(), left_relation.schema)
+    database_right = Database(right_name)
+    database_right.add_records(right_name, right_relation.as_dicts(), right_relation.schema)
+
+    if compare_column is not None:
+        query_left = sum_query(
+            "QA", Scan(left_name), compare_column,
+            description=f"total {compare_column} of run {left_name}",
+        )
+        query_right = sum_query(
+            "QB", Scan(right_name), compare_column,
+            description=f"total {compare_column} of run {right_name}",
+        )
+    else:
+        query_left = count_query(
+            "QA", Scan(left_name), attribute=key[0],
+            description=f"row count of run {left_name}",
+        )
+        query_right = count_query(
+            "QB", Scan(right_name), attribute=key[0],
+            description=f"row count of run {right_name}",
+        )
+
+    return RunDiffProblem(
+        database_left=database_left,
+        database_right=database_right,
+        query_left=query_left,
+        query_right=query_right,
+        attribute_matches=matching(*[(column, column) for column in shared]),
+        key=key,
+        compare=compare_column,
+        shared_columns=shared,
+    )
+
+
+def explain_run_diff(left, right, *, key=None, compare=AUTO, config=None):
+    """One-call convenience: build the problem and run the pipeline."""
+    return build_run_problem(left, right, key=key, compare=compare).explain(config)

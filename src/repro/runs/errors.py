@@ -1,0 +1,19 @@
+"""The typed error of the run-diff subsystem."""
+
+from __future__ import annotations
+
+
+class RunError(ValueError):
+    """A malformed run file, run spec or alignment request.
+
+    ``path`` is a JSON-pointer-style location in the house style of
+    :class:`repro.service.api.SpecError`: within a run *file* it points into
+    the loaded rows (``/rows/3/price``) or the sidecar schema
+    (``/columns/1/type``); within a service ``{"runs": ...}`` payload it
+    points into the request (``/runs/left/records``).  The daemon and the
+    fleet router both return it in the uniform 400 error envelope.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path

@@ -1,0 +1,176 @@
+"""The ``{"runs": ...}`` service spec: run pairs over the wire.
+
+Both front doors -- the single-process daemon (``POST /explain``) and the
+fleet router -- accept an explain payload that, instead of naming registered
+databases, carries a run pair::
+
+    {"runs": {
+        "left":  {"name": "single_thread", "records": [{"id": 0, ...}, ...]},
+        "right": {"path": "runs/async_event_loop.ndjson"},
+        "key": "id",            // or ["id", ...]; falls back to sidecar keys
+        "compare": "tax"        // optional; omit = auto, null = COUNT
+     },
+     "config": {...}, "deadline_seconds": 5}   // other keys pass through
+
+Each side is either inline ``records`` (with a ``name``) or a ``path`` to an
+NDJSON/CSV run file on the server's filesystem (sidecar schemas apply).
+Compilation registers the two runs as single-relation databases and rewrites
+the payload into the ordinary declarative explain request -- one code path
+(:mod:`repro.runs.bridge`) serves the daemon, the router and the direct API,
+which is what makes their reports byte-identical.
+
+Malformed specs raise :class:`~repro.runs.errors.RunError` with a
+JSON-pointer ``path`` (``/runs/left/records``), which both front doors return
+as a typed 400 envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runs.bridge import AUTO, RunDiffProblem, build_run_problem
+from repro.runs.errors import RunError
+from repro.runs.loader import RunFile, load_run, records_to_relation
+
+#: Keys of the explain payload that pass through unchanged around a runs spec.
+_PASSTHROUGH_KEYS = (
+    "config",
+    "deadline_seconds",
+    "on_deadline",
+    "tuple_mapping",
+    "labeled_pairs",
+)
+
+_SIDE_KEYS = {"name", "records", "path", "key"}
+
+
+@dataclass
+class RunsRequest:
+    """A compiled runs payload: the problem plus its wire-format pieces."""
+
+    problem: RunDiffProblem
+    registrations: list[dict]   # POST /databases payloads (records + dtypes)
+    explain_payload: dict       # the rewritten plain /explain payload
+
+
+def _load_side(side, which: str) -> RunFile:
+    path = f"/runs/{which}"
+    if not isinstance(side, dict):
+        raise RunError(
+            f"runs spec {which!r} must be an object with 'records' or 'path', "
+            f"got {type(side).__name__}",
+            path,
+        )
+    unknown = sorted(set(side) - _SIDE_KEYS)
+    if unknown:
+        raise RunError(
+            f"unknown key {unknown[0]!r} in runs spec side "
+            f"(allowed: {sorted(_SIDE_KEYS)})",
+            f"{path}/{unknown[0]}",
+        )
+    has_records = "records" in side
+    has_path = "path" in side
+    if has_records == has_path:
+        raise RunError(
+            f"runs spec {which!r} needs exactly one of 'records' or 'path'", path
+        )
+    key = side.get("key")
+    if key is not None and not isinstance(key, (str, list)):
+        raise RunError("'key' must be a column name or a list of them", f"{path}/key")
+    if has_path:
+        try:
+            run = load_run(side["path"], name=side.get("name"), key=key)
+        except RunError as exc:
+            raise RunError(str(exc), f"{path}{exc.path or '/path'}") from None
+        return run
+    records = side["records"]
+    if not isinstance(records, list) or not records:
+        raise RunError(
+            f"runs spec {which!r} needs a non-empty 'records' list",
+            f"{path}/records",
+        )
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise RunError(
+                f"each record must be an object, got {type(record).__name__}",
+                f"{path}/records/{index}",
+            )
+    name = side.get("name")
+    if not name:
+        raise RunError(
+            f"inline 'records' need a 'name' for run {which!r}", f"{path}/name"
+        )
+    columns: list[str] = []
+    seen: set[str] = set()
+    for record in records:
+        for column in record:
+            if column not in seen:
+                seen.add(column)
+                columns.append(str(column))
+    try:
+        relation = records_to_relation(records, columns, name=str(name), path=path)
+    except RunError as exc:
+        raise RunError(str(exc), exc.path) from None
+    key_columns = (key,) if isinstance(key, str) else tuple(str(k) for k in key or ())
+    for column in key_columns:
+        if column not in relation.schema:
+            raise RunError(
+                f"key column {column!r} is not in run {relation.name!r} "
+                f"(columns: {list(relation.schema.names)})",
+                f"{path}/key",
+            )
+    return RunFile(relation, key_columns)
+
+
+def compile_runs_payload(payload: dict) -> RunsRequest:
+    """Compile a ``{"runs": ...}`` explain payload; see the module docstring."""
+    spec = payload.get("runs")
+    if not isinstance(spec, dict):
+        raise RunError(
+            f"'runs' must be an object, got {type(spec).__name__}", "/runs"
+        )
+    unknown = sorted(set(spec) - {"left", "right", "key", "compare"})
+    if unknown:
+        raise RunError(
+            f"unknown key {unknown[0]!r} in runs spec "
+            f"(allowed: ['left', 'right', 'key', 'compare'])",
+            f"/runs/{unknown[0]}",
+        )
+    for which in ("left", "right"):
+        if which not in spec:
+            raise RunError(f"runs spec needs {which!r}", f"/runs/{which}")
+    stray = sorted(
+        set(payload)
+        - {"runs", *_PASSTHROUGH_KEYS}
+    )
+    if stray:
+        raise RunError(
+            f"a 'runs' payload cannot also carry {stray[0]!r}; the run pair "
+            "defines the databases and queries",
+            f"/{stray[0]}",
+        )
+
+    left = _load_side(spec["left"], "left")
+    right = _load_side(spec["right"], "right")
+
+    key = spec.get("key")
+    if key is not None and not isinstance(key, (str, list)):
+        raise RunError(
+            "'key' must be a column name or a list of them", "/runs/key"
+        )
+    compare = spec.get("compare", AUTO) if "compare" in spec else AUTO
+
+    try:
+        problem = build_run_problem(left, right, key=key, compare=compare)
+    except RunError as exc:
+        raise RunError(str(exc), exc.path or "/runs") from None
+
+    explain_payload = problem.to_payload()
+    for passthrough in _PASSTHROUGH_KEYS:
+        if passthrough in payload:
+            explain_payload[passthrough] = payload[passthrough]
+    return RunsRequest(
+        problem=problem,
+        registrations=problem.registrations(),
+        explain_payload=explain_payload,
+    )

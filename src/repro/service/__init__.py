@@ -46,6 +46,7 @@ from repro.service.api import (
     matches_from_spec,
     query_from_spec,
     request_from_payload,
+    runs_request_from_payload,
     serve,
     serve_in_background,
     source_from_spec,
@@ -81,6 +82,7 @@ __all__ = [
     "matches_from_spec",
     "query_from_spec",
     "request_from_payload",
+    "runs_request_from_payload",
     "serve",
     "serve_in_background",
     "source_from_spec",

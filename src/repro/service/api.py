@@ -31,6 +31,15 @@ unions and differences declaratively::
                          "on": [["ID", "ID"]]}},
      "where": [{"column": "Univ_name", "op": "=", "value": "UMass-Amherst"}]}
 
+An explain payload may instead carry a **run pair** -- the run-diff workload
+of :mod:`repro.runs`.  The two runs (inline records, or NDJSON/CSV run files
+on the server) are registered as a disjoint database pair and the canonical
+queries, attribute matches and request are synthesized by the bridge::
+
+    {"runs": {"left": {"name": "single_thread", "records": [...]},
+              "right": {"path": "runs/async_event_loop.ndjson"},
+              "key": "id", "compare": "tax"}}
+
 Malformed specs produce structured errors: :class:`SpecError` carries a
 JSON-pointer-style ``path`` ("/query_left/where/0/op") that the daemon
 returns alongside the message.
@@ -114,6 +123,10 @@ from repro.relational.query import (
 from repro.reliability.breaker import CircuitOpenError
 from repro.reliability.deadline import DeadlineExceeded, OperationCancelled
 from repro.reliability.retry import RetryPolicy
+from repro.relational.errors import SchemaError
+from repro.relational.schema import DataType, Schema
+from repro.runs.errors import RunError
+from repro.runs.spec import compile_runs_payload
 from repro.service.cache import fingerprint_of
 from repro.service.engine import ExplainRequest, ExplainService, UnknownDatabaseError
 from repro.service.jobs import JobQueue, JobState
@@ -154,6 +167,7 @@ def error_payload(kind: str, message: str, path: str = "") -> dict:
 #: (still as a structured envelope, never a bare string).
 _ERROR_STATUS = (
     (SpecError, 400),
+    (RunError, 400),
     (DeltaError, 400),
     (UnknownDatabaseError, 404),
     (DeltaConflictError, 409),
@@ -389,17 +403,46 @@ def query_from_spec(spec: dict, database=None, path: str = "") -> Query:
 
 
 def database_from_spec(spec: dict) -> Database:
-    """Build a :class:`Database` from ``{"name": ..., "relations": {name: [records]}}``."""
+    """Build a :class:`Database` from ``{"name": ..., "relations": {name: [records]}}``.
+
+    An optional ``"dtypes"`` block pins per-relation column types
+    (``{"Run": {"id": "integer", "tax": "float"}}``), making a registration
+    loss-free across the JSON wire: the rebuilt relation coerces into exactly
+    the declared schema instead of re-inferring from the records, so content
+    fingerprints agree with the sender's.  Without it, types are inferred.
+    """
     if not isinstance(spec, dict) or "name" not in spec:
         raise SpecError("database spec needs a 'name'")
     relations = spec.get("relations")
     if not isinstance(relations, dict) or not relations:
         raise SpecError("database spec needs a non-empty 'relations' object")
+    dtypes = spec.get("dtypes") or {}
+    if not isinstance(dtypes, dict):
+        raise SpecError("'dtypes' must be an object of {relation: {column: type}}", "/dtypes")
     db = Database(spec["name"])
     for relation_name, records in relations.items():
         if not isinstance(records, list):
             raise SpecError(f"relation {relation_name!r} must be a list of records")
-        db.add_records(relation_name, records)
+        schema = None
+        declared = dtypes.get(relation_name)
+        if declared is not None:
+            if not isinstance(declared, dict) or not declared:
+                raise SpecError(
+                    f"dtypes for relation {relation_name!r} must be a non-empty "
+                    "object of {column: type}",
+                    f"/dtypes/{relation_name}",
+                )
+            try:
+                schema = Schema(
+                    [(str(column), DataType(str(type_name)))
+                     for column, type_name in declared.items()]
+                )
+            except (ValueError, SchemaError) as exc:
+                raise SpecError(
+                    f"bad dtypes for relation {relation_name!r}: {exc}",
+                    f"/dtypes/{relation_name}",
+                ) from None
+        db.add_records(relation_name, records, schema)
     return db
 
 
@@ -517,6 +560,25 @@ def ingest_request_from_payload(payload: dict) -> dict:
         "delta_id": str(delta_id),
         "expect_fingerprint": str(expect) if expect is not None else None,
     }
+
+
+def runs_request_from_payload(payload: dict, service: ExplainService) -> ExplainRequest:
+    """Compile a ``{"runs": ...}`` explain payload against a live service.
+
+    The run pair is synthesized into a disjoint database pair by
+    :mod:`repro.runs.bridge` and registered on the service (re-registering
+    identical run content lands on the identical fingerprint, so repeated
+    requests over the same runs stay warm in the report cache); the rewritten
+    declarative payload then compiles through the ordinary
+    :func:`request_from_payload` path.
+    """
+    compiled = compile_runs_payload(payload)
+    problem = compiled.problem
+    service.register_database(problem.database_left, problem.database_left.name)
+    service.register_database(problem.database_right, problem.database_right.name)
+    return request_from_payload(
+        compiled.explain_payload, database_resolver=service.database
+    )
 
 
 def request_from_payload(payload: dict, *, database_resolver=None) -> ExplainRequest:
@@ -748,9 +810,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 fingerprint = self.server.service.register_database(db, db.name)
                 self._send_json({"name": db.name, "fingerprint": fingerprint}, status=201)
             elif self.path == "/explain":
-                request = request_from_payload(
-                    self._read_json(), database_resolver=self.server.service.database
-                )
+                payload = self._read_json()
+                if isinstance(payload, dict) and "runs" in payload:
+                    request = runs_request_from_payload(payload, self.server.service)
+                else:
+                    request = request_from_payload(
+                        payload, database_resolver=self.server.service.database
+                    )
                 result = self.server.service.explain(request)
                 self._send_json(result.to_dict())
             elif self.path == "/plan":

@@ -158,6 +158,7 @@ class TestFaultInjector:
             "cache.spill_write": "identical",
             "plan.lower": "identical",
             "stats.analyze": "identical",
+            "runs.align": "identical",
             "solve.partition": "typed-error",
             "live.apply_delta": "typed-error",
         }
@@ -447,6 +448,33 @@ class TestDegradationLadder:
         states = figure1_service.breakers.states()
         assert states["D1"]["total_failures"] == 1
         assert states["D2"]["total_failures"] == 1
+
+
+class TestRunsAlignChaos:
+    def test_aligner_fault_falls_back_to_reference_identically(self):
+        from repro.relational.relation import Relation
+        from repro.runs import align_runs
+
+        left = Relation.from_records(
+            [{"id": 1, "v": 1.0}, {"id": 2, "v": 2.0}, {"id": 3, "v": 3.0}],
+            name="L",
+        )
+        right = Relation.from_records(
+            [{"id": 1, "v": 1.0}, {"id": 2, "v": 9.0}, {"id": 4, "v": 4.0}],
+            name="R",
+        )
+        baseline = align_runs(left, right, ("id",))
+        assert baseline.degraded == []
+
+        with inject("runs.align", "raise") as rule:
+            degraded = align_runs(left, right, ("id",))
+        # The "identical" contract: same canonical alignment, only via the
+        # brute-force reference indexer, with the degradation recorded.
+        assert degraded.canonical() == baseline.canonical()
+        assert degraded.degraded == [
+            {"site": "runs.align", "fallback": "reference-aligner"}
+        ]
+        assert rule.fired == 1
 
 
 class TestServiceBreakers:

@@ -1,10 +1,17 @@
-"""Tests for CSV loading/saving helpers."""
+"""Tests for CSV/NDJSON loading/saving helpers."""
 
 import pytest
 
-from repro.relational.csvio import load_csv, relation_from_rows, save_csv
+from repro.relational.csvio import (
+    load_csv,
+    load_ndjson,
+    read_ndjson_records,
+    relation_from_rows,
+    save_csv,
+    save_ndjson,
+)
 from repro.relational.relation import Relation
-from repro.relational.schema import DataType
+from repro.relational.schema import DataType, Schema
 
 
 class TestCsvRoundTrip:
@@ -53,3 +60,68 @@ class TestCsvRoundTrip:
             "t", ["a"], [["3"]], dtypes=[DataType.INTEGER]
         )
         assert relation.column("a") == [3]
+
+    def test_underscored_digits_stay_strings(self, tmp_path):
+        # "1_0" is a valid Python int literal but not tabular data's idea of
+        # an integer; inference must not eat it.
+        path = tmp_path / "codes.csv"
+        path.write_text("code\n1_0\n2_5\n")
+        assert load_csv(path).schema.dtype("code") is DataType.STRING
+
+
+class TestNdjsonRoundTrip:
+    def test_round_trip_preserves_types_and_nulls(self, tmp_path):
+        # NDJSON is the typed wire format: empty string, NULL and booleans
+        # all survive a round trip (CSV conflates the first two).
+        relation = Relation.from_records(
+            [
+                {"name": "Alpha", "note": "", "score": 1.5, "ok": True},
+                {"name": "Beta", "note": None, "score": None, "ok": False},
+            ],
+            name="runs",
+        )
+        path = tmp_path / "runs.ndjson"
+        save_ndjson(relation, path)
+        loaded = load_ndjson(path)
+        assert loaded.name == "runs"
+        assert loaded.schema.dtype("ok") is DataType.BOOLEAN
+        assert loaded.column("note") == ["", None]
+        assert loaded.column("score") == [1.5, None]
+
+    def test_mixed_int_float_column_promotes_to_float(self, tmp_path):
+        path = tmp_path / "mixed.ndjson"
+        path.write_text('{"v": 1}\n{"v": 2.5}\n')
+        loaded = load_ndjson(path)
+        assert loaded.schema.dtype("v") is DataType.FLOAT
+        assert loaded.column("v") == [1.0, 2.5]
+
+    def test_schema_infer_scans_all_records(self):
+        # Regression: Schema.infer used to type a column from its first
+        # non-null value only; an int-then-float column must promote.
+        schema = Schema.infer([{"v": 1}, {"v": 2.5}])
+        assert schema.dtype("v") is DataType.FLOAT
+
+    def test_missing_keys_fill_as_null_first_seen_order(self, tmp_path):
+        path = tmp_path / "ragged.ndjson"
+        path.write_text('{"a": 1, "b": "x"}\n{"a": 2, "c": true}\n')
+        records, columns = read_ndjson_records(path)
+        assert columns == ["a", "b", "c"]
+        assert records[0]["c"] is None and records[1]["b"] is None
+
+    def test_bad_line_reports_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.ndjson:2"):
+            read_ndjson_records(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "list.ndjson"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="object"):
+            read_ndjson_records(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text("\n\n")
+        with pytest.raises(ValueError):
+            load_ndjson(path)

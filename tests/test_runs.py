@@ -1,0 +1,370 @@
+"""Tests for the run-diff workload: loader, aligner, variants, bridge, spec."""
+
+import json
+
+import pytest
+
+from repro.datasets.variants import (
+    RUN_SCHEMA,
+    VariantsConfig,
+    VariantRuns,
+    generate_variant_runs,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import DataType
+from repro.runs import (
+    AUTO,
+    DUPLICATE_KEY,
+    MISSING_IN_A,
+    MISSING_IN_B,
+    VALUE_MISMATCH,
+    RunError,
+    align_runs,
+    align_runs_reference,
+    build_run_problem,
+    compile_runs_payload,
+    load_run,
+    load_sidecar,
+    schema_from_spec,
+    sidecar_path,
+)
+from repro.runs.fuzz import fuzz_aligner
+
+
+# ---------------------------------------------------------------------------
+# Loader
+# ---------------------------------------------------------------------------
+
+class TestLoader:
+    def test_ndjson_inference(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        path.write_text('{"id": 1, "v": 1}\n{"id": 2, "v": 2.5}\n')
+        run = load_run(path)
+        assert run.name == "run"
+        assert not run.declared
+        assert run.relation.schema.dtype("v") is DataType.FLOAT
+
+    def test_sidecar_schema_and_key(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        path.write_text('{"id": 1, "v": "7"}\n')
+        sidecar_path(path).write_text(json.dumps({
+            "columns": [{"name": "id", "type": "int"},
+                        {"name": "v", "type": "string"}],
+            "key": "id",
+        }))
+        run = load_run(path)
+        assert run.declared and run.key == ("id",)
+        assert run.relation.column("v") == ["7"]
+
+    def test_explicit_key_overrides_sidecar(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        path.write_text('{"id": 1, "v": 2}\n')
+        sidecar_path(path).write_text(json.dumps({
+            "columns": [{"name": "id", "type": "int"},
+                        {"name": "v", "type": "int"}],
+            "key": "id",
+        }))
+        assert load_run(path, key="v").key == ("v",)
+
+    def test_csv_runs_load_with_textual_inference(self, tmp_path):
+        path = tmp_path / "run.csv"
+        path.write_text("id,v\n1,a\n2,\n")
+        run = load_run(path)
+        assert run.relation.schema.dtype("id") is DataType.INTEGER
+        assert run.relation.column("v") == ["a", None]
+
+    def test_unsupported_extension_rejected(self, tmp_path):
+        with pytest.raises(RunError, match="extension"):
+            load_run(tmp_path / "run.parquet")
+
+    def test_coercion_failure_names_row_and_column(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        path.write_text('{"id": 1, "tax": 2.0}\n{"id": 2, "tax": "oops"}\n')
+        sidecar_path(path).write_text(json.dumps({
+            "columns": [{"name": "id", "type": "int"},
+                        {"name": "tax", "type": "float"}],
+        }))
+        with pytest.raises(RunError) as excinfo:
+            load_run(path)
+        assert excinfo.value.path == "/rows/1/tax"
+
+    def test_missing_sidecar_is_fine(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        path.write_text('{"id": 1}\n')
+        assert load_sidecar(path) is None
+
+    def test_schema_spec_pointer_errors(self):
+        with pytest.raises(RunError) as excinfo:
+            schema_from_spec({"columns": [{"name": "id", "type": "decimal"}]})
+        assert excinfo.value.path == "/columns/0/type"
+        with pytest.raises(RunError) as excinfo:
+            schema_from_spec({
+                "columns": [{"name": "id", "type": "int"}],
+                "key": ["id", "nope"],
+            })
+        assert excinfo.value.path == "/key/1"
+
+
+# ---------------------------------------------------------------------------
+# Aligner
+# ---------------------------------------------------------------------------
+
+def relation(name, records):
+    return Relation.from_records(records, name=name)
+
+
+class TestAligner:
+    def test_classifies_every_kind(self):
+        left = relation("L", [
+            {"id": 1, "v": 1.0},   # agrees
+            {"id": 2, "v": 2.0},   # value mismatch
+            {"id": 3, "v": 3.0},   # missing in B
+            {"id": 5, "v": 5.0},   # duplicated key (left)
+            {"id": 5, "v": 5.5},
+        ])
+        right = relation("R", [
+            {"id": 1, "v": 1.0},
+            {"id": 2, "v": 9.0},
+            {"id": 4, "v": 4.0},   # missing in A
+            {"id": 5, "v": 5.0},
+        ])
+        alignment = align_runs(left, right, ("id",))
+        assert alignment.counts() == {
+            DUPLICATE_KEY: 1,
+            VALUE_MISMATCH: 1,
+            MISSING_IN_B: 1,
+            MISSING_IN_A: 1,
+        }
+        assert alignment.matched == 2 and alignment.agreeing == 1
+        mismatch = next(d for d in alignment.disagreements if d.kind == VALUE_MISMATCH)
+        assert mismatch.key == (2,) and mismatch.columns == ("v",)
+
+    def test_duplicate_keys_are_excluded_from_pairing(self):
+        left = relation("L", [{"id": 1, "v": 1}, {"id": 1, "v": 2}])
+        right = relation("R", [{"id": 1, "v": 1}])
+        alignment = align_runs(left, right, ("id",))
+        assert alignment.counts() == {DUPLICATE_KEY: 1}
+        assert alignment.matched == 0
+
+    def test_float_tolerance(self):
+        left = relation("L", [{"id": 1, "v": 1.0}])
+        right = relation("R", [{"id": 1, "v": 1.005}])
+        assert not align_runs(left, right, ("id",)).agree()
+        assert align_runs(left, right, ("id",), float_tolerance=0.01).agree()
+
+    def test_null_only_equals_null(self):
+        left = relation("L", [{"id": 1, "v": None}, {"id": 2, "v": 0.0}])
+        right = relation("R", [{"id": 1, "v": 0.0}, {"id": 2, "v": None}])
+        alignment = align_runs(left, right, ("id",), float_tolerance=100.0)
+        assert alignment.counts() == {VALUE_MISMATCH: 2}
+
+    def test_compare_restricts_columns(self):
+        left = relation("L", [{"id": 1, "a": 1, "b": 1}])
+        right = relation("R", [{"id": 1, "a": 2, "b": 1}])
+        assert align_runs(left, right, ("id",), compare=("b",)).agree()
+        assert not align_runs(left, right, ("id",), compare=("a",)).agree()
+
+    def test_deterministic_ordering(self):
+        # Duplicates first (left then right), then left-order, then right-order.
+        left = relation("L", [{"id": 3, "v": 1}, {"id": 1, "v": 1}, {"id": 1, "v": 2}])
+        right = relation("R", [{"id": 9, "v": 1}, {"id": 3, "v": 2}, {"id": 8, "v": 1}])
+        kinds = [(d.kind, d.key) for d in align_runs(left, right, ("id",)).disagreements]
+        assert kinds == [
+            (DUPLICATE_KEY, (1,)),
+            (VALUE_MISMATCH, (3,)),
+            (MISSING_IN_A, (9,)),
+            (MISSING_IN_A, (8,)),
+        ]
+
+    def test_missing_key_column_rejected(self):
+        left = relation("L", [{"id": 1}])
+        right = relation("R", [{"other": 1}])
+        with pytest.raises(RunError, match="key column"):
+            align_runs(left, right, ("id",))
+
+    def test_reference_aligner_is_identical(self):
+        left = relation("L", [{"id": i, "v": i % 3} for i in range(20)])
+        right = relation("R", [{"id": i, "v": i % 4} for i in range(3, 23)])
+        fast = align_runs(left, right, ("id",))
+        oracle = align_runs_reference(left, right, ("id",))
+        assert fast.canonical() == oracle.canonical()
+        assert fast.fingerprint() == oracle.fingerprint()
+
+    def test_short_fuzz_against_oracle(self):
+        assert fuzz_aligner(10, seed=11) > 0
+
+
+# ---------------------------------------------------------------------------
+# Variants scenario
+# ---------------------------------------------------------------------------
+
+class TestVariants:
+    def test_generation_is_deterministic(self):
+        config = VariantsConfig(num_rows=40, seed=5)
+        assert generate_variant_runs(config).runs == generate_variant_runs(config).runs
+
+    def test_gold_matches_the_aligner(self):
+        scenario = generate_variant_runs(VariantsConfig(num_rows=50, stale_stride=7))
+        reference = scenario.relation("single_thread")
+        for variant in ("vectorized", "shared_state", "async_event_loop"):
+            alignment = align_runs(reference, scenario.relation(variant), scenario.key)
+            got = {
+                kind: {tuple(d.key) for d in alignment.disagreements if d.kind == kind}
+                for kind in (VALUE_MISMATCH, MISSING_IN_B)
+            }
+            assert got == scenario.expected_kinds(variant), variant
+
+    def test_each_bug_has_its_signature(self):
+        scenario = generate_variant_runs(VariantsConfig(num_rows=50, stale_stride=7))
+        assert scenario.divergent_ids["vectorized"]
+        assert scenario.divergent_ids["shared_state"]
+        assert scenario.missing_ids["async_event_loop"]
+        assert not scenario.divergent_ids["single_thread"]
+        assert not scenario.missing_ids["single_thread"]
+
+    def test_write_round_trips_through_the_loader(self, tmp_path):
+        scenario = generate_variant_runs(VariantsConfig(num_rows=20, stale_stride=7))
+        paths = scenario.write(tmp_path)
+        run = load_run(paths["vectorized"])
+        assert run.declared and run.key == ("id",)
+        assert run.relation.schema == RUN_SCHEMA
+        assert run.relation.as_dicts() == scenario.runs["vectorized"]
+
+
+# ---------------------------------------------------------------------------
+# Bridge
+# ---------------------------------------------------------------------------
+
+class TestBridge:
+    def small_pair(self):
+        left = relation("run_a", [
+            {"id": 1, "tag": "x", "v": 1.0},
+            {"id": 2, "tag": "y", "v": 2.0},
+        ])
+        right = relation("run_b", [
+            {"id": 1, "tag": "x", "v": 1.0},
+            {"id": 2, "tag": "y", "v": 5.0},
+        ])
+        return left, right
+
+    def test_auto_compare_prefers_the_diverging_column(self):
+        left = relation("A", [{"id": 1, "same": 1.0, "diff": 1.0}])
+        right = relation("B", [{"id": 1, "same": 1.0, "diff": 2.0}])
+        problem = build_run_problem(left, right, key=("id",))
+        assert problem.compare == "diff"
+
+    def test_no_numeric_column_falls_back_to_count(self):
+        left = relation("A", [{"id": 1, "tag": "x"}])
+        right = relation("B", [{"id": 1, "tag": "x"}, {"id": 2, "tag": "y"}])
+        problem = build_run_problem(left, right, key=("id",))
+        assert problem.compare is None
+        assert problem.query_specs()[0]["kind"] == "count"
+
+    def test_same_named_runs_are_suffixed(self):
+        left = relation("run", [{"id": 1, "v": 1.0}])
+        right = relation("run", [{"id": 1, "v": 2.0}])
+        problem = build_run_problem(left, right, key=("id",))
+        assert problem.database_left.name == "run_a"
+        assert problem.database_right.name == "run_b"
+
+    def test_missing_key_is_an_error(self):
+        left, right = self.small_pair()
+        with pytest.raises(RunError, match="key"):
+            build_run_problem(left, right)
+
+    def test_explicit_compare_validated(self):
+        left, right = self.small_pair()
+        with pytest.raises(RunError, match="not a shared non-key column"):
+            build_run_problem(left, right, key=("id",), compare="nope")
+        with pytest.raises(RunError, match="not numeric"):
+            build_run_problem(left, right, key=("id",), compare="tag")
+
+    def test_payload_and_registrations_are_loss_free(self):
+        left, right = self.small_pair()
+        problem = build_run_problem(left, right, key=("id",))
+        payload = problem.to_payload()
+        assert payload["database_left"] == "run_a"
+        assert payload["query_left"] == {
+            "name": "QA", "kind": "sum", "relation": "run_a", "attribute": "v",
+        }
+        assert ["id", "id"] in payload["attribute_matches"]
+        registrations = problem.registrations()
+        assert registrations[0]["dtypes"]["run_a"] == {
+            "id": "integer", "tag": "string", "v": "float",
+        }
+
+    def test_direct_explain_finds_the_divergence(self):
+        left, right = self.small_pair()
+        report = build_run_problem(left, right, key=("id",)).explain()
+        assert report.problem.result_left == 3.0
+        assert report.problem.result_right == 6.0
+        assert report.explanations
+
+
+# ---------------------------------------------------------------------------
+# The {"runs": ...} spec
+# ---------------------------------------------------------------------------
+
+class TestRunsSpec:
+    def payload(self, **overrides):
+        spec = {
+            "left": {"name": "a", "records": [{"id": 1, "v": 1.0}]},
+            "right": {"name": "b", "records": [{"id": 1, "v": 2.0}]},
+            "key": "id",
+        }
+        spec.update(overrides)
+        return {"runs": spec}
+
+    def test_compiles_to_a_plain_explain_payload(self):
+        compiled = compile_runs_payload(self.payload())
+        assert compiled.problem.compare == "v"
+        assert compiled.explain_payload["database_left"] == "a"
+        assert len(compiled.registrations) == 2
+        assert compiled.registrations[1]["dtypes"]["b"]["v"] == "float"
+
+    def test_passthrough_keys_survive(self):
+        payload = self.payload()
+        payload["deadline_seconds"] = 5
+        assert compile_runs_payload(payload).explain_payload["deadline_seconds"] == 5
+
+    def test_path_sides_load_run_files(self, tmp_path):
+        scenario = generate_variant_runs(VariantsConfig(num_rows=20, stale_stride=7))
+        paths = scenario.write(tmp_path)
+        compiled = compile_runs_payload({"runs": {
+            "left": {"path": str(paths["single_thread"])},
+            "right": {"path": str(paths["shared_state"])},
+        }})
+        assert compiled.problem.key == ("id",)  # from the sidecars
+
+    @pytest.mark.parametrize("mutate, pointer", [
+        (lambda p: p.pop("runs"), "/runs"),
+        (lambda p: p["runs"].pop("right"), "/runs/right"),
+        (lambda p: p["runs"].update(extra=1), "/runs/extra"),
+        (lambda p: p.update(database_left="x"), "/database_left"),
+        (lambda p: p["runs"]["left"].pop("name"), "/runs/left/name"),
+        (lambda p: p["runs"]["left"].update(records=[]), "/runs/left/records"),
+        (lambda p: p["runs"]["left"].update(records=[1]), "/runs/left/records/0"),
+        (lambda p: p["runs"]["left"].update(bogus=1), "/runs/left/bogus"),
+        (lambda p: p["runs"].update(key="nope"), "/runs"),
+    ])
+    def test_malformed_specs_carry_json_pointers(self, mutate, pointer):
+        payload = self.payload()
+        mutate(payload)
+        with pytest.raises(RunError) as excinfo:
+            compile_runs_payload(payload)
+        assert excinfo.value.path == pointer
+
+    def test_side_needs_exactly_one_source(self, tmp_path):
+        payload = self.payload()
+        payload["runs"]["left"]["path"] = str(tmp_path / "x.ndjson")
+        with pytest.raises(RunError) as excinfo:
+            compile_runs_payload(payload)
+        assert excinfo.value.path == "/runs/left"
+
+    def test_bad_row_in_inline_records_is_pointed_at(self):
+        payload = self.payload()
+        payload["runs"]["left"]["records"] = [{"id": 1, "v": 1.0},
+                                              {"id": 2, "v": "oops"}]
+        with pytest.raises(RunError) as excinfo:
+            compile_runs_payload(payload)
+        assert excinfo.value.path == "/runs/left/rows/1/v"

@@ -111,6 +111,27 @@ class TestSpecCompilation:
         with pytest.raises(SpecError):
             database_from_spec({"relations": {"R": []}})
 
+    def test_database_spec_with_dtypes_pins_the_schema(self):
+        from repro.relational.schema import DataType
+
+        # JSON round trips can erase the int/float distinction; an explicit
+        # dtypes block rebuilds the sender's exact typed schema (and thereby
+        # the same fingerprint).
+        db = database_from_spec({
+            "name": "R",
+            "relations": {"R": [{"id": 1, "v": 1}]},
+            "dtypes": {"R": {"id": "integer", "v": "float"}},
+        })
+        assert db.relation("R").schema.dtype("v") is DataType.FLOAT
+        assert db.relation("R").column("v") == [1.0]
+        with pytest.raises(SpecError) as excinfo:
+            database_from_spec({
+                "name": "R",
+                "relations": {"R": [{"id": 1}]},
+                "dtypes": {"R": {"id": "decimal"}},
+            })
+        assert excinfo.value.path == "/dtypes/R"
+
     def test_mapping_and_config_specs(self):
         mapping = mapping_from_spec([["T1:0", "T2:0", 0.95, 0.8]])
         match = next(iter(mapping))
@@ -794,3 +815,81 @@ class TestIngestEndpoint:
         warm = mutable_server.explain(EXPLAIN_PAYLOAD)
         assert warm["service"]["cached_report"] is True
         assert warm["query_right"]["result"] == 6.0
+
+
+RUNS_PAYLOAD = {
+    "runs": {
+        "left": {
+            "name": "run_a",
+            "records": [{"id": 1, "v": 1.0}, {"id": 2, "v": 2.0}],
+        },
+        "right": {
+            "name": "run_b",
+            "records": [{"id": 1, "v": 1.0}, {"id": 2, "v": 5.0}],
+        },
+        "key": "id",
+    }
+}
+
+
+class TestRunsEndpoint:
+    """POST /explain with a {"runs": ...} spec: the run-diff front door."""
+
+    def test_runs_spec_explains_the_pair(self, mutable_server):
+        result = mutable_server.explain(RUNS_PAYLOAD)
+        assert result["query_left"]["result"] == 3.0
+        assert result["query_right"]["result"] == 6.0
+        assert result["explanations"]["value"]
+
+    def test_repeat_runs_request_hits_the_report_cache(self, mutable_server):
+        mutable_server.explain(RUNS_PAYLOAD)
+        warm = mutable_server.explain(RUNS_PAYLOAD)
+        assert warm["service"]["cached_report"] is True
+
+    def test_registered_runs_accept_ingest_deltas(self, mutable_server):
+        mutable_server.explain(RUNS_PAYLOAD)
+        summary = mutable_server.ingest(
+            "run_a", "run_a",
+            [{"op": "insert", "record": {"id": 3, "v": 4.0}}],
+        )
+        assert summary["applied"] is True
+        # Re-explain over the live databases with the plain payload (the runs
+        # spec would re-register the pre-delta rows).
+        from repro.runs import compile_runs_payload
+
+        plain = compile_runs_payload(RUNS_PAYLOAD).explain_payload
+        assert mutable_server.explain(plain)["query_left"]["result"] == 7.0
+
+    @pytest.mark.parametrize("mutate, pointer", [
+        (lambda p: p["runs"].pop("right"), "/runs/right"),
+        (lambda p: p["runs"]["left"].pop("name"), "/runs/left/name"),
+        (lambda p: p["runs"]["left"].update(records=[]), "/runs/left/records"),
+        (lambda p: p["runs"].update(surprise=1), "/runs/surprise"),
+        (lambda p: p.update(database_left="D1"), "/database_left"),
+        (lambda p: p["runs"].update(key="missing"), "/runs"),
+    ])
+    def test_malformed_runs_specs_are_typed_400s(self, mutable_server, mutate, pointer):
+        import copy
+
+        payload = copy.deepcopy(RUNS_PAYLOAD)
+        mutate(payload)
+        with pytest.raises(ServiceClientError) as excinfo:
+            mutable_server.explain(payload)
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "RunError"
+        assert excinfo.value.path == pointer
+
+    def test_runs_and_declarative_paths_are_byte_identical(self, mutable_server):
+        from repro.fleet.__main__ import canonical_report
+        from repro.runs import build_run_problem
+        from repro.relational.relation import Relation
+
+        left = Relation.from_records(
+            RUNS_PAYLOAD["runs"]["left"]["records"], name="run_a"
+        )
+        right = Relation.from_records(
+            RUNS_PAYLOAD["runs"]["right"]["records"], name="run_b"
+        )
+        direct = build_run_problem(left, right, key=("id",)).explain()
+        served = mutable_server.explain(RUNS_PAYLOAD)
+        assert canonical_report(served) == canonical_report(direct.to_dict())
