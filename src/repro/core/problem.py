@@ -26,6 +26,7 @@ from repro.matching.tuple_matching import (
     TupleMatch,
     generate_candidates,
 )
+from repro.relational.errors import EmptyAggregateError
 from repro.relational.executor import Database, scalar_result
 from repro.relational.provenance import ProvenanceRelation, provenance_relation
 from repro.relational.query import Query
@@ -241,9 +242,24 @@ def build_problem(
 
     result_left = result_right = None
     if compute_results:
+
+        def scalar(query, db, planner, pointer):
+            # An all-NULL aggregate input is not a planner failure: both the
+            # optimized and the naive path raise it identically, so degrading
+            # (or collapsing the results to None) would just hide a typed,
+            # user-actionable condition.  Tag it with the JSON pointer of the
+            # offending query and let it surface as a 400 envelope.
+            try:
+                return scalar_result(query, db, planner=planner)
+            except EmptyAggregateError as exc:
+                exc.path = exc.path or pointer
+                raise
+
         try:
-            result_left = scalar_result(query_left, db_left, planner="optimized")
-            result_right = scalar_result(query_right, db_right, planner="optimized")
+            result_left = scalar(query_left, db_left, "optimized", "/query_left")
+            result_right = scalar(query_right, db_right, "optimized", "/query_right")
+        except EmptyAggregateError:
+            raise
         except Exception:
             # A planner failure must not erase the results (the problem may be
             # cached and served to later requests): degrade to the naive
@@ -251,8 +267,10 @@ def build_problem(
             # non-aggregate with no scalar result, and the disagreement is
             # judged on provenance rather than a single number.
             try:
-                result_left = scalar_result(query_left, db_left, planner="naive")
-                result_right = scalar_result(query_right, db_right, planner="naive")
+                result_left = scalar(query_left, db_left, "naive", "/query_left")
+                result_right = scalar(query_right, db_right, "naive", "/query_right")
+            except EmptyAggregateError:
+                raise
             except Exception:
                 result_left = result_right = None
 

@@ -23,7 +23,9 @@ fuzz-equivalence step assert continuously.  Entry points::
 """
 
 from repro.plan.optimizer import RewriteLog, infer_schema, optimize
+from repro.plan.columnar import ColumnBatch, chunk_batches, predicate_mask
 from repro.plan.physical import (
+    BATCH_SIZE,
     AggregateExec,
     AntiJoinExec,
     DistinctExec,
@@ -51,6 +53,10 @@ __all__ = [
     "optimize",
     "infer_schema",
     "RewriteLog",
+    "BATCH_SIZE",
+    "ColumnBatch",
+    "chunk_batches",
+    "predicate_mask",
     "PhysicalOperator",
     "ScanExec",
     "FilterExec",

@@ -1,0 +1,409 @@
+"""Columnar batches and vectorized predicate evaluation for the executor.
+
+A :class:`ColumnBatch` is the unit of data flow between physical operators:
+one plain Python list per attribute plus a parallel per-row lineage list.
+Values stay ordinary Python objects end to end -- ``Row`` tuples (and hence
+relation fingerprints, which hash ``repr`` of the values) are materialized
+only at plan boundaries, and NumPy enters purely as a *mask* substrate:
+predicate evaluation lowers to int64/float64 comparisons where the column's
+declared type and contents make that exact, and falls back to the scalar
+semantics of :func:`repro.relational.expressions._compare` everywhere else.
+
+Exactness rules the fast paths obey:
+
+* NULL is tracked in a separate boolean mask, so a FLOAT column holding a
+  *data* NaN is distinguishable from NULL, and every comparison involving
+  NULL is false -- exactly the interpreter's three-valued collapse.
+* int64 columns compare against float constants only when every value is
+  within 2**53 (exact in float64); huge integers take the scalar path, which
+  uses Python's exact mixed-type comparison.
+* ``And``/``Or`` evaluate children only over still-undecided rows, so a
+  type-mismatched conjunct that the row-at-a-time path would have
+  short-circuited past can never raise here either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.relational.errors import ExecutionError
+from repro.relational.expressions import (
+    And,
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    Or,
+    TruePredicate,
+    _OPERATORS,
+)
+from repro.relational.relation import Row
+from repro.relational.schema import DataType, Schema
+
+# Largest magnitude exactly representable in float64: int values beyond this
+# must not be silently cast for a comparison against a float constant.
+_F64_EXACT_INT = 2 ** 53
+
+_UNSET = object()
+
+
+class ColumnBatch:
+    """A batch of rows stored column-wise, with per-row lineage.
+
+    ``columns`` holds one Python list per attribute (all the same length);
+    ``lineage`` holds one frozenset per row.  Batches are immutable by
+    convention -- operators build new column lists instead of mutating, which
+    lets scans hand out zero-copy views of a relation's cached columns.
+    """
+
+    __slots__ = ("columns", "lineage", "_numeric")
+
+    def __init__(self, columns: list[list], lineage: list):
+        self.columns = columns
+        self.lineage = lineage
+        self._numeric: dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self.lineage)
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    # -- construction / materialization -------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row], width: int) -> "ColumnBatch":
+        if rows:
+            columns = [list(column) for column in zip(*(row.values for row in rows))]
+        else:
+            columns = [[] for _ in range(width)]
+        return cls(columns, [row.lineage for row in rows])
+
+    @classmethod
+    def empty(cls, width: int) -> "ColumnBatch":
+        return cls([[] for _ in range(width)], [])
+
+    @classmethod
+    def concat(cls, batches: Sequence["ColumnBatch"], width: int) -> "ColumnBatch":
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty(width)
+        if len(batches) == 1:
+            return batches[0]
+        columns: list[list] = [[] for _ in range(width)]
+        lineage: list = []
+        for batch in batches:
+            for column, part in zip(columns, batch.columns):
+                column.extend(part)
+            lineage.extend(batch.lineage)
+        return cls(columns, lineage)
+
+    def to_rows(self) -> list[Row]:
+        """Late materialization: the fingerprint-boundary handoff."""
+        if not self.columns:
+            return [Row((), lineage) for lineage in self.lineage]
+        return [
+            Row(values, lineage)
+            for values, lineage in zip(zip(*self.columns), self.lineage)
+        ]
+
+    def value_tuples(self) -> list[tuple]:
+        """The row value tuples (no Row allocation; lineage left aside)."""
+        if not self.columns:
+            return [()] * len(self)
+        return list(zip(*self.columns))
+
+    # -- row-set surgery -----------------------------------------------------------
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        lineage = self.lineage
+        return ColumnBatch(
+            [[column[i] for i in indices] for column in self.columns],
+            [lineage[i] for i in indices],
+        )
+
+    def compress(self, mask) -> "ColumnBatch":
+        """Rows where ``mask`` is true (a NumPy bool array of batch length)."""
+        indices = np.flatnonzero(mask)
+        if len(indices) == len(self.lineage):
+            return self
+        return self.take(indices.tolist())
+
+    def select(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Column projection: O(width) list-reference shuffle, zero copy."""
+        return ColumnBatch([self.columns[i] for i in indices], self.lineage)
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        return ColumnBatch(
+            [column[start:stop] for column in self.columns],
+            self.lineage[start:stop],
+        )
+
+    # -- numeric views -------------------------------------------------------------
+    def numeric(self, index: int, dtype: DataType):
+        """``(values, notnull, float_safe)`` NumPy view of a column, or ``None``.
+
+        The view is exact by construction: it is only produced when every
+        non-NULL value is a genuine int (INTEGER) or float (FLOAT), so no
+        silent truncation can change a comparison's outcome.  Cached per
+        batch -- several predicates over one column build the arrays once.
+        """
+        cached = self._numeric.get(index, _UNSET)
+        if cached is not _UNSET:
+            return cached
+        view = _numeric_view(self.columns[index], dtype)
+        self._numeric[index] = view
+        return view
+
+
+def _numeric_view(column: list, dtype: DataType):
+    count = len(column)
+    if dtype is DataType.INTEGER:
+        if not all(value is None or type(value) is int for value in column):
+            return None
+        try:
+            values = np.fromiter(
+                (0 if value is None else value for value in column),
+                dtype=np.int64,
+                count=count,
+            )
+        except (TypeError, ValueError, OverflowError):
+            return None
+        float_safe = bool(np.all(np.abs(values) <= _F64_EXACT_INT)) if count else True
+    elif dtype is DataType.FLOAT:
+        if not all(value is None or type(value) is float for value in column):
+            return None
+        values = np.fromiter(
+            (np.nan if value is None else value for value in column),
+            dtype=np.float64,
+            count=count,
+        )
+        float_safe = True
+    else:
+        return None
+    notnull = np.fromiter(
+        (value is not None for value in column), dtype=bool, count=count
+    )
+    return values, notnull, float_safe
+
+
+def chunk_batches(batch: ColumnBatch, size: int) -> Iterator[ColumnBatch]:
+    """Split a batch into chunks of at most ``size`` rows (empty -> nothing)."""
+    count = len(batch)
+    if count == 0:
+        return
+    if count <= size:
+        yield batch
+        return
+    for start in range(0, count, size):
+        yield batch.slice(start, start + size)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized predicate evaluation
+# ---------------------------------------------------------------------------
+
+def predicate_mask(predicate, batch: ColumnBatch, schema: Schema, active=None):
+    """Boolean row mask of ``predicate`` over ``batch``.
+
+    Mirrors :meth:`Predicate.__call__` over a row dict bit for bit, including
+    NULL handling, ``And``/``Or`` short-circuiting (children are evaluated
+    only over rows the previous children left undecided, so they can never
+    raise where the row-at-a-time path would not), and :class:`ExecutionError`
+    on type-mismatched comparisons.  Unknown predicate types fall back to the
+    per-row dict evaluation, restricted to the active rows.
+    """
+    if active is None:
+        active = np.ones(len(batch), dtype=bool)
+    return _mask(predicate, batch, schema, active)
+
+
+def _mask(predicate, batch: ColumnBatch, schema: Schema, active):
+    if isinstance(predicate, TruePredicate):
+        return active.copy()
+    if isinstance(predicate, And):
+        current = active
+        for child in predicate.children:
+            if not current.any():
+                break
+            current = _mask(child, batch, schema, current)
+        return current
+    if isinstance(predicate, Or):
+        accepted = np.zeros(len(batch), dtype=bool)
+        remaining = active.copy()
+        for child in predicate.children:
+            if not remaining.any():
+                break
+            child_mask = _mask(child, batch, schema, remaining)
+            accepted |= child_mask
+            remaining &= ~child_mask
+        return accepted
+    if isinstance(predicate, Not):
+        return active & ~_mask(predicate.child, batch, schema, active)
+    if isinstance(predicate, Comparison):
+        return _compare_const(
+            batch, schema, predicate.attribute, predicate.op, predicate.value, active
+        )
+    if isinstance(predicate, AttributeComparison):
+        return _compare_columns(
+            batch, schema, predicate.left, predicate.op, predicate.right, active
+        )
+    if isinstance(predicate, Membership):
+        return _membership(batch, schema, predicate, active)
+    if isinstance(predicate, Contains):
+        return _contains(batch, schema, predicate, active)
+    if isinstance(predicate, IsNull):
+        return _is_null(batch, schema, predicate, active)
+    return _fallback(batch, schema, predicate, active)
+
+
+def _column_index(schema: Schema, name: str) -> int | None:
+    """Attribute position, or None -- a missing name reads as NULL, exactly
+    like ``record.get`` does on the row-at-a-time path."""
+    return schema.index(name) if name in schema else None
+
+
+def _operator(op: str):
+    func = _OPERATORS.get(op)
+    if func is None:
+        raise ExecutionError(f"unsupported comparison operator {op!r}")
+    return func
+
+
+def _compare_const(batch, schema, name, op, value, active):
+    func = _operator(op)
+    count = len(batch)
+    index = _column_index(schema, name)
+    if index is None or value is None:
+        return np.zeros(count, dtype=bool)
+    vectors = (
+        batch.numeric(index, schema.attributes[index].dtype)
+        if not isinstance(value, bool) and isinstance(value, (int, float))
+        else None
+    )
+    if vectors is not None:
+        values, notnull, float_safe = vectors
+        operand = None
+        if values.dtype == np.int64:
+            if type(value) is int and -(2 ** 63) <= value < 2 ** 63:
+                operand = (values, np.int64(value))
+            elif type(value) is float and float_safe:
+                operand = (values.astype(np.float64), np.float64(value))
+        else:  # float64
+            if type(value) is float or abs(value) <= _F64_EXACT_INT:
+                operand = (values, np.float64(value))
+        if operand is not None:
+            left, right = operand
+            with np.errstate(invalid="ignore"):
+                result = func(left, right)
+            return active & notnull & result
+    column = batch.columns[index]
+    out = np.zeros(count, dtype=bool)
+    for i in np.flatnonzero(active):
+        left = column[i]
+        if left is None:
+            continue
+        try:
+            out[i] = bool(func(left, value))
+        except TypeError as exc:
+            raise ExecutionError(f"cannot compare {left!r} {op} {value!r}") from exc
+    return out
+
+
+def _compare_columns(batch, schema, left_name, op, right_name, active):
+    func = _operator(op)
+    count = len(batch)
+    left_index = _column_index(schema, left_name)
+    right_index = _column_index(schema, right_name)
+    if left_index is None or right_index is None:
+        return np.zeros(count, dtype=bool)
+    left_vec = batch.numeric(left_index, schema.attributes[left_index].dtype)
+    right_vec = batch.numeric(right_index, schema.attributes[right_index].dtype)
+    if left_vec is not None and right_vec is not None:
+        left_values, left_notnull, left_safe = left_vec
+        right_values, right_notnull, right_safe = right_vec
+        operands = None
+        if left_values.dtype == right_values.dtype:
+            operands = (left_values, right_values)
+        elif left_values.dtype == np.int64 and left_safe:
+            operands = (left_values.astype(np.float64), right_values)
+        elif right_values.dtype == np.int64 and right_safe:
+            operands = (left_values, right_values.astype(np.float64))
+        if operands is not None:
+            with np.errstate(invalid="ignore"):
+                result = func(operands[0], operands[1])
+            return active & left_notnull & right_notnull & result
+    left_column = batch.columns[left_index]
+    right_column = batch.columns[right_index]
+    out = np.zeros(count, dtype=bool)
+    for i in np.flatnonzero(active):
+        left, right = left_column[i], right_column[i]
+        if left is None or right is None:
+            continue
+        try:
+            out[i] = bool(func(left, right))
+        except TypeError as exc:
+            raise ExecutionError(f"cannot compare {left!r} {op} {right!r}") from exc
+    return out
+
+
+def _membership(batch, schema, predicate: Membership, active):
+    count = len(batch)
+    index = _column_index(schema, predicate.attribute)
+    if index is None:
+        return np.zeros(count, dtype=bool)
+    column = batch.columns[index]
+    values = predicate.values
+    out = np.zeros(count, dtype=bool)
+    for i in np.flatnonzero(active):
+        value = column[i]
+        out[i] = value is not None and value in values
+    return out
+
+
+def _contains(batch, schema, predicate: Contains, active):
+    count = len(batch)
+    index = _column_index(schema, predicate.attribute)
+    if index is None:
+        return np.zeros(count, dtype=bool)
+    column = batch.columns[index]
+    needle = predicate.needle
+    if not predicate.case_sensitive:
+        needle = needle.lower()
+    out = np.zeros(count, dtype=bool)
+    for i in np.flatnonzero(active):
+        value = column[i]
+        if value is None:
+            continue
+        haystack = str(value)
+        if not predicate.case_sensitive:
+            haystack = haystack.lower()
+        out[i] = needle in haystack
+    return out
+
+
+def _is_null(batch, schema, predicate: IsNull, active):
+    count = len(batch)
+    index = _column_index(schema, predicate.attribute)
+    if index is None:
+        # record.get(missing) is None: IS NULL holds everywhere.
+        return np.zeros(count, dtype=bool) if predicate.negate else active.copy()
+    column = batch.columns[index]
+    null_mask = np.fromiter(
+        (value is None for value in column), dtype=bool, count=count
+    )
+    return active & (~null_mask if predicate.negate else null_mask)
+
+
+def _fallback(batch, schema, predicate, active):
+    """Row-at-a-time evaluation of an unknown predicate type (active rows only)."""
+    names = schema.names
+    columns = batch.columns
+    out = np.zeros(len(batch), dtype=bool)
+    for i in np.flatnonzero(active):
+        record = {name: columns[j][i] for j, name in enumerate(names)}
+        out[i] = bool(predicate(record))
+    return out

@@ -1,14 +1,21 @@
-"""Physical operators: a batch iterator execution model with per-op stats.
+"""Physical operators: a columnar batch execution model with per-op stats.
 
-Each operator consumes batches (lists of :class:`~repro.relational.relation.Row`)
-from its children and yields batches of its own.  The contract mirrors the
-naive tree-walking interpreter exactly -- same rows, same order, same per-row
+Each operator consumes :class:`~repro.plan.columnar.ColumnBatch` objects
+(per-attribute value vectors plus a per-row lineage index) from its children
+and yields batches of its own.  Row tuples are materialized *late* -- only at
+the plan boundary (:meth:`PhysicalOperator.rows`) where results become
+relations and fingerprints are taken.  The contract mirrors the naive
+tree-walking interpreter exactly -- same rows, same order, same per-row
 lineage sets -- so planned execution is fingerprint-interchangeable with it.
 
 Operators are stateless across executions: all run state (per-operator row
-counts and timings, memoized results of shared subplans) lives in an
-:class:`ExecutionContext` created per :meth:`PhysicalPlan.execute` call, which
-keeps cached plans safely shareable between service threads.
+counts and timings, memoized results of shared subplans, the batch size)
+lives in an :class:`ExecutionContext` created per :meth:`PhysicalPlan.execute`
+call, which keeps cached plans safely shareable between service threads.
+The batch size is a context knob (``ExecutionContext(batch_size=...)``,
+overridable via the ``REPRO_BATCH_SIZE`` environment variable) rather than a
+hard-wired constant; chunking can change per-operator batch *counts* but
+never rows, order or lineage.
 
 NULL semantics in :class:`HashJoinExec` deserve a note.  The naive executor
 matches its first ``on`` pair through dictionary lookups, under which
@@ -21,30 +28,52 @@ exactly the null-rejecting comparison the interpreter applies.
 
 from __future__ import annotations
 
+import os
 import time
-from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
+import numpy as np
+
+from repro.plan.columnar import ColumnBatch, chunk_batches, predicate_mask
 from repro.relational.errors import ExecutionError, SchemaError
 from repro.relational.expressions import Predicate
 from repro.relational.query import Aggregate
-from repro.relational.relation import Relation, Row
+from repro.relational.relation import Row
 from repro.relational.schema import Schema
 
+# Default rows per batch; per-run override via ExecutionContext(batch_size=...)
+# or the REPRO_BATCH_SIZE environment variable.
 BATCH_SIZE = 1024
 
-Batch = list[Row]
+# The unit of data flow between operators.
+Batch = ColumnBatch
 
 
-@dataclass
+def _default_batch_size() -> int:
+    raw = os.environ.get("REPRO_BATCH_SIZE", "")
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return BATCH_SIZE
+
+
 class OperatorStats:
-    """Per-operator run counters (one set per execution context)."""
+    """Per-operator run counters (one set per execution context).
 
-    rows: int = 0
-    batches: int = 0
-    seconds: float = 0.0
-    reused: bool = False
+    ``rows`` counts *rows*, never batches -- chunking and shared-subplan
+    replay must not change it -- and a memoized replay marks ``reused``
+    without re-counting the producer's work.
+    """
+
+    __slots__ = ("rows", "batches", "seconds", "reused")
+
+    def __init__(self):
+        self.rows = 0
+        self.batches = 0
+        self.seconds = 0.0
+        self.reused = False
 
     def as_dict(self) -> dict:
         payload = {
@@ -58,11 +87,15 @@ class OperatorStats:
 
 
 class ExecutionContext:
-    """Run state of one plan execution: stats per operator, shared-result memo."""
+    """Run state of one plan execution: stats per operator, shared-result
+    memo, and the batch size for this run."""
 
-    def __init__(self):
+    def __init__(self, batch_size: int | None = None):
+        self.batch_size = (
+            max(1, int(batch_size)) if batch_size is not None else _default_batch_size()
+        )
         self.stats: dict[int, OperatorStats] = {}
-        self.memo: dict[int, list[Row]] = {}
+        self.memo: dict[int, ColumnBatch] = {}
 
     def stats_for(self, op: "PhysicalOperator") -> OperatorStats:
         if op.op_id not in self.stats:
@@ -92,16 +125,16 @@ class PhysicalOperator:
         """A one-line operator description for EXPLAIN output."""
         return ""
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         raise NotImplementedError
 
-    def run(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def run(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         stats = ctx.stats_for(self)
         if self.shared and self.op_id in ctx.memo:
             stats.reused = True
             yield ctx.memo[self.op_id]
             return
-        collected: list[Row] | None = [] if self.shared else None
+        collected: list[ColumnBatch] | None = [] if self.shared else None
         iterator = self.batches(ctx)
         while True:
             started = time.perf_counter()
@@ -114,16 +147,24 @@ class PhysicalOperator:
             stats.rows += len(batch)
             stats.batches += 1
             if collected is not None:
-                collected.extend(batch)
+                collected.append(batch)
             yield batch
         if collected is not None:
-            ctx.memo[self.op_id] = collected
+            ctx.memo[self.op_id] = ColumnBatch.concat(collected, len(self.schema))
+
+    def collect(self, ctx: ExecutionContext) -> ColumnBatch:
+        """Fully materialize this operator's output as one columnar batch."""
+        return ColumnBatch.concat(list(self.run(ctx)), len(self.schema))
 
     def rows(self, ctx: ExecutionContext) -> list[Row]:
-        """Fully materialize this operator's output."""
+        """Fully materialize this operator's output as row tuples.
+
+        This is the fingerprint boundary: the only place the columnar
+        pipeline builds :class:`Row` objects.
+        """
         out: list[Row] = []
         for batch in self.run(ctx):
-            out.extend(batch)
+            out.extend(batch.to_rows())
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -131,13 +172,65 @@ class PhysicalOperator:
         return f"{self.name}({extra})" if extra else self.name
 
 
-def _rebatch(rows: Sequence[Row]) -> Iterator[Batch]:
-    for start in range(0, len(rows), BATCH_SIZE):
-        yield list(rows[start : start + BATCH_SIZE])
+def _batch_from_tuples(
+    tuples: Sequence[tuple], lineage: list, width: int
+) -> ColumnBatch:
+    if tuples:
+        columns = [list(column) for column in zip(*tuples)]
+    else:
+        columns = [[] for _ in range(width)]
+    return ColumnBatch(columns, list(lineage))
+
+
+# Strict-NULL key sentinel: a row whose strict component is NULL can never
+# match.  A dedicated object (not None) -- a *plain* key component may itself
+# legitimately be None, since plain equality lets NULL = NULL hold.
+_NO_MATCH = object()
+
+
+def _join_keys(batch: ColumnBatch, plain: Sequence[int], strict: Sequence[int]):
+    """Per-row composite join keys; ``_NO_MATCH`` marks a strict-NULL row.
+
+    With a single plain component and no strict ones, the raw value *is* the
+    key -- dict equality over raw values and over 1-tuples is identical, and
+    skipping the tuple allocation matters on the probe hot path.
+    """
+    plains = [batch.columns[i] for i in plain]
+    stricts = [batch.columns[i] for i in strict]
+    if not stricts:
+        if len(plains) == 1:
+            return plains[0]
+        if not plains:
+            return [()] * len(batch)
+        return list(zip(*plains))
+    keys: list = []
+    for row in range(len(batch)):
+        strict_values = tuple(column[row] for column in stricts)
+        if any(value is None for value in strict_values):
+            keys.append(_NO_MATCH)
+            continue
+        keys.append(tuple(column[row] for column in plains) + strict_values)
+    return keys
+
+
+def _gather_join(
+    left: ColumnBatch, right: ColumnBatch, li: Sequence[int], ri: Sequence[int]
+) -> ColumnBatch:
+    """Assemble joined output columns from matched (left, right) index lists."""
+    columns = [[column[i] for i in li] for column in left.columns]
+    columns += [[column[j] for j in ri] for column in right.columns]
+    left_lineage, right_lineage = left.lineage, right.lineage
+    lineage = [left_lineage[i] | right_lineage[j] for i, j in zip(li, ri)]
+    return ColumnBatch(columns, lineage)
 
 
 class ScanExec(PhysicalOperator):
-    """Emit a base relation's rows, assigning singleton lineage when missing."""
+    """Emit a base relation's rows, assigning singleton lineage when missing.
+
+    Uses the relation's cached column vectors
+    (:meth:`~repro.relational.relation.Relation.column_data`): a relation
+    that fits one batch is handed out as a zero-copy columnar view.
+    """
 
     name = "ScanExec"
 
@@ -149,21 +242,14 @@ class ScanExec(PhysicalOperator):
     def detail(self) -> str:
         return self.relation_name
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         base = self.db.relation(self.relation_name)
-        batch: Batch = []
-        for index, row in enumerate(base):
-            lineage = row.lineage or frozenset({f"{self.relation_name}:{index}"})
-            batch.append(Row(row.values, lineage))
-            if len(batch) >= BATCH_SIZE:
-                yield batch
-                batch = []
-        if batch:
-            yield batch
+        columns, lineage = base.column_data()
+        yield from chunk_batches(ColumnBatch(columns, lineage), ctx.batch_size)
 
 
 class FilterExec(PhysicalOperator):
-    """Streaming selection: rows of the child satisfying the predicate."""
+    """Streaming selection: the predicate evaluates as a vectorized mask."""
 
     name = "FilterExec"
 
@@ -174,17 +260,18 @@ class FilterExec(PhysicalOperator):
     def detail(self) -> str:
         return repr(self.predicate)
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        names = self.schema.names
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         predicate = self.predicate
+        schema = self.schema
         for batch in self.children[0].run(ctx):
-            kept = [row for row in batch if predicate(dict(zip(names, row.values)))]
-            if kept:
+            kept = batch.compress(predicate_mask(predicate, batch, schema))
+            if len(kept):
                 yield kept
 
 
 class ProjectExec(PhysicalOperator):
-    """Streaming projection (bag semantics; lineage preserved)."""
+    """Streaming projection (bag semantics; lineage preserved): an O(width)
+    column-reference shuffle, no per-row work at all."""
 
     name = "ProjectExec"
 
@@ -196,12 +283,10 @@ class ProjectExec(PhysicalOperator):
     def detail(self) -> str:
         return ", ".join(self.attributes)
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         indices = self._indices
         for batch in self.children[0].run(ctx):
-            yield [
-                Row(tuple(row.values[i] for i in indices), row.lineage) for row in batch
-            ]
+            yield batch.select(indices)
 
 
 class DistinctExec(PhysicalOperator):
@@ -212,17 +297,22 @@ class DistinctExec(PhysicalOperator):
     def __init__(self, child: PhysicalOperator):
         super().__init__(child.schema, (child,))
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        seen: dict[tuple, frozenset] = {}
-        order: list[tuple] = []
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        seen: dict[tuple, int] = {}
+        tuples: list[tuple] = []
+        lineage: list = []
         for batch in self.children[0].run(ctx):
-            for row in batch:
-                if row.values in seen:
-                    seen[row.values] = seen[row.values] | row.lineage
+            for values, row_lineage in zip(batch.value_tuples(), batch.lineage):
+                slot = seen.get(values)
+                if slot is None:
+                    seen[values] = len(tuples)
+                    tuples.append(values)
+                    lineage.append(row_lineage)
                 else:
-                    seen[row.values] = row.lineage
-                    order.append(row.values)
-        yield from _rebatch([Row(values, seen[values]) for values in order])
+                    lineage[slot] = lineage[slot] | row_lineage
+        yield from chunk_batches(
+            _batch_from_tuples(tuples, lineage, len(self.schema)), ctx.batch_size
+        )
 
 
 class HashJoinExec(PhysicalOperator):
@@ -234,6 +324,8 @@ class HashJoinExec(PhysicalOperator):
     built, matches are collected as index pairs and sorted back into the
     probe-from-left order the interpreter produces, so output order (and
     hence the result fingerprint) never depends on the build-side choice.
+    Both sides are keyed and probed directly on their column vectors; output
+    columns are gathered from the matched index lists.
     """
 
     name = "HashJoinExec"
@@ -268,64 +360,50 @@ class HashJoinExec(PhysicalOperator):
             text += f" condition={self.condition!r}"
         return text
 
-    def _key(self, row: Row, plain: list[int], strict: list[int]):
-        """The composite key, or None when a strict component is NULL."""
-        strict_values = tuple(row.values[i] for i in strict)
-        if any(value is None for value in strict_values):
-            return None
-        return tuple(row.values[i] for i in plain) + strict_values
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        left = self.children[0].collect(ctx)
+        right = self.children[1].collect(ctx)
+        left_keys = _join_keys(left, self._left_plain, self._left_strict)
+        right_keys = _join_keys(right, self._right_plain, self._right_strict)
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        names = self.schema.names
-        condition = self.condition
-        left_rows = self.children[0].rows(ctx)
-        right_op = self.children[1]
-
-        def emit(pairs: Iterator[tuple[Row, Row]]) -> Iterator[Batch]:
-            batch: Batch = []
-            for lrow, rrow in pairs:
-                combined = lrow.values + rrow.values
-                if condition is not None and not condition(dict(zip(names, combined))):
-                    continue
-                batch.append(Row(combined, lrow.lineage | rrow.lineage))
-                if len(batch) >= BATCH_SIZE:
-                    yield batch
-                    batch = []
-            if batch:
-                yield batch
-
+        li: list[int] = []
+        ri: list[int] = []
         if not self.build_left:
-            buckets: dict[tuple, list[Row]] = defaultdict(list)
-            for rrow in right_op.rows(ctx):
-                key = self._key(rrow, self._right_plain, self._right_strict)
-                if key is not None:
-                    buckets[key].append(rrow)
+            buckets: dict = {}
+            for j, key in enumerate(right_keys):
+                if key is not _NO_MATCH:
+                    buckets.setdefault(key, []).append(j)
+            for i, key in enumerate(left_keys):
+                if key is _NO_MATCH:
+                    continue
+                matched = buckets.get(key)
+                if matched:
+                    for j in matched:
+                        li.append(i)
+                        ri.append(j)
+        else:
+            buckets = {}
+            for i, key in enumerate(left_keys):
+                if key is not _NO_MATCH:
+                    buckets.setdefault(key, []).append(i)
+            pairs: list[tuple[int, int]] = []
+            for j, key in enumerate(right_keys):
+                if key is _NO_MATCH:
+                    continue
+                matched = buckets.get(key)
+                if matched:
+                    for i in matched:
+                        pairs.append((i, j))
+            pairs.sort()
+            li = [pair[0] for pair in pairs]
+            ri = [pair[1] for pair in pairs]
 
-            def probe_left() -> Iterator[tuple[Row, Row]]:
-                for lrow in left_rows:
-                    key = self._key(lrow, self._left_plain, self._left_strict)
-                    if key is None:
-                        continue
-                    for rrow in buckets.get(key, ()):
-                        yield lrow, rrow
-
-            yield from emit(probe_left())
-            return
-
-        build: dict[tuple, list[tuple[int, Row]]] = defaultdict(list)
-        for index, lrow in enumerate(left_rows):
-            key = self._key(lrow, self._left_plain, self._left_strict)
-            if key is not None:
-                build[key].append((index, lrow))
-        matches: list[tuple[int, int, Row, Row]] = []
-        for right_index, rrow in enumerate(right_op.rows(ctx)):
-            key = self._key(rrow, self._right_plain, self._right_strict)
-            if key is None:
-                continue
-            for left_index, lrow in build.get(key, ()):
-                matches.append((left_index, right_index, lrow, rrow))
-        matches.sort(key=lambda item: (item[0], item[1]))
-        yield from emit((lrow, rrow) for _, _, lrow, rrow in matches)
+        joined = _gather_join(left, right, li, ri)
+        if self.condition is not None:
+            joined = joined.compress(
+                predicate_mask(self.condition, joined, self.schema)
+            )
+        yield from chunk_batches(joined, ctx.batch_size)
 
 
 class NestedLoopJoinExec(PhysicalOperator):
@@ -336,10 +414,15 @@ class NestedLoopJoinExec(PhysicalOperator):
     ``plain_pairs`` match with the interpreter's dictionary semantics
     (identity-or-equality, so ``NULL = NULL`` holds); ``strict_pairs`` are
     null-rejecting.  Probe order is left-outer / right-inner, which is
-    exactly the interpreter's hash-probe output order.
+    exactly the interpreter's hash-probe output order.  The key-less theta
+    join builds bounded cross-product slabs and evaluates the condition as
+    one vectorized mask per slab.
     """
 
     name = "NestedLoopJoinExec"
+
+    # Target cross-product pairs per slab of the key-less path.
+    _CROSS_SLAB = 1 << 16
 
     def __init__(
         self,
@@ -372,41 +455,66 @@ class NestedLoopJoinExec(PhysicalOperator):
             return text
         return f"condition={self.condition!r}" if self.condition is not None else "cross"
 
-    def _matches(self, lrow: Row, rrow: Row) -> bool:
-        for li, ri in self._plain:
-            lval, rval = lrow.values[li], rrow.values[ri]
-            # Identity-or-equality is exactly how the interpreter's dict
-            # lookup compares bucket keys.
-            if lval is not rval and lval != rval:
-                return False
-        for li, ri in self._strict:
-            lval, rval = lrow.values[li], rrow.values[ri]
-            if lval is None or rval is None or lval != rval:
-                return False
-        return True
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        left = self.children[0].collect(ctx)
+        right = self.children[1].collect(ctx)
+        left_count, right_count = len(left), len(right)
+        if left_count == 0 or right_count == 0:
+            return
+        if self._plain or self._strict:
+            yield from self._keyed(left, right, ctx)
+            return
+        # Key-less: bounded cross-product slabs, vectorized condition.
+        slab = max(1, self._CROSS_SLAB // right_count)
+        right_indices = list(range(right_count))
+        for start in range(0, left_count, slab):
+            stop = min(start + slab, left_count)
+            li = [i for i in range(start, stop) for _ in range(right_count)]
+            ri = right_indices * (stop - start)
+            joined = _gather_join(left, right, li, ri)
+            if self.condition is not None:
+                joined = joined.compress(
+                    predicate_mask(self.condition, joined, self.schema)
+                )
+            yield from chunk_batches(joined, ctx.batch_size)
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        names = self.schema.names
-        condition = self.condition
-        keyed = bool(self._plain or self._strict)
-        right_rows = self.children[1].rows(ctx)
-        batch: Batch = []
-        for lbatch in self.children[0].run(ctx):
-            for lrow in lbatch:
-                for rrow in right_rows:
-                    if keyed and not self._matches(lrow, rrow):
-                        continue
-                    combined = lrow.values + rrow.values
-                    if condition is not None and not condition(
-                        dict(zip(names, combined))
-                    ):
-                        continue
-                    batch.append(Row(combined, lrow.lineage | rrow.lineage))
-                    if len(batch) >= BATCH_SIZE:
-                        yield batch
-                        batch = []
-        if batch:
-            yield batch
+    def _keyed(
+        self, left: ColumnBatch, right: ColumnBatch, ctx: ExecutionContext
+    ) -> Iterator[ColumnBatch]:
+        plain_columns = [
+            (left.columns[li], right.columns[ri]) for li, ri in self._plain
+        ]
+        strict_columns = [
+            (left.columns[li], right.columns[ri]) for li, ri in self._strict
+        ]
+        li_out: list[int] = []
+        ri_out: list[int] = []
+        for i in range(len(left)):
+            for j in range(len(right)):
+                matched = True
+                for left_column, right_column in plain_columns:
+                    lval, rval = left_column[i], right_column[j]
+                    # Identity-or-equality is exactly how the interpreter's
+                    # dict lookup compares bucket keys.
+                    if lval is not rval and lval != rval:
+                        matched = False
+                        break
+                if not matched:
+                    continue
+                for left_column, right_column in strict_columns:
+                    lval, rval = left_column[i], right_column[j]
+                    if lval is None or rval is None or lval != rval:
+                        matched = False
+                        break
+                if matched:
+                    li_out.append(i)
+                    ri_out.append(j)
+        joined = _gather_join(left, right, li_out, ri_out)
+        if self.condition is not None:
+            joined = joined.compress(
+                predicate_mask(self.condition, joined, self.schema)
+            )
+        yield from chunk_batches(joined, ctx.batch_size)
 
 
 class MultiJoinExec(PhysicalOperator):
@@ -418,12 +526,12 @@ class MultiJoinExec(PhysicalOperator):
     (input ordinal, column position).  ``order`` is the execution order the
     cost model picked; intermediate "partial tuples" are just per-input row
     positions, hash-joined step by step (building on whichever side is
-    smaller at run time).
+    smaller at run time) against the inputs' column vectors.
 
     Because the interpreter's output of any tree of keyed joins is ordered
     lexicographically by the leaf row positions (probe-from-left, bucket
     lists in build order), sorting the final position tuples in original
-    input order and concatenating values input by input reproduces the naive
+    input order and gathering values input by input reproduces the naive
     result exactly -- rows, order and lineage -- no matter which execution
     order ran.  ``plain`` constraints match via dictionary semantics
     (``NULL = NULL`` holds, as for the interpreter's first ``on`` pair);
@@ -477,20 +585,21 @@ class MultiJoinExec(PhysicalOperator):
             text += f" keys=[{', '.join(self.key_labels)}]"
         return text
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        rows_per_input = [child.rows(ctx) for child in self.children]
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        inputs = [child.collect(ctx) for child in self.children]
+        columns_per_input = [batch.columns for batch in inputs]
+        lineage_per_input = [batch.lineage for batch in inputs]
+        counts = [len(batch) for batch in inputs]
         order = self.order
         # Partial tuples hold one row position per joined input, aligned with
         # the order in which inputs were joined; ``slot_of`` maps an input
         # ordinal to its slot in the partial tuples.
         slot_of: dict[int, int] = {order[0]: 0}
-        partials: list[tuple[int, ...]] = [
-            (pos,) for pos in range(len(rows_per_input[order[0]]))
-        ]
+        partials: list[tuple[int, ...]] = [(pos,) for pos in range(counts[order[0]])]
         for next_input in order[1:]:
             if partials:
                 partials = self._join_step(
-                    partials, slot_of, next_input, rows_per_input
+                    partials, slot_of, next_input, columns_per_input, counts
                 )
             slot_of[next_input] = len(slot_of)
 
@@ -500,32 +609,30 @@ class MultiJoinExec(PhysicalOperator):
             tuple(partial[slots[index]] for index in range(count))
             for partial in partials
         )
-        layout = self.output_layout
-        batch: Batch = []
+        out_columns = [
+            [columns_per_input[ordinal][column][position_tuple[ordinal]]
+             for position_tuple in positions]
+            for ordinal, column in self.output_layout
+        ]
+        out_lineage: list = []
         for position_tuple in positions:
-            values = tuple(
-                rows_per_input[ordinal][position_tuple[ordinal]].values[column]
-                for ordinal, column in layout
-            )
             lineage: frozenset = frozenset()
             for index, pos in enumerate(position_tuple):
-                lineage |= rows_per_input[index][pos].lineage
-            batch.append(Row(values, lineage))
-            if len(batch) >= BATCH_SIZE:
-                yield batch
-                batch = []
-        if batch:
-            yield batch
+                lineage |= lineage_per_input[index][pos]
+            out_lineage.append(lineage)
+        yield from chunk_batches(
+            ColumnBatch(out_columns, out_lineage), ctx.batch_size
+        )
 
     def _join_step(
         self,
         partials: list[tuple[int, ...]],
         slot_of: dict[int, int],
         next_input: int,
-        rows_per_input: list[list[Row]],
+        columns_per_input: list[list[list]],
+        counts: list[int],
     ) -> list[tuple[int, ...]]:
         """Join the accumulated partials with one more input."""
-        next_rows = rows_per_input[next_input]
         partial_components: list[tuple[int, int, bool]] = []  # (slot, col, strict)
         next_components: list[tuple[int, bool]] = []  # (col, strict)
         for constraint in self.constraints:
@@ -549,16 +656,19 @@ class MultiJoinExec(PhysicalOperator):
         def partial_key(partial: tuple[int, ...]):
             key = []
             for slot, col, strict in partial_components:
-                value = rows_per_input[input_of_slot[slot]][partial[slot]].values[col]
+                value = columns_per_input[input_of_slot[slot]][col][partial[slot]]
                 if strict and value is None:
                     return None
                 key.append(value)
             return tuple(key)
 
-        def next_key(row: Row):
+        next_columns = columns_per_input[next_input]
+        next_count = counts[next_input]
+
+        def next_key(pos: int):
             key = []
             for col, strict in next_components:
-                value = row.values[col]
+                value = next_columns[col][pos]
                 if strict and value is None:
                     return None
                 key.append(value)
@@ -569,27 +679,27 @@ class MultiJoinExec(PhysicalOperator):
             return [
                 partial + (pos,)
                 for partial in partials
-                for pos in range(len(next_rows))
+                for pos in range(next_count)
             ]
         out: list[tuple[int, ...]] = []
-        if len(partials) <= len(next_rows):
-            buckets: dict[tuple, list[tuple[int, ...]]] = defaultdict(list)
+        if len(partials) <= next_count:
+            buckets: dict[tuple, list[tuple[int, ...]]] = {}
             for partial in partials:
                 key = partial_key(partial)
                 if key is not None:
-                    buckets[key].append(partial)
-            for pos, row in enumerate(next_rows):
-                key = next_key(row)
+                    buckets.setdefault(key, []).append(partial)
+            for pos in range(next_count):
+                key = next_key(pos)
                 if key is None:
                     continue
                 for partial in buckets.get(key, ()):
                     out.append(partial + (pos,))
         else:
-            positions: dict[tuple, list[int]] = defaultdict(list)
-            for pos, row in enumerate(next_rows):
-                key = next_key(row)
+            positions: dict[tuple, list[int]] = {}
+            for pos in range(next_count):
+                key = next_key(pos)
                 if key is not None:
-                    positions[key].append(pos)
+                    positions.setdefault(key, []).append(pos)
             for partial in partials:
                 key = partial_key(partial)
                 if key is None:
@@ -616,7 +726,7 @@ class UnionExec(PhysicalOperator):
                 )
         super().__init__(first.schema, inputs)
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
         for child in self.children:
             yield from child.run(ctx)
 
@@ -637,27 +747,38 @@ class AntiJoinExec(PhysicalOperator):
     def detail(self) -> str:
         return f"on=[{', '.join(self.on)}]"
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        right_keys = {
-            tuple(row.values[i] for i in self._right_indices)
-            for row in self.children[1].rows(ctx)
-        }
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        right = self.children[1].collect(ctx)
+        if self._right_indices:
+            right_keys = set(
+                zip(*(right.columns[i] for i in self._right_indices))
+            )
+        else:
+            right_keys = {()} if len(right) else set()
         left_indices = self._left_indices
         for batch in self.children[0].run(ctx):
-            kept = [
-                row
-                for row in batch
-                if tuple(row.values[i] for i in left_indices) not in right_keys
-            ]
-            if kept:
+            if left_indices:
+                keys = zip(*(batch.columns[i] for i in left_indices))
+            else:
+                keys = iter([()] * len(batch))
+            mask = np.fromiter(
+                (key not in right_keys for key in keys),
+                dtype=bool,
+                count=len(batch),
+            )
+            kept = batch.compress(mask)
+            if len(kept):
                 yield kept
 
 
 class AggregateExec(PhysicalOperator):
-    """Grouped or scalar aggregation, mirroring the interpreter bit for bit.
+    """Grouped or scalar aggregation over column vectors, mirroring the
+    interpreter bit for bit.
 
     Group order is first-seen; lineage is the union over the group; an empty
-    non-COUNT scalar aggregate yields the explicit NULL row.
+    non-COUNT scalar aggregate yields the explicit NULL row.  Delegates to
+    :func:`repro.relational.executor.aggregate_columns`, the same core the
+    interpreter's row path wraps, so the two paths cannot drift.
     """
 
     name = "AggregateExec"
@@ -673,9 +794,14 @@ class AggregateExec(PhysicalOperator):
             text += f" group by {', '.join(self.node.group_by)}"
         return text
 
-    def batches(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        from repro.relational.executor import aggregate_rows
+    def batches(self, ctx: ExecutionContext) -> Iterator[ColumnBatch]:
+        from repro.relational.executor import aggregate_columns
 
         child = self.children[0]
-        result = aggregate_rows(self.node, child.schema, child.rows(ctx))
-        yield from _rebatch(result)
+        collected = child.collect(ctx)
+        result = aggregate_columns(
+            self.node, child.schema, collected.columns, collected.lineage
+        )
+        yield from chunk_batches(
+            ColumnBatch.from_rows(result, len(self.schema)), ctx.batch_size
+        )

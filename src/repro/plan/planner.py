@@ -348,14 +348,16 @@ class PhysicalPlan:
         self.fingerprint = logical_fingerprint(node)
 
     # -- execution ----------------------------------------------------------------
-    def execute(self) -> Relation:
-        relation, _ = self.execute_with_stats()
+    def execute(self, *, batch_size: int | None = None) -> Relation:
+        relation, _ = self.execute_with_stats(batch_size=batch_size)
         return relation
 
-    def execute_with_stats(self) -> tuple[Relation, "PlanRunStats"]:
+    def execute_with_stats(
+        self, *, batch_size: int | None = None
+    ) -> tuple[Relation, "PlanRunStats"]:
         import time
 
-        ctx = ExecutionContext()
+        ctx = ExecutionContext(batch_size=batch_size)
         started = time.perf_counter()
         rows = self.root.rows(ctx)
         elapsed = time.perf_counter() - started

@@ -33,3 +33,18 @@ class UnknownRelationError(RelationalError):
 
 class ExecutionError(RelationalError):
     """Raised when a query cannot be evaluated (type errors, empty aggregates...)."""
+
+
+class EmptyAggregateError(ExecutionError):
+    """SUM/AVG/MIN/MAX over an input with no non-NULL values.
+
+    A well-formed query over unlucky data, not a programming error: the
+    service layer maps it to a typed 400 envelope (``path`` is a JSON pointer
+    to the offending query field when the context is known) instead of a
+    generic 500.
+    """
+
+    def __init__(self, function: str, *, path: str = ""):
+        self.function = str(function)
+        self.path = path
+        super().__init__(f"{self.function} over an empty input is undefined")

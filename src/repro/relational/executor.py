@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import hashlib
 from collections import defaultdict
-from typing import Iterable
 
 from repro.relational.errors import ExecutionError, SchemaError, UnknownRelationError
 from repro.relational.query import (
@@ -281,48 +280,71 @@ def _eval_difference(node: Difference, db: Database) -> Relation:
     return result
 
 
-def aggregate_rows(node: Aggregate, schema: Schema, rows: list[Row]) -> list[Row]:
-    """Aggregate ``rows`` (conforming to ``schema``) per the node's spec.
+def aggregate_columns(
+    node: Aggregate,
+    schema: Schema,
+    columns: list[list],
+    lineages: list,
+) -> list[Row]:
+    """Aggregate column vectors (conforming to ``schema``) per the node's spec.
 
     The single source of truth for aggregation semantics -- group order is
     first-seen, lineage is unioned per group, an empty non-COUNT scalar
-    aggregate yields an explicit NULL row.  Shared by the naive interpreter
-    and the planner's ``AggregateExec`` so the two paths cannot drift.
+    aggregate yields an explicit NULL row.  The naive interpreter reaches it
+    through the :func:`aggregate_rows` transposing wrapper; the planner's
+    columnar ``AggregateExec`` calls it directly, so the two paths cannot
+    drift.
     """
     function = node.function
+    count = len(lineages)
+    value_column = (
+        columns[schema.index(node.attribute)] if node.attribute is not None else None
+    )
 
-    def compute(group: Iterable[Row]) -> tuple[float, frozenset]:
-        group = list(group)
-        lineage = frozenset().union(*(row.lineage for row in group)) if group else frozenset()
+    def compute(positions: list[int]) -> tuple[float, frozenset]:
+        lineage = (
+            frozenset().union(*(lineages[i] for i in positions))
+            if positions
+            else frozenset()
+        )
         if function is AggregateFunction.COUNT:
-            if node.attribute is None:
-                return float(len(group)), lineage
-            index = schema.index(node.attribute)
-            return float(sum(1 for row in group if row.values[index] is not None)), lineage
-        index = schema.index(node.attribute)
-        values = [row.values[index] for row in group]
-        return function.combine(values), lineage
+            if value_column is None:
+                return float(len(positions)), lineage
+            return (
+                float(sum(1 for i in positions if value_column[i] is not None)),
+                lineage,
+            )
+        return function.combine([value_column[i] for i in positions]), lineage
 
     if node.group_by:
-        group_indices = [schema.index(name) for name in node.group_by]
-        groups: dict[tuple, list[Row]] = defaultdict(list)
+        group_columns = [columns[schema.index(name)] for name in node.group_by]
+        groups: dict[tuple, list[int]] = defaultdict(list)
         order: list[tuple] = []
-        for row in rows:
-            key = tuple(row.values[i] for i in group_indices)
+        for position in range(count):
+            key = tuple(column[position] for column in group_columns)
             if key not in groups:
                 order.append(key)
-            groups[key].append(row)
+            groups[key].append(position)
         out: list[Row] = []
         for key in order:
             value, lineage = compute(groups[key])
             out.append(Row(key + (value,), lineage))
         return out
 
-    if not rows and function is not AggregateFunction.COUNT:
+    if count == 0 and function is not AggregateFunction.COUNT:
         # SQL would return NULL; we surface it as an explicit empty aggregate.
         return [Row((None,), frozenset())]
-    value, lineage = compute(rows)
+    value, lineage = compute(list(range(count)))
     return [Row((value,), lineage)]
+
+
+def aggregate_rows(node: Aggregate, schema: Schema, rows: list[Row]) -> list[Row]:
+    """Row-tuple wrapper over :func:`aggregate_columns` (same semantics)."""
+    if rows:
+        columns = [list(column) for column in zip(*(row.values for row in rows))]
+    else:
+        columns = [[] for _ in range(len(schema))]
+    return aggregate_columns(node, schema, columns, [row.lineage for row in rows])
 
 
 def _eval_aggregate(node: Aggregate, db: Database) -> Relation:

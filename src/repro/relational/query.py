@@ -14,7 +14,7 @@ import hashlib
 from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence
 
-from repro.relational.errors import ExecutionError
+from repro.relational.errors import EmptyAggregateError, ExecutionError
 from repro.relational.expressions import Predicate, TruePredicate
 
 
@@ -59,7 +59,7 @@ class AggregateFunction(enum.Enum):
                     f"{self.value} over non-numeric value {value!r}"
                 ) from None
         if not cleaned:
-            raise ExecutionError(f"{self.value} over an empty input is undefined")
+            raise EmptyAggregateError(self.value)
         if self is AggregateFunction.SUM:
             return float(sum(cleaned))
         if self is AggregateFunction.AVG:

@@ -74,6 +74,8 @@ class Relation:
         # both, and the next fingerprint() call rebuilds from scratch.
         self._fp_state = None
         self._fp_cache: str | None = None
+        # Memoized column-vector view (see column_data); any mutation drops it.
+        self._col_cache: tuple[list[list], list[frozenset]] | None = None
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -182,11 +184,39 @@ class Relation:
         if self._fp_state is not None:
             self._fp_state.update(_row_digest_bytes(row))
         self._fp_cache = None
+        self._col_cache = None
 
     def _reset_fingerprint(self) -> None:
         """Invalidate the digest after a mid-table mutation (lazy rebuild)."""
         self._fp_state = None
         self._fp_cache = None
+        self._col_cache = None
+
+    def column_data(self) -> tuple[list[list], list[frozenset]]:
+        """Column-vector view of the relation: ``(columns, lineage)``.
+
+        ``columns`` holds one Python list per attribute; ``lineage`` one
+        frozenset per row, with rows missing provenance assigned their
+        positional base-row id -- exactly what a scan of this relation emits.
+        The transpose is memoized (mutations invalidate it) and callers treat
+        it as immutable, so the columnar executor can hand it out zero-copy.
+        """
+        if self._col_cache is None:
+            width = len(self.schema)
+            if self._rows:
+                columns = [
+                    list(column)
+                    for column in zip(*(row.values for row in self._rows))
+                ]
+            else:
+                columns = [[] for _ in range(width)]
+            label = self.name or "R"
+            lineage = [
+                row.lineage or frozenset({f"{label}:{index}"})
+                for index, row in enumerate(self._rows)
+            ]
+            self._col_cache = (columns, lineage)
+        return self._col_cache
 
     def copy(self) -> "Relation":
         """A mutable copy sharing the immutable :class:`Row` objects.

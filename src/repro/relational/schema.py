@@ -183,6 +183,11 @@ class Schema:
     def names(self) -> tuple[str, ...]:
         return tuple(attr.name for attr in self._attributes)
 
+    @property
+    def dtypes(self) -> tuple[DataType, ...]:
+        """Per-attribute data types, positionally aligned with :attr:`names`."""
+        return tuple(attr.dtype for attr in self._attributes)
+
     def attribute(self, name: str) -> Attribute:
         try:
             return self._attributes[self._index[name]]

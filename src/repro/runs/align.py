@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import dataclass, field
 
 from repro.relational.relation import Relation
@@ -164,6 +165,18 @@ def _values_equal(left, right, tolerance: float) -> bool:
     if isinstance(left, bool) or isinstance(right, bool):
         return left == right
     if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        # Non-finite values must be settled before the tolerance subtraction:
+        # NaN - NaN is NaN (making |diff| <= tol false, a spurious mismatch)
+        # and inf - inf is NaN too, so two runs agreeing on inf would be
+        # misclassified.  NaN agrees with NaN; each infinity only with itself.
+        left_nan = left != left
+        right_nan = right != right
+        if left_nan or right_nan:
+            return left_nan and right_nan
+        if left == right:
+            return True
+        if math.isinf(left) or math.isinf(right):
+            return False
         return abs(left - right) <= tolerance
     return left == right
 

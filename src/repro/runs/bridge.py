@@ -154,11 +154,19 @@ def _pick_compare(left: Relation, right: Relation, key: tuple[str, ...], compare
         def column_sum(relation: Relation, name: str) -> float:
             return sum(value for value in relation.column(name) if value is not None)
 
+        def sums_differ(a: float, b: float) -> bool:
+            # NaN sums (a non-finite value anywhere in the column) compare
+            # unequal to themselves; treating that as a disagreement would
+            # fabricate a divergence on a column both runs agree on.
+            if a != a or b != b:
+                return not (a != a and b != b)
+            return a != b
+
         # Prefer the first numeric column on which the runs actually
         # disagree in aggregate -- that is the disagreement worth explaining.
         # Deterministic: left-schema order, data-only inputs.
         for name in numeric:
-            if column_sum(left, name) != column_sum(right, name):
+            if sums_differ(column_sum(left, name), column_sum(right, name)):
                 return name, shared
         if numeric:
             return numeric[0], shared

@@ -35,7 +35,18 @@ def random_run_pair(rng: random.Random) -> tuple[Relation, Relation, float]:
         return {
             "id": i,
             "name": rng.choice([f"row {i}", "", None]),
-            "score": rng.choice([round(rng.uniform(0, 100), 3), float(i), None]),
+            "score": rng.choice(
+                [
+                    round(rng.uniform(0, 100), 3),
+                    float(i),
+                    None,
+                    # Non-finite scores: two runs agreeing on NaN (or the same
+                    # infinity) must *not* classify as value_mismatch.
+                    float("nan"),
+                    float("inf"),
+                    float("-inf"),
+                ]
+            ),
             "flag": rng.choice([True, False, None]),
         }
 
@@ -52,9 +63,15 @@ def random_run_pair(rng: random.Random) -> tuple[Relation, Relation, float]:
                 None if mutated["score"] is None
                 else mutated["score"] + rng.choice([0.5, -2.0, tolerance / 2])
             )
-        elif roll < 0.3:
+        elif roll < 0.26:
+            # Swap in (or flip between) non-finite scores so the oracle
+            # equivalence check covers NaN-vs-finite, inf-vs--inf, NaN-vs-NaN.
+            mutated["score"] = rng.choice(
+                [float("nan"), float("inf"), float("-inf")]
+            )
+        elif roll < 0.34:
             mutated["name"] = "mutated"
-        elif roll < 0.35:
+        elif roll < 0.39:
             mutated["flag"] = None if mutated["flag"] else True
         right_records.append(mutated)
     # Seed duplicate keys on either side.

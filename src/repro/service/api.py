@@ -123,7 +123,7 @@ from repro.relational.query import (
 from repro.reliability.breaker import CircuitOpenError
 from repro.reliability.deadline import DeadlineExceeded, OperationCancelled
 from repro.reliability.retry import RetryPolicy
-from repro.relational.errors import SchemaError
+from repro.relational.errors import EmptyAggregateError, SchemaError
 from repro.relational.schema import DataType, Schema
 from repro.runs.errors import RunError
 from repro.runs.spec import compile_runs_payload
@@ -169,6 +169,9 @@ _ERROR_STATUS = (
     (SpecError, 400),
     (RunError, 400),
     (DeltaError, 400),
+    # A well-formed aggregate over an all-NULL input: the caller's data, not
+    # a server fault.  Must precede any broader ExecutionError mapping.
+    (EmptyAggregateError, 400),
     (UnknownDatabaseError, 404),
     (DeltaConflictError, 409),
     (OperationCancelled, 409),

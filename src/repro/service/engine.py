@@ -44,7 +44,7 @@ from repro.live import DeltaConflictError, DeltaError, apply_changes_copy, delta
 from repro.matching.attribute_match import AttributeMatching
 from repro.matching.tuple_matching import TupleMapping
 from repro.plan import PhysicalPlan, logical_fingerprint, plan_node, plan_query
-from repro.relational.errors import UnknownRelationError
+from repro.relational.errors import EmptyAggregateError, UnknownRelationError
 from repro.relational.executor import Database
 from repro.relational.provenance import provenance_relation
 from repro.relational.query import Query
@@ -939,7 +939,13 @@ class ExplainService:
         inner = query.inner
         if logical_fingerprint(inner) != plan.fingerprint:
             self._cached_plan(db, db_fp, inner, lambda: plan_node(inner, db))
-        explanation = plan.explain(run=run).to_dict()
+        try:
+            explanation = plan.explain(run=run).to_dict()
+        except EmptyAggregateError as exc:
+            # A well-formed aggregate over an all-NULL input: surface a typed
+            # 400 pointing at the query, never an unhandled 500.
+            exc.path = exc.path or "/query"
+            raise
         explanation["database"] = database
         explanation["query"] = query.name
         return explanation

@@ -147,7 +147,16 @@ def _run_plan_smoke(verbose: bool = False) -> int:
 
 
 def _run_plan_fuzz(count: int, seed: int, verbose: bool = False) -> int:
-    """Planned vs naive execution of ``count`` random queries; 0 = identical."""
+    """Planned (columnar) vs naive execution of ``count`` random queries.
+
+    Each query runs three ways -- the naive row interpreter, the columnar
+    planner at the default batch size, and the columnar planner again at a
+    tiny batch size (7 rows) -- and all three must be fingerprint-identical
+    (rows + order + lineage).  The tiny-batch pass proves chunking touches
+    batch boundaries only, never results.
+    """
+    from repro.plan import plan_query
+
     db = toy_database()
     failures = 0
     for round_index in range(count):
@@ -159,6 +168,11 @@ def _run_plan_fuzz(count: int, seed: int, verbose: bool = False) -> int:
             planned = execute(query, db, planner="optimized")
             if naive.fingerprint() != planned.fingerprint():
                 raise AssertionError("planned result diverges from naive execution")
+            chunked = plan_query(query, db).execute(batch_size=7)
+            if chunked.fingerprint() != naive.fingerprint():
+                raise AssertionError(
+                    "columnar result at batch_size=7 diverges from naive execution"
+                )
         except Exception as exc:  # noqa: BLE001 - report and count every failure
             failures += 1
             print(f"PLAN FUZZ FAILURE (seed {seed + round_index}): {sql}", file=sys.stderr)
@@ -166,7 +180,10 @@ def _run_plan_fuzz(count: int, seed: int, verbose: bool = False) -> int:
         else:
             if verbose:
                 print(f"ok (seed {seed + round_index}): {sql}")
-    print(f"plan fuzz: {count - failures}/{count} queries fingerprint-identical")
+    print(
+        f"plan fuzz: {count - failures}/{count} queries fingerprint-identical "
+        f"(naive = columnar = columnar@batch_size=7)"
+    )
     return 1 if failures else 0
 
 

@@ -1,0 +1,389 @@
+"""The columnar batch executor: batches, masks, edge cases, batch-size knob.
+
+The columnar operators must stay fingerprint-identical (rows + order +
+lineage) to the naive row interpreter across every edge the vectorized fast
+paths could plausibly get wrong: NULLs, data NaN vs NULL NaN, non-finite
+floats, huge integers beyond float64 exactness, all-NULL join keys, empty
+inputs, And/Or short-circuit semantics -- and across every batch size,
+including 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.plan import ColumnBatch, plan_node, plan_query, predicate_mask
+from repro.plan.physical import BATCH_SIZE, ExecutionContext
+from repro.relational.errors import EmptyAggregateError, ExecutionError
+from repro.relational.executor import Database, execute
+from repro.relational.expressions import (
+    AttributeComparison,
+    Comparison,
+    Contains,
+    IsNull,
+    Membership,
+    Not,
+    col,
+)
+from repro.relational.query import (
+    Aggregate,
+    AggregateFunction,
+    Join,
+    Query,
+    Scan,
+    Select,
+    Union,
+    aggregate_query,
+    count_query,
+    projection_query,
+    sum_query,
+)
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import Attribute, DataType, Schema
+
+INT = DataType.INTEGER
+FLOAT = DataType.FLOAT
+STR = DataType.STRING
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def _relation(name: str, schema: Schema, rows: list[tuple]) -> Relation:
+    relation = Relation(schema, name=name)
+    for values in rows:
+        relation.append(values)
+    return relation
+
+
+def _mixed_db() -> Database:
+    """A database exercising NULLs, NaN, infinities and huge integers."""
+    db = Database("mixed")
+    db.add(
+        _relation(
+            "T",
+            Schema(
+                [
+                    Attribute("id", INT),
+                    Attribute("score", FLOAT),
+                    Attribute("name", STR),
+                    Attribute("big", INT),
+                ]
+            ),
+            [
+                (1, 1.5, "a", 10),
+                (2, NAN, "b", 2 ** 60),
+                (3, None, None, -(2 ** 60)),
+                (4, INF, "a", 0),
+                (5, -INF, "nan", None),
+                (None, 1.5, "b", 7),
+                (6, 2.0, "c", 2 ** 53 + 1),
+            ],
+        )
+    )
+    db.add(
+        _relation(
+            "U",
+            Schema([Attribute("id", INT), Attribute("w", FLOAT)]),
+            [(1, 0.5), (2, NAN), (None, 3.0), (6, None), (6, 1.0)],
+        )
+    )
+    return db
+
+
+def _assert_equivalent(query, db, *, batch_sizes=(1, 3, BATCH_SIZE)):
+    naive = execute(query, db, planner="naive")
+    plan = plan_query(query, db)
+    for batch_size in batch_sizes:
+        planned = plan.execute(batch_size=batch_size)
+        assert planned.fingerprint() == naive.fingerprint(), (
+            f"{query.name} diverged at batch_size={batch_size}"
+        )
+    return naive
+
+
+class TestColumnBatch:
+    def test_from_rows_to_rows_round_trip(self):
+        rows = [Row((1, "a"), frozenset({"T:0"})), Row((2, None), frozenset({"T:1"}))]
+        batch = ColumnBatch.from_rows(rows, 2)
+        assert batch.columns == [[1, 2], ["a", None]]
+        assert batch.to_rows() == rows
+
+    def test_empty_batch_keeps_width(self):
+        batch = ColumnBatch.from_rows([], 3)
+        assert batch.width == 3 and len(batch) == 0
+        assert batch.to_rows() == []
+
+    def test_concat_and_slice(self):
+        a = ColumnBatch([[1, 2], ["x", "y"]], [frozenset(), frozenset()])
+        b = ColumnBatch([[3], ["z"]], [frozenset({"T:2"})])
+        merged = ColumnBatch.concat([a, ColumnBatch.empty(2), b], 2)
+        assert merged.columns == [[1, 2, 3], ["x", "y", "z"]]
+        assert merged.slice(1, 3).columns == [[2, 3], ["y", "z"]]
+
+    def test_concat_single_batch_is_passthrough(self):
+        a = ColumnBatch([[1]], [frozenset()])
+        assert ColumnBatch.concat([a], 1) is a
+
+    def test_compress_all_true_is_zero_copy(self):
+        batch = ColumnBatch([[1, 2]], [frozenset(), frozenset()])
+        assert batch.compress(np.array([True, True])) is batch
+        kept = batch.compress(np.array([False, True]))
+        assert kept.columns == [[2]]
+
+    def test_select_shares_column_lists(self):
+        batch = ColumnBatch([[1], [2], [3]], [frozenset()])
+        projected = batch.select([2, 0])
+        assert projected.columns[0] is batch.columns[2]
+        assert projected.columns[1] is batch.columns[0]
+
+    def test_zero_width_rows(self):
+        batch = ColumnBatch([], [frozenset({"T:0"}), frozenset({"T:1"})])
+        assert [row.values for row in batch.to_rows()] == [(), ()]
+        assert batch.value_tuples() == [(), ()]
+
+
+class TestPredicateMasks:
+    """predicate_mask must agree with per-row dict evaluation bit for bit."""
+
+    def _assert_mask_matches(self, predicate, relation):
+        columns, lineage = relation.column_data()
+        batch = ColumnBatch([list(column) for column in columns], list(lineage))
+        mask = predicate_mask(predicate, batch, relation.schema)
+        expected = [
+            bool(predicate(row.as_dict(relation.schema))) for row in relation
+        ]
+        assert mask.tolist() == expected, repr(predicate)
+
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            col("score") > 1.0,
+            col("score") <= 1.5,
+            col("score") == INF,
+            col("score") != 1.5,
+            col("id") >= 3,
+            col("id") == 2,
+            Comparison("big", ">", 2 ** 53),  # huge ints: scalar exact path
+            Comparison("big", "<", 0.5),  # int column vs float constant
+            Comparison("missing", "=", 1),  # unknown name reads as NULL
+            AttributeComparison("id", "<", "big"),
+            AttributeComparison("score", "=", "score"),  # NaN != NaN rowwise
+            IsNull("name"),
+            Not(IsNull("score")),
+            Membership("name", frozenset({"a", "nan"})),
+            Contains("name", "A"),
+            (col("id") > 1) & (col("score") > 0.0),
+            (col("id") > 100) | (col("name") == "b"),
+            ~(col("id") == 2),
+        ],
+    )
+    def test_mask_equals_row_path(self, predicate):
+        relation = _mixed_db().relation("T")
+        self._assert_mask_matches(predicate, relation)
+
+    def test_and_short_circuit_never_raises_where_rows_would_not(self):
+        # Row path: `name = 'a' AND name > 5` short-circuits past the
+        # type-mismatched comparison for every row whose name != 'a'... but
+        # raises on rows where it *is* evaluated.  The vectorized path must
+        # do exactly the same -- including the raise.
+        relation = _relation(
+            "S", Schema([Attribute("name", STR)]), [("b",), ("c",)]
+        )
+        safe = (col("name") == "a") & Comparison("name", ">", 5)
+        self._assert_mask_matches(safe, relation)  # no row reaches the bad leg
+        raising = _relation(
+            "S", Schema([Attribute("name", STR)]), [("b",), ("a",)]
+        )
+        columns, lineage = raising.column_data()
+        batch = ColumnBatch([list(c) for c in columns], list(lineage))
+        with pytest.raises(ExecutionError, match="cannot compare"):
+            predicate_mask(safe, batch, raising.schema)
+
+    def test_null_nan_distinct_from_data_nan(self):
+        # A FLOAT column stores NULL as None; the numeric view uses NaN as a
+        # placeholder but the notnull mask keeps NULL rows false under every
+        # comparison, while a *data* NaN row is false for a different reason
+        # (IEEE comparison), and IS NULL tells them apart.
+        relation = _mixed_db().relation("T")
+        self._assert_mask_matches(IsNull("score"), relation)
+        self._assert_mask_matches(Not(IsNull("score")), relation)
+        self._assert_mask_matches(col("score") == NAN, relation)
+
+
+class TestColumnarEdges:
+    def test_empty_relation_through_every_operator(self):
+        db = Database("empty")
+        schema = Schema([Attribute("a", INT), Attribute("b", FLOAT)])
+        db.add(_relation("E", schema, []))
+        db.add(_relation("F", schema, [(1, 2.0)]))
+        queries = [
+            count_query("C", Scan("E")),
+            count_query("CF", Select(Scan("E"), col("a") > 0)),
+            count_query("CJ", Join(Scan("E"), Scan("F"), on=(("a", "a"),))),
+            projection_query("P", Scan("E"), ["b"]),
+            projection_query("PD", Scan("E"), ["b"], distinct=True),
+            count_query("CU", Union((Scan("E"), Scan("F")))),
+        ]
+        for query in queries:
+            _assert_equivalent(query, db)
+
+    def test_all_null_join_keys_match_plain_reject_strict(self):
+        db = Database("nulls")
+        left_schema = Schema([Attribute("a", INT), Attribute("b", INT)])
+        right_schema = Schema([Attribute("c", INT), Attribute("d", INT)])
+        db.add(_relation("L", left_schema, [(None, None), (None, 1), (1, None)]))
+        db.add(_relation("R", right_schema, [(None, None), (None, 1), (1, 1)]))
+        # First (plain) pair: NULL = NULL holds.
+        plain = count_query("JP", Join(Scan("L"), Scan("R"), on=(("a", "c"),)))
+        result = _assert_equivalent(plain, db)
+        # 2 NULL-a rows x 2 NULL-c rows, plus the ordinary (1, 1) match.
+        assert result[0].values[0] == 5.0
+        # Second (strict) pair rejects NULLs on either side.
+        strict = count_query(
+            "JS", Join(Scan("L"), Scan("R"), on=(("a", "c"), ("b", "d")))
+        )
+        result = _assert_equivalent(strict, db)
+        assert result[0].values[0] == 1.0  # only (None,1) x (None,1)
+
+    def test_nan_flows_through_filter_distinct_join(self):
+        db = _mixed_db()
+        queries = [
+            count_query("F", Select(Scan("T"), col("score") > 0.0)),
+            projection_query("D", Scan("T"), ["score"], distinct=True),
+            count_query("J", Join(Scan("T"), Scan("U"), on=(("id", "id"),))),
+            Query(
+                "G",
+                Aggregate(
+                    Select(Scan("T"), Not(IsNull("id"))),
+                    AggregateFunction.SUM,
+                    "id",
+                    group_by=("name",),
+                    alias="sum",
+                ),
+            ),
+        ]
+        for query in queries:
+            _assert_equivalent(query, db)
+
+    def test_theta_join_condition_over_nan(self):
+        db = _mixed_db()
+        query = count_query(
+            "TH",
+            Join(
+                Scan("T"),
+                Scan("U"),
+                on=(("id", "id"),),
+                condition=AttributeComparison("score", "<", "w"),
+            ),
+        )
+        _assert_equivalent(query, db)
+
+    def test_keyless_cross_join_slabs(self):
+        db = _mixed_db()
+        query = count_query(
+            "X",
+            Join(Scan("T"), Scan("U"), condition=AttributeComparison("id", "=", "id_r")),
+        )
+        _assert_equivalent(query, db)
+
+
+class TestBatchSizeKnob:
+    def test_default_comes_from_module_constant(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+        assert ExecutionContext().batch_size == BATCH_SIZE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "5")
+        assert ExecutionContext().batch_size == 5
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "not a number")
+        assert ExecutionContext().batch_size == BATCH_SIZE
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SIZE", "5")
+        assert ExecutionContext(batch_size=2).batch_size == 2
+
+    def test_results_invariant_across_batch_sizes(self):
+        db = _mixed_db()
+        query = Query(
+            "S",
+            Aggregate(
+                Select(Scan("T"), Not(IsNull("id"))),
+                AggregateFunction.SUM,
+                "id",
+                group_by=("name",),
+                alias="sum",
+            ),
+        )
+        _assert_equivalent(query, db, batch_sizes=(1, 2, 3, 5, BATCH_SIZE))
+
+
+class TestSharedSubplanStats:
+    def test_actual_rows_count_rows_not_batches(self):
+        # A union of two identical subqueries dedups to one shared operator;
+        # at batch_size=2 its 5 output rows span 3 batches.  `rows` must
+        # report 5 on the producing occurrence and the replay must mark
+        # `reused` -- chunking and sharing never change row accounting.
+        db = Database("shared")
+        schema = Schema([Attribute("a", INT)])
+        db.add(_relation("S", schema, [(i,) for i in range(5)]))
+        node = Union((Scan("S"), Scan("S")))
+        plan = plan_node(node, db)
+        relation, stats = plan.execute_with_stats(batch_size=2)
+        assert len(relation) == 10
+        assert plan.shared_subplans == 1
+        # The deduplicated scan owns ONE stats slot: `rows` counts the 5 rows
+        # it actually produced (not the 3 batches they spanned, and not 10 --
+        # the memoized replay never re-counts), and `reused` marks the replay.
+        (scan_stats,) = [
+            payload
+            for payload in stats.operators.values()
+            if payload.get("reused")
+        ]
+        assert scan_stats["rows"] == 5
+        assert scan_stats["batches"] == 3  # 2 + 2 + 1 rows
+
+    def test_explain_reports_rows_under_reference_nodes(self):
+        db = Database("shared2")
+        schema = Schema([Attribute("a", INT)])
+        db.add(_relation("S", schema, [(i,) for i in range(4)]))
+        plan = plan_node(Union((Scan("S"), Scan("S"))), db)
+        payload = plan.explain(run=True).to_dict()
+        children = payload["plan"]["children"]
+        assert children[0]["rows"] == 4
+        assert children[1].get("reference") is True
+        assert "rows" not in children[1]  # never double-counted
+
+
+class TestEmptyAggregateError:
+    def test_combine_raises_typed_error(self):
+        with pytest.raises(EmptyAggregateError) as excinfo:
+            AggregateFunction.SUM.combine([None, None])
+        assert isinstance(excinfo.value, ExecutionError)
+        assert excinfo.value.function == "SUM"
+        assert excinfo.value.path == ""
+
+    def test_all_null_group_raises_on_both_paths(self):
+        db = Database("allnull")
+        schema = Schema([Attribute("v", FLOAT)])
+        db.add(_relation("T", schema, [(None,), (None,)]))
+        query = sum_query("Q", Scan("T"), attribute="v")
+        for planner in ("naive", "optimized"):
+            with pytest.raises(EmptyAggregateError):
+                execute(query, db, planner=planner)
+
+    def test_truly_empty_input_still_returns_null_row(self):
+        # Distinct from all-NULL: zero input rows keep the explicit NULL-row
+        # contract (pinned elsewhere too) -- no exception.
+        db = Database("empty")
+        schema = Schema([Attribute("v", FLOAT)])
+        db.add(_relation("T", schema, []))
+        query = aggregate_query(
+            "Q", AggregateFunction.AVG, Scan("T"), attribute="v"
+        )
+        for planner in ("naive", "optimized"):
+            result = execute(query, db, planner=planner)
+            assert [row.values for row in result] == [(None,)]

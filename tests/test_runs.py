@@ -368,3 +368,114 @@ class TestRunsSpec:
         with pytest.raises(RunError) as excinfo:
             compile_runs_payload(payload)
         assert excinfo.value.path == "/runs/left/rows/1/v"
+
+
+# ---------------------------------------------------------------------------
+# Non-finite floats (NaN / +-inf) in run values
+# ---------------------------------------------------------------------------
+
+class TestNonFiniteValues:
+    """Regression: runs agreeing on NaN or the same infinity must NOT be
+    classified as value_mismatch (``abs(nan - nan) <= tol`` is False and
+    ``inf - inf`` is NaN, so the pre-fix tolerance check fabricated
+    disagreements between identical runs)."""
+
+    def test_nan_agrees_with_nan(self):
+        rows = [
+            {"id": 1, "v": float("nan")},
+            {"id": 2, "v": float("inf")},
+            {"id": 3, "v": float("-inf")},
+            {"id": 4, "v": 1.5},
+        ]
+        left = relation("L", rows)
+        right = relation("R", [dict(row) for row in rows])
+        alignment = align_runs(left, right, ("id",))
+        assert alignment.agree(), alignment.counts()
+        assert alignment.counts() == {}
+
+    def test_nan_vs_finite_is_a_mismatch(self):
+        left = relation("L", [{"id": 1, "v": float("nan")}])
+        right = relation("R", [{"id": 1, "v": 1.0}])
+        alignment = align_runs(left, right, ("id",), float_tolerance=1e9)
+        assert alignment.counts() == {VALUE_MISMATCH: 1}
+
+    def test_opposite_infinities_are_a_mismatch(self):
+        left = relation("L", [{"id": 1, "v": float("inf")}])
+        right = relation("R", [{"id": 1, "v": float("-inf")}])
+        alignment = align_runs(left, right, ("id",), float_tolerance=1e9)
+        assert alignment.counts() == {VALUE_MISMATCH: 1}
+
+    def test_inf_vs_finite_ignores_tolerance(self):
+        left = relation("L", [{"id": 1, "v": float("inf")}])
+        right = relation("R", [{"id": 1, "v": 1e300}])
+        alignment = align_runs(left, right, ("id",), float_tolerance=float("inf"))
+        assert alignment.counts() == {VALUE_MISMATCH: 1}
+
+    def test_nan_vs_null_is_a_mismatch(self):
+        left = relation("L", [{"id": 1, "v": float("nan")}])
+        right = relation("R", [{"id": 1, "v": None}])
+        alignment = align_runs(left, right, ("id",))
+        assert alignment.counts() == {VALUE_MISMATCH: 1}
+
+    def test_oracle_stays_byte_consistent_on_non_finite(self):
+        rows_left = [
+            {"id": 1, "v": float("nan")},
+            {"id": 2, "v": float("inf")},
+            {"id": 3, "v": 2.0},
+        ]
+        rows_right = [
+            {"id": 1, "v": float("nan")},
+            {"id": 2, "v": float("-inf")},
+            {"id": 3, "v": float("nan")},
+        ]
+        left = relation("L", rows_left)
+        right = relation("R", rows_right)
+        fast = align_runs(left, right, ("id",))
+        reference = align_runs_reference(left, right, ("id",))
+        assert fast.canonical() == reference.canonical()
+        assert fast.fingerprint() == reference.fingerprint()
+        assert fast.counts() == {VALUE_MISMATCH: 2}
+
+    def test_fuzz_generator_emits_non_finite_scores(self):
+        import math
+        import random
+
+        from repro.runs.fuzz import random_run_pair
+
+        rng = random.Random(11)
+        saw_non_finite = False
+        for _ in range(40):
+            left, right, _ = random_run_pair(rng)
+            for rel in (left, right):
+                for value in rel.column("score"):
+                    if value is not None and not math.isfinite(value):
+                        saw_non_finite = True
+        assert saw_non_finite
+
+    def test_end_to_end_nan_rows_through_bridge_and_pipeline(self):
+        # Two runs agreeing on a NaN-valued column but diverging on a finite
+        # one: the bridge must auto-pick the *finite* diverging column (the
+        # NaN column agrees now), and the full pipeline must explain the
+        # divergence instead of drowning in fabricated NaN mismatches.
+        left = relation("runL", [
+            {"id": 1, "ratio": float("nan"), "v": 1.0},
+            {"id": 2, "ratio": float("inf"), "v": 2.0},
+        ])
+        right = relation("runR", [
+            {"id": 1, "ratio": float("nan"), "v": 1.0},
+            {"id": 2, "ratio": float("inf"), "v": 5.0},
+        ])
+        alignment = align_runs(left, right, ("id",))
+        mismatch_columns = {
+            column
+            for d in alignment.disagreements
+            if d.kind == VALUE_MISMATCH
+            for column in d.columns
+        }
+        assert mismatch_columns == {"v"}  # no spurious NaN/inf mismatches
+        problem = build_run_problem(left, right, key=("id",))
+        assert problem.compare == "v"
+        report = problem.explain()
+        assert report.problem.result_left == 3.0
+        assert report.problem.result_right == 6.0
+        assert report.explanations

@@ -893,3 +893,77 @@ class TestRunsEndpoint:
         direct = build_run_problem(left, right, key=("id",)).explain()
         served = mutable_server.explain(RUNS_PAYLOAD)
         assert canonical_report(served) == canonical_report(direct.to_dict())
+
+
+class TestEmptyAggregateEnvelope:
+    """Regression: a non-COUNT aggregate over an all-NULL column is a typed
+    ``EmptyAggregateError`` 400 envelope with a JSON-pointer path, not a
+    silent NULL result or a 500."""
+
+    @pytest.fixture(scope="class")
+    def null_server(self):
+        service = ExplainService()
+        server, thread = serve_in_background(service, port=0)
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}")
+        records = [{"id": i, "v": None} for i in range(4)]
+        client.register_database("N1", {"T": records})
+        client.register_database("N2", {"T": records})
+        yield client
+        server.shutdown()
+
+    def test_plan_run_surfaces_typed_400(self, null_server):
+        with pytest.raises(ServiceClientError) as excinfo:
+            null_server.plan({
+                "database": "N1",
+                "query": {"name": "Q", "kind": "sum", "relation": "T", "attribute": "v"},
+                "run": True,
+            })
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "EmptyAggregateError"
+        assert excinfo.value.path == "/query"
+        assert "SUM" in excinfo.value.detail
+
+    def test_plan_without_run_still_explains(self, null_server):
+        payload = null_server.plan({
+            "database": "N1",
+            "query": {"name": "Q", "kind": "sum", "relation": "T", "attribute": "v"},
+            "run": False,
+        })
+        assert payload["query"] == "Q"
+
+    def test_explain_points_at_the_offending_query(self, null_server):
+        import urllib.error
+        import urllib.request
+
+        payload = {
+            "database_left": "N1",
+            "query_left": {"name": "Q1", "kind": "sum", "relation": "T", "attribute": "v"},
+            "database_right": "N2",
+            "query_right": {"name": "Q2", "kind": "count", "relation": "T", "attribute": "id"},
+            "attribute_matches": [["id", "id"]],
+        }
+        request = urllib.request.Request(
+            f"{null_server.base_url}/explain",
+            data=json.dumps(payload).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            code = exc.code
+            body = json.loads(exc.read())
+        assert code == 400
+        assert body["error"]["type"] == "EmptyAggregateError"
+        assert body["error"]["path"] == "/query_left"
+        assert "SUM over an empty input" in body["error"]["message"]
+
+    def test_count_over_all_null_is_fine(self, null_server):
+        payload = null_server.plan({
+            "database": "N1",
+            "query": {"name": "Q", "kind": "count", "relation": "T", "attribute": "v"},
+            "run": True,
+        })
+        assert payload["rows_out"] == 1  # COUNT always yields a scalar row
